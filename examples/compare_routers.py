@@ -1,0 +1,58 @@
+"""Compare SATMAP against the heuristic and constraint-based baselines.
+
+Run with::
+
+    python examples/compare_routers.py
+
+This is a miniature version of the paper's Q1/Q2 evaluation: a handful of
+benchmark circuits are routed onto an 8-qubit Tokyo subgraph by every router
+in the library, and the script prints the solve-rate table (Table I style) and
+the heuristic cost-ratio summary (Fig. 12 style).
+"""
+
+from repro.analysis.experiments import run_many_routers
+from repro.analysis.reporting import (
+    render_cost_ratio_summary,
+    render_records_table,
+    render_solve_rate_table,
+)
+from repro.analysis.suite import default_architecture, tiny_suite
+from repro.baselines import (
+    AStarLayerRouter,
+    ExhaustiveOptimalRouter,
+    OlsqStyleRouter,
+    SabreRouter,
+    TketLikeRouter,
+)
+from repro.core import SatMapRouter
+
+
+def main() -> None:
+    suite = tiny_suite()[:6]
+    architecture = default_architecture(8)
+    print(f"Routing {len(suite)} circuits onto {architecture.name} "
+          f"({architecture.num_qubits} qubits, {len(architecture.edges)} edges)")
+    print()
+
+    routers = {
+        "SATMAP": lambda: SatMapRouter(slice_size=25, time_budget=10),
+        "TB-OLSQ-like": lambda: OlsqStyleRouter(time_budget=10),
+        "EX-MQT-like": lambda: ExhaustiveOptimalRouter(time_budget=10),
+        "SABRE": lambda: SabreRouter(),
+        "TKET-like": lambda: TketLikeRouter(),
+        "MQT-A*": lambda: AStarLayerRouter(),
+    }
+    comparison = run_many_routers(routers, suite, architecture)
+
+    print(render_solve_rate_table(comparison, total=len(suite),
+                                  title="Solve rate (Table I style)"))
+    print()
+    print(render_cost_ratio_summary(
+        comparison, "SATMAP", ["SABRE", "TKET-like", "MQT-A*"],
+        title="Heuristic cost relative to SATMAP (Fig. 12 style)"))
+    print()
+    print(render_records_table(comparison, title="Per-benchmark detail"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Hybrid routing plus post-routing transpilation and scheduling.
+
+Run with::
+
+    python examples/hybrid_and_transpile.py
+
+This example walks the full compilation path a downstream user would take:
+
+1. generate a QFT workload (the classic connectivity-hostile kernel);
+2. route it three ways -- full SATMAP, the Section-IX hybrid mapper
+   (optimal MaxSAT placement + SABRE routing), and plain SABRE;
+3. decompose the inserted SWAPs to CNOTs, run the cleanup passes, and
+   compare gate counts;
+4. schedule each routed circuit and compare makespans; and
+5. score every variant under a synthetic device calibration.
+
+It demonstrates the parts of the library that sit around the core QMR
+contribution: :mod:`repro.circuits.passes`, :mod:`repro.circuits.scheduling`,
+:mod:`repro.hardware.calibration`, and :class:`repro.core.HybridSatMapRouter`.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.baselines import SabreRouter
+from repro.circuits.named_circuits import qft_circuit
+from repro.circuits.passes import decompose_swaps, default_cleanup_pipeline
+from repro.circuits.scheduling import routing_latency_overhead, schedule_length
+from repro.core import HybridSatMapRouter, SatMapRouter
+from repro.hardware.calibration import DeviceCalibration
+from repro.hardware.topologies import reduced_tokyo_architecture
+
+SATMAP_BUDGET = 20.0
+
+
+def main() -> None:
+    architecture = reduced_tokyo_architecture(8)
+    calibration = DeviceCalibration.synthetic(architecture, seed=11)
+    workload = qft_circuit(6)
+    print(f"Workload: {workload}")
+    print(f"Device:   {architecture}")
+    print()
+
+    routers = {
+        "SATMAP": SatMapRouter(slice_size=10, time_budget=SATMAP_BUDGET),
+        "HYBRID": HybridSatMapRouter(time_budget=SATMAP_BUDGET),
+        "SABRE": SabreRouter(),
+    }
+
+    rows = []
+    routed_variants = {}
+    for name, router in routers.items():
+        result = router.route(workload, architecture)
+        if not result.solved:
+            rows.append([name, "-", "-", "-", "-", "-"])
+            continue
+
+        physical = decompose_swaps(result.routed_circuit)
+        cleaned = default_cleanup_pipeline().run(physical)
+        routed_variants[name] = cleaned
+
+        overhead = routing_latency_overhead(workload, cleaned)
+        rows.append([
+            name,
+            result.swap_count,
+            cleaned.num_two_qubit_gates,
+            cleaned.depth(),
+            round(schedule_length(cleaned) / 1000.0, 2),
+            round(overhead, 2),
+        ])
+
+    print(render_table(
+        ["router", "swaps", "2q gates after cleanup", "depth",
+         "makespan (us)", "latency overhead"],
+        rows, title="QFT-6 on Tokyo-8: routing, transpilation, scheduling"))
+    print()
+
+    ranking = calibration.compare_routings(routed_variants)
+    print(render_table(
+        ["router", "estimated fidelity"],
+        [[name, round(fidelity, 4)] for name, fidelity in ranking],
+        title="Estimated success probability under a synthetic calibration"))
+    print()
+    print("SATMAP pays for its optimal swap count with compile time; the "
+          "hybrid mapper recovers most of the gate-count benefit while only "
+          "solving a single-step placement instance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Noise-aware routing: maximise estimated fidelity instead of minimising SWAPs.
+
+Run with::
+
+    python examples/noise_aware_routing.py
+
+The weighted-MaxSAT objective (the paper's Q6 experiment) weights every
+potential SWAP and every gate-execution edge by its log-infidelity under a
+synthetic calibration, so the optimal model maximises the product of gate
+fidelities.  On a device with strongly non-uniform error rates this chooses a
+different layout than plain SWAP minimisation.
+"""
+
+from repro import NoiseAwareSatMapRouter, SatMapRouter, random_circuit
+from repro.core.satmap import _routed_fidelity
+from repro.hardware.noise import NoiseModel
+from repro.hardware.topologies import reduced_tokyo_architecture
+
+
+def main() -> None:
+    architecture = reduced_tokyo_architecture(6)
+    # A deliberately skewed calibration: some edges are an order of magnitude
+    # worse than others, as on real hardware snapshots.
+    noise = NoiseModel.synthetic(architecture, seed=2019, low=0.004, high=0.15)
+    circuit = random_circuit(5, 12, seed=3, name="workload")
+
+    print(f"Routing {circuit.name} ({circuit.num_two_qubit_gates} two-qubit gates) "
+          f"onto {architecture.name}")
+    print("Edge error rates:")
+    for edge in architecture.edges:
+        print(f"  {edge}: {noise.edge_error(*edge):.3f}")
+    print()
+
+    aware = NoiseAwareSatMapRouter(noise, slice_size=10, time_budget=30).route(
+        circuit, architecture)
+    oblivious = SatMapRouter(slice_size=10, time_budget=30).route(circuit, architecture)
+
+    print(f"noise-aware     : {aware.summary()}")
+    print(f"  estimated success probability: {aware.objective_value:.4f}")
+    oblivious_fidelity = _routed_fidelity(oblivious.routed_circuit, noise)
+    print(f"noise-oblivious : {oblivious.summary()}")
+    print(f"  estimated success probability: {oblivious_fidelity:.4f}")
+    print()
+    if aware.objective_value >= oblivious_fidelity:
+        print("The noise-aware objective found a routing with at least as high an "
+              "estimated fidelity, as expected.")
+    else:
+        print("The anytime search stopped before beating the noise-oblivious routing; "
+              "raise time_budget to close the gap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Route an OpenQASM 2.0 file from the command line.
+
+Run with::
+
+    python examples/route_qasm_file.py path/to/circuit.qasm [--arch tokyo]
+    python examples/route_qasm_file.py --demo
+
+Without a file, ``--demo`` writes a small QASM program to a temporary file
+first, so the example is runnable out of the box.  The routed circuit is
+written next to the input as ``<name>.routed.qasm``.
+"""
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import SatMapRouter, load_qasm, verify_routing
+from repro.baselines import SabreRouter
+from repro.circuits.qasm import save_qasm
+from repro.hardware.topologies import (
+    grid_architecture,
+    line_architecture,
+    reduced_tokyo_architecture,
+    tokyo_architecture,
+)
+
+DEMO_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[0],q[3];
+cx q[3],q[4];
+cx q[4],q[0];
+cx q[2],q[4];
+measure q[0] -> c[0];
+"""
+
+ARCHITECTURES = {
+    "tokyo": tokyo_architecture,
+    "tokyo8": lambda: reduced_tokyo_architecture(8),
+    "line8": lambda: line_architecture(8),
+    "grid3x3": lambda: grid_architecture(3, 3),
+}
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("qasm", nargs="?", help="path to an OpenQASM 2.0 file")
+    parser.add_argument("--demo", action="store_true",
+                        help="route a built-in demo program instead of a file")
+    parser.add_argument("--arch", choices=sorted(ARCHITECTURES), default="tokyo8")
+    parser.add_argument("--slice-size", type=int, default=25)
+    parser.add_argument("--time-budget", type=float, default=30.0)
+    parser.add_argument("--compare-sabre", action="store_true",
+                        help="also run SABRE and report its cost")
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.demo or not args.qasm:
+        demo_path = Path(tempfile.mkdtemp()) / "demo.qasm"
+        demo_path.write_text(DEMO_QASM)
+        qasm_path = demo_path
+        print(f"No input given; using the built-in demo program at {qasm_path}")
+    else:
+        qasm_path = Path(args.qasm)
+        if not qasm_path.exists():
+            print(f"error: {qasm_path} does not exist", file=sys.stderr)
+            return 1
+
+    circuit = load_qasm(qasm_path)
+    architecture = ARCHITECTURES[args.arch]()
+    print(f"Loaded {circuit.name}: {circuit.num_qubits} qubits, "
+          f"{circuit.num_two_qubit_gates} two-qubit gates")
+    print(f"Routing onto {architecture.name} with slice size {args.slice_size} "
+          f"and a {args.time_budget:.0f}s budget")
+
+    router = SatMapRouter(slice_size=args.slice_size, time_budget=args.time_budget)
+    result = router.route(circuit, architecture)
+    print(result.summary())
+    if not result.solved:
+        print("No routing found within the budget; try a larger --time-budget.")
+        return 2
+
+    verify_routing(circuit, result.routed_circuit, result.initial_mapping, architecture)
+    output_path = qasm_path.with_suffix(".routed.qasm")
+    save_qasm(result.routed_circuit, output_path)
+    print(f"Verified routed circuit written to {output_path}")
+
+    if args.compare_sabre:
+        sabre = SabreRouter().route(circuit, architecture)
+        print(f"SABRE for comparison: {sabre.summary()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

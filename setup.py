@@ -1,0 +1,10 @@
+"""Setup shim so the package can be installed in environments without ``wheel``.
+
+All real metadata lives in ``pyproject.toml``; this file only exists to allow
+``pip install -e . --no-use-pep517`` (legacy editable install) when PEP 517
+build isolation is unavailable (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

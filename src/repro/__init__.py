@@ -1,0 +1,72 @@
+"""repro: a reproduction of "Qubit Mapping and Routing via MaxSAT" (MICRO 2022).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sat` / :mod:`repro.maxsat` -- a CDCL SAT solver and an anytime
+  weighted MaxSAT solver (the substrate the paper gets from Open-WBO-Inc-MCS);
+* :mod:`repro.circuits` -- circuit IR, OpenQASM 2.0 I/O, QAOA and benchmark
+  generators;
+* :mod:`repro.hardware` -- coupling graphs (IBM Tokyo and variants) and noise
+  models;
+* :mod:`repro.core` -- SATMAP itself: the MaxSAT encoding, the locally optimal
+  (slicing) relaxation, the cyclic relaxation, the noise-aware objective, and
+  the independent verifier;
+* :mod:`repro.baselines` -- SABRE, TKET-style, MQT-A*, TB-OLSQ-style and
+  EX-MQT-style comparison routers;
+* :mod:`repro.analysis` -- the experiment harness that regenerates the paper's
+  tables and figures.
+
+Quickstart::
+
+    from repro import SatMapRouter, tokyo_architecture, random_circuit
+
+    circuit = random_circuit(num_qubits=5, num_two_qubit_gates=20, seed=1)
+    result = SatMapRouter(slice_size=25, time_budget=60).route(
+        circuit, tokyo_architecture())
+    print(result.summary())
+"""
+
+from repro.circuits import (
+    QuantumCircuit,
+    load_qasm,
+    maxcut_qaoa_circuit,
+    parse_qasm,
+    random_circuit,
+)
+from repro.core import (
+    NoiseAwareSatMapRouter,
+    RoutingResult,
+    RoutingStatus,
+    SatMapRouter,
+    route_cyclic,
+    verify_routing,
+)
+from repro.hardware import (
+    Architecture,
+    NoiseModel,
+    tokyo_architecture,
+    tokyo_minus_architecture,
+    tokyo_plus_architecture,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "random_circuit",
+    "maxcut_qaoa_circuit",
+    "parse_qasm",
+    "load_qasm",
+    "SatMapRouter",
+    "NoiseAwareSatMapRouter",
+    "route_cyclic",
+    "RoutingResult",
+    "RoutingStatus",
+    "verify_routing",
+    "Architecture",
+    "NoiseModel",
+    "tokyo_architecture",
+    "tokyo_minus_architecture",
+    "tokyo_plus_architecture",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Experiment harness, metrics, and reporting.
+
+Everything needed to regenerate the paper's tables and figures lives here:
+
+* :mod:`repro.analysis.suite` -- scaled benchmark/architecture presets sized
+  for the pure-Python solver (the paper's cluster-scale suite is available via
+  :func:`repro.circuits.library.benchmark_suite` for users with more time);
+* :mod:`repro.analysis.experiments` -- run a set of routers over a suite with
+  per-instance budgets and collect :class:`ExperimentRecord` rows;
+* :mod:`repro.analysis.metrics` -- cost ratios and aggregate statistics, with
+  the paper's conventions for zero-cost and unsolved instances;
+* :mod:`repro.analysis.reporting` -- plain-text rendering of each table/figure.
+"""
+
+from repro.analysis.metrics import (
+    cost_ratio,
+    geometric_mean,
+    mean_cost_ratio,
+    solve_statistics,
+)
+from repro.analysis.experiments import ExperimentRecord, run_router_on_suite
+from repro.analysis.plotting import bar_chart, histogram, line_plot, scatter_plot
+from repro.analysis.statistics import (
+    bootstrap_confidence_interval,
+    speedup_geometric_mean,
+    standard_deviation,
+    summarize,
+)
+from repro.analysis.reporting import render_table
+
+__all__ = [
+    "cost_ratio",
+    "mean_cost_ratio",
+    "geometric_mean",
+    "solve_statistics",
+    "ExperimentRecord",
+    "run_router_on_suite",
+    "render_table",
+    "bar_chart",
+    "scatter_plot",
+    "histogram",
+    "line_plot",
+    "standard_deviation",
+    "summarize",
+    "bootstrap_confidence_interval",
+    "speedup_geometric_mean",
+]

@@ -1,0 +1,127 @@
+"""Running routers over benchmark suites and collecting comparable records.
+
+:func:`run_router_on_suite` is the workhorse behind every table and figure
+bench: it instantiates a router per circuit (so per-instance time budgets are
+honoured), runs it, and records cost, runtime, and solve status in an
+:class:`ExperimentRecord`.  Aggregation helpers turn lists of records into the
+paper's summary rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.metrics import cost_ratio, mean_cost_ratio
+from repro.circuits.library import BenchmarkCircuit
+from repro.core.result import RoutingResult
+from repro.hardware.architecture import Architecture
+
+
+@dataclass
+class ExperimentRecord:
+    """One (router, circuit) outcome in a comparable, serialisable form."""
+
+    router: str
+    circuit: str
+    num_qubits: int
+    num_two_qubit_gates: int
+    solved: bool
+    optimal: bool
+    swap_count: int
+    added_cnots: int
+    solve_time: float
+    status: str
+    notes: str = ""
+
+    @classmethod
+    def from_result(cls, result: RoutingResult, bench: BenchmarkCircuit) -> "ExperimentRecord":
+        return cls(
+            router=result.router_name,
+            circuit=bench.name,
+            num_qubits=bench.num_qubits,
+            num_two_qubit_gates=bench.num_two_qubit_gates,
+            solved=result.solved,
+            optimal=result.optimal,
+            swap_count=result.swap_count if result.solved else -1,
+            added_cnots=result.added_cnots if result.solved else -1,
+            solve_time=result.solve_time,
+            status=result.status.value,
+            notes=result.notes,
+        )
+
+
+@dataclass
+class SuiteComparison:
+    """Records of several routers over the same suite, keyed by router name."""
+
+    records: dict[str, list[ExperimentRecord]] = field(default_factory=dict)
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.setdefault(record.router, []).append(record)
+
+    def routers(self) -> list[str]:
+        return sorted(self.records)
+
+    def solved_count(self, router: str) -> int:
+        return sum(1 for record in self.records.get(router, []) if record.solved)
+
+    def largest_solved(self, router: str) -> int:
+        solved = [record.num_two_qubit_gates for record in self.records.get(router, [])
+                  if record.solved]
+        return max(solved, default=0)
+
+    def mean_time(self, router: str, only_solved: bool = True) -> float:
+        records = self.records.get(router, [])
+        if only_solved:
+            records = [record for record in records if record.solved]
+        if not records:
+            return float("nan")
+        return sum(record.solve_time for record in records) / len(records)
+
+    def cost_ratios(self, reference_router: str, satmap_router: str) -> list[float | None]:
+        """Per-circuit Fig. 12 ratios over circuits both routers solved."""
+        reference = {record.circuit: record for record in self.records.get(reference_router, [])}
+        ratios: list[float | None] = []
+        for record in self.records.get(satmap_router, []):
+            other = reference.get(record.circuit)
+            if other is None or not record.solved or not other.solved:
+                continue
+            ratios.append(cost_ratio(other.added_cnots, record.added_cnots))
+        return ratios
+
+    def mean_cost_ratio(self, reference_router: str, satmap_router: str) -> float:
+        return mean_cost_ratio(self.cost_ratios(reference_router, satmap_router))
+
+
+RouterFactory = Callable[[], object]
+
+
+def run_router_on_suite(
+    router_factory: RouterFactory,
+    suite: list[BenchmarkCircuit],
+    architecture: Architecture,
+    comparison: SuiteComparison | None = None,
+) -> list[ExperimentRecord]:
+    """Run a router (one fresh instance per circuit) over a benchmark suite."""
+    records = []
+    for bench in suite:
+        router = router_factory()
+        result = router.route(bench.circuit, architecture)
+        record = ExperimentRecord.from_result(result, bench)
+        records.append(record)
+        if comparison is not None:
+            comparison.add(record)
+    return records
+
+
+def run_many_routers(
+    router_factories: dict[str, RouterFactory],
+    suite: list[BenchmarkCircuit],
+    architecture: Architecture,
+) -> SuiteComparison:
+    """Run several routers over the same suite and return the joint comparison."""
+    comparison = SuiteComparison()
+    for _, factory in router_factories.items():
+        run_router_on_suite(factory, suite, architecture, comparison)
+    return comparison

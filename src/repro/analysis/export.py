@@ -1,0 +1,76 @@
+"""Exporting experiment records to CSV and JSON.
+
+The benchmark harness renders human-readable tables; this module provides the
+machine-readable side so results can be post-processed (plotted, diffed
+against the paper's numbers, or aggregated across machines) without re-running
+the experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentRecord, SuiteComparison
+
+CSV_FIELDS = [
+    "router", "circuit", "num_qubits", "num_two_qubit_gates", "solved", "optimal",
+    "swap_count", "added_cnots", "solve_time", "status", "notes",
+]
+
+
+def records_to_csv(records: list[ExperimentRecord]) -> str:
+    """Render records as CSV text with a fixed, documented column order."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow({field: getattr(record, field) for field in CSV_FIELDS})
+    return buffer.getvalue()
+
+
+def records_to_json(records: list[ExperimentRecord]) -> str:
+    """Render records as a JSON array of objects."""
+    payload = [{field: getattr(record, field) for field in CSV_FIELDS}
+               for record in records]
+    return json.dumps(payload, indent=2)
+
+
+def records_from_csv(text: str) -> list[ExperimentRecord]:
+    """Parse records back from :func:`records_to_csv` output."""
+    records = []
+    for row in csv.DictReader(io.StringIO(text)):
+        records.append(ExperimentRecord(
+            router=row["router"],
+            circuit=row["circuit"],
+            num_qubits=int(row["num_qubits"]),
+            num_two_qubit_gates=int(row["num_two_qubit_gates"]),
+            solved=row["solved"] == "True",
+            optimal=row["optimal"] == "True",
+            swap_count=int(row["swap_count"]),
+            added_cnots=int(row["added_cnots"]),
+            solve_time=float(row["solve_time"]),
+            status=row["status"],
+            notes=row["notes"],
+        ))
+    return records
+
+
+def comparison_records(comparison: SuiteComparison) -> list[ExperimentRecord]:
+    """Flatten a comparison into a single record list (router-major order)."""
+    flattened: list[ExperimentRecord] = []
+    for router in comparison.routers():
+        flattened.extend(comparison.records[router])
+    return flattened
+
+
+def save_comparison_csv(comparison: SuiteComparison, path: str | Path) -> None:
+    """Write a comparison's records to ``path`` as CSV."""
+    Path(path).write_text(records_to_csv(comparison_records(comparison)))
+
+
+def save_comparison_json(comparison: SuiteComparison, path: str | Path) -> None:
+    """Write a comparison's records to ``path`` as JSON."""
+    Path(path).write_text(records_to_json(comparison_records(comparison)))

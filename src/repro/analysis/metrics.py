@@ -1,0 +1,111 @@
+"""Cost and solve-rate metrics, following the paper's conventions.
+
+The paper's headline heuristic comparison (Fig. 12) reports, per benchmark,
+the *cost ratio*: gates added by the heuristic divided by gates added by
+SATMAP.  Benchmarks where SATMAP adds zero gates and the heuristic adds a
+positive number have an undefined (infinite) ratio and are plotted separately
+and excluded from the mean; benchmarks where both add zero gates count as
+ratio 1.  :func:`cost_ratio` and :func:`mean_cost_ratio` encode exactly those
+rules so every figure reproduction shares them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.result import RoutingResult
+
+
+def cost_ratio(reference_cost: int, satmap_cost: int) -> float | None:
+    """Fig. 12's cost ratio; ``None`` encodes the undefined (infinite) case."""
+    if reference_cost < 0 or satmap_cost < 0:
+        raise ValueError("costs must be non-negative")
+    if satmap_cost == 0:
+        return 1.0 if reference_cost == 0 else None
+    return reference_cost / satmap_cost
+
+
+def mean_cost_ratio(ratios: list[float | None]) -> float:
+    """Arithmetic mean over the defined ratios (the paper's reported mean)."""
+    defined = [ratio for ratio in ratios if ratio is not None]
+    if not defined:
+        return float("nan")
+    return sum(defined) / len(defined)
+
+
+def undefined_ratio_count(ratios: list[float | None]) -> int:
+    """How many benchmarks fall in the "SATMAP added zero gates" bucket."""
+    return sum(1 for ratio in ratios if ratio is None)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (used for runtime speed-up factors)."""
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return float("nan")
+    return math.exp(sum(math.log(value) for value in positive) / len(positive))
+
+
+@dataclass
+class SolveStatistics:
+    """Table I style summary: how many instances solved and how large."""
+
+    solved: int
+    total: int
+    largest_two_qubit_gates: int
+    mean_time: float
+
+    @property
+    def solve_fraction(self) -> float:
+        return self.solved / self.total if self.total else 0.0
+
+
+def solve_statistics(results: list[RoutingResult],
+                     sizes: dict[str, int] | None = None) -> SolveStatistics:
+    """Aggregate solve counts and the largest circuit solved.
+
+    ``sizes`` maps circuit name to its two-qubit gate count; when omitted the
+    size is taken from the routed circuit minus its SWAP overhead, which is
+    only available for solved instances anyway.
+    """
+    solved_results = [result for result in results if result.solved]
+    largest = 0
+    for result in solved_results:
+        if sizes and result.circuit_name in sizes:
+            largest = max(largest, sizes[result.circuit_name])
+        elif result.routed_circuit is not None:
+            two_qubit = result.routed_circuit.num_two_qubit_gates - result.swap_count
+            largest = max(largest, two_qubit)
+    times = [result.solve_time for result in solved_results]
+    return SolveStatistics(
+        solved=len(solved_results),
+        total=len(results),
+        largest_two_qubit_gates=largest,
+        mean_time=sum(times) / len(times) if times else 0.0,
+    )
+
+
+def speedup_factors(baseline_times: dict[str, float],
+                    satmap_times: dict[str, float]) -> list[float]:
+    """Per-benchmark runtime ratios baseline/SATMAP on commonly solved instances."""
+    factors = []
+    for name, satmap_time in satmap_times.items():
+        if name in baseline_times and satmap_time > 0:
+            factors.append(baseline_times[name] / satmap_time)
+    return factors
+
+
+def added_gates(result: RoutingResult) -> int:
+    """Gates added by routing (the paper counts SWAPs as three CNOTs)."""
+    if not result.solved:
+        raise ValueError(f"{result.circuit_name} was not solved by {result.router_name}")
+    return result.added_cnots
+
+
+def zero_cost_fraction(results: list[RoutingResult]) -> float:
+    """Fraction of solved benchmarks where no gates were added (~14% for SATMAP)."""
+    solved = [result for result in results if result.solved]
+    if not solved:
+        return 0.0
+    return sum(1 for result in solved if result.swap_count == 0) / len(solved)

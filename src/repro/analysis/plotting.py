@@ -1,0 +1,167 @@
+"""Text-mode figures (bar charts, scatter plots, histograms).
+
+The paper's evaluation figures are bar charts (Fig. 1, Fig. 2), strip/scatter
+plots of cost ratios (Fig. 12, Fig. 13, Fig. 14, Fig. 16), and a line plot
+(Fig. 15).  This reproduction has no plotting dependency, so the benchmark
+harness renders every figure as monospaced text: good enough to read the
+shape of a distribution in a terminal or a results file, and trivially
+diffable between runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+_FULL_BLOCK = "█"
+_PARTIAL_BLOCKS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def bar_chart(values: dict[str, float], title: str = "", width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bar chart with one labelled bar per entry.
+
+    Mirrors Fig. 1 / Fig. 2: categorical x-axis (tool name), numeric height.
+    """
+    if not values:
+        return title or "(no data)"
+    label_width = max(len(label) for label in values)
+    largest = max(values.values())
+    scale = (width / largest) if largest > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in values.items():
+        length = value * scale
+        whole = int(length)
+        fraction = length - whole
+        partial = _PARTIAL_BLOCKS[int(fraction * 8)] if largest > 0 else ""
+        bar = _FULL_BLOCK * whole + partial
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def scatter_plot(points: list[tuple[float, float]], title: str = "",
+                 width: int = 60, height: int = 15,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """A monospaced scatter plot of (x, y) points.
+
+    Mirrors Fig. 16 (cost ratio vs circuit size): both axes are scaled to the
+    data range and each point is drawn as ``*`` (overlapping points as ``@``).
+    """
+    if not points:
+        return title or "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = min(width - 1, int((x - x_low) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_low) / y_span * (height - 1)))
+        row = height - 1 - row  # highest values at the top
+        grid[row][column] = "*" if grid[row][column] == " " else "@"
+
+    lines = [title] if title else []
+    lines.append(f"{y_label} (top {y_high:g}, bottom {y_low:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_low:g} .. {x_high:g}")
+    return "\n".join(lines)
+
+
+def histogram(values: list[float], bins: int = 10, title: str = "",
+              width: int = 40) -> str:
+    """A vertical-axis histogram (one text row per bin).
+
+    Used for the cost-ratio distributions of Fig. 12 / Fig. 14, where the
+    paper plots one marker per benchmark and the reader mostly takes away the
+    spread.
+    """
+    if not values:
+        return title or "(no data)"
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    largest = max(counts)
+    scale = (width / largest) if largest else 0.0
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        bin_low = low + index * span / bins
+        bin_high = low + (index + 1) * span / bins
+        bar = _FULL_BLOCK * int(count * scale)
+        lines.append(f"[{bin_low:8.2f}, {bin_high:8.2f}) | {bar} {count}")
+    return "\n".join(lines)
+
+
+def line_plot(series: dict[str, list[tuple[float, float]]], title: str = "",
+              width: int = 60, height: int = 15) -> str:
+    """Multiple named (x, y) series on one text canvas.
+
+    Mirrors Fig. 15 (average cost ratio vs time allotted).  Each series gets a
+    distinct marker; a legend follows the canvas.
+    """
+    markers = "ox+#%&"
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        return title or "(no data)"
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, points) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in points:
+            column = min(width - 1, int((x - x_low) / x_span * (width - 1)))
+            row = height - 1 - min(height - 1, int((y - y_low) / y_span * (height - 1)))
+            grid[row][column] = marker
+
+    lines = [title] if title else []
+    lines.append(f"y: {y_low:g} .. {y_high:g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_low:g} .. {x_high:g}")
+    for series_index, name in enumerate(series):
+        lines.append(f"  {markers[series_index % len(markers)]} = {name}")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-line sparkline, used in per-benchmark summary tables."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(blocks[min(len(blocks) - 1,
+                               int((value - low) / span * (len(blocks) - 1)))]
+                   for value in values)
+
+
+def log_scale_positions(values: list[float], width: int) -> list[int]:
+    """Map positive values to columns on a log scale (for runtime plots)."""
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return [0 for _ in values]
+    low = math.log10(min(positives))
+    high = math.log10(max(positives))
+    span = (high - low) or 1.0
+    positions = []
+    for value in values:
+        if value <= 0:
+            positions.append(0)
+        else:
+            positions.append(min(width - 1,
+                                 int((math.log10(value) - low) / span * (width - 1))))
+    return positions

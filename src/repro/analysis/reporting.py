@@ -1,0 +1,85 @@
+"""Plain-text rendering of the paper's tables and figure summaries.
+
+The benchmark harness prints its findings with these helpers so every bench
+produces output directly comparable to the corresponding table or figure in
+the paper (same rows, same columns, same aggregation conventions).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import SuiteComparison
+from repro.analysis.metrics import mean_cost_ratio, undefined_ratio_count
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Simple fixed-width table renderer."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match headers {headers!r}")
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_solve_rate_table(comparison: SuiteComparison, total: int,
+                            title: str = "Table I: constraint-based tools") -> str:
+    """Table I / Table II style: # solved and largest circuit solved per router."""
+    rows = []
+    for router in comparison.routers():
+        rows.append([router, f"{comparison.solved_count(router)}/{total}",
+                     comparison.largest_solved(router),
+                     comparison.mean_time(router)])
+    return render_table(
+        ["tool", "# solved", "largest solved (2q gates)", "mean time (s)"],
+        rows, title=title)
+
+
+def render_cost_ratio_summary(comparison: SuiteComparison, satmap_router: str,
+                              reference_routers: list[str],
+                              title: str = "Fig. 12: cost ratio vs heuristics") -> str:
+    """Fig. 12 / Fig. 14 style summary: mean cost ratio per reference router."""
+    rows = []
+    for reference in reference_routers:
+        ratios = comparison.cost_ratios(reference, satmap_router)
+        rows.append([
+            reference,
+            len(ratios),
+            mean_cost_ratio(ratios),
+            undefined_ratio_count(ratios),
+        ])
+    return render_table(
+        ["vs tool", "# compared", "mean cost ratio", "# SATMAP zero-cost wins"],
+        rows, title=title)
+
+
+def render_records_table(comparison: SuiteComparison,
+                         title: str = "per-benchmark results") -> str:
+    """Long-form dump: one row per (router, circuit)."""
+    rows = []
+    for router in comparison.routers():
+        for record in comparison.records[router]:
+            rows.append([router, record.circuit, record.num_two_qubit_gates,
+                         record.status, record.swap_count, record.solve_time])
+    return render_table(
+        ["tool", "circuit", "2q gates", "status", "swaps", "time (s)"],
+        rows, title=title)

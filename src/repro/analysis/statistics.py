@@ -1,0 +1,103 @@
+"""Statistical helpers for the experiment harness.
+
+The paper reports arithmetic means of cost ratios, geometric means of
+speedups, and standard deviations (Q4 reports the standard deviation of the
+cost ratio per architecture).  Heuristic tools in the comparison are
+nondeterministic, so Q2 averages 20 runs per benchmark; when this
+reproduction does the same on a handful of scaled instances the uncertainty
+matters, which is what the bootstrap confidence interval is for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def arithmetic_mean(values: list[float]) -> float:
+    """Plain average; 0.0 for an empty list (matching the reporting code)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def standard_deviation(values: list[float]) -> float:
+    """Population standard deviation (the paper's Q4 spread statistic)."""
+    if len(values) < 2:
+        return 0.0
+    mean = arithmetic_mean(values)
+    return math.sqrt(sum((value - mean) ** 2 for value in values) / len(values))
+
+
+def median(values: list[float]) -> float:
+    """The median; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile, ``fraction`` in [0, 1]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def bootstrap_confidence_interval(values: list[float], confidence: float = 0.95,
+                                  resamples: int = 2000,
+                                  seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not values:
+        return (0.0, 0.0)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    rng = random.Random(seed)
+    means = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(len(values))] for _ in values]
+        means.append(arithmetic_mean(sample))
+    tail = (1.0 - confidence) / 2.0
+    return (percentile(means, tail), percentile(means, 1.0 - tail))
+
+
+def summarize(values: list[float]) -> dict[str, float]:
+    """A compact summary used by the reporting tables."""
+    return {
+        "count": float(len(values)),
+        "mean": arithmetic_mean(values),
+        "std": standard_deviation(values),
+        "median": median(values),
+        "min": min(values) if values else 0.0,
+        "max": max(values) if values else 0.0,
+    }
+
+
+def speedup_geometric_mean(baseline_times: list[float],
+                           candidate_times: list[float]) -> float:
+    """Geometric-mean speedup of the candidate over the baseline.
+
+    This is how the paper's "40x faster than TB-OLSQ / 400x faster than
+    EX-MQT" numbers are computed: per-instance ratios aggregated with the
+    geometric mean so a single outlier cannot dominate.
+    """
+    if len(baseline_times) != len(candidate_times):
+        raise ValueError("speedups need paired timings")
+    ratios = []
+    for baseline, candidate in zip(baseline_times, candidate_times):
+        if baseline <= 0 or candidate <= 0:
+            continue
+        ratios.append(baseline / candidate)
+    if not ratios:
+        return 1.0
+    return math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))

@@ -1,0 +1,200 @@
+"""Shared infrastructure for the baseline routers.
+
+Every baseline transforms a logical circuit into a physical circuit by
+maintaining a logical-to-physical map and inserting SWAPs.
+:class:`RoutedBuilder` captures that pattern so each algorithm only has to
+decide *which* swaps to insert; emission, mapping updates, swap counting, and
+result assembly are shared.  :class:`Router` is the abstract interface used by
+the experiment harness.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.verifier import verify_routing
+from repro.hardware.architecture import Architecture
+
+
+class RoutingTimeout(Exception):
+    """Raised internally when a router exceeds its deadline."""
+
+
+class Router(abc.ABC):
+    """Common interface of every mapping-and-routing algorithm in this repo."""
+
+    name: str = "router"
+
+    def __init__(self, time_budget: float = 60.0, verify: bool = True) -> None:
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        self.time_budget = time_budget
+        self.verify = verify
+
+    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
+        """Route ``circuit`` onto ``architecture`` within the time budget."""
+        start = time.monotonic()
+        deadline = start + self.time_budget
+        try:
+            result = self._route(circuit, architecture, deadline)
+        except RoutingTimeout:
+            return RoutingResult(
+                status=RoutingStatus.TIMEOUT,
+                router_name=self.name,
+                circuit_name=circuit.name,
+                solve_time=time.monotonic() - start,
+            )
+        except Exception as error:  # pragma: no cover - defensive reporting
+            return RoutingResult(
+                status=RoutingStatus.ERROR,
+                router_name=self.name,
+                circuit_name=circuit.name,
+                solve_time=time.monotonic() - start,
+                notes=f"{type(error).__name__}: {error}",
+            )
+        result.router_name = self.name
+        result.circuit_name = circuit.name
+        result.solve_time = time.monotonic() - start
+        if result.solved and self.verify and result.routed_circuit is not None:
+            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                           architecture)
+        return result
+
+    @abc.abstractmethod
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
+        """Algorithm-specific implementation."""
+
+    @staticmethod
+    def check_deadline(deadline: float) -> None:
+        if time.monotonic() > deadline:
+            raise RoutingTimeout
+
+
+class RoutedBuilder:
+    """Incrementally builds a physical circuit from an evolving mapping."""
+
+    def __init__(self, circuit: QuantumCircuit, architecture: Architecture,
+                 initial_mapping: dict[int, int]) -> None:
+        self.original = circuit
+        self.architecture = architecture
+        self.initial_mapping = dict(initial_mapping)
+        self.mapping = dict(initial_mapping)  # logical -> physical
+        self.routed = QuantumCircuit(architecture.num_qubits,
+                                     name=f"{circuit.name}@{architecture.name}")
+        self.swap_count = 0
+
+    def physical_of(self, logical: int) -> int:
+        return self.mapping[logical]
+
+    def logical_at(self, physical: int) -> int | None:
+        for logical, position in self.mapping.items():
+            if position == physical:
+                return logical
+        return None
+
+    def can_execute(self, gate: Gate) -> bool:
+        """Whether a gate is executable under the current mapping."""
+        if not gate.is_two_qubit:
+            return True
+        first, second = (self.mapping[q] for q in gate.qubits)
+        return self.architecture.are_adjacent(first, second)
+
+    def emit_gate(self, gate: Gate) -> None:
+        """Emit an original gate at its current physical position."""
+        physical = tuple(self.mapping[q] for q in gate.qubits)
+        if gate.is_two_qubit and not self.architecture.are_adjacent(*physical):
+            raise ValueError(
+                f"gate {gate.name} on logical {gate.qubits} is not executable: "
+                f"physical {physical} are not adjacent"
+            )
+        self.routed.append(Gate(gate.name, physical, gate.params))
+
+    def emit_swap(self, physical_a: int, physical_b: int) -> None:
+        """Insert a SWAP on a physical edge and update the mapping."""
+        if not self.architecture.are_adjacent(physical_a, physical_b):
+            raise ValueError(f"({physical_a}, {physical_b}) is not an edge")
+        logical_a = self.logical_at(physical_a)
+        logical_b = self.logical_at(physical_b)
+        if logical_a is not None:
+            self.mapping[logical_a] = physical_b
+        if logical_b is not None:
+            self.mapping[logical_b] = physical_a
+        self.routed.append(Gate("swap", (physical_a, physical_b)))
+        self.swap_count += 1
+
+    def result(self, router_name: str, optimal: bool = False,
+               status: RoutingStatus = RoutingStatus.FEASIBLE,
+               **extra) -> RoutingResult:
+        return RoutingResult(
+            status=status,
+            router_name=router_name,
+            circuit_name=self.original.name,
+            initial_mapping=self.initial_mapping,
+            final_mapping=dict(self.mapping),
+            routed_circuit=self.routed,
+            swap_count=self.swap_count,
+            optimal=optimal,
+            **extra,
+        )
+
+
+def identity_mapping(circuit: QuantumCircuit, architecture: Architecture) -> dict[int, int]:
+    """The trivial mapping: logical qubit ``i`` on physical qubit ``i``."""
+    if circuit.num_qubits > architecture.num_qubits:
+        raise ValueError("circuit has more qubits than the architecture")
+    return {logical: logical for logical in range(circuit.num_qubits)}
+
+
+def interaction_counts(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """How many times each (unordered) logical qubit pair interacts."""
+    counts: dict[tuple[int, int], int] = {}
+    for first, second in circuit.interaction_sequence():
+        key = (min(first, second), max(first, second))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def greedy_interaction_mapping(circuit: QuantumCircuit,
+                               architecture: Architecture) -> dict[int, int]:
+    """Initial map placing strongly-interacting logical qubits on well-connected
+    physical qubits.
+
+    Logical qubits are ordered by total interaction weight; each is placed on
+    the free physical qubit that minimises the distance-weighted cost to the
+    already-placed qubits it interacts with (ties broken by degree).  This is
+    the style of graph placement tket's default pass uses.
+    """
+    counts = interaction_counts(circuit)
+    weight_of: dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    partners: dict[int, dict[int, int]] = {q: {} for q in range(circuit.num_qubits)}
+    for (first, second), count in counts.items():
+        weight_of[first] += count
+        weight_of[second] += count
+        partners[first][second] = count
+        partners[second][first] = count
+
+    order = sorted(range(circuit.num_qubits), key=lambda q: -weight_of[q])
+    distance = architecture.distance_matrix()
+    mapping: dict[int, int] = {}
+    free = set(range(architecture.num_qubits))
+    for logical in order:
+        best_physical = None
+        best_cost = None
+        for physical in sorted(free):
+            cost = 0.0
+            for partner, count in partners[logical].items():
+                if partner in mapping:
+                    cost += count * distance[physical][mapping[partner]]
+            cost -= 0.001 * architecture.degree(physical)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_physical = physical
+        assert best_physical is not None
+        mapping[logical] = best_physical
+        free.discard(best_physical)
+    return mapping

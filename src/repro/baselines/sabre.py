@@ -1,0 +1,228 @@
+"""SABRE: heuristic qubit mapping with lookahead and bidirectional passes.
+
+Reimplementation of the algorithm from "Tackling the Qubit Mapping Problem for
+NISQ-Era Quantum Devices" (Li, Ding, Xie, ASPLOS 2019), which is the routing
+pass behind Qiskit's ``SabreSwap``/``SabreLayout`` and one of the paper's
+heuristic baselines (Q2).
+
+The router has two parts:
+
+* **Routing** (:meth:`SabreRouter._route_once`): maintain the dependency
+  front layer; execute every gate whose qubits are adjacent; otherwise score
+  each candidate SWAP (any edge touching a qubit involved in the front layer)
+  by the change in total distance of the front layer plus a discounted
+  lookahead over the extended set of upcoming gates, apply the best one, and
+  repeat.  A decay factor discourages repeatedly moving the same qubit.
+* **Initial mapping** (bidirectional passes): route the circuit, reverse it,
+  use the final mapping as the new initial mapping, and repeat; after an even
+  number of reversals the mapping has adapted to both ends of the circuit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.base import (
+    RoutedBuilder,
+    Router,
+    greedy_interaction_mapping,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.hardware.architecture import Architecture
+
+
+class SabreRouter(Router):
+    """SABRE heuristic router."""
+
+    name = "SABRE"
+
+    def __init__(
+        self,
+        time_budget: float = 60.0,
+        lookahead_size: int = 20,
+        lookahead_weight: float = 0.5,
+        decay_factor: float = 0.001,
+        decay_reset_interval: int = 5,
+        bidirectional_passes: int = 3,
+        seed: int = 0,
+        verify: bool = True,
+        initial_mapping: dict[int, int] | None = None,
+    ) -> None:
+        super().__init__(time_budget=time_budget, verify=verify)
+        if lookahead_size < 0:
+            raise ValueError("lookahead_size must be non-negative")
+        self.lookahead_size = lookahead_size
+        self.lookahead_weight = lookahead_weight
+        self.decay_factor = decay_factor
+        self.decay_reset_interval = decay_reset_interval
+        self.bidirectional_passes = bidirectional_passes
+        self.seed = seed
+        #: When provided, this mapping is used as-is and the bidirectional
+        #: initial-mapping search is skipped (the hybrid router relies on this
+        #: to combine an externally-computed optimal placement with SABRE's
+        #: routing pass).
+        self.initial_mapping = dict(initial_mapping) if initial_mapping else None
+
+    # ---------------------------------------------------------------- public
+
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
+        rng = random.Random(self.seed)
+        if self.initial_mapping is not None:
+            mapping = dict(self.initial_mapping)
+        else:
+            mapping = greedy_interaction_mapping(circuit, architecture)
+            reversed_circuit = _reversed(circuit)
+
+            # Bidirectional passes refine the initial mapping.
+            for pass_index in range(self.bidirectional_passes):
+                self.check_deadline(deadline)
+                target = circuit if pass_index % 2 == 0 else reversed_circuit
+                builder = self._route_once(target, architecture, mapping, rng, deadline)
+                mapping = dict(builder.mapping)
+
+            # If the pass count is odd the mapping currently suits the *end* of
+            # the circuit; run one more reverse pass so it suits the beginning.
+            if self.bidirectional_passes % 2 == 1:
+                builder = self._route_once(reversed_circuit, architecture, mapping, rng,
+                                           deadline)
+                mapping = dict(builder.mapping)
+
+        final_builder = self._route_once(circuit, architecture, mapping, rng, deadline)
+        return final_builder.result(self.name, status=RoutingStatus.FEASIBLE)
+
+    # -------------------------------------------------------------- internals
+
+    def _route_once(self, circuit: QuantumCircuit, architecture: Architecture,
+                    initial_mapping: dict[int, int], rng: random.Random,
+                    deadline: float) -> RoutedBuilder:
+        dag = CircuitDag(circuit)
+        builder = RoutedBuilder(circuit, architecture, initial_mapping)
+        distance = architecture.distance_matrix()
+        executed: set[int] = set()
+        decay = [1.0] * architecture.num_qubits
+        swaps_since_progress = 0
+
+        front = {node.index for node in dag.front_layer(executed)}
+        while front:
+            self.check_deadline(deadline)
+            progressed = False
+            for index in sorted(front):
+                node = dag.nodes[index]
+                if builder.can_execute(node.gate):
+                    builder.emit_gate(node.gate)
+                    executed.add(index)
+                    front.discard(index)
+                    for successor in node.successors:
+                        if dag.nodes[successor].predecessors.issubset(executed):
+                            front.add(successor)
+                    progressed = True
+            if progressed:
+                swaps_since_progress = 0
+                decay = [1.0] * architecture.num_qubits
+                continue
+
+            front_gates = [dag.nodes[index].gate for index in front
+                           if dag.nodes[index].gate.is_two_qubit]
+            if not front_gates:
+                # Only single-qubit gates remain blocked, which cannot happen
+                # (they are always executable); guard anyway.
+                for index in sorted(front):
+                    builder.emit_gate(dag.nodes[index].gate)
+                    executed.add(index)
+                front = {node.index for node in dag.front_layer(executed)}
+                continue
+
+            # Anti-livelock safeguard: if scoring has not unblocked anything for
+            # a long stretch, walk the first blocked gate's qubits together
+            # along a shortest path instead of trusting the heuristic.
+            if swaps_since_progress > 4 * architecture.num_qubits:
+                gate = front_gates[0]
+                source = builder.physical_of(gate.qubits[0])
+                target = builder.physical_of(gate.qubits[1])
+                path = architecture.shortest_path(source, target)
+                builder.emit_swap(path[0], path[1])
+                swaps_since_progress = 0
+                continue
+
+            extended = self._extended_set(dag, front, executed)
+            candidates = self._candidate_swaps(front_gates, builder)
+            best_swap = None
+            best_score = None
+            for swap in sorted(candidates):
+                score = self._score_swap(swap, front_gates, extended, builder,
+                                         distance, decay)
+                if best_score is None or score < best_score - 1e-12 or (
+                        abs(score - best_score) <= 1e-12 and rng.random() < 0.5):
+                    best_score = score
+                    best_swap = swap
+            assert best_swap is not None
+            builder.emit_swap(*best_swap)
+            decay[best_swap[0]] += self.decay_factor
+            decay[best_swap[1]] += self.decay_factor
+            swaps_since_progress += 1
+            if swaps_since_progress % self.decay_reset_interval == 0:
+                decay = [1.0] * architecture.num_qubits
+        return builder
+
+    def _extended_set(self, dag: CircuitDag, front: set[int],
+                      executed: set[int]) -> list:
+        """Upcoming two-qubit gates used for lookahead scoring."""
+        extended = []
+        queue = sorted(front)
+        seen = set(queue)
+        position = 0
+        while position < len(queue) and len(extended) < self.lookahead_size:
+            node = dag.nodes[queue[position]]
+            position += 1
+            for successor in sorted(node.successors):
+                if successor in seen or successor in executed:
+                    continue
+                seen.add(successor)
+                queue.append(successor)
+                successor_gate = dag.nodes[successor].gate
+                if successor_gate.is_two_qubit:
+                    extended.append(successor_gate)
+        return extended
+
+    def _candidate_swaps(self, front_gates, builder: RoutedBuilder) -> set[tuple[int, int]]:
+        """Edges touching any physical qubit involved in the front layer."""
+        involved_physical = set()
+        for gate in front_gates:
+            for logical in gate.qubits:
+                involved_physical.add(builder.physical_of(logical))
+        candidates = set()
+        for physical in involved_physical:
+            for neighbor in builder.architecture.neighbors(physical):
+                candidates.add((min(physical, neighbor), max(physical, neighbor)))
+        return candidates
+
+    def _score_swap(self, swap: tuple[int, int], front_gates, extended,
+                    builder: RoutedBuilder, distance, decay) -> float:
+        """SABRE's scoring function: front-layer distance + discounted lookahead."""
+        trial = dict(builder.mapping)
+        logical_a = builder.logical_at(swap[0])
+        logical_b = builder.logical_at(swap[1])
+        if logical_a is not None:
+            trial[logical_a] = swap[1]
+        if logical_b is not None:
+            trial[logical_b] = swap[0]
+
+        front_cost = sum(distance[trial[g.qubits[0]]][trial[g.qubits[1]]]
+                         for g in front_gates)
+        front_cost /= max(1, len(front_gates))
+        lookahead_cost = 0.0
+        if extended:
+            lookahead_cost = sum(distance[trial[g.qubits[0]]][trial[g.qubits[1]]]
+                                 for g in extended) / len(extended)
+        decay_penalty = max(decay[swap[0]], decay[swap[1]])
+        return decay_penalty * (front_cost + self.lookahead_weight * lookahead_cost)
+
+
+def _reversed(circuit: QuantumCircuit) -> QuantumCircuit:
+    """The circuit with its gate order reversed (used by bidirectional passes)."""
+    reversed_circuit = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}(rev)")
+    reversed_circuit.extend(reversed(circuit.gates))
+    return reversed_circuit

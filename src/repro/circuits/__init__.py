@@ -1,0 +1,81 @@
+"""Quantum circuit infrastructure.
+
+The paper evaluates QMR on circuits drawn from the RevLib / Quipper /
+ScaffoldCC benchmark collection, QAOA circuits, and circuits expressed in
+OpenQASM 2.0.  This package provides everything QMR needs to know about a
+circuit: a gate-level IR, a dependency DAG with topological layers, an
+OpenQASM 2.0 reader/writer, generators for random and QAOA circuits, and a
+named benchmark suite that stands in for the paper's 160-circuit collection.
+Post-routing tooling lives here too: transformation passes (SWAP
+decomposition, inverse cancellation, rotation merging), ASAP/ALAP scheduling,
+structured kernel generators (QFT, GHZ, adders), and a text-mode drawer.
+"""
+
+from repro.circuits.gates import Gate, GateKind
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.passes import (
+    PassManager,
+    cancel_adjacent_inverses,
+    decompose_swaps,
+    default_cleanup_pipeline,
+    merge_rotations,
+    remove_trivial_gates,
+)
+from repro.circuits.scheduling import (
+    GateDurations,
+    Schedule,
+    alap_schedule,
+    asap_schedule,
+    routing_latency_overhead,
+)
+from repro.circuits.named_circuits import (
+    bernstein_vazirani_circuit,
+    cuccaro_adder_circuit,
+    ghz_circuit,
+    hidden_shift_circuit,
+    ising_model_circuit,
+    qft_circuit,
+)
+from repro.circuits.drawer import circuit_summary, draw_circuit
+from repro.circuits.dag import CircuitDag, topological_layers
+from repro.circuits.qasm import parse_qasm, circuit_to_qasm, load_qasm, save_qasm
+from repro.circuits.random_circuits import random_circuit
+from repro.circuits.qaoa import maxcut_qaoa_circuit, random_regular_graph
+from repro.circuits.library import BenchmarkCircuit, benchmark_suite, get_benchmark
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "QuantumCircuit",
+    "CircuitDag",
+    "topological_layers",
+    "parse_qasm",
+    "circuit_to_qasm",
+    "load_qasm",
+    "save_qasm",
+    "random_circuit",
+    "maxcut_qaoa_circuit",
+    "random_regular_graph",
+    "BenchmarkCircuit",
+    "benchmark_suite",
+    "get_benchmark",
+    "PassManager",
+    "decompose_swaps",
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "remove_trivial_gates",
+    "default_cleanup_pipeline",
+    "GateDurations",
+    "Schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "routing_latency_overhead",
+    "qft_circuit",
+    "ghz_circuit",
+    "bernstein_vazirani_circuit",
+    "cuccaro_adder_circuit",
+    "ising_model_circuit",
+    "hidden_shift_circuit",
+    "draw_circuit",
+    "circuit_summary",
+]

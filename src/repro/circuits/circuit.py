@@ -1,0 +1,154 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered sequence of :class:`~repro.circuits.gates.Gate`
+applications over logical qubits ``0 .. num_qubits - 1``, exactly the object
+Section III of the paper calls ``C``.  Convenience methods expose the views
+the router and the encoders need: the two-qubit interaction sequence, slices,
+repetition (for cyclic circuits), and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.circuits.gates import Gate
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered list of gates over ``num_qubits`` logical qubits."""
+
+    num_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        for gate in self.gates:
+            self._check_gate(gate)
+
+    def _check_gate(self, gate: Gate) -> None:
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name} touches qubit {qubit}, but the circuit "
+                    f"only has qubits 0..{self.num_qubits - 1}"
+                )
+
+    # ------------------------------------------------------------- mutation
+
+    def append(self, gate: Gate) -> None:
+        """Append a gate, validating its qubit indices."""
+        self._check_gate(gate)
+        self.gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        for gate in gates:
+            self.append(gate)
+
+    # --------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, index):
+        return self.gates[index]
+
+    @property
+    def two_qubit_gates(self) -> list[Gate]:
+        """All gates acting on two qubits (including SWAPs), in order."""
+        return [gate for gate in self.gates if gate.is_two_qubit]
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for gate in self.gates if gate.is_two_qubit)
+
+    @property
+    def num_single_qubit_gates(self) -> int:
+        return sum(1 for gate in self.gates if gate.is_single_qubit)
+
+    @property
+    def num_swaps(self) -> int:
+        return sum(1 for gate in self.gates if gate.name == "swap")
+
+    def interaction_sequence(self) -> list[tuple[int, int]]:
+        """The ordered list of qubit pairs touched by two-qubit gates.
+
+        This is the only information the QMR encoders need about the circuit.
+        """
+        return [tuple(gate.qubits) for gate in self.gates if gate.is_two_qubit]
+
+    def used_qubits(self) -> set[int]:
+        """Logical qubits that appear in at least one gate."""
+        used: set[int] = set()
+        for gate in self.gates:
+            used.update(gate.qubits)
+        return used
+
+    def depth(self) -> int:
+        """Circuit depth: length of the longest gate dependency chain."""
+        frontier = [0] * self.num_qubits
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for qubit in gate.qubits:
+                frontier[qubit] = level
+        return max(frontier, default=0)
+
+    # ------------------------------------------------------------ transforms
+
+    def sliced_by_two_qubit_gates(self, slice_size: int) -> list["QuantumCircuit"]:
+        """Split into consecutive slices containing ``slice_size`` two-qubit gates.
+
+        Single-qubit gates travel with the two-qubit gate that follows them
+        (or the final slice if none follows), matching the paper's definition
+        of slice size as "number of two-qubit gates per slice".
+        """
+        if slice_size <= 0:
+            raise ValueError("slice_size must be positive")
+        slices: list[QuantumCircuit] = []
+        current = QuantumCircuit(self.num_qubits, name=f"{self.name}[slice {len(slices)}]")
+        count = 0
+        for gate in self.gates:
+            current.append(gate)
+            if gate.is_two_qubit:
+                count += 1
+                if count == slice_size:
+                    slices.append(current)
+                    current = QuantumCircuit(
+                        self.num_qubits, name=f"{self.name}[slice {len(slices)}]"
+                    )
+                    count = 0
+        if current.gates:
+            slices.append(current)
+        if not slices:
+            slices.append(current)
+        return slices
+
+    def repeated(self, times: int) -> "QuantumCircuit":
+        """Return this circuit concatenated with itself ``times`` times."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        repeated = QuantumCircuit(self.num_qubits, name=f"{self.name}x{times}")
+        for _ in range(times):
+            repeated.extend(self.gates)
+        return repeated
+
+    def without_single_qubit_gates(self) -> "QuantumCircuit":
+        """Return a copy containing only the two-qubit gates (QMR-relevant part)."""
+        filtered = QuantumCircuit(self.num_qubits, name=f"{self.name}(2q)")
+        filtered.extend(gate for gate in self.gates if gate.is_two_qubit)
+        return filtered
+
+    def copy(self) -> "QuantumCircuit":
+        return QuantumCircuit(self.num_qubits, list(self.gates), self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self.gates)}, two_qubit={self.num_two_qubit_gates})"
+        )

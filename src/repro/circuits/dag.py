@@ -1,0 +1,88 @@
+"""Dependency DAG and topological layers of a circuit.
+
+The heuristic baselines (SABRE, the TKET-style router, and the MQT-style A*
+router) all operate on the circuit's dependency structure rather than on its
+flat gate list: a gate becomes executable once every earlier gate sharing a
+qubit with it has been executed.  This module provides that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+@dataclass
+class DagNode:
+    """A gate together with its dependency links."""
+
+    index: int
+    gate: Gate
+    predecessors: set[int] = field(default_factory=set)
+    successors: set[int] = field(default_factory=set)
+
+
+class CircuitDag:
+    """Gate dependency DAG built from qubit sharing.
+
+    Node ``i`` depends on node ``j`` iff ``j`` is the most recent earlier gate
+    acting on one of ``i``'s qubits.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: list[DagNode] = []
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            node = DagNode(index, gate)
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    predecessor = last_on_qubit[qubit]
+                    node.predecessors.add(predecessor)
+                    self.nodes[predecessor].successors.add(index)
+                last_on_qubit[qubit] = index
+            self.nodes.append(node)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def front_layer(self, executed: set[int]) -> list[DagNode]:
+        """Nodes whose predecessors have all been executed and which are not yet executed."""
+        return [
+            node for node in self.nodes
+            if node.index not in executed
+            and node.predecessors.issubset(executed)
+        ]
+
+    def successors_of(self, index: int) -> list[DagNode]:
+        return [self.nodes[successor] for successor in sorted(self.nodes[index].successors)]
+
+    def layers(self) -> list[list[DagNode]]:
+        """Partition the nodes into topological layers (ASAP schedule)."""
+        level_of: dict[int, int] = {}
+        layers: list[list[DagNode]] = []
+        for node in self.nodes:  # nodes are already in topological order
+            level = 0
+            for predecessor in node.predecessors:
+                level = max(level, level_of[predecessor] + 1)
+            level_of[node.index] = level
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(node)
+        return layers
+
+    def two_qubit_layers(self) -> list[list[DagNode]]:
+        """Topological layers restricted to two-qubit gates.
+
+        This is the view the MQT-style A* mapper works on: it advances layer
+        by layer, making every gate of a layer executable before moving on.
+        """
+        dependency_only_two_qubit = CircuitDag(self.circuit.without_single_qubit_gates())
+        return dependency_only_two_qubit.layers()
+
+
+def topological_layers(circuit: QuantumCircuit) -> list[list[Gate]]:
+    """Return the ASAP topological layers of ``circuit`` as lists of gates."""
+    return [[node.gate for node in layer] for layer in CircuitDag(circuit).layers()]

@@ -1,0 +1,114 @@
+"""Plain-text circuit rendering.
+
+The paper's figures show circuits as wire diagrams (Fig. 3, Fig. 6, Fig. 8).
+:func:`draw_circuit` produces the terminal equivalent: one row of text per
+qubit, gates placed left to right in dependency columns, with two-qubit gates
+drawn as connected symbols.  The CLI's ``show`` command and the examples use
+it so routed circuits can be inspected without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+#: Symbols for the "active" endpoints of common two-qubit gates.
+_CONTROL_SYMBOL = "●"
+_TARGET_SYMBOLS = {"cx": "⊕", "cz": "●", "swap": "✕"}
+_PLAIN_TARGET_SYMBOLS = {"cx": "X", "cz": "*", "swap": "x"}
+
+
+def draw_circuit(circuit: QuantumCircuit, max_columns: int | None = None,
+                 unicode: bool = True) -> str:
+    """Render ``circuit`` as an ASCII/Unicode wire diagram.
+
+    Parameters
+    ----------
+    max_columns:
+        Truncate the drawing after this many gate columns (an ellipsis row is
+        appended when truncation happens).
+    unicode:
+        Use box-drawing symbols; set to ``False`` for a 7-bit-ASCII rendering.
+    """
+    columns = _layout_columns(circuit)
+    truncated = False
+    if max_columns is not None and len(columns) > max_columns:
+        columns = columns[:max_columns]
+        truncated = True
+
+    cells = [[_wire(unicode)] * len(columns) for _ in range(circuit.num_qubits)]
+    for column_index, column in enumerate(columns):
+        for gate in column:
+            _place_gate(cells, gate, column_index, unicode)
+
+    width = max((len(cell) for row in cells for cell in row), default=1)
+    lines = []
+    for qubit in range(circuit.num_qubits):
+        label = f"q{qubit}: "
+        wire = _wire(unicode)
+        body = wire.join(cell.center(width, wire) for cell in cells[qubit])
+        suffix = " ..." if truncated else ""
+        lines.append(label + body + suffix)
+    return "\n".join(lines)
+
+
+def gate_label(gate: Gate) -> str:
+    """Short printable label of a gate (name plus any parameters)."""
+    if gate.params:
+        return f"{gate.name}({','.join(gate.params)})"
+    return gate.name
+
+
+def _layout_columns(circuit: QuantumCircuit) -> list[list[Gate]]:
+    """Assign gates to columns so gates in one column act on disjoint qubits."""
+    columns: list[list[Gate]] = []
+    frontier = [0] * circuit.num_qubits
+    for gate in circuit:
+        column = max((frontier[q] for q in gate.qubits), default=0)
+        while len(columns) <= column:
+            columns.append([])
+        columns[column].append(gate)
+        for qubit in gate.qubits:
+            frontier[qubit] = column + 1
+    return columns
+
+
+def _wire(unicode: bool) -> str:
+    return "─" if unicode else "-"
+
+
+def _place_gate(cells: list[list[str]], gate: Gate, column: int, unicode: bool) -> None:
+    if gate.is_single_qubit:
+        cells[gate.qubits[0]][column] = f"[{gate_label(gate)}]"
+        return
+    first, second = gate.qubits
+    top, bottom = min(first, second), max(first, second)
+    if gate.name in _TARGET_SYMBOLS:
+        control_symbol = _CONTROL_SYMBOL if unicode else "o"
+        targets = _TARGET_SYMBOLS if unicode else _PLAIN_TARGET_SYMBOLS
+        target_symbol = targets[gate.name]
+        if gate.name == "swap":
+            cells[first][column] = target_symbol
+            cells[second][column] = target_symbol
+        else:
+            cells[gate.qubits[0]][column] = control_symbol
+            cells[gate.qubits[1]][column] = target_symbol
+    else:
+        label = gate_label(gate)
+        cells[first][column] = f"[{label}]"
+        cells[second][column] = f"[{label}]"
+    # Mark the qubits strictly between the endpoints so crossings are visible.
+    for qubit in range(top + 1, bottom):
+        if cells[qubit][column] == _wire(unicode):
+            cells[qubit][column] = "│" if unicode else "|"
+
+
+def circuit_summary(circuit: QuantumCircuit) -> str:
+    """A one-paragraph textual summary of a circuit's size and composition."""
+    gate_names: dict[str, int] = {}
+    for gate in circuit:
+        gate_names[gate.name] = gate_names.get(gate.name, 0) + 1
+    composition = ", ".join(f"{name}: {count}" for name, count in sorted(gate_names.items()))
+    return (f"{circuit.name}: {circuit.num_qubits} qubits, {len(circuit)} gates "
+            f"({circuit.num_two_qubit_gates} two-qubit, depth {circuit.depth()}) "
+            f"[{composition}]")

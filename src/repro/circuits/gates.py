@@ -1,0 +1,103 @@
+"""Gate-level representation.
+
+QMR only cares about *which* qubits a gate touches (one or two) and the order
+of gates; the specific unitary is irrelevant.  We nevertheless keep the gate
+name and parameters so circuits can be round-tripped through OpenQASM and so
+the SWAP insertions produced by routing can be emitted as real gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class GateKind(Enum):
+    """Coarse classification used by the router."""
+
+    SINGLE_QUBIT = "single"
+    TWO_QUBIT = "two"
+    SWAP = "swap"
+    BARRIER = "barrier"
+    MEASURE = "measure"
+
+
+#: Gate names understood by the QASM reader/writer, mapped to arity.
+KNOWN_GATES: dict[str, int] = {
+    "id": 1, "x": 1, "y": 1, "z": 1, "h": 1, "s": 1, "sdg": 1, "t": 1, "tdg": 1,
+    "rx": 1, "ry": 1, "rz": 1, "u1": 1, "u2": 1, "u3": 1, "sx": 1, "p": 1,
+    "cx": 2, "cz": 2, "cy": 2, "ch": 2, "crz": 2, "cp": 2, "cu1": 2, "rzz": 2,
+    "rxx": 2, "swap": 2, "iswap": 2, "ecr": 2,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate application on logical qubits.
+
+    ``qubits`` holds logical qubit indices; one entry for single-qubit gates,
+    two for two-qubit gates.  ``params`` holds rotation angles (as strings to
+    preserve symbolic QASM parameters exactly).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise ValueError("a gate must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} repeats a qubit: {self.qubits}")
+        if len(self.qubits) > 2:
+            raise ValueError(
+                f"gate {self.name} acts on {len(self.qubits)} qubits; "
+                "decompose to one- and two-qubit gates before routing"
+            )
+
+    @property
+    def kind(self) -> GateKind:
+        if self.name == "swap":
+            return GateKind.SWAP
+        if self.name == "barrier":
+            return GateKind.BARRIER
+        if self.name == "measure":
+            return GateKind.MEASURE
+        return GateKind.TWO_QUBIT if len(self.qubits) == 2 else GateKind.SINGLE_QUBIT
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    @property
+    def is_single_qubit(self) -> bool:
+        return len(self.qubits) == 1
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy of this gate with qubits renamed through ``mapping``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+
+def cx(control: int, target: int) -> Gate:
+    """Convenience constructor for a CNOT gate."""
+    return Gate("cx", (control, target))
+
+
+def swap(first: int, second: int) -> Gate:
+    """Convenience constructor for a SWAP gate."""
+    return Gate("swap", (first, second))
+
+
+def h(qubit: int) -> Gate:
+    """Convenience constructor for a Hadamard gate."""
+    return Gate("h", (qubit,))
+
+
+def rz(qubit: int, angle: str | float) -> Gate:
+    """Convenience constructor for an RZ rotation."""
+    return Gate("rz", (qubit,), (str(angle),))
+
+
+def rzz(first: int, second: int, angle: str | float) -> Gate:
+    """Convenience constructor for an RZZ (ZZ-interaction) gate, as in QAOA."""
+    return Gate("rzz", (first, second), (str(angle),))

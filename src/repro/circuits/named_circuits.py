@@ -1,0 +1,195 @@
+"""Structured circuit generators (QFT, GHZ, adders, and friends).
+
+The paper's benchmark collection mixes reversible-logic circuits with
+structured kernels (its named set includes ``qe_qft_*`` and
+``ising_model_10``).  These generators build the structured kernels exactly,
+so examples and tests can exercise routing on circuits whose interaction
+patterns are *known* rather than random:
+
+* :func:`qft_circuit` -- the quantum Fourier transform (all-to-all controlled
+  phases), the classic worst case for limited connectivity;
+* :func:`ghz_circuit` -- a CNOT fan-out chain, the classic best case;
+* :func:`bernstein_vazirani_circuit` -- one CNOT per secret bit, all sharing
+  a target;
+* :func:`cuccaro_adder_circuit` -- the ripple-carry adder, a nearest-neighbour
+  friendly pattern;
+* :func:`ising_model_circuit` -- nearest-neighbour ZZ interactions repeated
+  over Trotter steps, matching the paper's ``ising_model_10`` benchmark;
+* :func:`hidden_shift_circuit` -- a CZ-pattern circuit parameterised by a
+  bitmask.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = False) -> QuantumCircuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits.
+
+    Every qubit pair interacts through a controlled phase, which makes QFT a
+    stress test for any router: on a line architecture the SWAP overhead is
+    quadratic.  ``include_swaps`` appends the final bit-reversal SWAP network.
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.append(Gate("h", (target,)))
+        for control in range(target + 1, num_qubits):
+            angle = f"pi/{2 ** (control - target)}"
+            circuit.append(Gate("cp", (control, target), (angle,)))
+    if include_swaps:
+        for low in range(num_qubits // 2):
+            high = num_qubits - 1 - low
+            if low != high:
+                circuit.append(Gate("swap", (low, high)))
+    return circuit
+
+
+def ghz_circuit(num_qubits: int, linear: bool = True) -> QuantumCircuit:
+    """A GHZ-state preparation circuit.
+
+    ``linear=True`` chains CNOTs qubit-to-qubit (routes for free on a line);
+    ``linear=False`` fans every CNOT out from qubit 0 (requires routing on
+    anything but a star-shaped device).
+    """
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.append(Gate("h", (0,)))
+    for qubit in range(1, num_qubits):
+        control = qubit - 1 if linear else 0
+        circuit.append(Gate("cx", (control, qubit)))
+    return circuit
+
+
+def bernstein_vazirani_circuit(secret: str) -> QuantumCircuit:
+    """Bernstein-Vazirani for the given secret bitstring.
+
+    Uses ``len(secret)`` data qubits plus one ancilla (the last qubit); each
+    ``1`` in the secret contributes one CNOT onto the ancilla, so all
+    two-qubit gates share a target -- a star-shaped interaction graph.
+    """
+    if not secret or any(bit not in "01" for bit in secret):
+        raise ValueError("secret must be a non-empty bitstring")
+    num_qubits = len(secret) + 1
+    ancilla = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=f"bv_{secret}")
+    circuit.append(Gate("x", (ancilla,)))
+    for qubit in range(num_qubits):
+        circuit.append(Gate("h", (qubit,)))
+    for index, bit in enumerate(secret):
+        if bit == "1":
+            circuit.append(Gate("cx", (index, ancilla)))
+    for qubit in range(len(secret)):
+        circuit.append(Gate("h", (qubit,)))
+    return circuit
+
+
+def cuccaro_adder_circuit(num_bits: int) -> QuantumCircuit:
+    """The Cuccaro ripple-carry adder on two ``num_bits``-bit registers.
+
+    Register layout: ``a_0..a_{n-1}``, ``b_0..b_{n-1}``, carry-in, carry-out.
+    The MAJ / UMA ladder structure makes this circuit nearly
+    nearest-neighbour, so good routers should add very few SWAPs on a line.
+    Toffoli gates are decomposed into the standard 6-CNOT construction so the
+    output contains only one- and two-qubit gates.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit per register")
+    num_qubits = 2 * num_bits + 2
+    carry_in = 2 * num_bits
+    carry_out = 2 * num_bits + 1
+    circuit = QuantumCircuit(num_qubits, name=f"cuccaro_adder_{num_bits}")
+
+    def a(i: int) -> int:
+        return i
+
+    def b(i: int) -> int:
+        return num_bits + i
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.append(Gate("cx", (z, y)))
+        circuit.append(Gate("cx", (z, x)))
+        _toffoli(circuit, x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        _toffoli(circuit, x, y, z)
+        circuit.append(Gate("cx", (z, x)))
+        circuit.append(Gate("cx", (x, y)))
+
+    maj(carry_in, b(0), a(0))
+    for i in range(1, num_bits):
+        maj(a(i - 1), b(i), a(i))
+    circuit.append(Gate("cx", (a(num_bits - 1), carry_out)))
+    for i in range(num_bits - 1, 0, -1):
+        uma(a(i - 1), b(i), a(i))
+    uma(carry_in, b(0), a(0))
+    return circuit
+
+
+def ising_model_circuit(num_qubits: int, trotter_steps: int = 3) -> QuantumCircuit:
+    """Trotterised 1-D transverse-field Ising evolution.
+
+    Each step applies an RZZ on every nearest-neighbour pair followed by an RX
+    mixer, the same structure as the paper's ``ising_model_10`` benchmark
+    (which needs zero SWAPs on any line-containing device).
+    """
+    if num_qubits < 2:
+        raise ValueError("the Ising chain needs at least two qubits")
+    if trotter_steps < 1:
+        raise ValueError("need at least one Trotter step")
+    circuit = QuantumCircuit(num_qubits, name=f"ising_model_{num_qubits}")
+    for _ in range(trotter_steps):
+        for qubit in range(num_qubits - 1):
+            circuit.append(Gate("rzz", (qubit, qubit + 1), ("theta",)))
+        for qubit in range(num_qubits):
+            circuit.append(Gate("rx", (qubit,), ("phi",)))
+    return circuit
+
+
+def hidden_shift_circuit(shift: str) -> QuantumCircuit:
+    """A hidden-shift style circuit over ``len(shift)`` qubits.
+
+    CZ gates connect qubit pairs ``(2i, 2i+1)``; the shift string controls
+    which qubits receive X gates.  The interaction graph is a perfect
+    matching, the easiest non-trivial routing instance.
+    """
+    if not shift or any(bit not in "01" for bit in shift):
+        raise ValueError("shift must be a non-empty bitstring")
+    num_qubits = len(shift)
+    circuit = QuantumCircuit(num_qubits, name=f"hidden_shift_{shift}")
+    for qubit in range(num_qubits):
+        circuit.append(Gate("h", (qubit,)))
+    for index, bit in enumerate(shift):
+        if bit == "1":
+            circuit.append(Gate("x", (index,)))
+    for qubit in range(0, num_qubits - 1, 2):
+        circuit.append(Gate("cz", (qubit, qubit + 1)))
+    for index, bit in enumerate(shift):
+        if bit == "1":
+            circuit.append(Gate("x", (index,)))
+    for qubit in range(num_qubits):
+        circuit.append(Gate("h", (qubit,)))
+    return circuit
+
+
+def _toffoli(circuit: QuantumCircuit, control_a: int, control_b: int, target: int) -> None:
+    """Standard 6-CNOT + T-gate decomposition of the Toffoli gate."""
+    circuit.append(Gate("h", (target,)))
+    circuit.append(Gate("cx", (control_b, target)))
+    circuit.append(Gate("tdg", (target,)))
+    circuit.append(Gate("cx", (control_a, target)))
+    circuit.append(Gate("t", (target,)))
+    circuit.append(Gate("cx", (control_b, target)))
+    circuit.append(Gate("tdg", (target,)))
+    circuit.append(Gate("cx", (control_a, target)))
+    circuit.append(Gate("t", (control_b,)))
+    circuit.append(Gate("t", (target,)))
+    circuit.append(Gate("h", (target,)))
+    circuit.append(Gate("cx", (control_a, control_b)))
+    circuit.append(Gate("t", (control_a,)))
+    circuit.append(Gate("tdg", (control_b,)))
+    circuit.append(Gate("cx", (control_a, control_b)))

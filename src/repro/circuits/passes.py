@@ -1,0 +1,248 @@
+"""Circuit transformation passes.
+
+Routing is one step of a compilation pipeline; the passes here cover the
+steps immediately around it that the paper's cost accounting depends on:
+
+* :func:`decompose_swaps` -- expand every SWAP into three CNOTs (the paper's
+  cost metric counts added CNOTs, with "SWAP decomposes to 3 CNOTs");
+* :func:`cancel_adjacent_inverses` -- remove pairs of adjacent self-inverse
+  gates on the same qubits (CX·CX, H·H, X·X, SWAP·SWAP, ...), the cleanup
+  pass run after stitching slices or cycles back together;
+* :func:`merge_rotations` -- fuse adjacent RZ/RX/RY rotations on the same
+  qubit into one gate (summing symbolic parameters textually);
+* :func:`remove_trivial_gates` -- drop identity gates and barriers;
+* :func:`mirror_cnots_for_directed_coupling` -- orient CNOTs along a directed
+  coupling map by conjugating with Hadamards when needed.
+
+:class:`PassManager` chains passes and records per-pass statistics, mirroring
+how production compilers report what each stage removed or added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+#: Gates that are their own inverse (on the same qubit tuple).
+SELF_INVERSE_GATES = {"x", "y", "z", "h", "cx", "cz", "swap", "id"}
+
+#: Rotation gates whose adjacent applications on one qubit can be merged.
+MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "u1"}
+
+
+def decompose_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand every SWAP gate into three alternating CNOTs.
+
+    This is the decomposition the paper uses for cost accounting: each routed
+    SWAP contributes three CNOTs to the added-gate count.
+    """
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "swap":
+            first, second = gate.qubits
+            result.append(Gate("cx", (first, second)))
+            result.append(Gate("cx", (second, first)))
+            result.append(Gate("cx", (first, second)))
+        else:
+            result.append(gate)
+    return result
+
+
+def remove_trivial_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Drop identity gates, barriers, and zero-angle rotations."""
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name in ("id", "barrier"):
+            continue
+        if gate.name in MERGEABLE_ROTATIONS and _is_zero_angle(gate):
+            continue
+        result.append(gate)
+    return result
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancel adjacent pairs of identical self-inverse gates.
+
+    Two gates cancel when they are the same self-inverse gate on the same
+    qubit tuple and no gate touching any of those qubits lies between them.
+    The pass repeats until no further cancellation applies, so chains like
+    ``H H H H`` collapse completely.
+    """
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        gates, changed = _cancel_one_round(gates)
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    result.extend(gates)
+    return result
+
+
+def _cancel_one_round(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    kept: list[Gate] = []
+    cancelled_indices: set[int] = set()
+    last_on_qubit: dict[int, int] = {}
+    gate_at: dict[int, Gate] = {}
+    for index, gate in enumerate(gates):
+        gate_at[index] = gate
+        partner = None
+        if gate.name in SELF_INVERSE_GATES:
+            candidates = [last_on_qubit.get(q) for q in gate.qubits]
+            if (candidates and candidates[0] is not None
+                    and all(c == candidates[0] for c in candidates)):
+                previous_index = candidates[0]
+                previous = gate_at[previous_index]
+                if (previous_index not in cancelled_indices
+                        and previous.name == gate.name
+                        and previous.qubits == gate.qubits
+                        and previous.params == gate.params):
+                    partner = previous_index
+        if partner is not None:
+            cancelled_indices.add(partner)
+            cancelled_indices.add(index)
+            for qubit in gate.qubits:
+                last_on_qubit.pop(qubit, None)
+        else:
+            for qubit in gate.qubits:
+                last_on_qubit[qubit] = index
+    if not cancelled_indices:
+        return gates, False
+    kept = [gate for index, gate in enumerate(gates) if index not in cancelled_indices]
+    return kept, True
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse adjacent same-axis rotations on the same qubit.
+
+    Numeric angles are summed; symbolic angles are joined with ``+`` so the
+    merged gate remains printable as QASM.  Merged rotations whose numeric
+    angle sums to zero are dropped.
+    """
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: dict[int, Gate] = {}
+
+    def flush(qubit: int) -> None:
+        gate = pending.pop(qubit, None)
+        if gate is not None and not _is_zero_angle(gate):
+            result.append(gate)
+
+    for gate in circuit:
+        if gate.name in MERGEABLE_ROTATIONS and gate.is_single_qubit:
+            qubit = gate.qubits[0]
+            waiting = pending.get(qubit)
+            if waiting is not None and waiting.name == gate.name:
+                pending[qubit] = Gate(gate.name, gate.qubits,
+                                      (_add_angles(waiting.params[0], gate.params[0]),))
+            else:
+                flush(qubit)
+                pending[qubit] = gate
+        else:
+            for qubit in gate.qubits:
+                flush(qubit)
+            result.append(gate)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return result
+
+
+def mirror_cnots_for_directed_coupling(
+        circuit: QuantumCircuit,
+        allowed_directions: Iterable[tuple[int, int]]) -> QuantumCircuit:
+    """Orient CNOTs along a directed coupling map.
+
+    Devices such as the IBM QX family only implement CNOT in one direction per
+    edge; a reversed CNOT is realised by conjugating both qubits with
+    Hadamards.  ``allowed_directions`` lists the (control, target) pairs the
+    device supports; any CX not in that set but whose reverse is gets the
+    four-Hadamard treatment.  CX gates on unsupported edges raise, because
+    routing should have eliminated them.
+    """
+    allowed = set(allowed_directions)
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name != "cx":
+            result.append(gate)
+            continue
+        control, target = gate.qubits
+        if (control, target) in allowed:
+            result.append(gate)
+        elif (target, control) in allowed:
+            result.append(Gate("h", (control,)))
+            result.append(Gate("h", (target,)))
+            result.append(Gate("cx", (target, control)))
+            result.append(Gate("h", (control,)))
+            result.append(Gate("h", (target,)))
+        else:
+            raise ValueError(
+                f"cx on ({control}, {target}) is not available in either direction")
+    return result
+
+
+def _is_zero_angle(gate: Gate) -> bool:
+    if not gate.params:
+        return False
+    try:
+        return abs(float(gate.params[0])) < 1e-12
+    except ValueError:
+        return False
+
+
+def _add_angles(first: str, second: str) -> str:
+    try:
+        return repr(float(first) + float(second))
+    except ValueError:
+        return f"({first})+({second})"
+
+
+@dataclass
+class PassRecord:
+    """Statistics for one pass application."""
+
+    name: str
+    gates_before: int
+    gates_after: int
+
+    @property
+    def removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+@dataclass
+class PassManager:
+    """Chain of circuit passes applied in order, with per-pass statistics."""
+
+    passes: list[Callable[[QuantumCircuit], QuantumCircuit]] = field(default_factory=list)
+    history: list[PassRecord] = field(default_factory=list)
+
+    def add(self, pass_fn: Callable[[QuantumCircuit], QuantumCircuit]) -> "PassManager":
+        """Append a pass; returns ``self`` for chaining."""
+        self.passes.append(pass_fn)
+        return self
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Apply every pass in order, recording gate counts before and after."""
+        self.history = []
+        current = circuit
+        for pass_fn in self.passes:
+            before = len(current)
+            current = pass_fn(current)
+            self.history.append(PassRecord(
+                name=getattr(pass_fn, "__name__", type(pass_fn).__name__),
+                gates_before=before,
+                gates_after=len(current),
+            ))
+        return current
+
+    @property
+    def total_removed(self) -> int:
+        return sum(record.removed for record in self.history)
+
+
+def default_cleanup_pipeline() -> PassManager:
+    """The cleanup applied to routed circuits before reporting costs."""
+    return (PassManager()
+            .add(remove_trivial_gates)
+            .add(cancel_adjacent_inverses)
+            .add(merge_rotations))

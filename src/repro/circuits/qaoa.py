@@ -1,0 +1,88 @@
+"""QAOA circuit generation for MaxCut on random 3-regular graphs.
+
+Section VI and Table IV of the paper evaluate the cyclic relaxation on QAOA
+circuits "for solving the maximum cut problem on 3-regular graphs,
+parameterized by the number of qubits and the number of cycles".  This module
+reproduces that workload generator: each cycle applies one RZZ interaction per
+graph edge followed by the RX mixer on every qubit, and the same cycle
+structure repeats.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+def random_regular_graph(num_nodes: int, degree: int = 3, seed: int = 0) -> list[tuple[int, int]]:
+    """Generate a random ``degree``-regular graph via the pairing model.
+
+    Returns a sorted edge list with no self-loops or parallel edges.  Raises
+    ``ValueError`` if ``num_nodes * degree`` is odd (no such graph exists).
+    """
+    if num_nodes <= degree:
+        raise ValueError("need more nodes than the degree")
+    if (num_nodes * degree) % 2 != 0:
+        raise ValueError("num_nodes * degree must be even")
+    rng = random.Random(seed)
+    for _ in range(1000):
+        stubs = [node for node in range(num_nodes) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges: set[tuple[int, int]] = set()
+        ok = True
+        for first, second in zip(stubs[0::2], stubs[1::2]):
+            if first == second:
+                ok = False
+                break
+            edge = (min(first, second), max(first, second))
+            if edge in edges:
+                ok = False
+                break
+            edges.add(edge)
+        if ok:
+            return sorted(edges)
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {num_nodes} nodes"
+    )
+
+
+def qaoa_cycle(edges: list[tuple[int, int]], num_qubits: int,
+               gamma: str = "gamma", beta: str = "beta") -> QuantumCircuit:
+    """One QAOA cycle ``C_{gamma,beta}``: cost layer (RZZ per edge) + mixer (RX per qubit)."""
+    cycle = QuantumCircuit(num_qubits, name="qaoa_cycle")
+    for first, second in edges:
+        cycle.append(Gate("rzz", (first, second), (gamma,)))
+    for qubit in range(num_qubits):
+        cycle.append(Gate("rx", (qubit,), (beta,)))
+    return cycle
+
+
+def maxcut_qaoa_circuit(
+    num_qubits: int, num_cycles: int, degree: int = 3, seed: int = 0
+) -> QuantumCircuit:
+    """Full QAOA MaxCut circuit: Hadamard prelude plus ``num_cycles`` repeated cycles.
+
+    The per-cycle parameters differ numerically in a real QAOA run, but as the
+    paper notes they do not affect QMR, so we keep symbolic parameters.
+    """
+    if num_cycles <= 0:
+        raise ValueError("num_cycles must be positive")
+    edges = random_regular_graph(num_qubits, degree=degree, seed=seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"qaoa_maxcut_q{num_qubits}_c{num_cycles}_s{seed}"
+    )
+    for qubit in range(num_qubits):
+        circuit.append(Gate("h", (qubit,)))
+    for cycle_index in range(num_cycles):
+        cycle = qaoa_cycle(edges, num_qubits,
+                           gamma=f"gamma{cycle_index}", beta=f"beta{cycle_index}")
+        circuit.extend(cycle.gates)
+    return circuit
+
+
+def qaoa_repeated_block(num_qubits: int, degree: int = 3, seed: int = 0) -> QuantumCircuit:
+    """The repeating subcircuit of a QAOA circuit (input to the cyclic relaxation)."""
+    edges = random_regular_graph(num_qubits, degree=degree, seed=seed)
+    return qaoa_cycle(edges, num_qubits)

@@ -1,0 +1,236 @@
+"""A small OpenQASM 2.0 reader and writer.
+
+The public benchmark circuits the paper uses are distributed as OpenQASM 2.0
+files.  This module implements the subset of the language those files use:
+``OPENQASM``/``include`` headers, ``qreg``/``creg`` declarations, the standard
+gate set from ``qelib1.inc`` (with parameters), ``measure`` and ``barrier``
+statements.  Gate definitions (``gate ... { ... }``) are parsed and expanded
+only when they are simple (non-recursive) compositions of known gates; the
+benchmark files do not need more.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import KNOWN_GATES, Gate
+
+
+class QasmError(ValueError):
+    """Raised when a QASM file cannot be parsed."""
+
+
+_STATEMENT_RE = re.compile(r"[^;]+;")
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_APPLICATION_RE = re.compile(r"^\s*(\w+)\s*(\(([^)]*)\))?\s+(.+)$", re.DOTALL)
+_OPERAND_RE = re.compile(r"(\w+)\s*(\[\s*(\d+)\s*\])?")
+
+
+def parse_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text into a :class:`QuantumCircuit`.
+
+    Multi-register programs are flattened into a single contiguous qubit index
+    space in declaration order.  Measurements and barriers are dropped (they
+    are irrelevant to mapping and routing).
+    """
+    text = _strip_comments(text)
+    register_offsets: dict[str, int] = {}
+    register_sizes: dict[str, int] = {}
+    total_qubits = 0
+    gates: list[Gate] = []
+    custom_gates: dict[str, tuple[list[str], list[str], list[str]]] = {}
+
+    body = _extract_gate_definitions(text, custom_gates)
+
+    for statement_match in _STATEMENT_RE.finditer(body):
+        statement = statement_match.group(0).strip().rstrip(";").strip()
+        if not statement:
+            continue
+        lowered = statement.lower()
+        if lowered.startswith(("openqasm", "include", "creg", "//")):
+            continue
+        if lowered.startswith("qreg"):
+            match = _QREG_RE.search(statement)
+            if not match:
+                raise QasmError(f"malformed qreg statement: {statement!r}")
+            register, size = match.group(1), int(match.group(2))
+            register_offsets[register] = total_qubits
+            register_sizes[register] = size
+            total_qubits += size
+            continue
+        if lowered.startswith(("measure", "barrier", "reset", "if")):
+            continue
+        parsed = _parse_application(statement, register_offsets, register_sizes)
+        if parsed is None:
+            continue
+        gate_name, params, qubits = parsed
+        gates.extend(_expand(gate_name, params, qubits, custom_gates))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declaration found")
+    circuit = QuantumCircuit(total_qubits, name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        if "//" in line:
+            line = line.split("//", 1)[0]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _extract_gate_definitions(
+    text: str, custom_gates: dict[str, tuple[list[str], list[str], list[str]]]
+) -> str:
+    """Pull ``gate name(params) args { body }`` blocks out of the program text."""
+    definition_re = re.compile(
+        r"gate\s+(\w+)\s*(\(([^)]*)\))?\s*([\w\s,]*)\{([^}]*)\}", re.DOTALL
+    )
+
+    def record(match: re.Match) -> str:
+        gate_name = match.group(1)
+        params = [p.strip() for p in (match.group(3) or "").split(",") if p.strip()]
+        args = [a.strip() for a in (match.group(4) or "").split(",") if a.strip()]
+        body_statements = [s.strip() for s in match.group(5).split(";") if s.strip()]
+        custom_gates[gate_name] = (params, args, body_statements)
+        return ""
+
+    return definition_re.sub(record, text)
+
+
+def _parse_application(
+    statement: str,
+    register_offsets: dict[str, int],
+    register_sizes: dict[str, int],
+) -> tuple[str, tuple[str, ...], list[int]] | None:
+    match = _APPLICATION_RE.match(statement)
+    if not match:
+        raise QasmError(f"cannot parse statement: {statement!r}")
+    gate_name = match.group(1)
+    params = tuple(p.strip() for p in (match.group(3) or "").split(",") if p.strip())
+    operand_text = match.group(4)
+    qubits: list[int] = []
+    for operand_match in _OPERAND_RE.finditer(operand_text):
+        register = operand_match.group(1)
+        if register not in register_offsets:
+            raise QasmError(f"unknown register {register!r} in: {statement!r}")
+        if operand_match.group(3) is None:
+            raise QasmError(
+                f"whole-register application is not supported: {statement!r}"
+            )
+        index = int(operand_match.group(3))
+        if index >= register_sizes[register]:
+            raise QasmError(f"qubit index out of range in: {statement!r}")
+        qubits.append(register_offsets[register] + index)
+    if not qubits:
+        raise QasmError(f"no qubit operands in: {statement!r}")
+    return gate_name, params, qubits
+
+
+def _expand(
+    gate_name: str,
+    params: tuple[str, ...],
+    qubits: list[int],
+    custom_gates: dict[str, tuple[list[str], list[str], list[str]]],
+    depth: int = 0,
+) -> list[Gate]:
+    """Expand a gate application into known primitive gates."""
+    if depth > 16:
+        raise QasmError(f"gate definition nesting too deep at {gate_name!r}")
+    if gate_name in KNOWN_GATES:
+        expected_arity = KNOWN_GATES[gate_name]
+        if len(qubits) != expected_arity:
+            raise QasmError(
+                f"gate {gate_name} expects {expected_arity} qubits, got {len(qubits)}"
+            )
+        return [Gate(gate_name, tuple(qubits), params)]
+    if gate_name == "ccx" or gate_name == "ccz":
+        return _expand_toffoli(qubits)
+    if gate_name in custom_gates:
+        formal_params, formal_args, body = custom_gates[gate_name]
+        if len(formal_args) != len(qubits):
+            raise QasmError(
+                f"gate {gate_name} expects {len(formal_args)} qubits, got {len(qubits)}"
+            )
+        binding = dict(zip(formal_args, qubits))
+        expanded: list[Gate] = []
+        for statement in body:
+            parsed = _APPLICATION_RE.match(statement)
+            if not parsed:
+                raise QasmError(f"cannot parse gate body statement: {statement!r}")
+            inner_name = parsed.group(1)
+            inner_params = tuple(
+                p.strip() for p in (parsed.group(3) or "").split(",") if p.strip()
+            )
+            inner_qubits = []
+            for token in parsed.group(4).split(","):
+                token = token.strip()
+                if token not in binding:
+                    raise QasmError(f"unbound qubit {token!r} in gate {gate_name}")
+                inner_qubits.append(binding[token])
+            expanded.extend(
+                _expand(inner_name, inner_params, inner_qubits, custom_gates, depth + 1)
+            )
+        return expanded
+    raise QasmError(f"unknown gate {gate_name!r}")
+
+
+def _expand_toffoli(qubits: list[int]) -> list[Gate]:
+    """Standard 6-CNOT decomposition of the Toffoli gate.
+
+    RevLib benchmarks use ``ccx`` heavily; QMR only needs the CNOT skeleton,
+    but we keep the single-qubit gates so gate counts stay faithful.
+    """
+    if len(qubits) != 3:
+        raise QasmError("ccx expects exactly 3 qubits")
+    a, b, c = qubits
+    return [
+        Gate("h", (c,)),
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (c,)),
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (b,)),
+        Gate("t", (c,)),
+        Gate("cx", (a, b)),
+        Gate("h", (c,)),
+        Gate("t", (a,)),
+        Gate("tdg", (b,)),
+        Gate("cx", (a, b)),
+    ]
+
+
+def circuit_to_qasm(circuit: QuantumCircuit, register_name: str = "q") -> str:
+    """Render a circuit as OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register_name}[{circuit.num_qubits}];",
+    ]
+    for gate in circuit.gates:
+        operands = ",".join(f"{register_name}[{qubit}]" for qubit in gate.qubits)
+        if gate.params:
+            lines.append(f"{gate.name}({','.join(gate.params)}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def load_qasm(path: str | Path) -> QuantumCircuit:
+    """Load an OpenQASM 2.0 file from disk."""
+    path = Path(path)
+    return parse_qasm(path.read_text(), name=path.stem)
+
+
+def save_qasm(circuit: QuantumCircuit, path: str | Path) -> None:
+    """Write a circuit to disk as OpenQASM 2.0."""
+    Path(path).write_text(circuit_to_qasm(circuit))

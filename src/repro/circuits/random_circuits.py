@@ -1,0 +1,95 @@
+"""Deterministic random circuit generation.
+
+Used both for the synthetic benchmark suite (stand-in for RevLib circuits of a
+given size) and for property-based tests.  All generation is seeded so the
+suite is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+SINGLE_QUBIT_POOL = ("h", "x", "t", "tdg", "s", "rz")
+TWO_QUBIT_POOL = ("cx", "cz", "cx", "cx")  # CX-heavy, like RevLib circuits
+
+
+def random_circuit(
+    num_qubits: int,
+    num_two_qubit_gates: int,
+    seed: int = 0,
+    single_qubit_ratio: float = 0.5,
+    interaction_bias: float = 0.0,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Generate a random circuit with a prescribed number of two-qubit gates.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of logical qubits.
+    num_two_qubit_gates:
+        Exact number of two-qubit gates in the result.
+    seed:
+        RNG seed; the same arguments always produce the same circuit.
+    single_qubit_ratio:
+        Expected number of single-qubit gates per two-qubit gate.
+    interaction_bias:
+        In ``[0, 1]``.  0 draws qubit pairs uniformly; values towards 1
+        concentrate interactions on a few "hub" qubits, which mimics the
+        highly non-uniform interaction graphs of reversible-logic benchmarks
+        (one qubit interacting with many others forces more routing).
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits for two-qubit gates")
+    if num_two_qubit_gates < 0:
+        raise ValueError("num_two_qubit_gates must be non-negative")
+    if not 0.0 <= interaction_bias <= 1.0:
+        raise ValueError("interaction_bias must be in [0, 1]")
+
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits,
+        name=name or f"random_q{num_qubits}_g{num_two_qubit_gates}_s{seed}",
+    )
+    hub_count = max(1, round(num_qubits * 0.25))
+    hubs = list(range(hub_count))
+
+    for _ in range(num_two_qubit_gates):
+        while rng.random() < single_qubit_ratio / (1.0 + single_qubit_ratio):
+            gate_name = rng.choice(SINGLE_QUBIT_POOL)
+            qubit = rng.randrange(num_qubits)
+            params = ("0.5",) if gate_name == "rz" else ()
+            circuit.append(Gate(gate_name, (qubit,), params))
+        if rng.random() < interaction_bias:
+            first = rng.choice(hubs)
+        else:
+            first = rng.randrange(num_qubits)
+        second = rng.randrange(num_qubits)
+        while second == first:
+            second = rng.randrange(num_qubits)
+        circuit.append(Gate(rng.choice(TWO_QUBIT_POOL), (first, second)))
+    return circuit
+
+
+def layered_random_circuit(
+    num_qubits: int, num_layers: int, seed: int = 0, name: str | None = None
+) -> QuantumCircuit:
+    """Random circuit built from layers of disjoint two-qubit gates.
+
+    Each layer pairs up as many qubits as possible, giving dense parallel
+    structure similar to quantum-volume style circuits.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=name or f"layered_q{num_qubits}_l{num_layers}_s{seed}")
+    for _ in range(num_layers):
+        qubits = list(range(num_qubits))
+        rng.shuffle(qubits)
+        for first, second in zip(qubits[0::2], qubits[1::2]):
+            circuit.append(Gate("cx", (first, second)))
+    return circuit

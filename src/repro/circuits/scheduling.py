@@ -1,0 +1,184 @@
+"""Gate scheduling and timing analysis.
+
+Routing decisions change more than the gate count: every inserted SWAP also
+lengthens the schedule, and the paper motivates SWAP minimisation partly by
+the decoherence cost of longer circuits.  This module provides the timing
+view of a circuit:
+
+* :class:`GateDurations` -- per-gate-name durations (defaults modelled on
+  superconducting devices, in nanoseconds);
+* :func:`asap_schedule` / :func:`alap_schedule` -- as-soon-as-possible and
+  as-late-as-possible start times under qubit-exclusion dependencies;
+* :class:`Schedule` -- the resulting start/finish times, makespan, critical
+  path, and per-timestep parallelism profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+#: Default durations (ns), loosely modelled on IBM backend calibrations.
+DEFAULT_DURATIONS = {
+    "single": 35.0,
+    "cx": 300.0,
+    "swap": 900.0,  # three back-to-back CNOTs
+    "measure": 700.0,
+    "barrier": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class GateDurations:
+    """Lookup table from gate name to duration.
+
+    Unknown two-qubit gates default to the CX duration and unknown
+    single-qubit gates to the generic single-qubit duration, so circuits with
+    exotic gate names still schedule sensibly.
+    """
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    def of(self, gate: Gate) -> float:
+        table = {**DEFAULT_DURATIONS, **self.durations}
+        if gate.name in table:
+            return table[gate.name]
+        return table["cx"] if gate.is_two_qubit else table["single"]
+
+
+@dataclass
+class ScheduledGate:
+    """A gate with its assigned start and finish time."""
+
+    gate: Gate
+    index: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class Schedule:
+    """A full schedule: one :class:`ScheduledGate` per circuit gate, in order."""
+
+    entries: list[ScheduledGate]
+    num_qubits: int
+
+    @property
+    def makespan(self) -> float:
+        """Total schedule length (the finish time of the last gate)."""
+        return max((entry.finish for entry in self.entries), default=0.0)
+
+    def start_of(self, index: int) -> float:
+        return self.entries[index].start
+
+    def critical_path(self) -> list[int]:
+        """Indices of gates on one longest dependency chain."""
+        if not self.entries:
+            return []
+        # Walk backwards from the gate that finishes last, at each step moving
+        # to the predecessor on a shared qubit that finishes exactly when this
+        # gate starts.
+        by_finish: dict[int, ScheduledGate] = {e.index: e for e in self.entries}
+        current = max(self.entries, key=lambda e: e.finish)
+        path = [current.index]
+        while current.start > 0:
+            predecessor = None
+            for candidate in self.entries:
+                if candidate.index >= current.index:
+                    continue
+                if not set(candidate.gate.qubits) & set(current.gate.qubits):
+                    continue
+                if abs(candidate.finish - current.start) < 1e-9:
+                    predecessor = candidate
+            if predecessor is None:
+                break
+            path.append(predecessor.index)
+            current = predecessor
+        path.reverse()
+        return path
+
+    def parallelism_profile(self, resolution: int = 20) -> list[int]:
+        """Number of gates active in each of ``resolution`` equal time bins."""
+        if not self.entries or self.makespan == 0:
+            return [0] * resolution
+        bin_width = self.makespan / resolution
+        profile = []
+        for bin_index in range(resolution):
+            bin_start = bin_index * bin_width
+            bin_end = bin_start + bin_width
+            active = sum(1 for entry in self.entries
+                         if entry.start < bin_end and entry.finish > bin_start
+                         and entry.duration > 0)
+            profile.append(active)
+        return profile
+
+    def qubit_busy_time(self, qubit: int) -> float:
+        """Total time ``qubit`` spends inside gates."""
+        return sum(entry.duration for entry in self.entries
+                   if qubit in entry.gate.qubits)
+
+    def idle_time(self, qubit: int) -> float:
+        """Time ``qubit`` spends waiting between its first and last gate."""
+        touching = [entry for entry in self.entries if qubit in entry.gate.qubits]
+        if not touching:
+            return 0.0
+        span = max(e.finish for e in touching) - min(e.start for e in touching)
+        return span - sum(e.duration for e in touching)
+
+
+def asap_schedule(circuit: QuantumCircuit,
+                  durations: GateDurations | None = None) -> Schedule:
+    """Schedule every gate as soon as its qubits are free."""
+    durations = durations or GateDurations()
+    qubit_free_at = [0.0] * circuit.num_qubits
+    entries: list[ScheduledGate] = []
+    for index, gate in enumerate(circuit):
+        start = max((qubit_free_at[q] for q in gate.qubits), default=0.0)
+        finish = start + durations.of(gate)
+        for qubit in gate.qubits:
+            qubit_free_at[qubit] = finish
+        entries.append(ScheduledGate(gate, index, start, finish))
+    return Schedule(entries, circuit.num_qubits)
+
+
+def alap_schedule(circuit: QuantumCircuit,
+                  durations: GateDurations | None = None) -> Schedule:
+    """Schedule every gate as late as possible without extending the makespan."""
+    durations = durations or GateDurations()
+    makespan = asap_schedule(circuit, durations).makespan
+    qubit_needed_at = [makespan] * circuit.num_qubits
+    reversed_entries: list[ScheduledGate] = []
+    for index in range(len(circuit) - 1, -1, -1):
+        gate = circuit[index]
+        finish = min((qubit_needed_at[q] for q in gate.qubits), default=makespan)
+        start = finish - durations.of(gate)
+        for qubit in gate.qubits:
+            qubit_needed_at[qubit] = start
+        reversed_entries.append(ScheduledGate(gate, index, start, finish))
+    return Schedule(list(reversed(reversed_entries)), circuit.num_qubits)
+
+
+def schedule_length(circuit: QuantumCircuit,
+                    durations: GateDurations | None = None) -> float:
+    """Convenience wrapper: the ASAP makespan of ``circuit``."""
+    return asap_schedule(circuit, durations).makespan
+
+
+def routing_latency_overhead(original: QuantumCircuit, routed: QuantumCircuit,
+                             durations: GateDurations | None = None) -> float:
+    """How much longer the routed circuit's schedule is than the original's.
+
+    Returns the ratio ``routed_makespan / original_makespan`` (1.0 means the
+    inserted SWAPs fit entirely into idle time).
+    """
+    original_length = schedule_length(original, durations)
+    routed_length = schedule_length(routed, durations)
+    if original_length == 0:
+        return 1.0 if routed_length == 0 else float("inf")
+    return routed_length / original_length

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The subcommands cover the common workflows:
+
+* ``route``    -- map and route an OpenQASM 2.0 file onto a named architecture
+  (SATMAP by default, any router via ``--router``) and write the routed
+  circuit next to the input;
+* ``compare``  -- run SATMAP and the heuristic baselines over a QASM file (or
+  the built-in tiny suite) and print Table I / Fig. 12 style summaries;
+* ``info``     -- print the properties of a named architecture;
+* ``devices``  -- list every architecture in the device catalogue;
+* ``draw``     -- print a text diagram of a QASM circuit;
+* ``generate`` -- write a benchmark circuit (QFT, GHZ, QAOA, random) to QASM.
+
+The CLI is intentionally thin: every subcommand is a small wrapper over the
+public library API, so anything it does can also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import run_many_routers
+from repro.analysis.reporting import (
+    render_cost_ratio_summary,
+    render_solve_rate_table,
+    render_table,
+)
+from repro.analysis.suite import tiny_suite
+from repro.baselines import (
+    AStarLayerRouter,
+    BmtLikeRouter,
+    NaiveShortestPathRouter,
+    SabreRouter,
+    TketLikeRouter,
+)
+from repro.circuits.drawer import circuit_summary, draw_circuit
+from repro.circuits.library import BenchmarkCircuit
+from repro.circuits.named_circuits import ghz_circuit, qft_circuit
+from repro.circuits.qaoa import maxcut_qaoa_circuit
+from repro.circuits.qasm import load_qasm, save_qasm
+from repro.circuits.random_circuits import random_circuit
+from repro.core import HybridSatMapRouter, SatMapRouter, verify_routing
+from repro.hardware.architecture import Architecture
+from repro.hardware.devices import architecture_properties, device_catalog
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    heavy_hex_architecture,
+    line_architecture,
+    reduced_tokyo_architecture,
+    ring_architecture,
+    tokyo_architecture,
+    tokyo_minus_architecture,
+    tokyo_plus_architecture,
+)
+
+
+def available_architectures() -> dict[str, Architecture]:
+    """Named architectures selectable from the command line."""
+    architectures = {
+        "tokyo": tokyo_architecture(),
+        "tokyo-": tokyo_minus_architecture(),
+        "tokyo+": tokyo_plus_architecture(),
+        "tokyo8": reduced_tokyo_architecture(8),
+        "tokyo6": reduced_tokyo_architecture(6),
+        "line8": line_architecture(8),
+        "line16": line_architecture(16),
+        "ring8": ring_architecture(8),
+        "grid3x3": grid_architecture(3, 3),
+        "grid4x4": grid_architecture(4, 4),
+        "heavy-hex": heavy_hex_architecture(),
+        "full8": full_architecture(8),
+    }
+    for name, constructor in device_catalog().items():
+        architectures.setdefault(name, constructor())
+    return architectures
+
+
+def available_routers(time_budget: float) -> dict[str, object]:
+    """Router constructors selectable with ``route --router``."""
+    return {
+        "satmap": lambda: SatMapRouter(slice_size=25, time_budget=time_budget),
+        "nl-satmap": lambda: SatMapRouter(time_budget=time_budget),
+        "hybrid": lambda: HybridSatMapRouter(time_budget=time_budget),
+        "sabre": lambda: SabreRouter(time_budget=time_budget),
+        "tket": lambda: TketLikeRouter(time_budget=time_budget),
+        "astar": lambda: AStarLayerRouter(time_budget=time_budget),
+        "bmt": lambda: BmtLikeRouter(time_budget=time_budget),
+        "naive": lambda: NaiveShortestPathRouter(time_budget=time_budget),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qubit mapping and routing via MaxSAT (SATMAP reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    route = subparsers.add_parser("route", help="route an OpenQASM 2.0 file")
+    route.add_argument("qasm", type=Path, help="input OpenQASM 2.0 file")
+    route.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
+    route.add_argument("--router", default="satmap", choices=sorted(available_routers(1.0)),
+                       help="routing algorithm (default: satmap with slicing)")
+    route.add_argument("--slice-size", type=int, default=25,
+                       help="two-qubit gates per slice (0 disables slicing; satmap only)")
+    route.add_argument("--time-budget", type=float, default=60.0)
+    route.add_argument("--swaps-per-gate", type=int, default=1)
+    route.add_argument("--output", type=Path, default=None,
+                       help="output path (default: <input>.routed.qasm)")
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare SATMAP against heuristic baselines")
+    compare.add_argument("qasm", type=Path, nargs="?", default=None,
+                         help="optional OpenQASM file; omit to use the built-in suite")
+    compare.add_argument("--arch", default="tokyo8",
+                         choices=sorted(available_architectures()))
+    compare.add_argument("--time-budget", type=float, default=10.0)
+
+    info = subparsers.add_parser("info", help="describe a named architecture")
+    info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
+
+    subparsers.add_parser("devices", help="list the device catalogue")
+
+    draw = subparsers.add_parser("draw", help="print a text diagram of a QASM circuit")
+    draw.add_argument("qasm", type=Path, help="input OpenQASM 2.0 file")
+    draw.add_argument("--max-columns", type=int, default=40)
+    draw.add_argument("--ascii", action="store_true", help="avoid unicode symbols")
+
+    generate = subparsers.add_parser("generate", help="write a benchmark circuit to QASM")
+    generate.add_argument("kind", choices=["qft", "ghz", "qaoa", "random"])
+    generate.add_argument("output", type=Path, help="output OpenQASM 2.0 path")
+    generate.add_argument("--qubits", type=int, default=5)
+    generate.add_argument("--gates", type=int, default=20,
+                          help="two-qubit gate count (random circuits only)")
+    generate.add_argument("--cycles", type=int, default=2, help="QAOA cycles")
+    generate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def command_route(args: argparse.Namespace) -> int:
+    architecture = available_architectures()[args.arch]
+    circuit = load_qasm(args.qasm)
+    if args.router == "satmap":
+        slice_size = args.slice_size if args.slice_size > 0 else None
+        router = SatMapRouter(slice_size=slice_size, swaps_per_gate=args.swaps_per_gate,
+                              time_budget=args.time_budget)
+    else:
+        router = available_routers(args.time_budget)[args.router]()
+    result = router.route(circuit, architecture)
+    print(result.summary())
+    if not result.solved:
+        return 2
+    verify_routing(circuit, result.routed_circuit, result.initial_mapping, architecture)
+    output = args.output or args.qasm.with_suffix(".routed.qasm")
+    save_qasm(result.routed_circuit, output)
+    print(f"initial mapping: {result.initial_mapping}")
+    print(f"routed circuit written to {output}")
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    architecture = available_architectures()[args.arch]
+    if args.qasm is not None:
+        circuit = load_qasm(args.qasm)
+        suite = [BenchmarkCircuit(circuit.name, circuit.num_qubits,
+                                  circuit.num_two_qubit_gates, circuit)]
+    else:
+        suite = tiny_suite()[:6]
+    routers = {
+        "SATMAP": lambda: SatMapRouter(slice_size=25, time_budget=args.time_budget),
+        "SABRE": lambda: SabreRouter(),
+        "TKET-like": lambda: TketLikeRouter(),
+        "MQT-A*": lambda: AStarLayerRouter(),
+    }
+    comparison = run_many_routers(routers, suite, architecture)
+    print(render_solve_rate_table(comparison, total=len(suite),
+                                  title=f"Solve rate on {architecture.name}"))
+    print()
+    print(render_cost_ratio_summary(comparison, "SATMAP",
+                                    ["SABRE", "TKET-like", "MQT-A*"]))
+    return 0
+
+
+def command_info(args: argparse.Namespace) -> int:
+    architecture = available_architectures()[args.arch]
+    rows = [
+        ["name", architecture.name],
+        ["physical qubits", architecture.num_qubits],
+        ["edges", len(architecture.edges)],
+        ["average degree", architecture.average_degree],
+        ["diameter", architecture.diameter()],
+        ["connected", architecture.is_connected()],
+    ]
+    print(render_table(["property", "value"], rows))
+    return 0
+
+
+def command_devices(args: argparse.Namespace) -> int:
+    rows = []
+    for name, constructor in sorted(device_catalog().items()):
+        properties = architecture_properties(constructor())
+        rows.append([name, int(properties["num_qubits"]), int(properties["num_edges"]),
+                     round(properties["average_degree"], 2), int(properties["diameter"])])
+    print(render_table(["device", "qubits", "edges", "avg degree", "diameter"], rows,
+                       title="Device catalogue"))
+    return 0
+
+
+def command_draw(args: argparse.Namespace) -> int:
+    circuit = load_qasm(args.qasm)
+    print(circuit_summary(circuit))
+    print(draw_circuit(circuit, max_columns=args.max_columns, unicode=not args.ascii))
+    return 0
+
+
+def command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "qft":
+        circuit = qft_circuit(args.qubits)
+    elif args.kind == "ghz":
+        circuit = ghz_circuit(args.qubits)
+    elif args.kind == "qaoa":
+        circuit = maxcut_qaoa_circuit(num_qubits=args.qubits, num_cycles=args.cycles,
+                                      seed=args.seed)
+    else:
+        circuit = random_circuit(num_qubits=args.qubits, num_two_qubit_gates=args.gates,
+                                 seed=args.seed)
+    save_qasm(circuit, args.output)
+    print(f"{circuit_summary(circuit)}")
+    print(f"written to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    commands = {
+        "route": command_route,
+        "compare": command_compare,
+        "info": command_info,
+        "devices": command_devices,
+        "draw": command_draw,
+        "generate": command_generate,
+    }
+    handler = commands.get(args.command)
+    if handler is None:  # pragma: no cover - argparse enforces the choices
+        return 1
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

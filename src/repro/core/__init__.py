@@ -1,0 +1,37 @@
+"""SATMAP: qubit mapping and routing via MaxSAT (the paper's contribution).
+
+The package exposes:
+
+* :class:`repro.core.satmap.SatMapRouter` -- the main entry point.  With
+  ``slice_size=None`` it is NL-SATMAP (one monolithic MaxSAT instance); with a
+  slice size it applies the locally optimal relaxation of Section V; with
+  ``cyclic=True`` (via :func:`repro.core.cyclic.route_cyclic`) it applies the
+  cyclic relaxation of Section VI.
+* :class:`repro.core.encoder.QmrEncoder` -- the MaxSAT encoding of Fig. 5.
+* :class:`repro.core.result.RoutingResult` -- mapping sequence, routed
+  circuit, and cost/optimality metadata.
+* :func:`repro.core.verifier.verify_routing` -- the independent verifier the
+  paper uses to validate every solution.
+"""
+
+from repro.core.encoder import QmrEncoder, EncodingOptions
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.satmap import SatMapRouter
+from repro.core.cyclic import route_cyclic
+from repro.core.noise_aware import NoiseAwareSatMapRouter
+from repro.core.hybrid import HybridSatMapRouter, placement_adjacency_score
+from repro.core.verifier import VerificationError, verify_routing
+
+__all__ = [
+    "SatMapRouter",
+    "NoiseAwareSatMapRouter",
+    "HybridSatMapRouter",
+    "placement_adjacency_score",
+    "QmrEncoder",
+    "EncodingOptions",
+    "RoutingResult",
+    "RoutingStatus",
+    "route_cyclic",
+    "verify_routing",
+    "VerificationError",
+]

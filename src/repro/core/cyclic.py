@@ -1,0 +1,189 @@
+"""The cyclic-circuit relaxation (Section VI).
+
+For circuits made of a repeated block (QAOA being the canonical example), the
+relaxation solves the QMR constraints only for one block, with the additional
+hard constraint that the final map equals the initial map.  The routed block
+can then be stitched end-to-end any number of times: because the map returns
+to its starting point, the copies compose without any extra routing.
+
+:func:`route_cyclic` implements that recipe and returns a result for the full
+repeated circuit.  When the block itself is too large for a monolithic solve,
+``fallback_reset=True`` (default) routes the block with the locally optimal
+relaxation instead and appends an explicitly computed SWAP sequence that
+restores the initial mapping (a greedy token-swapping pass over the coupling
+graph), preserving the "final map == initial map" property the stitching step
+relies on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.satmap import SatMapRouter
+from repro.core.verifier import verify_routing
+from repro.hardware.architecture import Architecture
+
+
+def route_cyclic(
+    block: QuantumCircuit,
+    cycles: int,
+    architecture: Architecture,
+    router: SatMapRouter | None = None,
+    prelude: QuantumCircuit | None = None,
+    fallback_reset: bool = True,
+    verify: bool = True,
+) -> RoutingResult:
+    """Route ``prelude + block * cycles`` using the cyclic relaxation.
+
+    Parameters
+    ----------
+    block:
+        The repeating subcircuit (one QAOA cycle, for instance).
+    cycles:
+        How many times the block repeats.
+    router:
+        The SATMAP configuration to use for the block; a default router with a
+        60 s budget is created when omitted.
+    prelude:
+        Optional gates executed once before the first block (the Hadamard
+        layer of QAOA).  Only single-qubit gates are allowed there, as they
+        are irrelevant to routing.
+    fallback_reset:
+        If the cyclic MaxSAT solve fails within the budget, route the block
+        without the closure constraint and restore the initial map with
+        explicit SWAPs computed by token swapping.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    if prelude is not None and any(gate.is_two_qubit for gate in prelude.gates):
+        raise ValueError("the prelude may only contain single-qubit gates")
+    router = router or SatMapRouter(name="CYC-SATMAP")
+    start = time.monotonic()
+
+    outcome = router.solve_monolithic(block, architecture, router.time_budget,
+                                      cyclic=True)
+    block_result = outcome.result
+    used_fallback = False
+    if not block_result.solved and fallback_reset:
+        used_fallback = True
+        block_result = _route_block_with_reset(block, architecture, router)
+
+    if not block_result.solved:
+        block_result.router_name = "CYC-" + router.name.removeprefix("CYC-")
+        block_result.circuit_name = f"{block.name}x{cycles}"
+        block_result.solve_time = time.monotonic() - start
+        return block_result
+
+    full_original = _compose_original(block, cycles, prelude)
+    routed = QuantumCircuit(architecture.num_qubits,
+                            name=f"{full_original.name}@{architecture.name}")
+    initial_mapping = block_result.initial_mapping
+    if prelude is not None:
+        for gate in prelude.gates:
+            routed.append(Gate(gate.name,
+                               tuple(initial_mapping[q] for q in gate.qubits),
+                               gate.params))
+    assert block_result.routed_circuit is not None
+    for _ in range(cycles):
+        routed.extend(block_result.routed_circuit.gates)
+
+    result = RoutingResult(
+        status=block_result.status,
+        router_name="CYC-" + router.name.removeprefix("CYC-"),
+        circuit_name=full_original.name,
+        initial_mapping=initial_mapping,
+        final_mapping=dict(initial_mapping),
+        routed_circuit=routed,
+        swap_count=block_result.swap_count * cycles,
+        solve_time=time.monotonic() - start,
+        sat_calls=block_result.sat_calls,
+        optimal=False,  # optimal for the block, not for the repeated circuit
+        num_variables=block_result.num_variables,
+        num_hard_clauses=block_result.num_hard_clauses,
+        num_soft_clauses=block_result.num_soft_clauses,
+        num_slices=block_result.num_slices,
+        backtracks=block_result.backtracks,
+        notes=("cyclic relaxation with token-swap reset" if used_fallback
+               else "cyclic relaxation"),
+    )
+    if verify:
+        verify_routing(full_original, routed, initial_mapping, architecture)
+    return result
+
+
+def _compose_original(block: QuantumCircuit, cycles: int,
+                      prelude: QuantumCircuit | None) -> QuantumCircuit:
+    name = f"{block.name}_x{cycles}"
+    full = QuantumCircuit(block.num_qubits, name=name)
+    if prelude is not None:
+        full.extend(prelude.gates)
+    for _ in range(cycles):
+        full.extend(block.gates)
+    return full
+
+
+def _route_block_with_reset(block: QuantumCircuit, architecture: Architecture,
+                            router: SatMapRouter) -> RoutingResult:
+    """Route the block normally, then append SWAPs restoring the initial map."""
+    base = router.route(block, architecture)
+    if not base.solved or base.routed_circuit is None:
+        return base
+    reset_edges = reset_swap_sequence(base.initial_mapping, base.final_mapping,
+                                      architecture)
+    routed = base.routed_circuit.copy()
+    for edge in reset_edges:
+        routed.append(Gate("swap", edge))
+    base.routed_circuit = routed
+    base.swap_count += len(reset_edges)
+    base.final_mapping = dict(base.initial_mapping)
+    base.notes = "block routed with reset swaps"
+    return base
+
+
+def reset_swap_sequence(initial_mapping: dict[int, int],
+                        final_mapping: dict[int, int],
+                        architecture: Architecture) -> list[tuple[int, int]]:
+    """SWAPs (as physical edges) that turn ``final_mapping`` back into ``initial_mapping``.
+
+    Greedy token swapping: repeatedly pick a logical qubit that is not yet at
+    its target physical position and move it one step along a shortest path,
+    preferring swaps that also help the qubit currently occupying that step.
+    """
+    current = dict(final_mapping)
+    target = dict(initial_mapping)
+    physical_of = dict(current)
+    swaps: list[tuple[int, int]] = []
+    guard = 0
+    limit = 4 * architecture.num_qubits ** 2
+    while physical_of != target:
+        guard += 1
+        if guard > limit:
+            raise RuntimeError("token swapping failed to converge")
+        progressed = False
+        for logical in sorted(target):
+            if physical_of.get(logical) == target[logical]:
+                continue
+            source = physical_of[logical]
+            destination = target[logical]
+            path = architecture.shortest_path(source, destination)
+            next_position = path[1]
+            swaps.append((min(source, next_position), max(source, next_position)))
+            occupant = _logical_at(physical_of, next_position)
+            physical_of[logical] = next_position
+            if occupant is not None:
+                physical_of[occupant] = source
+            progressed = True
+            break
+        if not progressed:
+            break
+    return swaps
+
+
+def _logical_at(mapping: dict[int, int], physical: int) -> int | None:
+    for logical, position in mapping.items():
+        if position == physical:
+            return logical
+    return None

@@ -1,0 +1,423 @@
+"""The MaxSAT encoding of the QMR problem (Fig. 5 of the paper).
+
+Given a circuit's two-qubit interaction sequence and a connectivity graph, the
+encoder produces a weighted partial MaxSAT instance whose optimal models are
+optimal QMR solutions:
+
+* **Hard A** -- maps are injective partial functions (at-most-one physical
+  qubit per logical qubit and vice versa), plus at-least-one placement for
+  every logical qubit at the first step so the extracted map is total.
+* **Hard B** -- the two logical qubits of every two-qubit gate are mapped to
+  adjacent physical qubits at that gate's step.
+* **Hard C** -- each SWAP slot selects exactly one element of
+  ``Edges ∪ {no-op}``.
+* **Hard D** -- the effect of the selected SWAP: the map at step ``k`` is the
+  map at step ``k-1`` with the swapped qubits exchanged.
+* **Soft** -- one clause per slot asserting the no-op, so the MaxSAT optimum
+  minimises the number of real SWAPs.  In noise-aware mode the soft clauses
+  instead penalise each edge by its log-infidelity (Section "Q6").
+
+The clause count is O(|Phys| x |Logic| x |C|): at-most-one constraints use a
+commander encoding beyond a small threshold, and the SWAP-effect constraints
+are expressed as forward propagation clauses rather than enumerating SWAP
+sequences, matching the size the paper reports for its "only-one" encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.variables import NOOP, VariableRegistry
+from repro.hardware.architecture import Architecture
+from repro.hardware.noise import NoiseModel
+from repro.maxsat.cardinality import at_most_one_commander, at_most_one_pairwise
+from repro.maxsat.wcnf import WcnfBuilder
+
+
+@dataclass
+class EncodingOptions:
+    """Knobs of the encoding.
+
+    ``swaps_per_gate`` is the paper's ``n``; 1 is what the evaluation uses.
+    ``collapse_repeated_pairs`` merges consecutive two-qubit gates acting on
+    the same logical pair into one step, which preserves optimality and
+    shrinks the encoding (no SWAP is ever useful between them).
+    """
+
+    swaps_per_gate: int = 1
+    collapse_repeated_pairs: bool = True
+    commander_threshold: int = 7
+    leading_swap_slot: bool = False
+    #: Number of SWAP slots in the leading transition (before the first gate)
+    #: when ``leading_swap_slot`` is enabled; defaults to ``swaps_per_gate``.
+    #: The local relaxation escalates this when a slice with a pinned initial
+    #: map turns out unsatisfiable.
+    leading_slots: int | None = None
+    trailing_swap_slot: bool = False
+    cyclic: bool = False
+    fixed_initial_mapping: dict[int, int] | None = None
+    noise_model: NoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.swaps_per_gate < 1:
+            raise ValueError("swaps_per_gate must be at least 1")
+        if self.leading_slots is not None and self.leading_slots < 1:
+            raise ValueError("leading_slots must be at least 1")
+        if self.commander_threshold < 3:
+            raise ValueError("commander_threshold must be at least 3")
+
+
+@dataclass
+class QmrEncoding:
+    """A built encoding: the WCNF plus everything needed to read models back."""
+
+    builder: WcnfBuilder
+    registry: VariableRegistry
+    architecture: Architecture
+    num_logical: int
+    steps: list[tuple[int, int]]
+    step_of_gate: list[int]
+    options: EncodingOptions
+    #: SWAP slots, in circuit order: (step, slot) pairs that carry swap variables.
+    swap_slots: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_hard_clauses(self) -> int:
+        return self.builder.num_hard
+
+    @property
+    def num_soft_clauses(self) -> int:
+        return self.builder.num_soft
+
+    @property
+    def num_variables(self) -> int:
+        return self.builder.num_vars
+
+
+class QmrEncoder:
+    """Builds the MaxSAT instance of Fig. 5 for a circuit and an architecture."""
+
+    def __init__(self, architecture: Architecture,
+                 options: EncodingOptions | None = None) -> None:
+        self.architecture = architecture
+        self.options = options or EncodingOptions()
+
+    # ------------------------------------------------------------------ API
+
+    def encode(self, circuit: QuantumCircuit) -> QmrEncoding:
+        """Encode ``circuit`` (its two-qubit interaction sequence) as MaxSAT."""
+        interactions = circuit.interaction_sequence()
+        return self.encode_interactions(interactions, circuit.num_qubits)
+
+    def encode_interactions(self, interactions: list[tuple[int, int]],
+                            num_logical: int) -> QmrEncoding:
+        """Encode an explicit interaction sequence over ``num_logical`` qubits."""
+        architecture = self.architecture
+        options = self.options
+        if num_logical > architecture.num_qubits:
+            raise ValueError(
+                f"circuit uses {num_logical} logical qubits but the architecture "
+                f"only has {architecture.num_qubits} physical qubits"
+            )
+
+        steps, step_of_gate = self._build_steps(interactions)
+        builder = WcnfBuilder()
+        registry = VariableRegistry(builder)
+        encoding = QmrEncoding(
+            builder=builder,
+            registry=registry,
+            architecture=architecture,
+            num_logical=num_logical,
+            steps=steps,
+            step_of_gate=step_of_gate,
+            options=options,
+        )
+
+        if not steps:
+            # A circuit with no two-qubit gates: any injective map works.
+            self._encode_single_free_map(encoding)
+            return encoding
+
+        # With a leading SWAP slot the map *before* any gate lives at virtual
+        # step -1, and the slot transforms it into the step-0 map; otherwise
+        # step 0 itself is the initial map.
+        root_step = -1 if options.leading_swap_slot else 0
+        if root_step == -1:
+            self._encode_injectivity_at_index(encoding, -1)
+        for step in range(len(steps)):
+            self._encode_injectivity(encoding, step)
+        self._encode_totality(encoding, step=root_step)
+        for step, (first, second) in enumerate(steps):
+            self._encode_gate_adjacency(encoding, step, first, second)
+        self._encode_swap_slots(encoding)
+        self._encode_initial_mapping(encoding, root_step)
+        if options.cyclic:
+            self._encode_cyclic_closure(encoding)
+        self._encode_soft(encoding)
+        return encoding
+
+    # ------------------------------------------------------------ step setup
+
+    def _build_steps(self, interactions: list[tuple[int, int]]
+                     ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Collapse consecutive same-pair gates into steps (if enabled)."""
+        steps: list[tuple[int, int]] = []
+        step_of_gate: list[int] = []
+        for first, second in interactions:
+            pair = (min(first, second), max(first, second))
+            if (self.options.collapse_repeated_pairs and steps
+                    and steps[-1] == pair):
+                step_of_gate.append(len(steps) - 1)
+                continue
+            steps.append(pair)
+            step_of_gate.append(len(steps) - 1)
+        return steps, step_of_gate
+
+    # ------------------------------------------------------------ components
+
+    def _encode_single_free_map(self, encoding: QmrEncoding) -> None:
+        """Degenerate case: only constrain one injective, total map at step 0."""
+        encoding.steps = []
+        builder = encoding.builder
+        registry = encoding.registry
+        architecture = encoding.architecture
+        for logical in range(encoding.num_logical):
+            placements = [registry.map_var(logical, physical, 0)
+                          for physical in range(architecture.num_qubits)]
+            builder.add_hard(placements)
+            self._at_most_one(builder, placements)
+        for physical in range(architecture.num_qubits):
+            occupants = [registry.map_var(logical, physical, 0)
+                         for logical in range(encoding.num_logical)]
+            self._at_most_one(builder, occupants)
+        self._encode_initial_mapping(encoding)
+
+    def _encode_injectivity(self, encoding: QmrEncoding, step: int) -> None:
+        """Hard A: at every step each map is an injective partial function."""
+        builder = encoding.builder
+        registry = encoding.registry
+        architecture = encoding.architecture
+        for logical in range(encoding.num_logical):
+            placements = [registry.map_var(logical, physical, step)
+                          for physical in range(architecture.num_qubits)]
+            self._at_most_one(builder, placements)
+        for physical in range(architecture.num_qubits):
+            occupants = [registry.map_var(logical, physical, step)
+                         for logical in range(encoding.num_logical)]
+            self._at_most_one(builder, occupants)
+
+    def _encode_totality(self, encoding: QmrEncoding, step: int) -> None:
+        """Every logical qubit is placed somewhere at ``step``.
+
+        Together with the SWAP-effect constraints this makes every map in the
+        sequence total, so extraction never has to invent placements for
+        qubits that participate in gates.
+        """
+        builder = encoding.builder
+        registry = encoding.registry
+        for logical in range(encoding.num_logical):
+            builder.add_hard([registry.map_var(logical, physical, step)
+                              for physical in range(encoding.architecture.num_qubits)])
+
+    def _encode_gate_adjacency(self, encoding: QmrEncoding, step: int,
+                               first: int, second: int) -> None:
+        """Hard B: the gate's qubits sit on adjacent physical qubits at its step."""
+        builder = encoding.builder
+        registry = encoding.registry
+        architecture = encoding.architecture
+        for logical, other in ((first, second), (second, first)):
+            for physical in range(architecture.num_qubits):
+                neighbors = sorted(architecture.neighbors(physical))
+                clause = [-registry.map_var(logical, physical, step)]
+                clause.extend(registry.map_var(other, neighbor, step)
+                              for neighbor in neighbors)
+                builder.add_hard(clause)
+
+    def _encode_swap_slots(self, encoding: QmrEncoding) -> None:
+        """Hard C and Hard D for every SWAP slot between consecutive steps."""
+        options = encoding.options
+        num_steps = len(encoding.steps)
+        for step in range(num_steps):
+            if step == 0 and not options.leading_swap_slot:
+                continue
+            previous = step - 1  # -1 is the virtual pre-circuit step
+            slots = options.swaps_per_gate
+            if step == 0 and options.leading_slots is not None:
+                slots = options.leading_slots
+            self._encode_one_transition(encoding, previous_step=previous,
+                                        current_step=step, num_slots=slots)
+        if options.trailing_swap_slot or options.cyclic:
+            # A final slot after the last gate, producing the "final map" step
+            # used by the cyclic relaxation (step index == num_steps).
+            self._encode_injectivity(encoding, num_steps)
+            self._encode_one_transition(encoding, previous_step=num_steps - 1,
+                                        current_step=num_steps,
+                                        num_slots=options.swaps_per_gate)
+
+    def _encode_one_transition(self, encoding: QmrEncoding, previous_step: int,
+                               current_step: int, num_slots: int) -> None:
+        """Slots between ``previous_step`` and ``current_step`` (chained if > 1)."""
+        architecture = encoding.architecture
+        options = encoding.options
+        # Intermediate maps are represented as fractional pseudo-steps encoded
+        # with dedicated step indices only when n > 1; for n == 1 the slot
+        # connects the two real steps directly.
+        for slot in range(num_slots):
+            is_last_slot = slot == num_slots - 1
+            source = previous_step if slot == 0 else self._pseudo_step(encoding, current_step, slot - 1)
+            target = current_step if is_last_slot else self._pseudo_step(encoding, current_step, slot)
+            if not is_last_slot:
+                self._encode_injectivity_pseudo(encoding, target)
+            self._encode_slot(encoding, source, target, current_step, slot)
+
+    def _pseudo_step(self, encoding: QmrEncoding, step: int, slot: int) -> int:
+        """Step index used for intermediate maps when ``swaps_per_gate > 1``."""
+        return (step + 1) * 10_000 + slot
+
+    def _encode_injectivity_pseudo(self, encoding: QmrEncoding, step: int) -> None:
+        self._encode_injectivity_at_index(encoding, step)
+
+    def _encode_injectivity_at_index(self, encoding: QmrEncoding, step: int) -> None:
+        builder = encoding.builder
+        registry = encoding.registry
+        architecture = encoding.architecture
+        for logical in range(encoding.num_logical):
+            placements = [registry.map_var(logical, physical, step)
+                          for physical in range(architecture.num_qubits)]
+            self._at_most_one(builder, placements)
+        for physical in range(architecture.num_qubits):
+            occupants = [registry.map_var(logical, physical, step)
+                         for logical in range(encoding.num_logical)]
+            self._at_most_one(builder, occupants)
+
+    def _encode_slot(self, encoding: QmrEncoding, source_step: int,
+                     target_step: int, real_step: int, slot: int) -> None:
+        """One SWAP slot: Hard C (exactly one choice) + Hard D (its effect)."""
+        builder = encoding.builder
+        registry = encoding.registry
+        architecture = encoding.architecture
+        edges = list(architecture.edges)
+
+        noop_var = registry.swap_var(NOOP, real_step, slot)
+        choice_vars = [noop_var] + [registry.swap_var(edge, real_step, slot)
+                                    for edge in edges]
+        # Hard C: exactly one of {no-op} ∪ Edges is selected.
+        builder.add_hard(list(choice_vars))
+        self._at_most_one(builder, choice_vars)
+        encoding.swap_slots.append((real_step, slot))
+
+        # Hard D: forward propagation of every logical qubit's position.
+        incident: dict[int, list[tuple[int, int]]] = {
+            physical: [] for physical in range(architecture.num_qubits)
+        }
+        for edge in edges:
+            incident[edge[0]].append(edge)
+            incident[edge[1]].append(edge)
+
+        for logical in range(encoding.num_logical):
+            for physical in range(architecture.num_qubits):
+                source_var = registry.map_var(logical, physical, source_step)
+                stay_clause = [-source_var]
+                for edge in incident[physical]:
+                    stay_clause.append(registry.swap_var(edge, real_step, slot))
+                stay_clause.append(registry.map_var(logical, physical, target_step))
+                builder.add_hard(stay_clause)
+                for edge in incident[physical]:
+                    other = edge[1] if edge[0] == physical else edge[0]
+                    builder.add_hard([
+                        -source_var,
+                        -registry.swap_var(edge, real_step, slot),
+                        registry.map_var(logical, other, target_step),
+                    ])
+
+    def _encode_initial_mapping(self, encoding: QmrEncoding, root_step: int = 0) -> None:
+        """Pin the initial map to a given mapping (used by the local relaxation).
+
+        ``root_step`` is -1 when a leading SWAP slot exists (the inherited map
+        applies *before* that slot), 0 otherwise.
+        """
+        fixed = encoding.options.fixed_initial_mapping
+        if not fixed:
+            return
+        builder = encoding.builder
+        registry = encoding.registry
+        for logical, physical in fixed.items():
+            if logical >= encoding.num_logical:
+                continue
+            builder.add_hard([registry.map_var(logical, physical, root_step)])
+
+    def _encode_cyclic_closure(self, encoding: QmrEncoding) -> None:
+        """Section VI: the final map equals the initial map, qubit by qubit."""
+        builder = encoding.builder
+        registry = encoding.registry
+        final_step = len(encoding.steps)
+        for logical in range(encoding.num_logical):
+            for physical in range(encoding.architecture.num_qubits):
+                initial = registry.map_var(logical, physical, 0)
+                final = registry.map_var(logical, physical, final_step)
+                builder.add_hard([-initial, final])
+                builder.add_hard([initial, -final])
+
+    def _encode_soft(self, encoding: QmrEncoding) -> None:
+        """Soft constraints: prefer no-ops (unweighted) or high fidelity (weighted)."""
+        builder = encoding.builder
+        registry = encoding.registry
+        noise = encoding.options.noise_model
+        for step, slot in encoding.swap_slots:
+            if noise is None:
+                builder.add_soft([registry.swap_var(NOOP, step, slot)], weight=1)
+            else:
+                for edge in encoding.architecture.edges:
+                    weight = noise.swap_weight(*edge)
+                    builder.add_soft([-registry.swap_var(edge, step, slot)],
+                                     weight=weight)
+        if noise is not None:
+            self._encode_noise_aware_gate_costs(encoding)
+
+    def _encode_noise_aware_gate_costs(self, encoding: QmrEncoding) -> None:
+        """Penalise executing each gate on a low-fidelity edge (Q6 objective).
+
+        For every step and every edge we introduce an auxiliary "executed on
+        this edge" variable implied by the two map placements, and attach a
+        soft clause weighted by the edge's CNOT log-infidelity.
+        """
+        builder = encoding.builder
+        registry = encoding.registry
+        noise = encoding.options.noise_model
+        architecture = encoding.architecture
+        for step, (first, second) in enumerate(encoding.steps):
+            for edge in architecture.edges:
+                physical_a, physical_b = edge
+                executed = builder.new_var()
+                for qubit_one, qubit_two in ((first, second), (second, first)):
+                    builder.add_hard([
+                        -registry.map_var(qubit_one, physical_a, step),
+                        -registry.map_var(qubit_two, physical_b, step),
+                        executed,
+                    ])
+                error = noise.edge_error(*edge)
+                weight = max(1, round(-noise.weight_scale *
+                                      _log_one_minus(error)))
+                builder.add_soft([-executed], weight=weight)
+
+    # -------------------------------------------------------------- helpers
+
+    def _at_most_one(self, builder: WcnfBuilder, literals: list[int]) -> None:
+        if len(literals) <= 1:
+            return
+        if len(literals) < self.options.commander_threshold:
+            at_most_one_pairwise(builder, literals)
+        else:
+            at_most_one_commander(builder, literals)
+
+
+def _log_one_minus(error: float) -> float:
+    """Natural log of (1 - error), guarded against error == 1."""
+    import math
+
+    return math.log(max(1e-12, 1.0 - error))

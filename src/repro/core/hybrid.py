@@ -1,0 +1,171 @@
+"""The hybrid mapper: MaxSAT placement plus heuristic routing (Section IX).
+
+The paper's discussion section sketches one way to keep constraint-based
+tools ahead of growing qubit counts: "we can only solve the mapping
+constraints (optimally) and leave the routing process for a heuristic
+approach".  :class:`HybridSatMapRouter` is that design point, built from the
+pieces already in the repository:
+
+1. **Placement** -- a small weighted MaxSAT instance over a *single* map step
+   chooses the initial logical-to-physical mapping.  Hard constraints are the
+   paper's Hard A (injectivity/totality); each interacting logical pair
+   contributes a soft constraint, weighted by how often the pair interacts,
+   that is satisfied exactly when the pair lands on an edge.  The optimum is
+   therefore the placement that makes as much of the circuit as possible
+   directly executable.
+2. **Routing** -- SABRE's routing pass runs with that placement pinned (its
+   bidirectional initial-mapping search is skipped).
+
+The instance solved in step 1 has one map step instead of one per gate, so it
+stays tractable far beyond the point where full SATMAP times out; the price is
+that routing quality is back in heuristic territory.  The ablation benchmark
+``bench_ablation_hybrid.py`` measures that trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.base import interaction_counts
+from repro.baselines.sabre import SabreRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.verifier import verify_routing
+from repro.hardware.architecture import Architecture
+from repro.maxsat.solver import MaxSatSolver
+from repro.maxsat.wcnf import WcnfBuilder
+
+
+class HybridSatMapRouter:
+    """Optimal MaxSAT placement followed by SABRE routing."""
+
+    def __init__(self, time_budget: float = 60.0, placement_share: float = 0.5,
+                 strategy: str = "linear", verify: bool = True,
+                 name: str = "HYBRID-SATMAP") -> None:
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        if not 0.0 < placement_share < 1.0:
+            raise ValueError("placement_share must be strictly between 0 and 1")
+        self.time_budget = time_budget
+        self.placement_share = placement_share
+        self.strategy = strategy
+        self.verify = verify
+        self.name = name
+
+    # ------------------------------------------------------------------ API
+
+    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
+        """Place with MaxSAT, route with SABRE, and report one result."""
+        start = time.monotonic()
+        if circuit.num_qubits > architecture.num_qubits:
+            return RoutingResult(
+                status=RoutingStatus.ERROR,
+                router_name=self.name,
+                circuit_name=circuit.name,
+                notes="circuit has more qubits than the architecture",
+            )
+        placement_budget = self.time_budget * self.placement_share
+        mapping, placement_stats = self.solve_placement(circuit, architecture,
+                                                        placement_budget)
+
+        routing_budget = max(0.001, self.time_budget - (time.monotonic() - start))
+        sabre = SabreRouter(time_budget=routing_budget, initial_mapping=mapping,
+                            verify=False)
+        result = sabre.route(circuit, architecture)
+        result.router_name = self.name
+        result.circuit_name = circuit.name
+        result.solve_time = time.monotonic() - start
+        result.sat_calls = placement_stats["sat_calls"]
+        result.num_variables = placement_stats["num_variables"]
+        result.num_hard_clauses = placement_stats["num_hard_clauses"]
+        result.num_soft_clauses = placement_stats["num_soft_clauses"]
+        result.notes = ("placement " + placement_stats["placement_quality"]
+                        + "; routing heuristic")
+        if result.solved and self.verify and result.routed_circuit is not None:
+            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                           architecture)
+        return result
+
+    # ------------------------------------------------------------ placement
+
+    def solve_placement(self, circuit: QuantumCircuit, architecture: Architecture,
+                        time_budget: float) -> tuple[dict[int, int], dict]:
+        """Choose an initial mapping by weighted MaxSAT over one map step.
+
+        Returns the mapping and a statistics dictionary.  Falls back to the
+        identity mapping if the solver produces no model within the budget
+        (possible only for extremely tight budgets, since the hard constraints
+        are trivially satisfiable).
+        """
+        builder = WcnfBuilder()
+        num_logical = circuit.num_qubits
+        num_physical = architecture.num_qubits
+        map_var = {(logical, physical): builder.new_var()
+                   for logical in range(num_logical)
+                   for physical in range(num_physical)}
+
+        # Hard A: every logical qubit sits on exactly one physical qubit and
+        # no two logical qubits share one (the paper's injectivity/totality).
+        for logical in range(num_logical):
+            builder.add_hard([map_var[(logical, physical)]
+                              for physical in range(num_physical)])
+            for first in range(num_physical):
+                for second in range(first + 1, num_physical):
+                    builder.add_hard([-map_var[(logical, first)],
+                                      -map_var[(logical, second)]])
+        for physical in range(num_physical):
+            for first in range(num_logical):
+                for second in range(first + 1, num_logical):
+                    builder.add_hard([-map_var[(first, physical)],
+                                      -map_var[(second, physical)]])
+
+        # Soft: an interacting pair placed on an edge satisfies its clause.
+        counts = interaction_counts(circuit)
+        for (first, second), count in sorted(counts.items()):
+            adjacency_literals = []
+            for (physical_a, physical_b) in architecture.edges:
+                for (pa, pb) in ((physical_a, physical_b), (physical_b, physical_a)):
+                    placed = builder.new_var()
+                    builder.add_hard([-placed, map_var[(first, pa)]])
+                    builder.add_hard([-placed, map_var[(second, pb)]])
+                    adjacency_literals.append(placed)
+            builder.add_soft(adjacency_literals, weight=count)
+
+        result = MaxSatSolver(self.strategy).solve(builder, time_budget=time_budget)
+        stats = {
+            "sat_calls": result.sat_calls,
+            "num_variables": builder.num_vars,
+            "num_hard_clauses": builder.num_hard,
+            "num_soft_clauses": builder.num_soft,
+            "placement_quality": "optimal" if result.is_optimal else "anytime",
+        }
+        if not result.has_model:
+            stats["placement_quality"] = "fallback-identity"
+            return {logical: logical for logical in range(num_logical)}, stats
+
+        mapping: dict[int, int] = {}
+        for (logical, physical), variable in map_var.items():
+            if result.model.get(variable, False):
+                mapping[logical] = physical
+        # Guard against partially-assigned models from early termination.
+        used = set(mapping.values())
+        for logical in range(num_logical):
+            if logical not in mapping:
+                mapping[logical] = next(p for p in range(num_physical) if p not in used)
+                used.add(mapping[logical])
+        return mapping, stats
+
+
+def placement_adjacency_score(circuit: QuantumCircuit, architecture: Architecture,
+                              mapping: dict[int, int]) -> int:
+    """Total interaction weight placed on edges by ``mapping``.
+
+    This is the objective the hybrid placement maximises; exposing it lets
+    tests and benchmarks compare placements from different strategies.
+    """
+    counts = interaction_counts(circuit)
+    score = 0
+    for (first, second), count in counts.items():
+        if architecture.are_adjacent(mapping[first], mapping[second]):
+            score += count
+    return score

@@ -1,0 +1,29 @@
+"""Noise-aware SATMAP (the Q6 experiment).
+
+Weighted MaxSAT generalises the objective from "fewest SWAPs" to "highest
+estimated fidelity": each soft clause is weighted by the log-infidelity of the
+operation it disables, so maximising the total satisfied weight maximises the
+product of gate fidelities.  :class:`NoiseAwareSatMapRouter` is a thin wrapper
+around :class:`~repro.core.satmap.SatMapRouter` that installs a noise model
+and reports the estimated fidelity of the routed circuit in
+``RoutingResult.objective_value``.
+"""
+
+from __future__ import annotations
+
+from repro.core.satmap import SatMapRouter
+from repro.hardware.noise import NoiseModel
+
+
+class NoiseAwareSatMapRouter(SatMapRouter):
+    """SATMAP with the weighted (fidelity-maximising) objective."""
+
+    def __init__(self, noise_model: NoiseModel, slice_size: int | None = None,
+                 time_budget: float = 60.0, **kwargs) -> None:
+        super().__init__(
+            slice_size=slice_size,
+            time_budget=time_budget,
+            noise_model=noise_model,
+            name=kwargs.pop("name", "SATMAP-noise"),
+            **kwargs,
+        )

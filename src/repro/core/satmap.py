@@ -1,0 +1,211 @@
+"""The SATMAP router.
+
+:class:`SatMapRouter` is the main entry point of the library, mirroring the
+paper's tool of the same name:
+
+* with ``slice_size=None`` it encodes the whole circuit as one MaxSAT instance
+  (the paper's NL-SATMAP configuration);
+* with a ``slice_size`` it applies the locally optimal relaxation of Section V
+  (implemented in :mod:`repro.core.slicing`);
+* :func:`repro.core.cyclic.route_cyclic` layers the cyclic relaxation of
+  Section VI on top.
+
+The ``time_budget`` plays the role of the paper's 30-minute compilation
+budget: the MaxSAT search is anytime, so when the budget expires the best
+model found so far is extracted and reported as a feasible (non-optimal)
+solution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.encoder import EncodingOptions, QmrEncoder, QmrEncoding
+from repro.core.extraction import build_routed_circuit, extract_solution
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.verifier import verify_routing
+from repro.hardware.architecture import Architecture
+from repro.hardware.noise import NoiseModel
+from repro.maxsat.solver import MaxSatSolver, MaxSatStatus
+
+
+@dataclass
+class MonolithicOutcome:
+    """Result of solving one (sub)circuit's encoding, before stitching."""
+
+    result: RoutingResult
+    encoding: QmrEncoding | None = None
+    model: dict[int, bool] | None = None
+
+
+class SatMapRouter:
+    """Qubit mapping and routing via MaxSAT.
+
+    Parameters
+    ----------
+    slice_size:
+        Number of two-qubit gates per slice for the locally optimal
+        relaxation; ``None`` disables slicing (NL-SATMAP).
+    swaps_per_gate:
+        The paper's ``n``: SWAP slots available before each two-qubit gate.
+    time_budget:
+        Wall-clock budget in seconds for the whole routing call.
+    strategy:
+        MaxSAT strategy, ``"linear"`` (anytime, default) or ``"core-guided"``.
+    backtrack_limit:
+        Maximum number of backtracking steps the local relaxation may take.
+    noise_model:
+        When provided, soft clauses are weighted by gate fidelities (Q6).
+    verify:
+        Run the independent verifier on every produced solution (default on).
+    """
+
+    def __init__(
+        self,
+        slice_size: int | None = None,
+        swaps_per_gate: int = 1,
+        time_budget: float = 60.0,
+        strategy: str = "linear",
+        backtrack_limit: int = 10,
+        collapse_repeated_pairs: bool = True,
+        noise_model: NoiseModel | None = None,
+        verify: bool = True,
+        name: str | None = None,
+    ) -> None:
+        if slice_size is not None and slice_size <= 0:
+            raise ValueError("slice_size must be positive or None")
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        self.slice_size = slice_size
+        self.swaps_per_gate = swaps_per_gate
+        self.time_budget = time_budget
+        self.strategy = strategy
+        self.backtrack_limit = backtrack_limit
+        self.collapse_repeated_pairs = collapse_repeated_pairs
+        self.noise_model = noise_model
+        self.verify = verify
+        self.name = name or ("SATMAP" if slice_size is not None else "NL-SATMAP")
+
+    # ------------------------------------------------------------------ API
+
+    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
+        """Map and route ``circuit`` onto ``architecture``."""
+        start = time.monotonic()
+        try:
+            if self.slice_size is None or circuit.num_two_qubit_gates <= self.slice_size:
+                outcome = self.solve_monolithic(circuit, architecture, self.time_budget)
+                result = outcome.result
+            else:
+                from repro.core.slicing import route_sliced
+
+                result = route_sliced(circuit, architecture, self)
+        except Exception as error:  # pragma: no cover - defensive reporting
+            return RoutingResult(
+                status=RoutingStatus.ERROR,
+                router_name=self.name,
+                circuit_name=circuit.name,
+                solve_time=time.monotonic() - start,
+                notes=f"{type(error).__name__}: {error}",
+            )
+        result.solve_time = time.monotonic() - start
+        result.router_name = self.name
+        result.circuit_name = circuit.name
+        if result.solved and self.verify and result.routed_circuit is not None:
+            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                           architecture)
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def encoding_options(self, fixed_initial_mapping: dict[int, int] | None = None,
+                         cyclic: bool = False,
+                         leading_swap_slot: bool | None = None,
+                         leading_slots: int | None = None,
+                         swaps_per_gate: int | None = None) -> EncodingOptions:
+        """The :class:`EncodingOptions` matching this router's configuration."""
+        if leading_swap_slot is None:
+            leading_swap_slot = fixed_initial_mapping is not None
+        return EncodingOptions(
+            swaps_per_gate=swaps_per_gate or self.swaps_per_gate,
+            collapse_repeated_pairs=self.collapse_repeated_pairs,
+            leading_swap_slot=leading_swap_slot,
+            leading_slots=leading_slots,
+            cyclic=cyclic,
+            fixed_initial_mapping=fixed_initial_mapping,
+            noise_model=self.noise_model,
+        )
+
+    def solve_monolithic(
+        self,
+        circuit: QuantumCircuit,
+        architecture: Architecture,
+        time_budget: float,
+        fixed_initial_mapping: dict[int, int] | None = None,
+        cyclic: bool = False,
+        excluded_final_mappings: list[dict[int, int]] | None = None,
+        leading_slots: int | None = None,
+        swaps_per_gate: int | None = None,
+    ) -> MonolithicOutcome:
+        """Encode and solve one circuit as a single MaxSAT instance.
+
+        ``excluded_final_mappings`` lists final maps that must not be returned
+        again; the local relaxation uses it to implement backtracking (each
+        entry becomes the negation of that mapping's assignment, Example 10).
+        """
+        options = self.encoding_options(fixed_initial_mapping, cyclic,
+                                        leading_slots=leading_slots,
+                                        swaps_per_gate=swaps_per_gate)
+        encoder = QmrEncoder(architecture, options)
+        encoding = encoder.encode(circuit)
+        final_step = len(encoding.steps) - 1 if encoding.steps else 0
+        for mapping in excluded_final_mappings or []:
+            clause = [-variable for (logical, physical) in mapping.items()
+                      if (variable := encoding.registry.map_vars.get(
+                          (logical, physical, final_step))) is not None]
+            if clause:
+                encoding.builder.add_hard(clause)
+
+        solver = MaxSatSolver(self.strategy)
+        maxsat_result = solver.solve(encoding.builder, time_budget=time_budget)
+
+        base = RoutingResult(
+            status=RoutingStatus.TIMEOUT,
+            router_name=self.name,
+            circuit_name=circuit.name,
+            sat_calls=maxsat_result.sat_calls,
+            num_variables=encoding.num_variables,
+            num_hard_clauses=encoding.num_hard_clauses,
+            num_soft_clauses=encoding.num_soft_clauses,
+        )
+        if maxsat_result.status is MaxSatStatus.UNSATISFIABLE:
+            base.status = RoutingStatus.UNSATISFIABLE
+            return MonolithicOutcome(base, encoding, None)
+        if not maxsat_result.has_model:
+            return MonolithicOutcome(base, encoding, None)
+
+        solution = extract_solution(encoding, maxsat_result.model)
+        routed = build_routed_circuit(circuit, encoding, solution)
+        base.status = (RoutingStatus.OPTIMAL if maxsat_result.is_optimal
+                       else RoutingStatus.FEASIBLE)
+        base.optimal = maxsat_result.is_optimal
+        base.initial_mapping = solution.initial_mapping
+        base.final_mapping = solution.final_mapping
+        base.routed_circuit = routed
+        base.swap_count = solution.swap_count
+        if self.noise_model is not None:
+            base.objective_value = _routed_fidelity(routed, self.noise_model)
+        return MonolithicOutcome(base, encoding, maxsat_result.model)
+
+
+def _routed_fidelity(routed: QuantumCircuit, noise: NoiseModel) -> float:
+    """Estimated success probability of a routed circuit under ``noise``."""
+    executed_edges: list[tuple[int, int]] = []
+    for gate in routed.gates:
+        if not gate.is_two_qubit:
+            continue
+        edge = (gate.qubits[0], gate.qubits[1])
+        repetitions = 3 if gate.name == "swap" else 1
+        executed_edges.extend([edge] * repetitions)
+    return noise.circuit_fidelity(executed_edges)

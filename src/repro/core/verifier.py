@@ -1,0 +1,147 @@
+"""Independent verifier for routed circuits.
+
+Section VII: "To ensure correctness of our QMR solutions, we implemented an
+independent verifier.  The verifier traverses a circuit, evaluating its
+effects on an initial map and checking that all two-qubit gates act on
+connected qubits."  This module is that verifier, extended to also check that
+the routed circuit preserves the original circuit's logical gate sequence.
+
+The verifier shares no code with the encoder or the extraction logic: it works
+purely on the routed circuit, the original circuit, the initial mapping, and
+the connectivity graph.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.architecture import Architecture
+
+
+class VerificationError(AssertionError):
+    """Raised when a routed circuit fails verification."""
+
+
+def verify_routing(original: QuantumCircuit, routed: QuantumCircuit,
+                   initial_mapping: dict[int, int],
+                   architecture: Architecture) -> int:
+    """Check a routed circuit and return the number of SWAPs it contains.
+
+    Checks performed:
+
+    1. the initial mapping is an injective map from the original circuit's
+       logical qubits into the architecture's physical qubits;
+    2. every two-qubit gate of the routed circuit (including SWAPs) acts on an
+       edge of the connectivity graph;
+    3. stripping the SWAPs and translating physical operands back to logical
+       qubits through the evolving mapping yields a circuit equivalent to the
+       original up to reordering of gates on disjoint qubits: for every
+       logical qubit, the sequence of gates touching it (names, parameters,
+       and co-operands) is identical to the original's.  This is the standard
+       dependency-preserving equivalence, and it is what DAG-driven routers
+       such as SABRE produce.
+
+    Raises :class:`VerificationError` on any violation.
+    """
+    _check_initial_mapping(original, initial_mapping, architecture)
+
+    # physical -> logical view of the evolving map
+    physical_to_logical: dict[int, int] = {}
+    for logical, physical in initial_mapping.items():
+        if physical in physical_to_logical:
+            raise VerificationError(
+                f"initial mapping sends two logical qubits to physical {physical}"
+            )
+        physical_to_logical[physical] = logical
+
+    translated_gates: list[tuple[str, tuple[str, ...], tuple[int, ...]]] = []
+    swap_count = 0
+
+    for position, gate in enumerate(routed.gates):
+        if gate.is_two_qubit:
+            first, second = gate.qubits
+            if not architecture.are_adjacent(first, second):
+                raise VerificationError(
+                    f"gate #{position} ({gate.name}) acts on non-adjacent physical "
+                    f"qubits {first} and {second} of {architecture.name}"
+                )
+        if gate.name == "swap":
+            swap_count += 1
+            first, second = gate.qubits
+            logical_first = physical_to_logical.get(first)
+            logical_second = physical_to_logical.get(second)
+            if logical_first is not None:
+                physical_to_logical[second] = logical_first
+            else:
+                physical_to_logical.pop(second, None)
+            if logical_second is not None:
+                physical_to_logical[first] = logical_second
+            else:
+                physical_to_logical.pop(first, None)
+            continue
+
+        translated = []
+        for physical in gate.qubits:
+            logical = physical_to_logical.get(physical)
+            if logical is None:
+                raise VerificationError(
+                    f"gate #{position} ({gate.name}) touches physical qubit "
+                    f"{physical}, which holds no logical qubit"
+                )
+            translated.append(logical)
+        translated_gates.append((gate.name, gate.params, tuple(translated)))
+
+    _check_per_qubit_sequences(original, translated_gates)
+    return swap_count
+
+
+def _check_per_qubit_sequences(
+    original: QuantumCircuit,
+    translated_gates: list[tuple[str, tuple[str, ...], tuple[int, ...]]],
+) -> None:
+    """Compare per-logical-qubit gate sequences of the original and routed circuits."""
+    if len(translated_gates) != len(original.gates):
+        raise VerificationError(
+            f"routed circuit has {len(translated_gates)} non-SWAP gates, the "
+            f"original has {len(original.gates)}"
+        )
+
+    def project(gates) -> dict[int, list[tuple]]:
+        sequences: dict[int, list[tuple]] = {q: [] for q in range(original.num_qubits)}
+        for name, params, qubits in gates:
+            for qubit in qubits:
+                sequences[qubit].append((name, params, qubits))
+        return sequences
+
+    original_view = [(gate.name, gate.params, gate.qubits) for gate in original.gates]
+    expected = project(original_view)
+    actual = project(translated_gates)
+    for qubit in range(original.num_qubits):
+        if expected[qubit] != actual[qubit]:
+            raise VerificationError(
+                f"the gate sequence on logical qubit {qubit} differs between the "
+                f"original and the routed circuit (first divergence at position "
+                f"{_first_divergence(expected[qubit], actual[qubit])})"
+            )
+
+
+def _first_divergence(expected: list, actual: list) -> int:
+    for index, (left, right) in enumerate(zip(expected, actual)):
+        if left != right:
+            return index
+    return min(len(expected), len(actual))
+
+
+def _check_initial_mapping(original: QuantumCircuit, initial_mapping: dict[int, int],
+                           architecture: Architecture) -> None:
+    used = original.used_qubits()
+    missing = [qubit for qubit in used if qubit not in initial_mapping]
+    if missing:
+        raise VerificationError(f"initial mapping misses logical qubits {missing}")
+    values = list(initial_mapping.values())
+    if len(set(values)) != len(values):
+        raise VerificationError("initial mapping is not injective")
+    for logical, physical in initial_mapping.items():
+        if not 0 <= physical < architecture.num_qubits:
+            raise VerificationError(
+                f"logical qubit {logical} mapped to nonexistent physical qubit {physical}"
+            )

@@ -1,0 +1,46 @@
+"""Hardware models: coupling graphs and noise calibrations.
+
+The paper evaluates on the IBM Q20 Tokyo device and on two variations of its
+coupling graph (Tokyo- with the diagonal edges removed, Tokyo+ with extra
+diagonals), plus a synthetic calibration ("FakeTokyo") for the noise-aware
+experiment.  This package provides those graphs, several generic topologies
+(line, ring, grid, heavy-hex, fully connected), all-pairs shortest-path
+distances, and a deterministic synthetic noise model.
+"""
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    heavy_hex_architecture,
+    line_architecture,
+    ring_architecture,
+    tokyo_architecture,
+    tokyo_minus_architecture,
+    tokyo_plus_architecture,
+)
+from repro.hardware.noise import NoiseModel
+from repro.hardware.calibration import DeviceCalibration, QubitCalibration
+from repro.hardware.devices import (
+    architecture_properties,
+    device_catalog,
+    get_architecture,
+)
+
+__all__ = [
+    "Architecture",
+    "NoiseModel",
+    "tokyo_architecture",
+    "tokyo_minus_architecture",
+    "tokyo_plus_architecture",
+    "line_architecture",
+    "ring_architecture",
+    "grid_architecture",
+    "heavy_hex_architecture",
+    "full_architecture",
+    "DeviceCalibration",
+    "QubitCalibration",
+    "device_catalog",
+    "get_architecture",
+    "architecture_properties",
+]

@@ -1,0 +1,135 @@
+"""Connectivity graph of a quantum device.
+
+Section III of the paper models a device as ``G = (Phys, Edges)``.
+:class:`Architecture` is that object plus the derived data every router needs:
+adjacency sets, all-pairs shortest-path distances (BFS, since edges are
+unweighted), and graph diameter (the paper's bound on the number of SWAP slots
+needed per gate for guaranteed completeness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Architecture:
+    """An undirected connectivity graph over physical qubits ``0..num_qubits-1``."""
+
+    num_qubits: int
+    edges: list[tuple[int, int]]
+    name: str = "architecture"
+    _adjacency: dict[int, set[int]] = field(init=False, repr=False)
+    _distances: list[list[int]] | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("an architecture needs at least one physical qubit")
+        normalized: set[tuple[int, int]] = set()
+        for first, second in self.edges:
+            if first == second:
+                raise ValueError(f"self-loop on physical qubit {first}")
+            if not (0 <= first < self.num_qubits and 0 <= second < self.num_qubits):
+                raise ValueError(f"edge ({first}, {second}) outside 0..{self.num_qubits - 1}")
+            normalized.add((min(first, second), max(first, second)))
+        self.edges = sorted(normalized)
+        self._adjacency = {qubit: set() for qubit in range(self.num_qubits)}
+        for first, second in self.edges:
+            self._adjacency[first].add(second)
+            self._adjacency[second].add(first)
+
+    # ---------------------------------------------------------------- queries
+
+    def neighbors(self, qubit: int) -> set[int]:
+        """Physical qubits adjacent to ``qubit``."""
+        return set(self._adjacency[qubit])
+
+    def are_adjacent(self, first: int, second: int) -> bool:
+        """Whether a two-qubit gate can run directly on ``(first, second)``."""
+        return second in self._adjacency[first]
+
+    def degree(self, qubit: int) -> int:
+        return len(self._adjacency[qubit])
+
+    @property
+    def average_degree(self) -> float:
+        return 2.0 * len(self.edges) / self.num_qubits
+
+    def distance_matrix(self) -> list[list[int]]:
+        """All-pairs shortest-path distances (cached).
+
+        Unreachable pairs get distance ``num_qubits`` (an impossible real
+        distance), which keeps heuristic scores finite on disconnected graphs.
+        """
+        if self._distances is None:
+            unreachable = self.num_qubits
+            matrix = [[unreachable] * self.num_qubits for _ in range(self.num_qubits)]
+            for source in range(self.num_qubits):
+                matrix[source][source] = 0
+                queue = deque([source])
+                while queue:
+                    current = queue.popleft()
+                    for neighbor in self._adjacency[current]:
+                        if matrix[source][neighbor] == unreachable:
+                            matrix[source][neighbor] = matrix[source][current] + 1
+                            queue.append(neighbor)
+            self._distances = matrix
+        return self._distances
+
+    def distance(self, first: int, second: int) -> int:
+        return self.distance_matrix()[first][second]
+
+    def diameter(self) -> int:
+        """Longest shortest-path distance between connected qubit pairs."""
+        matrix = self.distance_matrix()
+        unreachable = self.num_qubits
+        longest = 0
+        for row in matrix:
+            for value in row:
+                if value != unreachable:
+                    longest = max(longest, value)
+        return longest
+
+    def is_connected(self) -> bool:
+        matrix = self.distance_matrix()
+        unreachable = self.num_qubits
+        return all(value != unreachable for value in matrix[0])
+
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """One shortest path between two physical qubits (inclusive of both)."""
+        if source == target:
+            return [source]
+        previous: dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == target:
+                        queue.clear()
+                        break
+                    queue.append(neighbor)
+        if target not in previous:
+            raise ValueError(f"no path between {source} and {target}")
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        return list(reversed(path))
+
+    def subgraph(self, qubits: list[int], name: str | None = None) -> "Architecture":
+        """Architecture induced on a subset of physical qubits (reindexed from 0)."""
+        index_of = {qubit: index for index, qubit in enumerate(qubits)}
+        kept_edges = [
+            (index_of[first], index_of[second])
+            for first, second in self.edges
+            if first in index_of and second in index_of
+        ]
+        return Architecture(len(qubits), kept_edges, name or f"{self.name}[{len(qubits)}]")
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture(name={self.name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges)})"
+        )

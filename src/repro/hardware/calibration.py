@@ -1,0 +1,162 @@
+"""Full device calibration snapshots (coherence, gate, and readout data).
+
+:class:`repro.hardware.noise.NoiseModel` carries exactly the data the
+weighted-MaxSAT objective needs (per-edge two-qubit error rates).  Real
+backends publish more -- qubit T1/T2 coherence times, gate durations, and
+readout errors -- and estimating the end-to-end success probability of a
+*scheduled* circuit needs all of it.  :class:`DeviceCalibration` is that
+richer snapshot:
+
+* it can be generated synthetically (deterministic, seeded) in the same
+  spirit as :meth:`NoiseModel.synthetic`,
+* it projects down to a :class:`NoiseModel` for the router, and
+* :meth:`estimate_fidelity` combines gate errors, readout errors, and
+  decoherence over each qubit's idle time (from the ASAP schedule) into one
+  success-probability estimate, which the noise-aware example reports.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.scheduling import GateDurations, asap_schedule
+from repro.hardware.architecture import Architecture
+from repro.hardware.noise import NoiseModel
+
+
+@dataclass
+class QubitCalibration:
+    """Per-qubit coherence and error data."""
+
+    t1: float  # relaxation time, nanoseconds
+    t2: float  # dephasing time, nanoseconds
+    readout_error: float
+    single_qubit_error: float
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValueError("coherence times must be positive")
+        if not 0 <= self.readout_error < 1:
+            raise ValueError("readout error must be a probability below 1")
+        if not 0 <= self.single_qubit_error < 1:
+            raise ValueError("single-qubit error must be a probability below 1")
+
+
+@dataclass
+class DeviceCalibration:
+    """A calibration snapshot for one device."""
+
+    architecture: Architecture
+    qubits: dict[int, QubitCalibration] = field(default_factory=dict)
+    two_qubit_error: dict[tuple[int, int], float] = field(default_factory=dict)
+    gate_durations: GateDurations = field(default_factory=GateDurations)
+
+    def __post_init__(self) -> None:
+        for qubit in range(self.architecture.num_qubits):
+            if qubit not in self.qubits:
+                raise ValueError(f"missing calibration for qubit {qubit}")
+        for edge in self.architecture.edges:
+            if edge not in self.two_qubit_error:
+                raise ValueError(f"missing two-qubit error rate for edge {edge}")
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def synthetic(cls, architecture: Architecture, seed: int = 7,
+                  t1_range: tuple[float, float] = (50_000.0, 150_000.0),
+                  two_qubit_error_range: tuple[float, float] = (0.008, 0.045),
+                  readout_error_range: tuple[float, float] = (0.01, 0.05),
+                  ) -> "DeviceCalibration":
+        """Deterministic synthetic calibration with IBM-backend-like statistics."""
+        rng = random.Random(seed)
+        qubits = {}
+        for qubit in range(architecture.num_qubits):
+            t1 = rng.uniform(*t1_range)
+            qubits[qubit] = QubitCalibration(
+                t1=t1,
+                t2=rng.uniform(0.5, 1.2) * t1,
+                readout_error=rng.uniform(*readout_error_range),
+                single_qubit_error=rng.uniform(0.0002, 0.0015),
+            )
+        low, high = two_qubit_error_range
+        two_qubit = {
+            edge: math.exp(math.log(low) + rng.random() * (math.log(high) - math.log(low)))
+            for edge in architecture.edges
+        }
+        return cls(architecture, qubits, two_qubit)
+
+    # --------------------------------------------------------------- queries
+
+    def edge_error(self, first: int, second: int) -> float:
+        key = (min(first, second), max(first, second))
+        if key not in self.two_qubit_error:
+            raise KeyError(f"({first}, {second}) is not an edge of {self.architecture.name}")
+        return self.two_qubit_error[key]
+
+    def best_edges(self, count: int = 5) -> list[tuple[int, int]]:
+        """The ``count`` lowest-error edges (where to place busy qubit pairs)."""
+        ranked = sorted(self.architecture.edges, key=lambda edge: self.two_qubit_error[edge])
+        return ranked[:count]
+
+    def worst_qubits(self, count: int = 3) -> list[int]:
+        """Qubits with the highest combined readout and single-qubit error."""
+        def badness(qubit: int) -> float:
+            data = self.qubits[qubit]
+            return data.readout_error + data.single_qubit_error
+        ranked = sorted(range(self.architecture.num_qubits), key=badness, reverse=True)
+        return ranked[:count]
+
+    def to_noise_model(self, weight_scale: int = 1000) -> NoiseModel:
+        """Project to the :class:`NoiseModel` the weighted encoder consumes."""
+        return NoiseModel(
+            architecture=self.architecture,
+            two_qubit_error=dict(self.two_qubit_error),
+            single_qubit_error={qubit: data.single_qubit_error
+                                for qubit, data in self.qubits.items()},
+            weight_scale=weight_scale,
+        )
+
+    # ------------------------------------------------------------ estimation
+
+    def estimate_fidelity(self, circuit: QuantumCircuit,
+                          include_readout: bool = True,
+                          include_decoherence: bool = True) -> float:
+        """Estimated success probability of a *physical* (routed) circuit.
+
+        Multiplies per-gate fidelities (SWAPs count as three CNOTs on their
+        edge), per-qubit readout fidelities, and a decoherence factor
+        ``exp(-idle / T1)`` for each qubit's idle time under the ASAP schedule.
+        The absolute number is a model, not a measurement; its purpose is to
+        *rank* candidate routings, which only needs the error model to be
+        monotone in the right quantities.
+        """
+        log_fidelity = 0.0
+        for gate in circuit:
+            if gate.is_two_qubit:
+                error = self.edge_error(*gate.qubits)
+                repetitions = 3 if gate.name == "swap" else 1
+                log_fidelity += repetitions * math.log(1.0 - error)
+            else:
+                error = self.qubits[gate.qubits[0]].single_qubit_error
+                log_fidelity += math.log(1.0 - error)
+
+        used_qubits = circuit.used_qubits()
+        if include_readout:
+            for qubit in used_qubits:
+                log_fidelity += math.log(1.0 - self.qubits[qubit].readout_error)
+
+        if include_decoherence and len(circuit) > 0:
+            schedule = asap_schedule(circuit, self.gate_durations)
+            for qubit in used_qubits:
+                idle = schedule.idle_time(qubit)
+                log_fidelity += -idle / self.qubits[qubit].t1
+        return math.exp(log_fidelity)
+
+    def compare_routings(self, routings: dict[str, QuantumCircuit]) -> list[tuple[str, float]]:
+        """Rank named routed circuits by estimated fidelity (best first)."""
+        scored = [(name, self.estimate_fidelity(circuit))
+                  for name, circuit in routings.items()]
+        return sorted(scored, key=lambda pair: pair[1], reverse=True)

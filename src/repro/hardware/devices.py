@@ -1,0 +1,168 @@
+"""A catalogue of named device coupling graphs.
+
+The paper's evaluation is anchored on the IBM Q20 Tokyo device and its two
+synthetic variants (Fig. 9).  The discussion section argues that *future*
+connectivity graphs are unknown and that routing tools should be exercised
+across a spectrum of shapes; this module provides that spectrum as named
+constructors mirroring real machines:
+
+* IBM Q5 Yorktown / Q14 Melbourne / Q16 Guadalupe (bowtie, ladder, heavy-hex),
+* Google Sycamore-style diagonal grids,
+* Rigetti Aspen-style rings of octagons,
+* IonQ-style fully connected traps,
+
+plus :func:`device_catalog`, a registry the CLI and the architecture-sweep
+example iterate over.  All graphs are undirected, matching Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    heavy_hex_architecture,
+    line_architecture,
+    ring_architecture,
+    tokyo_architecture,
+    tokyo_minus_architecture,
+    tokyo_plus_architecture,
+)
+
+
+def yorktown_architecture() -> Architecture:
+    """IBM Q5 Yorktown ("bowtie"): five qubits, qubit 2 in the middle."""
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
+    return Architecture(5, edges, name="ibmq-yorktown-5")
+
+
+def ourense_architecture() -> Architecture:
+    """IBM Q5 Ourense / Valencia: a T-shaped five-qubit device."""
+    edges = [(0, 1), (1, 2), (1, 3), (3, 4)]
+    return Architecture(5, edges, name="ibmq-ourense-5")
+
+
+def melbourne_architecture() -> Architecture:
+    """IBM Q14 Melbourne: two seven-qubit rows joined rung-by-rung (a ladder)."""
+    edges: list[tuple[int, int]] = []
+    for column in range(6):
+        edges.append((column, column + 1))          # top row, left to right
+        edges.append((7 + column, 7 + column + 1))  # bottom row
+    for column in range(7):
+        edges.append((column, 13 - column))         # rungs (physical labelling)
+    return Architecture(14, edges, name="ibmq-melbourne-14")
+
+
+def guadalupe_architecture() -> Architecture:
+    """IBM Q16 Guadalupe: the 16-qubit heavy-hex Falcon layout.
+
+    A twelve-qubit ring (the two fused hexagons) with four spur qubits
+    hanging off alternating ring sites -- the shape IBM's Falcon r4
+    processors expose.
+    """
+    ring = [0, 1, 2, 3, 5, 8, 11, 14, 13, 12, 10, 7]
+    edges = [(ring[i], ring[(i + 1) % len(ring)]) for i in range(len(ring))]
+    edges += [(1, 4), (7, 6), (8, 9), (12, 15)]
+    return Architecture(16, edges, name="ibmq-guadalupe-16")
+
+
+def sycamore_architecture(rows: int = 3, columns: int = 4) -> Architecture:
+    """A Sycamore-style lattice modelled as an offset (brick-wall) grid.
+
+    Google's Sycamore couples qubits diagonally between two interleaved
+    sub-lattices; flattened onto integer coordinates that is an offset grid in
+    which every qubit in row ``r`` couples to the qubit below it and to one
+    below-diagonal partner whose side alternates with the row parity.  Each
+    interior qubit has degree 4, matching the real device.
+    """
+    if rows < 2 or columns < 2:
+        raise ValueError("the Sycamore lattice needs at least a 2x2 grid")
+    num_qubits = rows * columns
+    edges = []
+    for row in range(rows):
+        for column in range(columns):
+            qubit = row * columns + column
+            if row + 1 >= rows:
+                continue
+            edges.append((qubit, qubit + columns))
+            if row % 2 == 0 and column + 1 < columns:
+                edges.append((qubit, qubit + columns + 1))
+            elif row % 2 == 1 and column > 0:
+                edges.append((qubit, qubit + columns - 1))
+    return Architecture(num_qubits, edges, name=f"sycamore-{rows}x{columns}")
+
+
+def aspen_architecture(num_octagons: int = 2) -> Architecture:
+    """A Rigetti Aspen-style chain of octagonal rings fused on one edge each."""
+    if num_octagons < 1:
+        raise ValueError("need at least one octagon")
+    edges: list[tuple[int, int]] = []
+    for ring in range(num_octagons):
+        base = ring * 8
+        for position in range(8):
+            edges.append((base + position, base + (position + 1) % 8))
+        if ring > 0:
+            # Fuse adjacent octagons with two bridging edges, as on Aspen-M.
+            previous_base = (ring - 1) * 8
+            edges.append((previous_base + 1, base + 6))
+            edges.append((previous_base + 2, base + 5))
+    return Architecture(num_octagons * 8, edges, name=f"aspen-{num_octagons * 8}")
+
+
+def trapped_ion_architecture(num_qubits: int = 11) -> Architecture:
+    """An IonQ-style trapped-ion device: all-to-all connectivity."""
+    architecture = full_architecture(num_qubits)
+    architecture.name = f"trapped-ion-{num_qubits}"
+    return architecture
+
+
+def device_catalog() -> dict[str, Callable[[], Architecture]]:
+    """All named device constructors, keyed by a stable identifier.
+
+    The keys are what the CLI's ``--architecture`` option accepts and what the
+    architecture-sweep example iterates over.
+    """
+    return {
+        "tokyo": tokyo_architecture,
+        "tokyo-": tokyo_minus_architecture,
+        "tokyo+": tokyo_plus_architecture,
+        "yorktown": yorktown_architecture,
+        "ourense": ourense_architecture,
+        "melbourne": melbourne_architecture,
+        "guadalupe": guadalupe_architecture,
+        "heavy-hex-27": heavy_hex_architecture,
+        "sycamore-12": sycamore_architecture,
+        "aspen-16": aspen_architecture,
+        "trapped-ion-11": trapped_ion_architecture,
+        "line-16": lambda: line_architecture(16),
+        "ring-16": lambda: ring_architecture(16),
+        "grid-4x4": lambda: grid_architecture(4, 4),
+    }
+
+
+def get_architecture(name: str) -> Architecture:
+    """Look up an architecture by catalogue name (raises ``KeyError`` if unknown)."""
+    catalog = device_catalog()
+    if name not in catalog:
+        known = ", ".join(sorted(catalog))
+        raise KeyError(f"unknown architecture {name!r}; known names: {known}")
+    return catalog[name]()
+
+
+def architecture_properties(architecture: Architecture) -> dict[str, float]:
+    """Summary statistics used by the architecture-variation experiment (Q4)."""
+    degrees = [architecture.degree(qubit) for qubit in range(architecture.num_qubits)]
+    distances = architecture.distance_matrix()
+    reachable = [value for row in distances for value in row
+                 if value not in (0, architecture.num_qubits)]
+    return {
+        "num_qubits": float(architecture.num_qubits),
+        "num_edges": float(len(architecture.edges)),
+        "average_degree": architecture.average_degree,
+        "max_degree": float(max(degrees, default=0)),
+        "min_degree": float(min(degrees, default=0)),
+        "diameter": float(architecture.diameter()),
+        "average_distance": (sum(reachable) / len(reachable)) if reachable else 0.0,
+    }

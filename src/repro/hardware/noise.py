@@ -1,0 +1,117 @@
+"""Synthetic device calibration data for the noise-aware objective (Q6).
+
+The paper's Q6 experiment weights soft clauses by gate fidelities taken from
+Qiskit's "FakeTokyo" backend.  Qiskit is not a dependency of this
+reproduction, so :meth:`NoiseModel.fake_tokyo` generates a deterministic
+synthetic calibration with the same statistical character as IBM backend
+snapshots: two-qubit error rates spread over roughly 1-4%, varying per edge,
+and single-qubit error rates an order of magnitude lower.
+
+Fidelities enter the MaxSAT encoding as integer weights via
+:meth:`NoiseModel.swap_weight`, using the standard log-fidelity trick: the sum
+of weights is (a scaled, negated) log of the product of fidelities, so
+maximising satisfied weight maximises the estimated success probability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.hardware.architecture import Architecture
+
+
+@dataclass
+class NoiseModel:
+    """Per-edge two-qubit error rates and per-qubit single-qubit error rates."""
+
+    architecture: Architecture
+    two_qubit_error: dict[tuple[int, int], float] = field(default_factory=dict)
+    single_qubit_error: dict[int, float] = field(default_factory=dict)
+    weight_scale: int = 1000
+
+    def __post_init__(self) -> None:
+        for edge in self.architecture.edges:
+            if edge not in self.two_qubit_error:
+                raise ValueError(f"missing two-qubit error rate for edge {edge}")
+            rate = self.two_qubit_error[edge]
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"error rate for {edge} out of range: {rate}")
+        for qubit in range(self.architecture.num_qubits):
+            self.single_qubit_error.setdefault(qubit, 0.001)
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def uniform(cls, architecture: Architecture, two_qubit_error: float = 0.02,
+                single_qubit_error: float = 0.001) -> "NoiseModel":
+        """All edges share the same error rate (useful as a control)."""
+        return cls(
+            architecture,
+            {edge: two_qubit_error for edge in architecture.edges},
+            {qubit: single_qubit_error for qubit in range(architecture.num_qubits)},
+        )
+
+    @classmethod
+    def synthetic(cls, architecture: Architecture, seed: int = 2019,
+                  low: float = 0.008, high: float = 0.045) -> "NoiseModel":
+        """Deterministic per-edge error rates drawn log-uniformly from [low, high]."""
+        rng = random.Random(seed)
+        two_qubit = {}
+        for edge in architecture.edges:
+            fraction = rng.random()
+            two_qubit[edge] = math.exp(
+                math.log(low) + fraction * (math.log(high) - math.log(low))
+            )
+        single = {qubit: rng.uniform(0.0005, 0.002)
+                  for qubit in range(architecture.num_qubits)}
+        return cls(architecture, two_qubit, single)
+
+    @classmethod
+    def fake_tokyo(cls) -> "NoiseModel":
+        """Synthetic stand-in for Qiskit's FakeTokyo calibration snapshot."""
+        from repro.hardware.topologies import tokyo_architecture
+
+        return cls.synthetic(tokyo_architecture(), seed=2019)
+
+    # --------------------------------------------------------------- queries
+
+    def edge_error(self, first: int, second: int) -> float:
+        """Two-qubit error rate on the (undirected) edge ``(first, second)``."""
+        key = (min(first, second), max(first, second))
+        if key not in self.two_qubit_error:
+            raise KeyError(f"({first}, {second}) is not an edge of {self.architecture.name}")
+        return self.two_qubit_error[key]
+
+    def cnot_fidelity(self, first: int, second: int) -> float:
+        return 1.0 - self.edge_error(first, second)
+
+    def swap_fidelity(self, first: int, second: int) -> float:
+        """A SWAP decomposes to three CNOTs on the same edge."""
+        return self.cnot_fidelity(first, second) ** 3
+
+    def swap_weight(self, first: int, second: int) -> int:
+        """Integer soft-clause weight of *not* swapping on this edge.
+
+        ``weight = round(-weight_scale * log(swap_fidelity))`` so that the sum
+        of weights of performed SWAPs is proportional to the negative log of
+        the circuit's estimated success probability; maximising satisfied
+        weight therefore maximises fidelity.
+        """
+        fidelity = self.swap_fidelity(first, second)
+        return max(1, round(-self.weight_scale * math.log(fidelity)))
+
+    def circuit_log_fidelity(self, executed_edges: list[tuple[int, int]]) -> float:
+        """Natural log of the estimated success probability of a routed circuit.
+
+        ``executed_edges`` lists the physical edge used by every two-qubit
+        gate in the routed circuit (SWAPs count as three CNOTs).
+        """
+        total = 0.0
+        for first, second in executed_edges:
+            total += math.log(self.cnot_fidelity(first, second))
+        return total
+
+    def circuit_fidelity(self, executed_edges: list[tuple[int, int]]) -> float:
+        return math.exp(self.circuit_log_fidelity(executed_edges))

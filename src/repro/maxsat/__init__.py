@@ -1,0 +1,24 @@
+"""Weighted partial MaxSAT solving on top of :mod:`repro.sat`.
+
+The paper's tool calls Open-WBO-Inc-MCS, an *anytime* MaxSAT solver: it keeps
+improving a model of the hard constraints and can be interrupted at any point,
+returning the best solution found so far.  This package reproduces that
+behaviour with two strategies built on our CDCL solver:
+
+* :class:`repro.maxsat.linear_search.LinearSearchSolver` -- model-improving
+  linear SAT->UNSAT search with a (generalised) totalizer bound.  This is the
+  default strategy and the closest analogue of Open-WBO-Inc-MCS.
+* :class:`repro.maxsat.core_guided.FuMalikSolver` -- core-guided search, used
+  as an ablation and for small unweighted instances.
+* :class:`repro.maxsat.rc2.OllSolver` -- the weighted OLL / RC2 algorithm,
+  the third strategy of the MaxSAT ablation study.
+
+:class:`repro.maxsat.solver.MaxSatSolver` is the facade the rest of the
+library uses; it accepts a :class:`repro.maxsat.wcnf.WcnfBuilder`, a strategy
+name, and a time budget.
+"""
+
+from repro.maxsat.wcnf import WcnfBuilder
+from repro.maxsat.solver import MaxSatResult, MaxSatSolver, MaxSatStatus
+
+__all__ = ["WcnfBuilder", "MaxSatSolver", "MaxSatResult", "MaxSatStatus"]

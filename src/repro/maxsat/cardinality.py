@@ -1,0 +1,181 @@
+"""Cardinality and pseudo-Boolean encodings for the MaxSAT bound.
+
+Two encoders are provided:
+
+* :class:`Totalizer` -- the classic totalizer encoding for unweighted
+  cardinality constraints ("at most k of these literals are true").
+* :class:`GeneralizedTotalizer` -- the weighted generalisation (GTE), where
+  each input literal carries a positive integer weight and the outputs encode
+  "the total weight of true inputs is at least w".
+
+Both are built once and strengthened monotonically by asserting unit clauses
+on output literals, which is how the linear-search MaxSAT strategy tightens
+its bound between SAT calls.
+
+The paper's "only one swap" constraint (Hard C) also uses a standard
+at-most-one encoding, provided here as :func:`at_most_one_pairwise` and
+:func:`exactly_one`.
+"""
+
+from __future__ import annotations
+
+from repro.maxsat.wcnf import WcnfBuilder
+
+
+def at_most_one_pairwise(builder: WcnfBuilder, literals: list[int]) -> None:
+    """Add pairwise at-most-one hard constraints over ``literals``."""
+    for index, first in enumerate(literals):
+        for second in literals[index + 1:]:
+            builder.add_hard([-first, -second])
+
+
+def at_least_one(builder: WcnfBuilder, literals: list[int]) -> None:
+    """Add an at-least-one hard constraint over ``literals``."""
+    builder.add_hard(list(literals))
+
+
+def exactly_one(builder: WcnfBuilder, literals: list[int]) -> None:
+    """Add an exactly-one hard constraint (pairwise AMO + ALO)."""
+    at_least_one(builder, literals)
+    at_most_one_pairwise(builder, literals)
+
+
+def at_most_one_commander(
+    builder: WcnfBuilder, literals: list[int], group_size: int = 4
+) -> None:
+    """Commander (hierarchical) at-most-one encoding.
+
+    Linear in the number of literals, which matters for the larger "only one"
+    constraints the QMR encoding produces on well-connected architectures.
+    """
+    if len(literals) <= group_size + 1:
+        at_most_one_pairwise(builder, literals)
+        return
+    commanders: list[int] = []
+    for start in range(0, len(literals), group_size):
+        group = literals[start:start + group_size]
+        commander = builder.new_var()
+        commanders.append(commander)
+        at_most_one_pairwise(builder, group)
+        # The commander is true iff some literal in its group is true.
+        for literal in group:
+            builder.add_hard([-literal, commander])
+        builder.add_hard([-commander] + group)
+    at_most_one_commander(builder, commanders, group_size)
+
+
+class Totalizer:
+    """Totalizer encoding over a set of input literals.
+
+    After construction, ``outputs[j]`` (0-based) is a literal that is true in
+    every model in which at least ``j + 1`` of the inputs are true.  Asserting
+    ``-outputs[k]`` therefore enforces "at most k inputs are true".
+    """
+
+    def __init__(self, builder: WcnfBuilder, inputs: list[int]) -> None:
+        self.builder = builder
+        self.inputs = list(inputs)
+        if not inputs:
+            self.outputs: list[int] = []
+            return
+        self.outputs = self._build(list(inputs))
+
+    def _build(self, literals: list[int]) -> list[int]:
+        if len(literals) == 1:
+            return [literals[0]]
+        mid = len(literals) // 2
+        left = self._build(literals[:mid])
+        right = self._build(literals[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: list[int], right: list[int]) -> list[int]:
+        builder = self.builder
+        total = len(left) + len(right)
+        outputs = [builder.new_var() for _ in range(total)]
+        # sum(left) >= a and sum(right) >= b  implies  sum >= a + b
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                if a + b == 0:
+                    continue
+                antecedent = []
+                if a > 0:
+                    antecedent.append(-left[a - 1])
+                if b > 0:
+                    antecedent.append(-right[b - 1])
+                builder.add_hard(antecedent + [outputs[a + b - 1]])
+        # Monotonicity: outputs[j] implies outputs[j-1].
+        for j in range(1, total):
+            builder.add_hard([-outputs[j], outputs[j - 1]])
+        return outputs
+
+    def enforce_at_most(self, bound: int) -> None:
+        """Permanently assert that at most ``bound`` inputs are true."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if bound >= len(self.outputs):
+            return
+        self.builder.add_hard([-self.outputs[bound]])
+
+    def assumption_for_at_most(self, bound: int) -> list[int]:
+        """Assumption literals enforcing "at most ``bound``" non-permanently."""
+        if bound >= len(self.outputs):
+            return []
+        return [-self.outputs[bound]]
+
+
+class GeneralizedTotalizer:
+    """Generalised totalizer (GTE) over weighted input literals.
+
+    ``outputs`` maps each achievable total weight ``w`` (> 0) to a literal that
+    is true whenever the total weight of true inputs is at least ``w``.
+    """
+
+    def __init__(self, builder: WcnfBuilder, weighted_inputs: list[tuple[int, int]]) -> None:
+        self.builder = builder
+        self.weighted_inputs = list(weighted_inputs)
+        for literal, weight in self.weighted_inputs:
+            if weight <= 0:
+                raise ValueError(f"weights must be positive, got {weight} for {literal}")
+        if not self.weighted_inputs:
+            self.outputs: dict[int, int] = {}
+            return
+        self.outputs = self._build(self.weighted_inputs)
+
+    def _build(self, pairs: list[tuple[int, int]]) -> dict[int, int]:
+        if len(pairs) == 1:
+            literal, weight = pairs[0]
+            return {weight: literal}
+        mid = len(pairs) // 2
+        left = self._build(pairs[:mid])
+        right = self._build(pairs[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: dict[int, int], right: dict[int, int]) -> dict[int, int]:
+        builder = self.builder
+        sums: set[int] = set(left) | set(right)
+        for left_weight in left:
+            for right_weight in right:
+                sums.add(left_weight + right_weight)
+        outputs = {weight: builder.new_var() for weight in sorted(sums)}
+        for left_weight, left_literal in left.items():
+            builder.add_hard([-left_literal, outputs[left_weight]])
+        for right_weight, right_literal in right.items():
+            builder.add_hard([-right_literal, outputs[right_weight]])
+        for left_weight, left_literal in left.items():
+            for right_weight, right_literal in right.items():
+                combined = left_weight + right_weight
+                builder.add_hard([-left_literal, -right_literal, outputs[combined]])
+        # Monotonicity between consecutive achievable sums.
+        ordered = sorted(outputs)
+        for lower, upper in zip(ordered, ordered[1:]):
+            builder.add_hard([-outputs[upper], outputs[lower]])
+        return outputs
+
+    def enforce_weight_less_than(self, bound: int) -> None:
+        """Permanently assert that the total weight of true inputs is < ``bound``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        for weight in sorted(self.outputs):
+            if weight >= bound:
+                self.builder.add_hard([-self.outputs[weight]])
+                return  # monotonicity clauses handle the larger weights

@@ -1,0 +1,174 @@
+"""Additional cardinality encodings (sequential counter, ladder, bitwise).
+
+:mod:`repro.maxsat.cardinality` provides the totalizer family used by the
+MaxSAT bound.  This module adds the remaining encodings that matter for the
+QMR constraints themselves, where the shape of the at-most-one / at-most-k
+constraint determines how large the generated formula gets:
+
+* :func:`at_most_one_ladder` -- the sequential ("regular"/ladder) at-most-one,
+  3n clauses and n auxiliary variables, the encoding the paper cites from
+  Gent & Nightingale for Hard A and Hard C;
+* :func:`at_most_one_bitwise` -- the logarithmic (binary) at-most-one;
+* :class:`SequentialCounter` -- Sinz's LTn,k sequential-counter at-most-k
+  encoding, with incremental bound tightening like the totalizer;
+* :func:`exactly_k` -- exactly-k on top of the sequential counter.
+
+All functions take the shared :class:`~repro.maxsat.wcnf.WcnfBuilder` so the
+auxiliary variables they allocate stay consistent with the encoder's counter.
+"""
+
+from __future__ import annotations
+
+from repro.maxsat.cardinality import at_least_one, at_most_one_pairwise
+from repro.maxsat.wcnf import WcnfBuilder
+
+
+def at_most_one_ladder(builder: WcnfBuilder, literals: list[int]) -> list[int]:
+    """Sequential (ladder) at-most-one encoding.
+
+    Introduces one ladder variable per position; returns the ladder variables
+    so callers can inspect or reuse them.  For fewer than three literals the
+    pairwise encoding is already minimal and is used instead.
+    """
+    if len(literals) < 3:
+        at_most_one_pairwise(builder, literals)
+        return []
+    ladder = builder.new_vars(len(literals) - 1)
+    first = literals[0]
+    builder.add_hard([-first, ladder[0]])
+    for index in range(1, len(literals) - 1):
+        literal = literals[index]
+        builder.add_hard([-literal, ladder[index]])
+        builder.add_hard([-ladder[index - 1], ladder[index]])
+        builder.add_hard([-literal, -ladder[index - 1]])
+    builder.add_hard([-literals[-1], -ladder[-1]])
+    return ladder
+
+
+def at_most_one_bitwise(builder: WcnfBuilder, literals: list[int]) -> list[int]:
+    """Bitwise (binary) at-most-one encoding.
+
+    Each literal is associated with the binary representation of its index
+    over ``ceil(log2 n)`` fresh bit variables; two distinct literals disagree
+    on at least one bit, so at most one can be true.  Returns the bit
+    variables.
+    """
+    if len(literals) < 2:
+        return []
+    num_bits = max(1, (len(literals) - 1).bit_length())
+    bits = builder.new_vars(num_bits)
+    for index, literal in enumerate(literals):
+        for bit_position, bit_var in enumerate(bits):
+            if (index >> bit_position) & 1:
+                builder.add_hard([-literal, bit_var])
+            else:
+                builder.add_hard([-literal, -bit_var])
+    return bits
+
+
+class SequentialCounter:
+    """Sinz's sequential-counter encoding of "at most k inputs are true".
+
+    The counter is built for a maximum bound ``max_bound``; the registers
+    ``register[i][j]`` mean "at least ``j + 1`` of the first ``i + 1`` inputs
+    are true".  The final row doubles as an output vector analogous to the
+    totalizer's, so the bound can be tightened incrementally by asserting unit
+    clauses over it.
+    """
+
+    def __init__(self, builder: WcnfBuilder, inputs: list[int],
+                 max_bound: int | None = None) -> None:
+        self.builder = builder
+        self.inputs = list(inputs)
+        if max_bound is None:
+            max_bound = len(inputs)
+        if max_bound < 0:
+            raise ValueError("max_bound must be non-negative")
+        self.max_bound = min(max_bound, len(inputs))
+        self.registers: list[list[int]] = []
+        if self.inputs and self.max_bound > 0:
+            self._build()
+
+    def _build(self) -> None:
+        builder = self.builder
+        width = self.max_bound
+        previous: list[int] = []
+        for index, literal in enumerate(self.inputs):
+            row_width = min(index + 1, width)
+            row = builder.new_vars(row_width)
+            # The input raises the count by one.
+            builder.add_hard([-literal, row[0]])
+            if previous:
+                for j in range(min(len(previous), row_width)):
+                    # Carrying the previous count forward.
+                    builder.add_hard([-previous[j], row[j]])
+                for j in range(1, row_width):
+                    if j - 1 < len(previous):
+                        builder.add_hard([-literal, -previous[j - 1], row[j]])
+            self.registers.append(row)
+            previous = row
+
+    @property
+    def outputs(self) -> list[int]:
+        """Output literals: ``outputs[j]`` true when at least ``j + 1`` inputs are."""
+        return list(self.registers[-1]) if self.registers else []
+
+    def enforce_at_most(self, bound: int) -> None:
+        """Permanently assert that at most ``bound`` inputs are true."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if bound >= self.max_bound:
+            return
+        # Forbid any prefix count from exceeding the bound: an input being
+        # true while the previous row already reached `bound` is a conflict.
+        for index in range(1, len(self.inputs)):
+            previous = self.registers[index - 1]
+            if bound - 1 < len(previous) and bound <= self.max_bound - 1:
+                self.builder.add_hard([-self.inputs[index], -previous[bound - 1]]
+                                      if bound >= 1 else [-self.inputs[index]])
+        if bound == 0:
+            for literal in self.inputs:
+                self.builder.add_hard([-literal])
+            return
+        outputs = self.outputs
+        if bound < len(outputs):
+            self.builder.add_hard([-outputs[bound]])
+
+    def assumption_for_at_most(self, bound: int) -> list[int]:
+        """Assumptions enforcing "at most ``bound``" without committing to it."""
+        outputs = self.outputs
+        if bound >= len(outputs):
+            return []
+        return [-outputs[bound]]
+
+
+def at_most_k_sequential(builder: WcnfBuilder, literals: list[int], bound: int) -> None:
+    """One-shot at-most-k using a sequential counter sized to the bound."""
+    if bound >= len(literals):
+        return
+    counter = SequentialCounter(builder, literals, max_bound=bound + 1)
+    counter.enforce_at_most(bound)
+
+
+def exactly_k(builder: WcnfBuilder, literals: list[int], bound: int) -> None:
+    """Exactly-k: at-most-k via a sequential counter plus at-least-k.
+
+    At-least-k is encoded by requiring at most ``n - k`` of the negated
+    literals to be true, which reuses the same counter machinery.
+    """
+    if bound < 0 or bound > len(literals):
+        raise ValueError(f"cannot require exactly {bound} of {len(literals)} literals")
+    if bound == 0:
+        for literal in literals:
+            builder.add_hard([-literal])
+        return
+    if bound == len(literals):
+        for literal in literals:
+            builder.add_hard([literal])
+        return
+    at_most_k_sequential(builder, literals, bound)
+    if bound == 1:
+        at_least_one(builder, literals)
+    else:
+        at_most_k_sequential(builder, [-literal for literal in literals],
+                             len(literals) - bound)

@@ -1,0 +1,228 @@
+"""Anytime linear SAT->UNSAT MaxSAT search.
+
+This is the strategy SATMAP relies on in the paper (via Open-WBO-Inc-MCS): the
+solver repeatedly asks the underlying SAT solver for a model of the hard
+clauses, measures its cost (total weight of falsified soft clauses), adds a
+bound "cost must be strictly smaller", and repeats.  The last model found
+before the formula becomes unsatisfiable is optimal.  Crucially, the loop can
+be interrupted by a time budget at any point and still returns the best model
+seen so far -- this is what makes the approach usable on circuits where the
+optimum is out of reach.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.maxsat.cardinality import GeneralizedTotalizer, Totalizer
+from repro.maxsat.wcnf import WcnfBuilder, clause_satisfied
+from repro.sat.solver import SatSolver, SolverStatus
+
+
+@dataclass
+class LinearSearchOutcome:
+    """Raw outcome of a linear-search run."""
+
+    found_model: bool
+    optimal: bool
+    cost: int
+    model: dict[int, bool]
+    sat_calls: int
+    elapsed: float
+
+
+class LinearSearchSolver:
+    """Model-improving linear search with a totalizer-based bound.
+
+    For weighted instances whose maximum soft weight exceeds
+    ``max_bound_weight``, the bound structure is built over *clustered*
+    weights (each weight rescaled into ``1..max_bound_weight``), the same
+    approximation Open-WBO-Inc applies to large weighted instances.  Models
+    are still compared by their true cost, but optimality is no longer
+    claimed on termination because the coarse bound may hide a slightly
+    better solution.  Instances with small weights are unaffected.
+    """
+
+    def __init__(self, builder: WcnfBuilder, max_bound_weight: int = 32) -> None:
+        if max_bound_weight < 1:
+            raise ValueError("max_bound_weight must be at least 1")
+        self.builder = builder
+        self.max_bound_weight = max_bound_weight
+
+    def solve(
+        self,
+        time_budget: float | None = None,
+        per_call_conflict_budget: int | None = None,
+    ) -> LinearSearchOutcome:
+        """Run the search under an optional wall-clock budget (seconds)."""
+        start = time.monotonic()
+        builder = self.builder
+        sat = SatSolver()
+        sat.ensure_vars(builder.num_vars)
+        for clause in builder.hard:
+            sat.add_clause(clause)
+        self._loaded_hard = len(builder.hard)
+
+        # Relax each soft clause with a fresh selector: clause OR selector.
+        # The selector being true means the soft clause is (possibly) violated.
+        weighted_selectors: list[tuple[int, int]] = []
+        for soft in builder.soft:
+            if len(soft.literals) == 1:
+                # For unit soft clauses the negation of the literal is its own
+                # selector; no auxiliary variable or clause is needed.
+                selector = -soft.literals[0]
+                if abs(selector) > sat.num_vars:
+                    sat.ensure_vars(abs(selector))
+            else:
+                selector_var = builder.new_var()
+                sat.ensure_vars(builder.num_vars)
+                sat.add_clause(soft.literals + [selector_var])
+                selector = selector_var
+            weighted_selectors.append((selector, soft.weight))
+
+        remaining = self._remaining(start, time_budget)
+        result = sat.solve(time_budget=remaining, conflict_budget=per_call_conflict_budget)
+        sat_calls = 1
+        if result.status is not SolverStatus.SAT:
+            # UNSAT here means the hard clauses themselves have no model, which
+            # is a definitive answer; UNKNOWN means the budget ran out.
+            return LinearSearchOutcome(
+                found_model=False,
+                optimal=result.status is SolverStatus.UNSAT,
+                cost=-1,
+                model={},
+                sat_calls=sat_calls,
+                elapsed=time.monotonic() - start,
+            )
+
+        best_model = dict(result.model)
+        best_cost = builder.cost_of_model(best_model)
+        if best_cost == 0 or not builder.soft:
+            return LinearSearchOutcome(True, True, best_cost, best_model, sat_calls,
+                                       time.monotonic() - start)
+
+        # The bound structure can itself be expensive to build; if the budget
+        # is already gone, settle for the first model (anytime behaviour).
+        remaining = self._remaining(start, time_budget)
+        if remaining is not None and remaining <= 0:
+            return LinearSearchOutcome(True, False, best_cost, best_model, sat_calls,
+                                       time.monotonic() - start)
+
+        # Build the bound structure once.  Its clauses are appended to
+        # builder.hard, so sync them into the SAT solver afterwards.  Large
+        # weights are clustered so the generalized totalizer stays
+        # pseudo-polynomial in a small bound (Open-WBO-Inc's approximation).
+        weighted = builder.is_weighted()
+        scaled_weights = self._cluster_weights([w for _, w in weighted_selectors])
+        approximate = scaled_weights is not None
+        if weighted:
+            bound_weights = (scaled_weights if approximate
+                             else [w for _, w in weighted_selectors])
+            gte = GeneralizedTotalizer(
+                builder,
+                [(sel, weight) for (sel, _), weight
+                 in zip(weighted_selectors, bound_weights)])
+            totalizer = None
+        else:
+            bound_weights = [1] * len(weighted_selectors)
+            totalizer = Totalizer(builder, [sel for sel, _ in weighted_selectors])
+            gte = None
+        self._sync_hard_clauses(sat, builder)
+
+        best_bound_cost = self._bound_cost(best_model, builder, bound_weights)
+        optimal = False
+        while True:
+            if best_bound_cost == 0:
+                # All soft obligations the bound can see are satisfied.
+                optimal = best_cost == 0
+                break
+            # Tighten: total selector weight must be strictly below the bound
+            # cost of the best model so far.
+            if weighted:
+                self._enforce_weighted_bound(sat, builder, gte, best_bound_cost)
+            else:
+                self._enforce_unweighted_bound(sat, builder, totalizer, best_bound_cost)
+            self._sync_hard_clauses(sat, builder)
+
+            remaining = self._remaining(start, time_budget)
+            if remaining is not None and remaining <= 0:
+                break
+            result = sat.solve(time_budget=remaining,
+                               conflict_budget=per_call_conflict_budget)
+            sat_calls += 1
+            if result.status is SolverStatus.SAT:
+                cost = builder.cost_of_model(result.model)
+                bound_cost = self._bound_cost(result.model, builder, bound_weights)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_model = dict(result.model)
+                if bound_cost >= best_bound_cost:
+                    # The bound forces strictly decreasing bound cost; if it
+                    # did not decrease something is inconsistent, so stop
+                    # rather than loop.
+                    break
+                best_bound_cost = bound_cost
+                if best_cost == 0:
+                    optimal = True
+                    break
+            elif result.status is SolverStatus.UNSAT:
+                optimal = not approximate
+                break
+            else:  # UNKNOWN: budget exhausted
+                break
+
+        return LinearSearchOutcome(
+            found_model=True,
+            optimal=optimal,
+            cost=best_cost,
+            model=best_model,
+            sat_calls=sat_calls,
+            elapsed=time.monotonic() - start,
+        )
+
+    # ------------------------------------------------------------------ utils
+
+    def _cluster_weights(self, weights: list[int]) -> list[int] | None:
+        """Rescale weights into ``1..max_bound_weight`` when they are large.
+
+        Returns ``None`` when no rescaling is needed (the bound is then exact).
+        """
+        if not weights:
+            return None
+        largest = max(weights)
+        if largest <= self.max_bound_weight:
+            return None
+        scale = self.max_bound_weight / largest
+        return [max(1, round(weight * scale)) for weight in weights]
+
+    @staticmethod
+    def _bound_cost(model: dict[int, bool], builder: WcnfBuilder,
+                    bound_weights: list[int]) -> int:
+        """Cost of ``model`` as the bound structure measures it."""
+        total = 0
+        for soft, weight in zip(builder.soft, bound_weights):
+            if not clause_satisfied(soft.literals, model):
+                total += weight
+        return total
+
+    def _sync_hard_clauses(self, sat: SatSolver, builder: WcnfBuilder) -> None:
+        """Feed hard clauses added to the builder since the last sync."""
+        sat.ensure_vars(builder.num_vars)
+        for clause in builder.hard[self._loaded_hard:]:
+            sat.add_clause(clause)
+        self._loaded_hard = len(builder.hard)
+
+    def _enforce_unweighted_bound(self, sat: SatSolver, builder: WcnfBuilder,
+                                  totalizer: Totalizer, best_cost: int) -> None:
+        totalizer.enforce_at_most(best_cost - 1)
+
+    def _enforce_weighted_bound(self, sat: SatSolver, builder: WcnfBuilder,
+                                gte: GeneralizedTotalizer, best_cost: int) -> None:
+        gte.enforce_weight_less_than(best_cost)
+
+    @staticmethod
+    def _remaining(start: float, time_budget: float | None) -> float | None:
+        if time_budget is None:
+            return None
+        return time_budget - (time.monotonic() - start)

@@ -1,0 +1,104 @@
+"""Facade over the MaxSAT strategies.
+
+:class:`MaxSatSolver` is what the SATMAP core (and the constraint-based
+baselines) talk to.  It mirrors the interface SATMAP uses with
+Open-WBO-Inc-MCS: hand over a weighted partial CNF, optionally a wall-clock
+budget, and get back either an optimal model, the best model found before the
+budget ran out, or a report that no model of the hard clauses was found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.maxsat.core_guided import FuMalikSolver
+from repro.maxsat.linear_search import LinearSearchSolver
+from repro.maxsat.rc2 import OllSolver
+from repro.maxsat.wcnf import WcnfBuilder
+
+
+class MaxSatStatus(Enum):
+    """Outcome classification of a MaxSAT call."""
+
+    OPTIMAL = "optimal"
+    SATISFIABLE = "satisfiable"  # a model was found but optimality is unproven
+    UNSATISFIABLE = "unsatisfiable"  # the hard clauses have no model
+    UNKNOWN = "unknown"  # no model found within the budget
+
+
+@dataclass
+class MaxSatResult:
+    """Result of a MaxSAT call."""
+
+    status: MaxSatStatus
+    cost: int = -1
+    model: dict[int, bool] = field(default_factory=dict)
+    sat_calls: int = 0
+    solve_time: float = 0.0
+
+    @property
+    def has_model(self) -> bool:
+        return self.status in (MaxSatStatus.OPTIMAL, MaxSatStatus.SATISFIABLE)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is MaxSatStatus.OPTIMAL
+
+
+class MaxSatSolver:
+    """Weighted partial MaxSAT solver with selectable strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"linear"`` (default) for the anytime linear SAT->UNSAT search that
+        mirrors Open-WBO-Inc-MCS, ``"core-guided"`` for Fu-Malik (unweighted
+        only), or ``"rc2"`` for the weighted OLL algorithm.
+    """
+
+    STRATEGIES = ("linear", "core-guided", "rc2")
+
+    def __init__(self, strategy: str = "linear") -> None:
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {self.STRATEGIES}")
+        self.strategy = strategy
+
+    def solve(self, builder: WcnfBuilder, time_budget: float | None = None) -> MaxSatResult:
+        """Solve ``builder`` under an optional wall-clock budget (seconds)."""
+        strategy = self.strategy
+        if strategy == "core-guided" and builder.is_weighted():
+            strategy = "linear"
+
+        if strategy == "rc2":
+            outcome = OllSolver(builder).solve(time_budget=time_budget)
+            if outcome.found_model:
+                return MaxSatResult(MaxSatStatus.OPTIMAL, outcome.cost, outcome.model,
+                                    outcome.sat_calls, outcome.elapsed)
+            if outcome.optimal and outcome.cost == -1:
+                return MaxSatResult(MaxSatStatus.UNSATISFIABLE, -1, {},
+                                    outcome.sat_calls, outcome.elapsed)
+            return MaxSatResult(MaxSatStatus.UNKNOWN, -1, {},
+                                outcome.sat_calls, outcome.elapsed)
+
+        if strategy == "core-guided":
+            outcome = FuMalikSolver(builder).solve(time_budget=time_budget)
+            if outcome.found_model:
+                return MaxSatResult(MaxSatStatus.OPTIMAL, outcome.cost, outcome.model,
+                                    outcome.sat_calls, outcome.elapsed)
+            if outcome.optimal and outcome.cost == -1:
+                return MaxSatResult(MaxSatStatus.UNSATISFIABLE, -1, {},
+                                    outcome.sat_calls, outcome.elapsed)
+            return MaxSatResult(MaxSatStatus.UNKNOWN, -1, {},
+                                outcome.sat_calls, outcome.elapsed)
+
+        outcome = LinearSearchSolver(builder).solve(time_budget=time_budget)
+        if outcome.found_model:
+            status = MaxSatStatus.OPTIMAL if outcome.optimal else MaxSatStatus.SATISFIABLE
+            return MaxSatResult(status, outcome.cost, outcome.model,
+                                outcome.sat_calls, outcome.elapsed)
+        if outcome.optimal:
+            return MaxSatResult(MaxSatStatus.UNSATISFIABLE, -1, {},
+                                outcome.sat_calls, outcome.elapsed)
+        return MaxSatResult(MaxSatStatus.UNKNOWN, -1, {},
+                            outcome.sat_calls, outcome.elapsed)

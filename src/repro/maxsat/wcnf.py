@@ -1,0 +1,103 @@
+"""Weighted partial CNF construction helpers.
+
+:class:`WcnfBuilder` is the object the SATMAP encoder populates: it owns the
+variable counter, the hard clauses, and the weighted soft clauses, and it can
+be converted to the DIMACS containers in :mod:`repro.sat.dimacs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.dimacs import WcnfFormula
+
+
+@dataclass
+class SoftClause:
+    """A soft clause with a positive integer weight."""
+
+    literals: list[int]
+    weight: int = 1
+
+
+@dataclass
+class WcnfBuilder:
+    """Incrementally built weighted partial MaxSAT instance."""
+
+    num_vars: int = 0
+    hard: list[list[int]] = field(default_factory=list)
+    soft: list[SoftClause] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a fresh Boolean variable and return its index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_hard(self, clause: list[int]) -> None:
+        """Add a hard clause (must be satisfied by every solution)."""
+        self._validate(clause)
+        self.hard.append(list(clause))
+
+    def add_soft(self, clause: list[int], weight: int = 1) -> None:
+        """Add a soft clause with the given positive integer weight."""
+        if weight <= 0:
+            raise ValueError(f"soft clause weight must be positive, got {weight}")
+        self._validate(clause)
+        self.soft.append(SoftClause(list(clause), weight))
+
+    def _validate(self, clause: list[int]) -> None:
+        if not clause:
+            raise ValueError("clauses must be non-empty")
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(literal) > self.num_vars:
+                self.num_vars = abs(literal)
+
+    @property
+    def total_soft_weight(self) -> int:
+        return sum(soft.weight for soft in self.soft)
+
+    @property
+    def num_hard(self) -> int:
+        return len(self.hard)
+
+    @property
+    def num_soft(self) -> int:
+        return len(self.soft)
+
+    def is_weighted(self) -> bool:
+        """Return ``True`` if the soft clauses do not all share weight 1."""
+        return any(soft.weight != 1 for soft in self.soft)
+
+    def to_dimacs(self) -> WcnfFormula:
+        """Convert to the DIMACS WCNF container (for export / debugging)."""
+        formula = WcnfFormula(num_vars=self.num_vars)
+        for clause in self.hard:
+            formula.add_hard(clause)
+        for soft in self.soft:
+            formula.add_soft(soft.literals, soft.weight)
+        return formula
+
+    def cost_of_model(self, model: dict[int, bool]) -> int:
+        """Total weight of soft clauses falsified by ``model``."""
+        cost = 0
+        for soft in self.soft:
+            if not clause_satisfied(soft.literals, model):
+                cost += soft.weight
+        return cost
+
+
+def clause_satisfied(clause: list[int], model: dict[int, bool]) -> bool:
+    """Return ``True`` if ``model`` satisfies ``clause`` (missing vars are False)."""
+    for literal in clause:
+        value = model.get(abs(literal), False)
+        if literal > 0 and value:
+            return True
+        if literal < 0 and not value:
+            return True
+    return False

@@ -1,0 +1,37 @@
+"""A self-contained CDCL SAT solver.
+
+The paper's tool, SATMAP, delegates MaxSAT solving to Open-WBO-Inc-MCS, which
+internally drives a CDCL SAT solver.  This package provides that substrate in
+pure Python: a conflict-driven clause-learning solver with two-watched
+literals, first-UIP clause learning, VSIDS branching, phase saving, Luby
+restarts, assumption-based incremental solving, and DIMACS import/export.
+
+The public entry points are:
+
+* :class:`repro.sat.solver.SatSolver` -- the incremental CDCL solver.
+* :class:`repro.sat.solver.SolveResult` -- SAT/UNSAT/UNKNOWN outcome.
+* :mod:`repro.sat.dimacs` -- reading and writing DIMACS CNF / WCNF files.
+* :mod:`repro.sat.preprocessing` -- clause-level simplification.
+* :mod:`repro.sat.enumeration` -- blocking-clause model enumeration.
+"""
+
+from repro.sat.literals import lit, neg, var_of, sign_of
+from repro.sat.solver import SatSolver, SolveResult, SolverStatus
+from repro.sat.preprocessing import Preprocessor, PreprocessResult, simplify_clauses
+from repro.sat.enumeration import ModelEnumerator, all_models, count_models
+
+__all__ = [
+    "SatSolver",
+    "SolveResult",
+    "SolverStatus",
+    "lit",
+    "neg",
+    "var_of",
+    "sign_of",
+    "Preprocessor",
+    "PreprocessResult",
+    "simplify_clauses",
+    "ModelEnumerator",
+    "all_models",
+    "count_models",
+]

@@ -1,0 +1,80 @@
+"""Assignment trail for the CDCL solver.
+
+The trail records the order in which literals were assigned, together with the
+decision level and the clause that implied each assignment (``None`` for
+decisions).  Values are stored per-variable as ``True``/``False``/``None``.
+"""
+
+from __future__ import annotations
+
+from repro.sat.literals import sign_of, var_of
+
+
+class Trail:
+    """Chronological assignment stack with per-variable metadata."""
+
+    def __init__(self) -> None:
+        self.values: list[bool | None] = [None]  # index 0 unused
+        self.levels: list[int] = [0]
+        self.reasons: list[object | None] = [None]
+        self.trail: list[int] = []
+        self.trail_limits: list[int] = []
+        # Phase saving: last polarity assigned to each variable.
+        self.saved_phases: list[bool] = [False]
+
+    def grow_to(self, num_vars: int) -> None:
+        """Ensure capacity for variables ``1..num_vars``."""
+        while len(self.values) <= num_vars:
+            self.values.append(None)
+            self.levels.append(0)
+            self.reasons.append(None)
+            self.saved_phases.append(False)
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_limits)
+
+    def value_of_literal(self, literal: int) -> bool | None:
+        """Return the truth value of ``literal`` under the current assignment."""
+        value = self.values[var_of(literal)]
+        if value is None:
+            return None
+        return value if sign_of(literal) else not value
+
+    def value_of_var(self, variable: int) -> bool | None:
+        return self.values[variable]
+
+    def assign(self, literal: int, reason: object | None) -> None:
+        """Push ``literal`` as true onto the trail."""
+        variable = var_of(literal)
+        self.values[variable] = sign_of(literal)
+        self.levels[variable] = self.decision_level
+        self.reasons[variable] = reason
+        self.saved_phases[variable] = sign_of(literal)
+        self.trail.append(literal)
+
+    def new_decision_level(self) -> None:
+        self.trail_limits.append(len(self.trail))
+
+    def backtrack_to(self, level: int) -> list[int]:
+        """Undo all assignments above ``level``; return the unassigned literals."""
+        if level >= self.decision_level:
+            return []
+        start = self.trail_limits[level]
+        undone = self.trail[start:]
+        for literal in undone:
+            variable = var_of(literal)
+            self.values[variable] = None
+            self.reasons[variable] = None
+        del self.trail[start:]
+        del self.trail_limits[level:]
+        return undone
+
+    def level_of_var(self, variable: int) -> int:
+        return self.levels[variable]
+
+    def reason_of_var(self, variable: int) -> object | None:
+        return self.reasons[variable]
+
+    def __len__(self) -> int:
+        return len(self.trail)

@@ -1,0 +1,57 @@
+"""Clause representation and clause database for the CDCL solver.
+
+Clauses store literals as signed DIMACS integers.  Learnt clauses carry an
+activity score used for clause-database reduction, mirroring MiniSat's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Clause:
+    """A disjunction of literals.
+
+    The first two positions are the watched literals; the solver maintains the
+    invariant that they are unassigned or satisfied whenever possible.
+    """
+
+    literals: list[int]
+    learnt: bool = False
+    activity: float = 0.0
+    lbd: int = 0
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __getitem__(self, index: int) -> int:
+        return self.literals[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.literals[index] = value
+
+
+@dataclass
+class ClauseDatabase:
+    """Container separating original (problem) clauses from learnt clauses."""
+
+    problem_clauses: list[Clause] = field(default_factory=list)
+    learnt_clauses: list[Clause] = field(default_factory=list)
+
+    def add_problem_clause(self, clause: Clause) -> None:
+        self.problem_clauses.append(clause)
+
+    def add_learnt_clause(self, clause: Clause) -> None:
+        self.learnt_clauses.append(clause)
+
+    @property
+    def num_problem(self) -> int:
+        return len(self.problem_clauses)
+
+    @property
+    def num_learnt(self) -> int:
+        return len(self.learnt_clauses)

@@ -1,0 +1,153 @@
+"""Reading and writing DIMACS CNF and (old-style) WCNF files.
+
+These are the interchange formats used by SAT and MaxSAT competitions and by
+Open-WBO.  The MaxSAT layer uses them for debugging and for exporting the
+constraints SATMAP generates, which makes the encoder output inspectable with
+any off-the-shelf solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class CnfFormula:
+    """A plain CNF formula: a clause list plus the number of variables."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def add_clause(self, clause: list[int]) -> None:
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(literal))
+        self.clauses.append(list(clause))
+
+
+@dataclass
+class WcnfFormula:
+    """A weighted partial CNF formula (hard clauses plus weighted soft clauses)."""
+
+    num_vars: int = 0
+    hard: list[list[int]] = field(default_factory=list)
+    soft: list[tuple[int, list[int]]] = field(default_factory=list)
+
+    def add_hard(self, clause: list[int]) -> None:
+        self._register(clause)
+        self.hard.append(list(clause))
+
+    def add_soft(self, clause: list[int], weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("soft clause weight must be positive")
+        self._register(clause)
+        self.soft.append((weight, list(clause)))
+
+    def _register(self, clause: list[int]) -> None:
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(literal))
+
+    @property
+    def top_weight(self) -> int:
+        return sum(weight for weight, _ in self.soft) + 1
+
+
+def parse_cnf(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`."""
+    formula = CnfFormula()
+    declared_vars = 0
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                formula.add_clause(current)
+                current = []
+            else:
+                current.append(literal)
+    if current:
+        formula.add_clause(current)
+    formula.num_vars = max(formula.num_vars, declared_vars)
+    return formula
+
+
+def parse_wcnf(text: str) -> WcnfFormula:
+    """Parse old-style DIMACS WCNF text (``p wcnf VARS CLAUSES TOP``)."""
+    formula = WcnfFormula()
+    top = None
+    declared_vars = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "wcnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            top = int(parts[4]) if len(parts) > 4 else None
+            continue
+        tokens = [int(token) for token in line.split()]
+        if not tokens or tokens[-1] != 0:
+            raise ValueError(f"clause line must end with 0: {line!r}")
+        weight = tokens[0]
+        clause = tokens[1:-1]
+        if top is not None and weight >= top:
+            formula.add_hard(clause)
+        else:
+            formula.add_soft(clause, weight)
+    formula.num_vars = max(formula.num_vars, declared_vars)
+    return formula
+
+
+def write_cnf(formula: CnfFormula) -> str:
+    """Render a :class:`CnfFormula` as DIMACS CNF text."""
+    lines = [f"p cnf {formula.num_vars} {len(formula.clauses)}"]
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_wcnf(formula: WcnfFormula) -> str:
+    """Render a :class:`WcnfFormula` as old-style DIMACS WCNF text."""
+    top = formula.top_weight
+    total = len(formula.hard) + len(formula.soft)
+    lines = [f"p wcnf {formula.num_vars} {total} {top}"]
+    for clause in formula.hard:
+        lines.append(f"{top} " + " ".join(str(literal) for literal in clause) + " 0")
+    for weight, clause in formula.soft:
+        lines.append(f"{weight} " + " ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def load_cnf(path: str | Path) -> CnfFormula:
+    """Read a DIMACS CNF file from disk."""
+    return parse_cnf(Path(path).read_text())
+
+
+def load_wcnf(path: str | Path) -> WcnfFormula:
+    """Read a DIMACS WCNF file from disk."""
+    return parse_wcnf(Path(path).read_text())
+
+
+def save_cnf(formula: CnfFormula, path: str | Path) -> None:
+    """Write a DIMACS CNF file to disk."""
+    Path(path).write_text(write_cnf(formula))
+
+
+def save_wcnf(formula: WcnfFormula, path: str | Path) -> None:
+    """Write a DIMACS WCNF file to disk."""
+    Path(path).write_text(write_wcnf(formula))

@@ -1,0 +1,124 @@
+"""Model enumeration on top of the CDCL solver.
+
+Two users inside the repository need more than a single model:
+
+* the slicing relaxation's *backtracking* step (Section V) excludes a final
+  mapping by blocking its assignment and re-solving -- exactly one iteration
+  of blocking-clause enumeration;
+* the optimality tests enumerate *all* optimal routings of tiny instances to
+  cross-check the MaxSAT optimum against brute force.
+
+:class:`ModelEnumerator` packages the blocking-clause loop with projection
+onto a variable subset, so callers can enumerate distinct assignments of just
+the variables they care about (e.g. only the ``map(q, p, k)`` variables).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sat.solver import SatSolver, SolverStatus
+
+
+@dataclass
+class EnumerationStats:
+    """Counters describing an enumeration run."""
+
+    models: int = 0
+    sat_calls: int = 0
+    exhausted: bool = False
+    elapsed: float = 0.0
+    blocking_clauses: list[list[int]] = field(default_factory=list)
+
+
+class ModelEnumerator:
+    """Enumerate models of a CNF formula via blocking clauses.
+
+    Parameters
+    ----------
+    clauses:
+        The CNF formula as a list of integer clauses.
+    projection:
+        Optional list of variables to project onto.  When given, two models
+        that agree on the projected variables are considered identical and
+        only one of them is produced.
+    """
+
+    def __init__(self, clauses: list[list[int]],
+                 projection: list[int] | None = None) -> None:
+        self.clauses = [list(clause) for clause in clauses]
+        self.projection = sorted(set(projection)) if projection else None
+        self.stats = EnumerationStats()
+
+    def __iter__(self) -> Iterator[dict[int, bool]]:
+        return self.enumerate()
+
+    def enumerate(self, limit: int | None = None,
+                  time_budget: float | None = None) -> Iterator[dict[int, bool]]:
+        """Yield models until exhaustion, ``limit`` models, or the budget expires."""
+        start = time.monotonic()
+        solver = SatSolver()
+        max_var = 0
+        for clause in self.clauses:
+            max_var = max(max_var, *(abs(literal) for literal in clause))
+        solver.ensure_vars(max_var)
+        for clause in self.clauses:
+            solver.add_clause(clause)
+
+        produced = 0
+        while True:
+            if limit is not None and produced >= limit:
+                break
+            remaining = None
+            if time_budget is not None:
+                remaining = time_budget - (time.monotonic() - start)
+                if remaining <= 0:
+                    break
+            result = solver.solve(time_budget=remaining)
+            self.stats.sat_calls += 1
+            if result.status is SolverStatus.UNSAT:
+                self.stats.exhausted = True
+                break
+            if result.status is SolverStatus.UNKNOWN:
+                break
+            model = dict(result.model)
+            self.stats.models += 1
+            produced += 1
+            yield model
+
+            blocking = self._blocking_clause(model, max_var)
+            if not blocking:
+                # Projection is empty or the model fixes nothing: only one
+                # projected model exists.
+                self.stats.exhausted = True
+                break
+            self.stats.blocking_clauses.append(blocking)
+            solver.add_clause(blocking)
+        self.stats.elapsed = time.monotonic() - start
+
+    def count(self, limit: int | None = None,
+              time_budget: float | None = None) -> int:
+        """Count (projected) models, stopping at ``limit`` if given."""
+        return sum(1 for _ in self.enumerate(limit=limit, time_budget=time_budget))
+
+    def _blocking_clause(self, model: dict[int, bool], max_var: int) -> list[int]:
+        variables = self.projection if self.projection is not None else range(1, max_var + 1)
+        clause = []
+        for variable in variables:
+            value = model.get(variable, False)
+            clause.append(-variable if value else variable)
+        return clause
+
+
+def all_models(clauses: list[list[int]], projection: list[int] | None = None,
+               limit: int | None = None) -> list[dict[int, bool]]:
+    """Collect every (projected) model of ``clauses`` into a list."""
+    return list(ModelEnumerator(clauses, projection).enumerate(limit=limit))
+
+
+def count_models(clauses: list[list[int]], projection: list[int] | None = None,
+                 limit: int | None = None) -> int:
+    """Count (projected) models of ``clauses``."""
+    return ModelEnumerator(clauses, projection).count(limit=limit)

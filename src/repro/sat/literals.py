@@ -1,0 +1,41 @@
+"""Literal and variable conventions used throughout the SAT stack.
+
+We follow the DIMACS convention externally (non-zero signed integers, where
+``-v`` is the negation of variable ``v``) because it is what users see in CNF
+files and what the MaxSAT layer manipulates.  The solver internals also work
+directly on signed integers; these helpers centralise the arithmetic so the
+rest of the code never hand-rolls sign manipulation.
+"""
+
+from __future__ import annotations
+
+
+def lit(variable: int, positive: bool = True) -> int:
+    """Return the literal for ``variable`` with the requested polarity.
+
+    ``variable`` must be a positive integer (DIMACS variable index).
+    """
+    if variable <= 0:
+        raise ValueError(f"variable index must be positive, got {variable}")
+    return variable if positive else -variable
+
+
+def neg(literal: int) -> int:
+    """Return the negation of ``literal``."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return -literal
+
+
+def var_of(literal: int) -> int:
+    """Return the variable index of ``literal`` (always positive)."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return abs(literal)
+
+
+def sign_of(literal: int) -> bool:
+    """Return ``True`` for a positive literal, ``False`` for a negative one."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return literal > 0

@@ -1,0 +1,221 @@
+"""CNF preprocessing (simplification before handing a formula to the solver).
+
+The QMR encoding is regular and highly structured, which makes it a good
+target for cheap clause-level simplification: the injectivity constraints
+produce many binary clauses, the slicing relaxation pins whole map layers with
+unit clauses, and the cyclic relaxation adds equivalences that propagate far.
+:class:`Preprocessor` applies the standard inexpensive techniques in a loop
+until a fixpoint is reached:
+
+* top-level unit propagation,
+* tautology and duplicate-literal removal,
+* pure literal elimination,
+* clause subsumption, and
+* self-subsuming resolution (clause strengthening).
+
+Preprocessing preserves satisfiability and, because no variables are
+eliminated by resolution, every model of the simplified formula extends to a
+model of the original by fixing the propagated units and pure literals, which
+:meth:`Preprocessor.extend_model` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PreprocessingError(Exception):
+    """Raised when the formula is found unsatisfiable during preprocessing."""
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of a preprocessing run."""
+
+    clauses: list[list[int]]
+    fixed_literals: list[int] = field(default_factory=list)
+    unsatisfiable: bool = False
+    removed_tautologies: int = 0
+    removed_subsumed: int = 0
+    strengthened: int = 0
+    propagated_units: int = 0
+    pure_literals: int = 0
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+
+class Preprocessor:
+    """Fixpoint CNF simplifier.
+
+    Typical use::
+
+        result = Preprocessor().simplify(clauses)
+        if result.unsatisfiable:
+            ...  # formula refuted without search
+        solver.add_clauses(result.clauses)
+        model = Preprocessor.extend_model(model, result.fixed_literals)
+    """
+
+    def __init__(self, max_rounds: int = 10) -> None:
+        if max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------ public
+
+    def simplify(self, clauses: list[list[int]]) -> PreprocessResult:
+        """Simplify ``clauses`` and report what was fixed or removed."""
+        result = PreprocessResult(clauses=[])
+        working = self._normalise(clauses, result)
+        if working is None:
+            result.unsatisfiable = True
+            return result
+
+        fixed: dict[int, int] = {}
+        for _ in range(self.max_rounds):
+            changed = False
+            working, units_changed = self._propagate_units(working, fixed, result)
+            if working is None:
+                result.unsatisfiable = True
+                result.fixed_literals = sorted(fixed.values(), key=abs)
+                return result
+            changed |= units_changed
+
+            working, pure_changed = self._eliminate_pure_literals(working, fixed, result)
+            changed |= pure_changed
+
+            working, subsumption_changed = self._subsume(working, result)
+            changed |= subsumption_changed
+
+            working, strengthening_changed = self._self_subsume(working, result)
+            changed |= strengthening_changed
+
+            if not changed:
+                break
+
+        result.clauses = [list(clause) for clause in working]
+        result.fixed_literals = sorted(fixed.values(), key=abs)
+        return result
+
+    @staticmethod
+    def extend_model(model: dict[int, bool], fixed_literals: list[int]) -> dict[int, bool]:
+        """Extend a model of the simplified formula with the fixed literals."""
+        extended = dict(model)
+        for literal in fixed_literals:
+            extended[abs(literal)] = literal > 0
+        return extended
+
+    # --------------------------------------------------------------- internals
+
+    def _normalise(self, clauses: list[list[int]],
+                   result: PreprocessResult) -> list[list[int]] | None:
+        """Drop tautologies and duplicate literals; reject empty clauses."""
+        normalised: list[list[int]] = []
+        for clause in clauses:
+            if not clause:
+                return None
+            literals = sorted(set(clause), key=abs)
+            if any(-literal in literals for literal in literals):
+                result.removed_tautologies += 1
+                continue
+            normalised.append(literals)
+        return normalised
+
+    def _propagate_units(self, clauses: list[list[int]], fixed: dict[int, int],
+                         result: PreprocessResult):
+        """Propagate top-level unit clauses to a fixpoint."""
+        changed = False
+        while True:
+            units = {clause[0] for clause in clauses if len(clause) == 1}
+            if any(-literal in units for literal in units):
+                return None, changed  # conflicting units in the same batch
+            for literal in units:
+                if fixed.get(abs(literal), literal) != literal:
+                    return None, changed  # conflicts with an earlier fix
+            new_units = {literal for literal in units if abs(literal) not in fixed}
+            if not new_units:
+                return clauses, changed
+            changed = True
+            result.propagated_units += len(new_units)
+            for literal in new_units:
+                fixed[abs(literal)] = literal
+            reduced: list[list[int]] = []
+            for clause in clauses:
+                if any(literal in new_units for literal in clause):
+                    continue
+                remaining = [literal for literal in clause if -literal not in new_units]
+                if not remaining:
+                    return None, changed
+                reduced.append(remaining)
+            clauses = reduced
+
+    def _eliminate_pure_literals(self, clauses: list[list[int]], fixed: dict[int, int],
+                                 result: PreprocessResult):
+        """Fix literals whose negation never occurs and drop their clauses."""
+        polarity: dict[int, set[int]] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(abs(literal), set()).add(literal)
+        pure = {next(iter(signs)) for variable, signs in polarity.items()
+                if len(signs) == 1 and variable not in fixed}
+        if not pure:
+            return clauses, False
+        result.pure_literals += len(pure)
+        for literal in pure:
+            fixed[abs(literal)] = literal
+        kept = [clause for clause in clauses
+                if not any(literal in pure for literal in clause)]
+        return kept, True
+
+    def _subsume(self, clauses: list[list[int]], result: PreprocessResult):
+        """Remove clauses that are supersets of another clause."""
+        ordered = sorted(clauses, key=len)
+        kept: list[list[int]] = []
+        kept_sets: list[frozenset[int]] = []
+        removed = 0
+        for clause in ordered:
+            clause_set = frozenset(clause)
+            if any(existing <= clause_set for existing in kept_sets
+                   if len(existing) <= len(clause_set)):
+                removed += 1
+                continue
+            kept.append(clause)
+            kept_sets.append(clause_set)
+        result.removed_subsumed += removed
+        return kept, removed > 0
+
+    def _self_subsume(self, clauses: list[list[int]], result: PreprocessResult):
+        """Self-subsuming resolution: strengthen C ∨ l when (C' ⊆ C) ∨ ¬l exists."""
+        clause_sets = [frozenset(clause) for clause in clauses]
+        by_literal: dict[int, list[int]] = {}
+        for index, clause in enumerate(clauses):
+            for literal in clause:
+                by_literal.setdefault(literal, []).append(index)
+
+        strengthened = 0
+        output = [list(clause) for clause in clauses]
+        for index, clause in enumerate(clauses):
+            for literal in clause:
+                candidates = by_literal.get(-literal, [])
+                target = (clause_sets[index] - {literal}) | {-literal}
+                for other in candidates:
+                    if other == index:
+                        continue
+                    if clause_sets[other] <= target:
+                        output[index] = [lit for lit in output[index] if lit != literal]
+                        strengthened += 1
+                        break
+                else:
+                    continue
+                break
+        result.strengthened += strengthened
+        if strengthened == 0:
+            return clauses, False
+        return [clause for clause in output if clause], True
+
+
+def simplify_clauses(clauses: list[list[int]]) -> PreprocessResult:
+    """Convenience wrapper: run :class:`Preprocessor` with default settings."""
+    return Preprocessor().simplify(clauses)

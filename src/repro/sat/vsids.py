@@ -1,0 +1,101 @@
+"""VSIDS (Variable State Independent Decaying Sum) branching heuristic.
+
+Implemented as an activity-ordered binary max-heap with lazy deletion, the
+standard MiniSat structure.  Activities are bumped on conflict participation
+and decayed multiplicatively; overflow is handled by rescaling.
+"""
+
+from __future__ import annotations
+
+
+class VsidsHeap:
+    """Max-heap over variables keyed by activity, with lazy membership."""
+
+    RESCALE_LIMIT = 1e100
+    RESCALE_FACTOR = 1e-100
+
+    def __init__(self, decay: float = 0.95) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.activity: list[float] = [0.0]
+        self.heap: list[int] = []
+        self.positions: list[int] = [-1]
+        self.increment = 1.0
+        self.decay = decay
+
+    def grow_to(self, num_vars: int) -> None:
+        while len(self.activity) <= num_vars:
+            variable = len(self.activity)
+            self.activity.append(0.0)
+            self.positions.append(-1)
+            self.push(variable)
+
+    def __contains__(self, variable: int) -> bool:
+        return self.positions[variable] >= 0
+
+    def push(self, variable: int) -> None:
+        if variable in self:
+            return
+        self.heap.append(variable)
+        self.positions[variable] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def pop_max(self) -> int | None:
+        if not self.heap:
+            return None
+        top = self.heap[0]
+        last = self.heap.pop()
+        self.positions[top] = -1
+        if self.heap:
+            self.heap[0] = last
+            self.positions[last] = 0
+            self._sift_down(0)
+        return top
+
+    def bump(self, variable: int) -> None:
+        self.activity[variable] += self.increment
+        if self.activity[variable] > self.RESCALE_LIMIT:
+            self._rescale()
+        if variable in self:
+            self._sift_up(self.positions[variable])
+
+    def decay_activities(self) -> None:
+        self.increment /= self.decay
+
+    def _rescale(self) -> None:
+        for variable in range(1, len(self.activity)):
+            self.activity[variable] *= self.RESCALE_FACTOR
+        self.increment *= self.RESCALE_FACTOR
+
+    def _sift_up(self, index: int) -> None:
+        heap, act, pos = self.heap, self.activity, self.positions
+        item = heap[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if act[heap[parent]] >= act[item]:
+                break
+            heap[index] = heap[parent]
+            pos[heap[parent]] = index
+            index = parent
+        heap[index] = item
+        pos[item] = index
+
+    def _sift_down(self, index: int) -> None:
+        heap, act, pos = self.heap, self.activity, self.positions
+        size = len(heap)
+        item = heap[index]
+        while True:
+            left = 2 * index + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and act[heap[right]] > act[heap[left]]:
+                best = right
+            if act[heap[best]] <= act[item]:
+                break
+            heap[index] = heap[best]
+            pos[heap[best]] = index
+            index = best
+        heap[index] = item
+        pos[item] = index

@@ -1,0 +1,65 @@
+"""Tests for CSV/JSON export of experiment records."""
+
+import json
+
+from repro.analysis.experiments import ExperimentRecord, SuiteComparison
+from repro.analysis.export import (
+    comparison_records,
+    records_from_csv,
+    records_to_csv,
+    records_to_json,
+    save_comparison_csv,
+    save_comparison_json,
+)
+
+
+def make_record(router="SATMAP", circuit="c0", solved=True) -> ExperimentRecord:
+    return ExperimentRecord(
+        router=router, circuit=circuit, num_qubits=4, num_two_qubit_gates=10,
+        solved=solved, optimal=solved, swap_count=2 if solved else -1,
+        added_cnots=6 if solved else -1, solve_time=0.5, status="optimal",
+        notes="")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = records_to_csv([make_record(), make_record(router="SABRE")])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("router,circuit,")
+        assert len(lines) == 3
+
+    def test_roundtrip(self):
+        original = [make_record(), make_record(router="SABRE", solved=False)]
+        again = records_from_csv(records_to_csv(original))
+        assert again == original
+
+    def test_save_comparison(self, tmp_path):
+        comparison = SuiteComparison()
+        comparison.add(make_record())
+        comparison.add(make_record(router="SABRE"))
+        path = tmp_path / "out.csv"
+        save_comparison_csv(comparison, path)
+        assert len(records_from_csv(path.read_text())) == 2
+
+
+class TestJson:
+    def test_json_is_valid_and_complete(self):
+        payload = json.loads(records_to_json([make_record()]))
+        assert payload[0]["router"] == "SATMAP"
+        assert payload[0]["swap_count"] == 2
+
+    def test_save_comparison_json(self, tmp_path):
+        comparison = SuiteComparison()
+        comparison.add(make_record())
+        path = tmp_path / "out.json"
+        save_comparison_json(comparison, path)
+        assert json.loads(path.read_text())[0]["circuit"] == "c0"
+
+
+class TestComparisonFlattening:
+    def test_router_major_order(self):
+        comparison = SuiteComparison()
+        comparison.add(make_record(router="B", circuit="x"))
+        comparison.add(make_record(router="A", circuit="y"))
+        flattened = comparison_records(comparison)
+        assert [record.router for record in flattened] == ["A", "B"]

@@ -1,0 +1,84 @@
+"""Tests for the analysis metrics (cost ratios, solve statistics)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    cost_ratio,
+    geometric_mean,
+    mean_cost_ratio,
+    solve_statistics,
+    speedup_factors,
+    undefined_ratio_count,
+    zero_cost_fraction,
+)
+from repro.core.result import RoutingResult, RoutingStatus
+
+
+def result(name, status, swaps=0, time=1.0):
+    return RoutingResult(status=status, router_name="r", circuit_name=name,
+                         swap_count=swaps, solve_time=time)
+
+
+class TestCostRatio:
+    def test_plain_ratio(self):
+        assert cost_ratio(30, 10) == pytest.approx(3.0)
+
+    def test_both_zero_is_one(self):
+        assert cost_ratio(0, 0) == 1.0
+
+    def test_satmap_zero_and_heuristic_positive_is_undefined(self):
+        assert cost_ratio(6, 0) is None
+
+    def test_heuristic_zero_and_satmap_positive(self):
+        assert cost_ratio(0, 3) == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            cost_ratio(-1, 2)
+
+    def test_mean_ignores_undefined(self):
+        assert mean_cost_ratio([2.0, None, 4.0]) == pytest.approx(3.0)
+
+    def test_mean_of_all_undefined_is_nan(self):
+        assert math.isnan(mean_cost_ratio([None, None]))
+
+    def test_undefined_count(self):
+        assert undefined_ratio_count([1.0, None, None, 2.0]) == 2
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_solve_statistics(self):
+        results = [
+            result("a", RoutingStatus.OPTIMAL, swaps=1, time=2.0),
+            result("b", RoutingStatus.TIMEOUT),
+            result("c", RoutingStatus.FEASIBLE, swaps=0, time=4.0),
+        ]
+        stats = solve_statistics(results, sizes={"a": 10, "b": 100, "c": 25})
+        assert stats.solved == 2
+        assert stats.total == 3
+        assert stats.largest_two_qubit_gates == 25
+        assert stats.mean_time == pytest.approx(3.0)
+        assert stats.solve_fraction == pytest.approx(2 / 3)
+
+    def test_speedup_factors(self):
+        factors = speedup_factors({"a": 10.0, "b": 2.0}, {"a": 1.0, "b": 4.0, "c": 1.0})
+        assert sorted(factors) == [0.5, 10.0]
+
+    def test_zero_cost_fraction(self):
+        results = [
+            result("a", RoutingStatus.OPTIMAL, swaps=0),
+            result("b", RoutingStatus.OPTIMAL, swaps=3),
+            result("c", RoutingStatus.TIMEOUT),
+        ]
+        assert zero_cost_fraction(results) == pytest.approx(0.5)
+
+    def test_zero_cost_fraction_empty(self):
+        assert zero_cost_fraction([]) == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the text-mode plotting helpers and the statistics module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.plotting import (
+    bar_chart,
+    histogram,
+    line_plot,
+    log_scale_positions,
+    scatter_plot,
+    sparkline,
+)
+from repro.analysis.statistics import (
+    arithmetic_mean,
+    bootstrap_confidence_interval,
+    median,
+    percentile,
+    speedup_geometric_mean,
+    standard_deviation,
+    summarize,
+)
+
+
+class TestBarChart:
+    def test_contains_every_label_and_value(self):
+        chart = bar_chart({"SATMAP": 109, "TB-OLSQ": 38, "EX-MQT": 4}, title="solved")
+        assert "SATMAP" in chart and "TB-OLSQ" in chart and "EX-MQT" in chart
+        assert "109" in chart
+        assert chart.splitlines()[0] == "solved"
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = bar_chart({"a": 10, "b": 5})
+        bar_a = chart.splitlines()[0].count("█")
+        bar_b = chart.splitlines()[1].count("█")
+        assert bar_a > bar_b
+
+    def test_empty_input(self):
+        assert bar_chart({}, title="empty") == "empty"
+
+    def test_zero_values_do_not_crash(self):
+        assert "0" in bar_chart({"a": 0, "b": 0})
+
+
+class TestScatterPlot:
+    def test_dimensions(self):
+        plot = scatter_plot([(1, 1), (2, 4), (3, 9)], width=30, height=8)
+        canvas_rows = [line for line in plot.splitlines() if line.startswith("|")]
+        assert len(canvas_rows) == 8
+        assert all(len(row) == 31 for row in canvas_rows)
+
+    def test_points_present(self):
+        plot = scatter_plot([(0, 0), (1, 1)], width=10, height=5)
+        assert plot.count("*") + plot.count("@") >= 1
+
+    def test_single_point(self):
+        assert "*" in scatter_plot([(5, 5)])
+
+    def test_empty(self):
+        assert scatter_plot([], title="none") == "none"
+
+
+class TestHistogram:
+    def test_counts_sum_to_input_size(self):
+        values = [1.0, 1.2, 2.5, 3.0, 3.1, 3.2]
+        text = histogram(values, bins=4)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_empty(self):
+        assert histogram([], title="nothing") == "nothing"
+
+
+class TestLinePlot:
+    def test_legend_contains_series_names(self):
+        plot = line_plot({"SATMAP": [(1, 1.4), (2, 1.1)], "TKET": [(1, 1.0), (2, 1.0)]})
+        assert "o = SATMAP" in plot
+        assert "x = TKET" in plot
+
+    def test_empty(self):
+        assert line_plot({}, title="none") == "none"
+
+
+class TestSparklineAndLogScale:
+    def test_sparkline_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_log_positions_monotone(self):
+        positions = log_scale_positions([0.1, 1.0, 10.0, 100.0], width=40)
+        assert positions == sorted(positions)
+        assert positions[0] == 0
+        assert positions[-1] == 39
+
+    def test_log_positions_handle_nonpositive(self):
+        assert log_scale_positions([0.0, -1.0], width=10) == [0, 0]
+
+
+class TestStatistics:
+    def test_mean_and_median(self):
+        assert arithmetic_mean([1, 2, 3, 4]) == 2.5
+        assert median([1, 2, 3, 4]) == 2.5
+        assert median([1, 2, 3]) == 2
+        assert arithmetic_mean([]) == 0.0
+        assert median([]) == 0.0
+
+    def test_standard_deviation(self):
+        assert standard_deviation([2, 2, 2]) == 0.0
+        assert standard_deviation([1]) == 0.0
+        assert standard_deviation([0, 2]) == pytest.approx(1.0)
+
+    def test_percentile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile(values, 1.5)
+
+    def test_bootstrap_interval_contains_mean_for_constant_data(self):
+        low, high = bootstrap_confidence_interval([5.0] * 10)
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(5.0)
+
+    def test_bootstrap_interval_ordering(self):
+        low, high = bootstrap_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0], seed=3)
+        assert low <= high
+        assert low <= arithmetic_mean([1.0, 2.0, 3.0, 4.0, 5.0]) <= high
+
+    def test_bootstrap_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], confidence=0.0)
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 3.0])
+        assert summary["count"] == 2
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_speedup_geometric_mean(self):
+        # Candidate twice as fast on one instance, four times on another.
+        speedup = speedup_geometric_mean([2.0, 4.0], [1.0, 1.0])
+        assert speedup == pytest.approx((2.0 * 4.0) ** 0.5)
+
+    def test_speedup_requires_paired_lists(self):
+        with pytest.raises(ValueError):
+            speedup_geometric_mean([1.0], [1.0, 2.0])
+
+    def test_speedup_ignores_nonpositive_times(self):
+        assert speedup_geometric_mean([0.0, 2.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=1, max_size=20))
+    def test_median_between_min_and_max(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=100, allow_nan=False),
+                    min_size=2, max_size=20))
+    def test_std_nonnegative(self, values):
+        assert standard_deviation(values) >= 0.0

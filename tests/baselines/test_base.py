@@ -1,0 +1,90 @@
+"""Tests for the shared baseline-router infrastructure."""
+
+import pytest
+
+from repro.baselines.base import (
+    RoutedBuilder,
+    greedy_interaction_mapping,
+    identity_mapping,
+    interaction_counts,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h
+from repro.hardware.topologies import line_architecture, tokyo_architecture
+
+
+def circuit() -> QuantumCircuit:
+    return QuantumCircuit(3, [h(0), cx(0, 1), cx(0, 2), cx(0, 1)])
+
+
+class TestMappings:
+    def test_identity_mapping(self):
+        mapping = identity_mapping(circuit(), line_architecture(4))
+        assert mapping == {0: 0, 1: 1, 2: 2}
+
+    def test_identity_mapping_rejects_too_small_architecture(self):
+        with pytest.raises(ValueError):
+            identity_mapping(circuit(), line_architecture(2))
+
+    def test_interaction_counts(self):
+        counts = interaction_counts(circuit())
+        assert counts == {(0, 1): 2, (0, 2): 1}
+
+    def test_greedy_mapping_is_injective_and_total(self):
+        mapping = greedy_interaction_mapping(circuit(), tokyo_architecture())
+        assert sorted(mapping) == [0, 1, 2]
+        assert len(set(mapping.values())) == 3
+
+    def test_greedy_mapping_places_partners_adjacent_when_possible(self):
+        arch = line_architecture(5)
+        mapping = greedy_interaction_mapping(circuit(), arch)
+        assert arch.distance(mapping[0], mapping[1]) == 1
+
+    def test_greedy_mapping_prefers_high_degree_for_hub(self):
+        # Qubit 0 interacts with everyone; it should not land on a leaf of the line.
+        arch = line_architecture(5)
+        mapping = greedy_interaction_mapping(circuit(), arch)
+        assert arch.degree(mapping[0]) == 2
+
+
+class TestRoutedBuilder:
+    def setup_method(self):
+        self.arch = line_architecture(4)
+        self.builder = RoutedBuilder(circuit(), self.arch, {0: 0, 1: 1, 2: 2})
+
+    def test_emit_gate_translates_to_physical(self):
+        self.builder.emit_gate(cx(0, 1))
+        assert self.builder.routed.gates[-1].qubits == (0, 1)
+
+    def test_emit_gate_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            self.builder.emit_gate(cx(0, 2))
+
+    def test_emit_swap_updates_mapping(self):
+        self.builder.emit_swap(1, 2)
+        assert self.builder.mapping[1] == 2
+        assert self.builder.mapping[2] == 1
+        assert self.builder.swap_count == 1
+
+    def test_emit_swap_rejects_non_edge(self):
+        with pytest.raises(ValueError):
+            self.builder.emit_swap(0, 2)
+
+    def test_swap_with_empty_position(self):
+        self.builder.emit_swap(2, 3)  # physical 3 holds no logical qubit
+        assert self.builder.mapping[2] == 3
+        assert self.builder.logical_at(2) is None
+
+    def test_can_execute(self):
+        assert self.builder.can_execute(cx(0, 1))
+        assert not self.builder.can_execute(cx(0, 2))
+        assert self.builder.can_execute(h(2))
+
+    def test_result_snapshot(self):
+        self.builder.emit_gate(cx(0, 1))
+        self.builder.emit_swap(1, 2)
+        result = self.builder.result("test-router")
+        assert result.swap_count == 1
+        assert result.initial_mapping == {0: 0, 1: 1, 2: 2}
+        assert result.final_mapping[1] == 2
+        assert result.router_name == "test-router"

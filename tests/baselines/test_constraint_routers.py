@@ -1,0 +1,94 @@
+"""Tests for the constraint-based baselines: TB-OLSQ-like and EX-MQT-like."""
+
+import pytest
+
+from repro.baselines import ExhaustiveOptimalRouter, OlsqStyleRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter, verify_routing
+from repro.core.result import RoutingStatus
+from repro.hardware.topologies import grid_architecture, line_architecture
+
+CONSTRAINT_ROUTERS = [OlsqStyleRouter, ExhaustiveOptimalRouter]
+
+
+@pytest.mark.parametrize("router_class", CONSTRAINT_ROUTERS)
+class TestBothConstraintRouters:
+    def test_running_example_optimum(self, router_class, running_example_circuit, line4):
+        result = router_class(time_budget=60).route(running_example_circuit, line4)
+        assert result.status is RoutingStatus.OPTIMAL
+        assert result.swap_count == 1
+
+    def test_zero_swap_circuit(self, router_class):
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        result = router_class(time_budget=30).route(circuit, line_architecture(3))
+        assert result.optimal and result.swap_count == 0
+
+    def test_matches_satmap_optimum(self, router_class):
+        circuit = random_circuit(4, 8, seed=31, single_qubit_ratio=0.0)
+        arch = grid_architecture(2, 3)
+        baseline = router_class(time_budget=60).route(circuit, arch)
+        satmap = SatMapRouter(time_budget=60).route(circuit, arch)
+        assert baseline.optimal and satmap.optimal
+        assert baseline.swap_count == satmap.swap_count
+
+    def test_result_verifies(self, router_class):
+        circuit = random_circuit(4, 10, seed=32)
+        arch = line_architecture(4)
+        result = router_class(time_budget=60, verify=False).route(circuit, arch)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)
+
+    def test_single_qubit_gates_preserved(self, router_class):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 2), h(2)])
+        result = router_class(time_budget=30).route(circuit, line_architecture(3))
+        assert result.solved
+        assert sum(1 for g in result.routed_circuit if g.name == "h") == 2
+
+    def test_tiny_budget_reports_timeout_not_wrong_answer(self, router_class):
+        circuit = random_circuit(6, 60, seed=33, interaction_bias=0.6)
+        arch = grid_architecture(2, 4)
+        result = router_class(time_budget=0.05).route(circuit, arch)
+        assert result.status in (RoutingStatus.TIMEOUT, RoutingStatus.OPTIMAL)
+
+
+class TestOlsqSpecifics:
+    def test_non_anytime_behaviour(self):
+        """Unlike SATMAP, a timeout yields no partial solution at all."""
+        circuit = random_circuit(6, 80, seed=40, interaction_bias=0.7)
+        arch = grid_architecture(2, 4)
+        result = OlsqStyleRouter(time_budget=0.2).route(circuit, arch)
+        if result.status is RoutingStatus.TIMEOUT:
+            assert result.routed_circuit is None
+
+    def test_bound_cap_respected(self):
+        circuit = QuantumCircuit(4, [cx(0, 1), cx(0, 2), cx(3, 2), cx(0, 3)])
+        result = OlsqStyleRouter(time_budget=30, max_bound=0).route(
+            circuit, line_architecture(4))
+        # The optimum needs one swap, so capping the bound at 0 must fail.
+        assert result.status is RoutingStatus.TIMEOUT
+
+
+class TestExhaustiveSpecifics:
+    def test_expansion_limit_triggers_timeout(self):
+        circuit = random_circuit(6, 40, seed=41, interaction_bias=0.6)
+        arch = grid_architecture(2, 4)
+        result = ExhaustiveOptimalRouter(time_budget=30, expansion_limit=50).route(
+            circuit, arch)
+        assert result.status is RoutingStatus.TIMEOUT
+
+    def test_circuit_without_two_qubit_gates(self):
+        circuit = QuantumCircuit(3, [h(0), h(1)])
+        result = ExhaustiveOptimalRouter(time_budget=10).route(
+            circuit, line_architecture(3))
+        assert result.solved and result.swap_count == 0
+
+    def test_lazy_placement_reconstruction_is_consistent(self):
+        # A circuit whose second gate introduces a new logical qubit after a
+        # swap has already happened exercises the preimage reconstruction.
+        circuit = QuantumCircuit(4, [cx(0, 1), cx(0, 2), cx(0, 3)], name="lazy")
+        arch = line_architecture(4)
+        result = ExhaustiveOptimalRouter(time_budget=30, verify=False).route(circuit, arch)
+        assert result.optimal
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)

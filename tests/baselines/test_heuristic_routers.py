@@ -1,0 +1,111 @@
+"""Tests for the heuristic baselines: SABRE, TKET-like, and MQT-A*."""
+
+import pytest
+
+from repro.baselines import AStarLayerRouter, SabreRouter, TketLikeRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h
+from repro.circuits.random_circuits import random_circuit
+from repro.core import verify_routing
+from repro.core.result import RoutingStatus
+from repro.hardware.topologies import (
+    grid_architecture,
+    line_architecture,
+    tokyo_architecture,
+)
+
+ROUTERS = [SabreRouter, TketLikeRouter, AStarLayerRouter]
+
+
+@pytest.mark.parametrize("router_class", ROUTERS)
+class TestAllHeuristics:
+    def test_adjacent_circuit_needs_no_swaps(self, router_class):
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        result = router_class().route(circuit, line_architecture(3))
+        assert result.solved
+        assert result.swap_count == 0
+
+    def test_running_example_is_solved(self, router_class, running_example_circuit, line4):
+        result = router_class().route(running_example_circuit, line4)
+        assert result.solved
+        assert result.swap_count >= 1  # one swap is provably required
+
+    def test_random_circuit_verifies(self, router_class):
+        circuit = random_circuit(5, 25, seed=21)
+        arch = grid_architecture(2, 3)
+        result = router_class(verify=False).route(circuit, arch)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)
+
+    def test_single_qubit_gates_preserved(self, router_class):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 2), h(1), cx(1, 2)])
+        arch = line_architecture(3)
+        result = router_class().route(circuit, arch)
+        assert result.solved
+        assert sum(1 for g in result.routed_circuit if g.name == "h") == 2
+
+    def test_tokyo_sized_circuit(self, router_class):
+        circuit = random_circuit(8, 40, seed=3, interaction_bias=0.4)
+        result = router_class(time_budget=60).route(circuit, tokyo_architecture())
+        assert result.solved
+
+    def test_status_is_feasible_not_optimal(self, router_class, running_example_circuit, line4):
+        result = router_class().route(running_example_circuit, line4)
+        assert result.status is RoutingStatus.FEASIBLE
+        assert not result.optimal
+
+    def test_empty_circuit(self, router_class, line4):
+        result = router_class().route(QuantumCircuit(3), line4)
+        assert result.solved and result.swap_count == 0
+
+
+class TestSabreSpecifics:
+    def test_deterministic_for_fixed_seed(self):
+        circuit = random_circuit(5, 20, seed=2)
+        arch = grid_architecture(2, 3)
+        first = SabreRouter(seed=5).route(circuit, arch)
+        second = SabreRouter(seed=5).route(circuit, arch)
+        assert first.swap_count == second.swap_count
+
+    def test_bidirectional_passes_help_or_match(self):
+        circuit = random_circuit(6, 40, seed=8, interaction_bias=0.5)
+        arch = grid_architecture(2, 3)
+        no_passes = SabreRouter(bidirectional_passes=0).route(circuit, arch)
+        with_passes = SabreRouter(bidirectional_passes=3).route(circuit, arch)
+        assert with_passes.swap_count <= no_passes.swap_count + 4
+
+    def test_invalid_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            SabreRouter(lookahead_size=-1)
+
+
+class TestTketLikeSpecifics:
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError):
+            TketLikeRouter(window_discount=0.0)
+
+    def test_window_size_zero_still_works(self):
+        circuit = random_circuit(4, 15, seed=4)
+        result = TketLikeRouter(window_size=0).route(circuit, line_architecture(4))
+        assert result.solved
+
+
+class TestAStarSpecifics:
+    def test_invalid_expansion_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AStarLayerRouter(expansion_limit=0)
+
+    def test_small_expansion_limit_falls_back_but_still_verifies(self):
+        circuit = random_circuit(5, 20, seed=9)
+        arch = grid_architecture(2, 3)
+        result = AStarLayerRouter(expansion_limit=5, verify=False).route(circuit, arch)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)
+
+    def test_layer_search_finds_single_swap(self):
+        # A triangle of interactions on a path: the centre qubit can neighbour
+        # both others, but the final gate between the two end qubits always
+        # needs exactly one swap, which the per-layer A* search should find.
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(0, 2), cx(1, 2)])
+        result = AStarLayerRouter().route(circuit, line_architecture(3))
+        assert result.swap_count == 1

@@ -1,0 +1,151 @@
+"""Tests for the naive shortest-path router and the BMT/Enfield-style router."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bmt_like import BmtLikeRouter, embeds_without_swaps, interaction_pairs
+from repro.baselines.sabre import SabreRouter
+from repro.baselines.trivial import NaiveShortestPathRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h
+from repro.circuits.named_circuits import ghz_circuit, qft_circuit
+from repro.circuits.qaoa import maxcut_qaoa_circuit
+from repro.circuits.random_circuits import random_circuit
+from repro.core.result import RoutingStatus
+from repro.core.verifier import verify_routing
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    line_architecture,
+    ring_architecture,
+    tokyo_architecture,
+)
+
+
+def _circuit(num_qubits, gates):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+class TestNaiveRouter:
+    def test_already_adjacent_gates_add_nothing(self):
+        circuit = _circuit(3, [cx(0, 1), cx(1, 2)])
+        result = NaiveShortestPathRouter().route(circuit, line_architecture(3))
+        assert result.solved
+        assert result.swap_count == 0
+
+    def test_distant_gate_gets_swaps(self):
+        circuit = _circuit(3, [cx(0, 2)])
+        result = NaiveShortestPathRouter().route(circuit, line_architecture(3))
+        assert result.solved
+        assert result.swap_count == 1
+
+    def test_routed_circuit_verifies(self):
+        circuit = random_circuit(num_qubits=6, num_two_qubit_gates=25, seed=4)
+        architecture = grid_architecture(2, 3)
+        result = NaiveShortestPathRouter().route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+    def test_smart_initial_mapping_never_worse_on_structured_circuit(self):
+        circuit = ghz_circuit(6, linear=True)
+        architecture = ring_architecture(6)
+        plain = NaiveShortestPathRouter().route(circuit, architecture)
+        smart = NaiveShortestPathRouter(smart_initial_mapping=True).route(
+            circuit, architecture)
+        assert smart.swap_count <= plain.swap_count
+
+    def test_single_qubit_gates_pass_through(self):
+        circuit = _circuit(2, [h(0), h(1), cx(0, 1)])
+        result = NaiveShortestPathRouter().route(circuit, line_architecture(2))
+        assert result.solved
+        assert len(result.routed_circuit) == 3
+
+    def test_full_connectivity_never_needs_swaps(self):
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=20, seed=9)
+        result = NaiveShortestPathRouter().route(circuit, full_architecture(5))
+        assert result.swap_count == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_random_circuits_always_verify(self, seed):
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=12, seed=seed)
+        architecture = line_architecture(5)
+        result = NaiveShortestPathRouter().route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+
+class TestBmtLikeRouter:
+    def test_embeddable_circuit_needs_no_swaps(self):
+        circuit = ghz_circuit(5, linear=True)
+        result = BmtLikeRouter().route(circuit, line_architecture(5))
+        assert result.solved
+        assert result.swap_count == 0
+
+    def test_routed_circuit_verifies_on_grid(self):
+        circuit = random_circuit(num_qubits=6, num_two_qubit_gates=20, seed=11)
+        architecture = grid_architecture(2, 3)
+        result = BmtLikeRouter().route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+    def test_qft_on_line_requires_swaps(self):
+        circuit = qft_circuit(5)
+        result = BmtLikeRouter().route(circuit, line_architecture(5))
+        assert result.solved
+        assert result.swap_count > 0
+
+    def test_qaoa_on_tokyo(self):
+        circuit = maxcut_qaoa_circuit(num_qubits=8, num_cycles=2, seed=3)
+        architecture = tokyo_architecture()
+        result = BmtLikeRouter(time_budget=60).route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+    def test_not_wildly_worse_than_sabre(self):
+        circuit = random_circuit(num_qubits=6, num_two_qubit_gates=30, seed=21)
+        architecture = grid_architecture(2, 3)
+        bmt = BmtLikeRouter().route(circuit, architecture)
+        sabre = SabreRouter().route(circuit, architecture)
+        assert bmt.solved and sabre.solved
+        assert bmt.swap_count <= max(10, 6 * max(1, sabre.swap_count))
+
+    def test_timeout_reported(self):
+        circuit = random_circuit(num_qubits=10, num_two_qubit_gates=200, seed=2)
+        result = BmtLikeRouter(time_budget=0.0001).route(circuit, tokyo_architecture())
+        assert result.status is RoutingStatus.TIMEOUT
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_random_circuits_always_verify(self, seed):
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=15, seed=seed)
+        architecture = ring_architecture(5)
+        result = BmtLikeRouter().route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+
+class TestEmbeddingHelpers:
+    def test_interaction_pairs_deduplicated(self):
+        circuit = _circuit(3, [cx(0, 1), cx(1, 0), cx(1, 2)])
+        assert interaction_pairs(circuit) == {(0, 1), (1, 2)}
+
+    def test_line_circuit_embeds_in_line(self):
+        assert embeds_without_swaps(ghz_circuit(5, linear=True), line_architecture(5))
+
+    def test_qft_does_not_embed_in_line(self):
+        assert not embeds_without_swaps(qft_circuit(4), line_architecture(4))
+
+    def test_anything_embeds_in_full_graph(self):
+        assert embeds_without_swaps(qft_circuit(5), full_architecture(5))
+
+    def test_empty_circuit_embeds(self):
+        assert embeds_without_swaps(QuantumCircuit(3), line_architecture(3))

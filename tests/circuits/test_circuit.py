@@ -1,0 +1,128 @@
+"""Tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cx, h, swap
+
+
+def small_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3, name="small")
+    circuit.extend([h(0), cx(0, 1), h(2), cx(1, 2), cx(0, 1)])
+    return circuit
+
+
+class TestConstruction:
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_rejects_out_of_range_gate(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(cx(0, 2))
+
+    def test_constructor_validates_gates(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1, [cx(0, 1)])
+
+    def test_len_and_iteration(self):
+        circuit = small_circuit()
+        assert len(circuit) == 5
+        assert [gate.name for gate in circuit] == ["h", "cx", "h", "cx", "cx"]
+
+    def test_indexing(self):
+        assert small_circuit()[1].name == "cx"
+
+
+class TestCounts:
+    def test_two_qubit_count(self):
+        assert small_circuit().num_two_qubit_gates == 3
+
+    def test_single_qubit_count(self):
+        assert small_circuit().num_single_qubit_gates == 2
+
+    def test_swap_count(self):
+        circuit = QuantumCircuit(2, [swap(0, 1), cx(0, 1)])
+        assert circuit.num_swaps == 1
+
+    def test_interaction_sequence(self):
+        assert small_circuit().interaction_sequence() == [(0, 1), (1, 2), (0, 1)]
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5, [cx(1, 3)])
+        assert circuit.used_qubits() == {1, 3}
+
+    def test_depth_chain(self):
+        circuit = QuantumCircuit(2, [cx(0, 1), cx(0, 1), cx(0, 1)])
+        assert circuit.depth() == 3
+
+    def test_depth_parallel(self):
+        circuit = QuantumCircuit(4, [cx(0, 1), cx(2, 3)])
+        assert circuit.depth() == 1
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(3).depth() == 0
+
+
+class TestSlicing:
+    def test_slices_cover_all_gates(self):
+        circuit = small_circuit()
+        slices = circuit.sliced_by_two_qubit_gates(2)
+        assert sum(len(s) for s in slices) == len(circuit)
+
+    def test_slice_two_qubit_counts(self):
+        circuit = small_circuit()
+        slices = circuit.sliced_by_two_qubit_gates(2)
+        assert [s.num_two_qubit_gates for s in slices] == [2, 1]
+
+    def test_slice_size_larger_than_circuit(self):
+        circuit = small_circuit()
+        slices = circuit.sliced_by_two_qubit_gates(100)
+        assert len(slices) == 1
+        assert len(slices[0]) == len(circuit)
+
+    def test_invalid_slice_size(self):
+        with pytest.raises(ValueError):
+            small_circuit().sliced_by_two_qubit_gates(0)
+
+    def test_single_qubit_gates_stay_with_following_gate(self):
+        circuit = QuantumCircuit(2, [h(0), cx(0, 1), h(1), cx(0, 1)])
+        slices = circuit.sliced_by_two_qubit_gates(1)
+        assert [gate.name for gate in slices[0]] == ["h", "cx"]
+        assert [gate.name for gate in slices[1]] == ["h", "cx"]
+
+    def test_empty_circuit_gives_one_empty_slice(self):
+        slices = QuantumCircuit(2).sliced_by_two_qubit_gates(5)
+        assert len(slices) == 1 and len(slices[0]) == 0
+
+    def test_slices_preserve_gate_order(self):
+        circuit = small_circuit()
+        slices = circuit.sliced_by_two_qubit_gates(1)
+        flattened = [gate for piece in slices for gate in piece.gates]
+        assert flattened == circuit.gates
+
+
+class TestTransforms:
+    def test_repeated(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        assert len(circuit.repeated(3)) == 3
+
+    def test_repeated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2, [cx(0, 1)]).repeated(0)
+
+    def test_without_single_qubit_gates(self):
+        filtered = small_circuit().without_single_qubit_gates()
+        assert filtered.num_single_qubit_gates == 0
+        assert filtered.num_two_qubit_gates == 3
+
+    def test_copy_is_independent(self):
+        circuit = small_circuit()
+        copy = circuit.copy()
+        copy.append(cx(0, 2))
+        assert len(circuit) == 5 and len(copy) == 6
+
+    def test_repr_mentions_counts(self):
+        text = repr(small_circuit())
+        assert "gates=5" in text and "two_qubit=3" in text

@@ -1,0 +1,84 @@
+"""Tests for the circuit dependency DAG."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, topological_layers
+from repro.circuits.gates import cx, h
+
+
+def sample() -> QuantumCircuit:
+    return QuantumCircuit(4, [cx(0, 1), cx(2, 3), cx(1, 2), h(0), cx(0, 1)])
+
+
+class TestDagStructure:
+    def test_node_count(self):
+        assert len(CircuitDag(sample())) == 5
+
+    def test_independent_gates_have_no_edge(self):
+        dag = CircuitDag(sample())
+        assert 0 not in dag.nodes[1].predecessors
+        assert 1 not in dag.nodes[0].successors
+
+    def test_dependency_through_shared_qubit(self):
+        dag = CircuitDag(sample())
+        # gate 2 = cx(1,2) depends on gate 0 (qubit 1) and gate 1 (qubit 2)
+        assert dag.nodes[2].predecessors == {0, 1}
+
+    def test_chain_on_same_qubit(self):
+        dag = CircuitDag(QuantumCircuit(2, [cx(0, 1), cx(0, 1), cx(0, 1)]))
+        assert dag.nodes[1].predecessors == {0}
+        assert dag.nodes[2].predecessors == {1}
+
+    def test_single_qubit_gate_dependencies(self):
+        dag = CircuitDag(sample())
+        # h(0) depends on cx(0,1); cx(0,1) (last) depends on h(0) and cx(1,2)
+        assert dag.nodes[3].predecessors == {0}
+        assert dag.nodes[4].predecessors == {3, 2}
+
+
+class TestFrontLayer:
+    def test_initial_front_layer(self):
+        dag = CircuitDag(sample())
+        assert {node.index for node in dag.front_layer(set())} == {0, 1}
+
+    def test_front_layer_advances(self):
+        dag = CircuitDag(sample())
+        front = dag.front_layer({0, 1})
+        assert {node.index for node in front} == {2, 3}
+
+    def test_front_layer_empty_when_done(self):
+        dag = CircuitDag(sample())
+        assert dag.front_layer({0, 1, 2, 3, 4}) == []
+
+    def test_successors_of(self):
+        dag = CircuitDag(sample())
+        assert [node.index for node in dag.successors_of(0)] == [2, 3]
+
+
+class TestLayers:
+    def test_layer_partition(self):
+        layers = CircuitDag(sample()).layers()
+        assert [sorted(node.index for node in layer) for layer in layers] == [
+            [0, 1], [2, 3], [4]]
+
+    def test_layers_respect_dependencies(self):
+        dag = CircuitDag(sample())
+        level = {}
+        for depth, layer in enumerate(dag.layers()):
+            for node in layer:
+                level[node.index] = depth
+        for node in dag.nodes:
+            for predecessor in node.predecessors:
+                assert level[predecessor] < level[node.index]
+
+    def test_topological_layers_returns_gates(self):
+        layers = topological_layers(sample())
+        assert [len(layer) for layer in layers] == [2, 2, 1]
+        assert layers[2][0].name == "cx"
+
+    def test_two_qubit_layers_skip_single_qubit_gates(self):
+        layers = CircuitDag(sample()).two_qubit_layers()
+        total = sum(len(layer) for layer in layers)
+        assert total == 4  # only the two-qubit gates
+
+    def test_empty_circuit(self):
+        assert CircuitDag(QuantumCircuit(2)).layers() == []

@@ -1,0 +1,93 @@
+"""Tests for the plain-text circuit drawer."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.drawer import circuit_summary, draw_circuit, gate_label
+from repro.circuits.gates import Gate, cx, h, swap
+from repro.circuits.named_circuits import ghz_circuit
+from repro.circuits.random_circuits import random_circuit
+
+
+def _circuit(num_qubits, gates):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+class TestDrawCircuit:
+    def test_one_line_per_qubit(self):
+        circuit = _circuit(3, [h(0), cx(0, 1)])
+        drawing = draw_circuit(circuit)
+        assert len(drawing.splitlines()) == 3
+
+    def test_qubit_labels_present(self):
+        drawing = draw_circuit(_circuit(2, [cx(0, 1)]))
+        assert drawing.splitlines()[0].startswith("q0:")
+        assert drawing.splitlines()[1].startswith("q1:")
+
+    def test_single_qubit_gate_label_shown(self):
+        drawing = draw_circuit(_circuit(1, [h(0)]))
+        assert "[h]" in drawing
+
+    def test_cx_symbols(self):
+        drawing = draw_circuit(_circuit(2, [cx(0, 1)]))
+        assert "●" in drawing
+        assert "⊕" in drawing
+
+    def test_ascii_mode_avoids_unicode(self):
+        drawing = draw_circuit(_circuit(2, [cx(0, 1), swap(0, 1)]), unicode=False)
+        assert all(ord(char) < 128 for char in drawing)
+
+    def test_swap_symbols_on_both_qubits(self):
+        drawing = draw_circuit(_circuit(2, [swap(0, 1)]))
+        lines = drawing.splitlines()
+        assert "✕" in lines[0] and "✕" in lines[1]
+
+    def test_truncation_marks_lines(self):
+        circuit = _circuit(1, [h(0)] * 10)
+        drawing = draw_circuit(circuit, max_columns=3)
+        assert all(line.endswith("...") for line in drawing.splitlines())
+
+    def test_parameterised_gate_label(self):
+        drawing = draw_circuit(_circuit(1, [Gate("rz", (0,), ("pi/2",))]))
+        assert "rz(pi/2)" in drawing
+
+    def test_empty_circuit(self):
+        drawing = draw_circuit(QuantumCircuit(2))
+        assert len(drawing.splitlines()) == 2
+
+    def test_parallel_gates_share_a_column(self):
+        circuit = _circuit(2, [h(0), h(1)])
+        drawing = draw_circuit(circuit)
+        columns_q0 = drawing.splitlines()[0].count("[h]")
+        columns_q1 = drawing.splitlines()[1].count("[h]")
+        assert columns_q0 == columns_q1 == 1
+
+    def test_non_cx_two_qubit_gate_labelled_on_both_wires(self):
+        drawing = draw_circuit(_circuit(2, [Gate("rzz", (0, 1), ("g",))]))
+        assert drawing.count("[rzz(g)]") == 2
+
+    def test_ghz_draws_without_error(self):
+        drawing = draw_circuit(ghz_circuit(5))
+        assert len(drawing.splitlines()) == 5
+
+    def test_random_circuit_draws_without_error(self):
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=20, seed=1)
+        assert draw_circuit(circuit, unicode=False)
+
+
+class TestGateLabel:
+    def test_plain_gate(self):
+        assert gate_label(h(0)) == "h"
+
+    def test_parameterised_gate(self):
+        assert gate_label(Gate("cp", (0, 1), ("pi/4",))) == "cp(pi/4)"
+
+
+class TestCircuitSummary:
+    def test_summary_mentions_counts(self):
+        circuit = _circuit(3, [h(0), cx(0, 1), cx(1, 2)])
+        summary = circuit_summary(circuit)
+        assert "3 qubits" in summary
+        assert "3 gates" in summary
+        assert "2 two-qubit" in summary
+        assert "cx: 2" in summary

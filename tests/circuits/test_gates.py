@@ -1,0 +1,58 @@
+"""Tests for the gate dataclass and constructors."""
+
+import pytest
+
+from repro.circuits.gates import Gate, GateKind, cx, h, rz, rzz, swap
+
+
+class TestGate:
+    def test_single_qubit_kind(self):
+        assert h(0).kind is GateKind.SINGLE_QUBIT
+
+    def test_two_qubit_kind(self):
+        assert cx(0, 1).kind is GateKind.TWO_QUBIT
+
+    def test_swap_kind(self):
+        assert swap(0, 1).kind is GateKind.SWAP
+
+    def test_is_two_qubit_flags(self):
+        assert cx(0, 1).is_two_qubit
+        assert not cx(0, 1).is_single_qubit
+        assert h(2).is_single_qubit
+
+    def test_rejects_empty_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("x", ())
+
+    def test_rejects_repeated_qubit(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_rejects_three_qubit_gates(self):
+        with pytest.raises(ValueError):
+            Gate("ccx", (0, 1, 2))
+
+    def test_params_preserved(self):
+        gate = rz(0, 0.5)
+        assert gate.params == ("0.5",)
+
+    def test_rzz_constructor(self):
+        gate = rzz(0, 1, "gamma")
+        assert gate.name == "rzz"
+        assert gate.qubits == (0, 1)
+        assert gate.params == ("gamma",)
+
+    def test_gate_is_hashable_and_frozen(self):
+        gate = cx(0, 1)
+        assert gate in {gate}
+        with pytest.raises(AttributeError):
+            gate.name = "cz"
+
+    def test_remapped(self):
+        gate = cx(0, 1).remapped({0: 5, 1: 3})
+        assert gate.qubits == (5, 3)
+        assert gate.name == "cx"
+
+    def test_remapped_preserves_params(self):
+        gate = rzz(0, 1, "g").remapped({0: 2, 1: 0})
+        assert gate.params == ("g",)

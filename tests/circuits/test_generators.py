@@ -1,0 +1,158 @@
+"""Tests for the random-circuit, QAOA, and benchmark-library generators."""
+
+import pytest
+
+from repro.circuits.library import (
+    NAMED_BENCHMARK_SIZES,
+    benchmark_suite,
+    get_benchmark,
+    named_benchmarks,
+)
+from repro.circuits.qaoa import (
+    maxcut_qaoa_circuit,
+    qaoa_repeated_block,
+    random_regular_graph,
+)
+from repro.circuits.random_circuits import layered_random_circuit, random_circuit
+
+
+class TestRandomCircuit:
+    def test_exact_two_qubit_gate_count(self):
+        circuit = random_circuit(5, 37, seed=1)
+        assert circuit.num_two_qubit_gates == 37
+
+    def test_deterministic_for_same_seed(self):
+        first = random_circuit(4, 20, seed=7)
+        second = random_circuit(4, 20, seed=7)
+        assert first.interaction_sequence() == second.interaction_sequence()
+
+    def test_different_seeds_differ(self):
+        first = random_circuit(4, 20, seed=1)
+        second = random_circuit(4, 20, seed=2)
+        assert first.interaction_sequence() != second.interaction_sequence()
+
+    def test_qubits_in_range(self):
+        circuit = random_circuit(6, 50, seed=3)
+        assert all(0 <= q < 6 for gate in circuit for q in gate.qubits)
+
+    def test_interaction_bias_concentrates_on_hubs(self):
+        biased = random_circuit(8, 200, seed=5, interaction_bias=1.0)
+        unbiased = random_circuit(8, 200, seed=5, interaction_bias=0.0)
+        hub_qubits = {0, 1}
+
+        def hub_fraction(circuit):
+            pairs = circuit.interaction_sequence()
+            return sum(1 for a, b in pairs if a in hub_qubits or b in hub_qubits) / len(pairs)
+
+        assert hub_fraction(biased) > hub_fraction(unbiased)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5)
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            random_circuit(3, 5, interaction_bias=1.5)
+
+    def test_zero_gates(self):
+        assert random_circuit(3, 0, seed=1).num_two_qubit_gates == 0
+
+    def test_layered_circuit_layers(self):
+        circuit = layered_random_circuit(6, 4, seed=1)
+        assert circuit.num_two_qubit_gates == 3 * 4
+        assert circuit.depth() == 4
+
+
+class TestRegularGraphs:
+    def test_three_regular_graph_degrees(self):
+        edges = random_regular_graph(8, degree=3, seed=2)
+        degree = {node: 0 for node in range(8)}
+        for first, second in edges:
+            degree[first] += 1
+            degree[second] += 1
+        assert all(value == 3 for value in degree.values())
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = random_regular_graph(10, degree=3, seed=4)
+        assert all(a != b for a, b in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, degree=3)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(3, degree=3)
+
+    def test_deterministic(self):
+        assert random_regular_graph(8, seed=9) == random_regular_graph(8, seed=9)
+
+
+class TestQaoa:
+    def test_circuit_structure(self):
+        circuit = maxcut_qaoa_circuit(6, 2, seed=1)
+        # 6 Hadamards + 2 * (9 RZZ + 6 RX)
+        assert circuit.num_qubits == 6
+        assert circuit.num_two_qubit_gates == 2 * 9
+        assert sum(1 for g in circuit if g.name == "h") == 6
+        assert sum(1 for g in circuit if g.name == "rx") == 12
+
+    def test_cycles_repeat_same_interactions(self):
+        circuit = maxcut_qaoa_circuit(6, 3, seed=1)
+        pairs = circuit.interaction_sequence()
+        per_cycle = len(pairs) // 3
+        assert pairs[:per_cycle] == pairs[per_cycle:2 * per_cycle]
+
+    def test_block_matches_full_circuit_interactions(self):
+        block = qaoa_repeated_block(6, seed=1)
+        full = maxcut_qaoa_circuit(6, 1, seed=1)
+        assert block.interaction_sequence() == full.interaction_sequence()
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            maxcut_qaoa_circuit(6, 0)
+
+
+class TestBenchmarkLibrary:
+    def test_named_benchmark_sizes_match_spec(self):
+        bench = get_benchmark("miller_11")
+        assert bench.num_qubits == 3
+        assert bench.num_two_qubit_gates == 23
+        assert bench.circuit.num_two_qubit_gates == 23
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("definitely_not_a_benchmark")
+
+    def test_named_benchmarks_filter(self):
+        small = named_benchmarks(max_two_qubit_gates=20)
+        assert all(bench.num_two_qubit_gates <= 20 for bench in small)
+        assert small  # not empty
+
+    def test_all_named_sizes_are_positive(self):
+        assert all(qubits >= 3 and gates > 0
+                   for _, qubits, gates in NAMED_BENCHMARK_SIZES)
+
+    def test_suite_size_and_spread(self):
+        suite = benchmark_suite(count=20, max_two_qubit_gates=500)
+        assert len(suite) == 20
+        sizes = [bench.num_two_qubit_gates for bench in suite]
+        assert min(sizes) == 5 and max(sizes) == 500
+        assert sorted(sizes) == sizes  # log-spread is monotone in index
+
+    def test_suite_default_envelope_matches_paper(self):
+        suite = benchmark_suite(count=5)
+        assert suite[0].num_two_qubit_gates == 5
+        assert suite[-1].num_two_qubit_gates == 200_000
+        assert suite[0].num_qubits == 3 and suite[-1].num_qubits == 16
+
+    def test_suite_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            benchmark_suite(count=0)
+        with pytest.raises(ValueError):
+            benchmark_suite(min_two_qubit_gates=10, max_two_qubit_gates=5)
+
+    def test_benchmarks_are_deterministic(self):
+        assert (get_benchmark("3_17_13").circuit.interaction_sequence()
+                == get_benchmark("3_17_13").circuit.interaction_sequence())

@@ -1,0 +1,151 @@
+"""Tests for the structured circuit generators."""
+
+import pytest
+
+from repro.circuits.named_circuits import (
+    bernstein_vazirani_circuit,
+    cuccaro_adder_circuit,
+    ghz_circuit,
+    hidden_shift_circuit,
+    ising_model_circuit,
+    qft_circuit,
+)
+from repro.core import SatMapRouter, verify_routing
+from repro.hardware.topologies import line_architecture
+
+
+class TestQft:
+    def test_gate_count(self):
+        # n Hadamards plus n(n-1)/2 controlled phases.
+        circuit = qft_circuit(5)
+        assert circuit.num_single_qubit_gates == 5
+        assert circuit.num_two_qubit_gates == 10
+
+    def test_all_pairs_interact(self):
+        circuit = qft_circuit(4)
+        pairs = {frozenset(gate.qubits) for gate in circuit.two_qubit_gates}
+        assert len(pairs) == 6
+
+    def test_swap_option(self):
+        assert qft_circuit(4, include_swaps=True).num_swaps == 2
+        assert qft_circuit(5, include_swaps=True).num_swaps == 2
+        assert qft_circuit(4, include_swaps=False).num_swaps == 0
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+    def test_angles_are_halving(self):
+        circuit = qft_circuit(3)
+        angles = [gate.params[0] for gate in circuit.two_qubit_gates]
+        assert angles == ["pi/2", "pi/4", "pi/2"]
+
+
+class TestGhz:
+    def test_linear_chain_structure(self):
+        circuit = ghz_circuit(4, linear=True)
+        assert [gate.qubits for gate in circuit.two_qubit_gates] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star_structure(self):
+        circuit = ghz_circuit(4, linear=False)
+        assert all(gate.qubits[0] == 0 for gate in circuit.two_qubit_gates)
+
+    def test_linear_ghz_needs_no_swaps_on_line(self):
+        circuit = ghz_circuit(4, linear=True)
+        result = SatMapRouter(time_budget=20).route(circuit, line_architecture(4))
+        assert result.solved
+        assert result.swap_count == 0
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+
+class TestBernsteinVazirani:
+    def test_cnot_count_equals_ones_in_secret(self):
+        circuit = bernstein_vazirani_circuit("1011")
+        assert circuit.num_two_qubit_gates == 3
+
+    def test_all_cnots_target_ancilla(self):
+        circuit = bernstein_vazirani_circuit("111")
+        ancilla = 3
+        assert all(gate.qubits[1] == ancilla for gate in circuit.two_qubit_gates)
+
+    def test_zero_secret_has_no_two_qubit_gates(self):
+        assert bernstein_vazirani_circuit("000").num_two_qubit_gates == 0
+
+    def test_rejects_bad_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("10a")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("")
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_qubit_count(self, bits):
+        assert cuccaro_adder_circuit(bits).num_qubits == 2 * bits + 2
+
+    def test_only_one_and_two_qubit_gates(self):
+        circuit = cuccaro_adder_circuit(2)
+        assert all(len(gate.qubits) <= 2 for gate in circuit)
+
+    def test_gate_count_grows_linearly(self):
+        small = len(cuccaro_adder_circuit(2))
+        large = len(cuccaro_adder_circuit(4))
+        assert large > small
+        # The MAJ/UMA ladder adds a constant number of gates per bit.
+        assert (large - small) % 2 == 0
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder_circuit(0)
+
+    def test_routes_on_line(self):
+        circuit = cuccaro_adder_circuit(1)
+        architecture = line_architecture(circuit.num_qubits)
+        result = SatMapRouter(slice_size=10, time_budget=30).route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+
+class TestIsingModel:
+    def test_interactions_are_nearest_neighbour(self):
+        circuit = ising_model_circuit(6, trotter_steps=2)
+        for gate in circuit.two_qubit_gates:
+            assert abs(gate.qubits[0] - gate.qubits[1]) == 1
+
+    def test_gate_count(self):
+        circuit = ising_model_circuit(5, trotter_steps=3)
+        assert circuit.num_two_qubit_gates == 3 * 4
+        assert circuit.num_single_qubit_gates == 3 * 5
+
+    def test_needs_no_swaps_on_line(self):
+        circuit = ising_model_circuit(5, trotter_steps=1)
+        result = SatMapRouter(time_budget=20).route(circuit, line_architecture(5))
+        assert result.solved
+        assert result.swap_count == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ising_model_circuit(1)
+        with pytest.raises(ValueError):
+            ising_model_circuit(4, trotter_steps=0)
+
+
+class TestHiddenShift:
+    def test_interaction_graph_is_matching(self):
+        circuit = hidden_shift_circuit("101010")
+        pairs = [gate.qubits for gate in circuit.two_qubit_gates]
+        used = [qubit for pair in pairs for qubit in pair]
+        assert len(used) == len(set(used))
+
+    def test_shift_controls_x_gates(self):
+        circuit = hidden_shift_circuit("101")
+        x_gates = [gate for gate in circuit if gate.name == "x"]
+        assert len(x_gates) == 4  # two layers of two X gates
+
+    def test_rejects_bad_shift(self):
+        with pytest.raises(ValueError):
+            hidden_shift_circuit("12")

@@ -1,0 +1,208 @@
+"""Tests for the circuit transformation passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cx, h, swap
+from repro.circuits.passes import (
+    PassManager,
+    cancel_adjacent_inverses,
+    decompose_swaps,
+    default_cleanup_pipeline,
+    merge_rotations,
+    mirror_cnots_for_directed_coupling,
+    remove_trivial_gates,
+)
+from repro.circuits.random_circuits import random_circuit
+
+
+def _circuit(num_qubits, gates):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+def _final_permutation(circuit):
+    """Track how SWAP/CX-only circuits permute qubit contents (SWAPs only)."""
+    positions = list(range(circuit.num_qubits))
+    for gate in circuit:
+        if gate.name == "swap":
+            a, b = gate.qubits
+            positions[a], positions[b] = positions[b], positions[a]
+    return positions
+
+
+class TestDecomposeSwaps:
+    def test_swap_becomes_three_cnots(self):
+        circuit = _circuit(2, [swap(0, 1)])
+        decomposed = decompose_swaps(circuit)
+        assert [g.name for g in decomposed] == ["cx", "cx", "cx"]
+        assert decomposed[0].qubits == (0, 1)
+        assert decomposed[1].qubits == (1, 0)
+        assert decomposed[2].qubits == (0, 1)
+
+    def test_non_swap_gates_untouched(self):
+        circuit = _circuit(3, [h(0), cx(0, 1), swap(1, 2), cx(0, 2)])
+        decomposed = decompose_swaps(circuit)
+        assert decomposed.num_swaps == 0
+        assert len(decomposed) == len(circuit) + 2
+
+    def test_cost_accounting_matches_paper(self):
+        # k SWAPs must contribute exactly 3k CNOTs.
+        circuit = _circuit(4, [swap(0, 1), swap(2, 3), swap(1, 2)])
+        decomposed = decompose_swaps(circuit)
+        assert decomposed.num_two_qubit_gates == 9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_gate_count_invariant(self, seed):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=10, seed=seed)
+        decomposed = decompose_swaps(circuit)
+        swaps = circuit.num_swaps
+        assert len(decomposed) == len(circuit) + 2 * swaps
+
+
+class TestRemoveTrivialGates:
+    def test_identity_and_barrier_removed(self):
+        circuit = _circuit(2, [Gate("id", (0,)), h(0), Gate("barrier", (0,)), cx(0, 1)])
+        cleaned = remove_trivial_gates(circuit)
+        assert [g.name for g in cleaned] == ["h", "cx"]
+
+    def test_zero_angle_rotation_removed(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("0.0",)), Gate("rz", (0,), ("1.5",))])
+        cleaned = remove_trivial_gates(circuit)
+        assert len(cleaned) == 1
+        assert cleaned[0].params == ("1.5",)
+
+    def test_symbolic_angle_kept(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("theta",))])
+        assert len(remove_trivial_gates(circuit)) == 1
+
+
+class TestCancelAdjacentInverses:
+    def test_double_hadamard_cancels(self):
+        circuit = _circuit(1, [h(0), h(0)])
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_double_cnot_cancels(self):
+        circuit = _circuit(2, [cx(0, 1), cx(0, 1)])
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_reversed_cnot_does_not_cancel(self):
+        circuit = _circuit(2, [cx(0, 1), cx(1, 0)])
+        assert len(cancel_adjacent_inverses(circuit)) == 2
+
+    def test_intervening_gate_blocks_cancellation(self):
+        circuit = _circuit(2, [cx(0, 1), h(0), cx(0, 1)])
+        assert len(cancel_adjacent_inverses(circuit)) == 3
+
+    def test_intervening_gate_on_other_qubit_allows_cancellation(self):
+        circuit = _circuit(3, [cx(0, 1), h(2), cx(0, 1)])
+        cancelled = cancel_adjacent_inverses(circuit)
+        assert [g.name for g in cancelled] == ["h"]
+
+    def test_quadruple_hadamard_cancels_completely(self):
+        circuit = _circuit(1, [h(0)] * 4)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_odd_chain_leaves_one(self):
+        circuit = _circuit(1, [h(0)] * 5)
+        assert len(cancel_adjacent_inverses(circuit)) == 1
+
+    def test_non_self_inverse_gate_untouched(self):
+        circuit = _circuit(1, [Gate("t", (0,)), Gate("t", (0,))])
+        assert len(cancel_adjacent_inverses(circuit)) == 2
+
+    def test_double_swap_cancels_and_preserves_permutation(self):
+        circuit = _circuit(3, [swap(0, 1), swap(0, 1), swap(1, 2)])
+        cancelled = cancel_adjacent_inverses(circuit)
+        assert _final_permutation(cancelled) == _final_permutation(circuit)
+        assert cancelled.num_swaps == 1
+
+
+class TestMergeRotations:
+    def test_numeric_angles_summed(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("0.5",)), Gate("rz", (0,), ("0.25",))])
+        merged = merge_rotations(circuit)
+        assert len(merged) == 1
+        assert float(merged[0].params[0]) == pytest.approx(0.75)
+
+    def test_symbolic_angles_joined(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("a",)), Gate("rz", (0,), ("b",))])
+        merged = merge_rotations(circuit)
+        assert merged[0].params[0] == "(a)+(b)"
+
+    def test_cancelling_angles_drop_gate(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("0.5",)), Gate("rz", (0,), ("-0.5",))])
+        assert len(merge_rotations(circuit)) == 0
+
+    def test_different_axes_not_merged(self):
+        circuit = _circuit(1, [Gate("rz", (0,), ("1",)), Gate("rx", (0,), ("1",))])
+        assert len(merge_rotations(circuit)) == 2
+
+    def test_two_qubit_gate_flushes_pending(self):
+        circuit = _circuit(2, [Gate("rz", (0,), ("1",)), cx(0, 1), Gate("rz", (0,), ("1",))])
+        merged = merge_rotations(circuit)
+        assert len(merged) == 3
+        # Order must be preserved: rotation, cx, rotation.
+        assert [g.name for g in merged] == ["rz", "cx", "rz"]
+
+    def test_rotations_on_distinct_qubits_not_merged(self):
+        circuit = _circuit(2, [Gate("rz", (0,), ("1",)), Gate("rz", (1,), ("1",))])
+        assert len(merge_rotations(circuit)) == 2
+
+
+class TestMirrorCnots:
+    def test_supported_direction_unchanged(self):
+        circuit = _circuit(2, [cx(0, 1)])
+        mirrored = mirror_cnots_for_directed_coupling(circuit, [(0, 1)])
+        assert [g.name for g in mirrored] == ["cx"]
+
+    def test_reversed_direction_wrapped_in_hadamards(self):
+        circuit = _circuit(2, [cx(1, 0)])
+        mirrored = mirror_cnots_for_directed_coupling(circuit, [(0, 1)])
+        assert [g.name for g in mirrored] == ["h", "h", "cx", "h", "h"]
+        assert mirrored[2].qubits == (0, 1)
+
+    def test_unsupported_edge_raises(self):
+        circuit = _circuit(3, [cx(0, 2)])
+        with pytest.raises(ValueError):
+            mirror_cnots_for_directed_coupling(circuit, [(0, 1), (1, 2)])
+
+    def test_other_gates_pass_through(self):
+        circuit = _circuit(2, [h(0), Gate("cz", (0, 1))])
+        mirrored = mirror_cnots_for_directed_coupling(circuit, [])
+        assert len(mirrored) == 2
+
+
+class TestPassManager:
+    def test_history_records_each_pass(self):
+        manager = PassManager().add(remove_trivial_gates).add(cancel_adjacent_inverses)
+        circuit = _circuit(2, [Gate("id", (0,)), h(0), h(0), cx(0, 1)])
+        result = manager.run(circuit)
+        assert len(manager.history) == 2
+        assert manager.history[0].name == "remove_trivial_gates"
+        assert manager.total_removed == 3
+        assert len(result) == 1
+
+    def test_default_cleanup_pipeline_is_idempotent(self):
+        circuit = _circuit(2, [h(0), h(0), cx(0, 1), Gate("rz", (1,), ("1",)),
+                               Gate("rz", (1,), ("-1",))])
+        pipeline = default_cleanup_pipeline()
+        once = pipeline.run(circuit)
+        twice = default_cleanup_pipeline().run(once)
+        assert [g.name for g in once] == [g.name for g in twice]
+
+    def test_empty_manager_returns_circuit_unchanged(self):
+        circuit = _circuit(2, [cx(0, 1)])
+        assert PassManager().run(circuit) is circuit
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_cleanup_never_increases_two_qubit_count(self, seed):
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=15, seed=seed,
+                                 single_qubit_ratio=1.0)
+        cleaned = default_cleanup_pipeline().run(circuit)
+        assert cleaned.num_two_qubit_gates <= circuit.num_two_qubit_gates

@@ -1,0 +1,130 @@
+"""Tests for the OpenQASM 2.0 reader/writer."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h, rz
+from repro.circuits.qasm import (
+    QasmError,
+    circuit_to_qasm,
+    load_qasm,
+    parse_qasm,
+    save_qasm,
+)
+
+SIMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(0.25) q[2];
+cx q[1],q[2];
+measure q[0] -> c[0];
+"""
+
+TWO_REGISTERS = """
+OPENQASM 2.0;
+qreg a[2];
+qreg b[2];
+cx a[0],b[1];
+cx b[0],a[1];
+"""
+
+CUSTOM_GATE = """
+OPENQASM 2.0;
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+qreg q[4];
+majority q[0],q[1],q[2];
+cx q[2],q[3];
+"""
+
+
+class TestParsing:
+    def test_qubit_count(self):
+        assert parse_qasm(SIMPLE).num_qubits == 3
+
+    def test_gate_names_in_order(self):
+        circuit = parse_qasm(SIMPLE)
+        assert [gate.name for gate in circuit] == ["h", "cx", "rz", "cx"]
+
+    def test_measure_and_creg_dropped(self):
+        circuit = parse_qasm(SIMPLE)
+        assert all(gate.name not in ("measure", "creg") for gate in circuit)
+
+    def test_parameters_preserved(self):
+        circuit = parse_qasm(SIMPLE)
+        assert circuit.gates[2].params == ("0.25",)
+
+    def test_comments_stripped(self):
+        circuit = parse_qasm("OPENQASM 2.0;\nqreg q[2];\n// comment\ncx q[0],q[1]; // inline\n")
+        assert circuit.num_two_qubit_gates == 1
+
+    def test_two_registers_flattened(self):
+        circuit = parse_qasm(TWO_REGISTERS)
+        assert circuit.num_qubits == 4
+        assert circuit.interaction_sequence() == [(0, 3), (2, 1)]
+
+    def test_custom_gate_expansion(self):
+        circuit = parse_qasm(CUSTOM_GATE)
+        # majority expands to 2 CX + a decomposed Toffoli (6 CX) + final cx
+        assert circuit.num_qubits == 4
+        assert circuit.interaction_sequence()[:2] == [(2, 1), (2, 0)]
+        assert circuit.num_two_qubit_gates == 2 + 6 + 1
+
+    def test_toffoli_decomposition(self):
+        circuit = parse_qasm("OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n")
+        assert circuit.num_two_qubit_gates == 6
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0],q[1];\n")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx r[0],q[1];\n")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_whole_register_application_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q;\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n")
+
+
+class TestWriting:
+    def test_roundtrip_preserves_structure(self):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 1), rz(2, "0.5"), cx(1, 2)], name="rt")
+        again = parse_qasm(circuit_to_qasm(circuit))
+        assert [gate.name for gate in again] == [gate.name for gate in circuit]
+        assert again.interaction_sequence() == circuit.interaction_sequence()
+
+    def test_written_text_contains_header(self):
+        text = circuit_to_qasm(QuantumCircuit(2, [cx(0, 1)]))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+
+    def test_file_roundtrip(self, tmp_path):
+        circuit = QuantumCircuit(2, [cx(0, 1), cx(1, 0)], name="disk")
+        path = tmp_path / "disk.qasm"
+        save_qasm(circuit, path)
+        loaded = load_qasm(path)
+        assert loaded.name == "disk"
+        assert loaded.interaction_sequence() == circuit.interaction_sequence()
+
+    def test_swap_gates_survive_roundtrip(self):
+        from repro.circuits.gates import swap
+
+        circuit = QuantumCircuit(2, [swap(0, 1)])
+        again = parse_qasm(circuit_to_qasm(circuit))
+        assert again.gates[0].name == "swap"

@@ -1,0 +1,149 @@
+"""Tests for gate scheduling and timing analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cx, h, swap
+from repro.circuits.random_circuits import random_circuit
+from repro.circuits.scheduling import (
+    GateDurations,
+    alap_schedule,
+    asap_schedule,
+    routing_latency_overhead,
+    schedule_length,
+)
+
+
+def _circuit(num_qubits, gates):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+class TestGateDurations:
+    def test_known_gate_durations(self):
+        durations = GateDurations()
+        assert durations.of(cx(0, 1)) == 300.0
+        assert durations.of(swap(0, 1)) == 900.0
+        assert durations.of(h(0)) == 35.0
+
+    def test_unknown_two_qubit_gate_defaults_to_cx(self):
+        durations = GateDurations()
+        assert durations.of(Gate("rzz", (0, 1), ("x",))) == 300.0
+
+    def test_override(self):
+        durations = GateDurations({"cx": 100.0})
+        assert durations.of(cx(0, 1)) == 100.0
+
+
+class TestAsapSchedule:
+    def test_sequential_gates_on_one_qubit(self):
+        circuit = _circuit(1, [h(0), h(0), h(0)])
+        schedule = asap_schedule(circuit)
+        assert schedule.makespan == pytest.approx(3 * 35.0)
+        starts = [entry.start for entry in schedule.entries]
+        assert starts == sorted(starts)
+
+    def test_parallel_gates_overlap(self):
+        circuit = _circuit(2, [h(0), h(1)])
+        schedule = asap_schedule(circuit)
+        assert schedule.makespan == pytest.approx(35.0)
+
+    def test_two_qubit_gate_waits_for_both_qubits(self):
+        circuit = _circuit(2, [h(0), cx(0, 1)])
+        schedule = asap_schedule(circuit)
+        assert schedule.entries[1].start == pytest.approx(35.0)
+
+    def test_empty_circuit(self):
+        assert asap_schedule(QuantumCircuit(2)).makespan == 0.0
+
+    def test_no_overlap_on_shared_qubits(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=12, seed=3)
+        schedule = asap_schedule(circuit)
+        for first in schedule.entries:
+            for second in schedule.entries:
+                if first.index >= second.index:
+                    continue
+                if set(first.gate.qubits) & set(second.gate.qubits):
+                    assert first.finish <= second.start + 1e-9
+
+
+class TestAlapSchedule:
+    def test_same_makespan_as_asap(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=10, seed=7)
+        assert alap_schedule(circuit).makespan == pytest.approx(
+            asap_schedule(circuit).makespan)
+
+    def test_gates_not_earlier_than_asap(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=10, seed=11)
+        asap = asap_schedule(circuit)
+        alap = alap_schedule(circuit)
+        for early, late in zip(asap.entries, alap.entries):
+            assert late.start >= early.start - 1e-9
+
+    def test_last_gate_pinned_to_makespan(self):
+        circuit = _circuit(2, [h(0), cx(0, 1)])
+        alap = alap_schedule(circuit)
+        assert alap.entries[-1].finish == pytest.approx(alap.makespan)
+
+
+class TestScheduleAnalysis:
+    def test_critical_path_covers_longest_chain(self):
+        circuit = _circuit(3, [cx(0, 1), cx(1, 2), cx(0, 1), h(2)])
+        schedule = asap_schedule(circuit)
+        path = schedule.critical_path()
+        assert path
+        path_length = sum(schedule.entries[i].duration for i in path)
+        assert path_length == pytest.approx(schedule.makespan)
+
+    def test_parallelism_profile_length(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=8, seed=2)
+        profile = asap_schedule(circuit).parallelism_profile(resolution=10)
+        assert len(profile) == 10
+        assert all(value >= 0 for value in profile)
+
+    def test_parallelism_profile_empty_circuit(self):
+        assert asap_schedule(QuantumCircuit(2)).parallelism_profile() == [0] * 20
+
+    def test_qubit_busy_and_idle_time(self):
+        circuit = _circuit(2, [h(0), cx(0, 1), h(0)])
+        schedule = asap_schedule(circuit)
+        assert schedule.qubit_busy_time(0) == pytest.approx(35.0 + 300.0 + 35.0)
+        assert schedule.idle_time(0) == pytest.approx(0.0)
+        # Qubit 1 waits for the Hadamard on qubit 0 before its CX... but its
+        # first gate IS the CX, so idle time within its own span is zero.
+        assert schedule.idle_time(1) == pytest.approx(0.0)
+
+    def test_idle_time_positive_when_waiting(self):
+        circuit = _circuit(2, [cx(0, 1), h(0), h(0), cx(0, 1)])
+        schedule = asap_schedule(circuit)
+        assert schedule.idle_time(1) == pytest.approx(70.0)
+
+
+class TestRoutingOverhead:
+    def test_identical_circuits_have_unit_overhead(self):
+        circuit = random_circuit(num_qubits=3, num_two_qubit_gates=6, seed=5)
+        assert routing_latency_overhead(circuit, circuit) == pytest.approx(1.0)
+
+    def test_added_swaps_increase_overhead(self):
+        original = _circuit(3, [cx(0, 1), cx(1, 2)])
+        routed = _circuit(3, [cx(0, 1), swap(0, 1), cx(1, 2)])
+        assert routing_latency_overhead(original, routed) > 1.0
+
+    def test_empty_original(self):
+        empty = QuantumCircuit(2)
+        assert routing_latency_overhead(empty, empty) == 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_overhead_at_least_one_when_gates_added(self, seed):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=8, seed=seed)
+        routed = circuit.copy()
+        routed.append(swap(0, 1))
+        assert routing_latency_overhead(circuit, routed) >= 1.0
+
+    def test_schedule_length_helper(self):
+        circuit = _circuit(2, [cx(0, 1)])
+        assert schedule_length(circuit) == pytest.approx(300.0)

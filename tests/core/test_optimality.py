@@ -1,0 +1,72 @@
+"""Optimality cross-checks: SATMAP vs the exhaustive optimal search.
+
+These are the most important correctness tests in the repository: they confirm
+Theorem 1 empirically by comparing the MaxSAT optimum against an independent
+exhaustive optimal router on a range of small instances, and they check that
+the relaxations never beat the true optimum (which would indicate a soundness
+bug) while staying within a reasonable factor of it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact_mqt import ExhaustiveOptimalRouter
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter
+from repro.hardware.topologies import (
+    grid_architecture,
+    line_architecture,
+    ring_architecture,
+)
+
+
+ARCHITECTURES = {
+    "line4": line_architecture(4),
+    "line5": line_architecture(5),
+    "ring5": ring_architecture(5),
+    "grid2x3": grid_architecture(2, 3),
+}
+
+
+class TestAgainstExhaustiveOptimum:
+    @pytest.mark.parametrize("arch_name", list(ARCHITECTURES))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_satmap_matches_exhaustive_optimum(self, arch_name, seed):
+        architecture = ARCHITECTURES[arch_name]
+        circuit = random_circuit(4, 8, seed=seed, single_qubit_ratio=0.0)
+        satmap = SatMapRouter(time_budget=60).route(circuit, architecture)
+        exact = ExhaustiveOptimalRouter(time_budget=60).route(circuit, architecture)
+        assert satmap.solved and exact.solved
+        assert satmap.optimal and exact.optimal
+        assert satmap.swap_count == exact.swap_count
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_satmap_never_beats_or_loses_to_exhaustive(self, seed):
+        architecture = line_architecture(4)
+        circuit = random_circuit(4, 6, seed=seed, single_qubit_ratio=0.0)
+        satmap = SatMapRouter(time_budget=60).route(circuit, architecture)
+        exact = ExhaustiveOptimalRouter(time_budget=60).route(circuit, architecture)
+        if satmap.optimal and exact.solved:
+            assert satmap.swap_count == exact.swap_count
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_relaxations_never_beat_the_optimum(self, seed):
+        architecture = grid_architecture(2, 3)
+        circuit = random_circuit(5, 12, seed=seed, single_qubit_ratio=0.0)
+        optimal = SatMapRouter(time_budget=60).route(circuit, architecture)
+        sliced = SatMapRouter(slice_size=4, time_budget=60).route(circuit, architecture)
+        assert optimal.solved and sliced.solved
+        assert sliced.swap_count >= optimal.swap_count
+
+    def test_heuristics_never_beat_the_optimum(self):
+        from repro.baselines import SabreRouter, TketLikeRouter
+
+        architecture = line_architecture(5)
+        circuit = random_circuit(5, 10, seed=17, single_qubit_ratio=0.0)
+        optimal = SatMapRouter(time_budget=60).route(circuit, architecture)
+        assert optimal.optimal
+        for router in (SabreRouter(), TketLikeRouter()):
+            heuristic = router.route(circuit, architecture)
+            assert heuristic.solved
+            assert heuristic.swap_count >= optimal.swap_count

@@ -1,0 +1,75 @@
+"""Property-based tests of the full SATMAP pipeline.
+
+Every routed circuit, for any random circuit and any of several architectures,
+must pass the independent verifier; this is the invariant the paper's own
+verifier enforces for every reported result.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter, verify_routing
+from repro.core.result import RoutingStatus
+from repro.hardware.topologies import (
+    grid_architecture,
+    line_architecture,
+    ring_architecture,
+)
+
+ARCHITECTURES = [
+    line_architecture(4),
+    line_architecture(5),
+    ring_architecture(5),
+    grid_architecture(2, 3),
+]
+
+
+@st.composite
+def routing_instance(draw):
+    architecture = draw(st.sampled_from(ARCHITECTURES))
+    num_qubits = draw(st.integers(min_value=2, max_value=min(4, architecture.num_qubits)))
+    num_gates = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    circuit = random_circuit(num_qubits, num_gates, seed=seed)
+    return circuit, architecture
+
+
+class TestRoutingInvariants:
+    @given(routing_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_monolithic_routing_always_verifies(self, instance):
+        circuit, architecture = instance
+        router = SatMapRouter(time_budget=30, verify=False)
+        result = router.route(circuit, architecture)
+        assert result.solved
+        swaps = verify_routing(circuit, result.routed_circuit,
+                               result.initial_mapping, architecture)
+        assert swaps == result.swap_count
+
+    @given(routing_instance())
+    @settings(max_examples=15, deadline=None)
+    def test_sliced_routing_always_verifies(self, instance):
+        circuit, architecture = instance
+        router = SatMapRouter(slice_size=3, time_budget=30, verify=False)
+        result = router.route(circuit, architecture)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+    @given(routing_instance())
+    @settings(max_examples=15, deadline=None)
+    def test_swap_count_consistent_with_routed_circuit(self, instance):
+        circuit, architecture = instance
+        result = SatMapRouter(time_budget=30).route(circuit, architecture)
+        assert result.solved
+        assert result.routed_circuit.num_swaps == result.swap_count
+        assert (len(result.routed_circuit)
+                == len(circuit) + result.swap_count)
+
+    @given(routing_instance())
+    @settings(max_examples=10, deadline=None)
+    def test_status_is_always_a_definite_outcome(self, instance):
+        circuit, architecture = instance
+        result = SatMapRouter(time_budget=30).route(circuit, architecture)
+        assert result.status in (RoutingStatus.OPTIMAL, RoutingStatus.FEASIBLE,
+                                 RoutingStatus.TIMEOUT)

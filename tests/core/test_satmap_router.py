@@ -1,0 +1,154 @@
+"""Tests for the SATMAP router (monolithic and sliced) and the result type."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h
+from repro.circuits.random_circuits import random_circuit
+from repro.core import RoutingStatus, SatMapRouter, verify_routing
+from repro.core.result import RoutingResult
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    line_architecture,
+)
+
+
+class TestRoutingResult:
+    def test_added_cnots_is_three_per_swap(self):
+        result = RoutingResult(RoutingStatus.OPTIMAL, "x", swap_count=4)
+        assert result.added_cnots == 12
+
+    def test_solved_statuses(self):
+        assert RoutingResult(RoutingStatus.OPTIMAL, "x").solved
+        assert RoutingResult(RoutingStatus.FEASIBLE, "x").solved
+        assert not RoutingResult(RoutingStatus.TIMEOUT, "x").solved
+        assert not RoutingResult(RoutingStatus.UNSATISFIABLE, "x").solved
+
+    def test_summary_mentions_swaps_when_solved(self):
+        result = RoutingResult(RoutingStatus.OPTIMAL, "tool", circuit_name="c",
+                               swap_count=2, optimal=True)
+        assert "2 swaps" in result.summary()
+        assert "optimal" in result.summary()
+
+    def test_summary_mentions_status_when_unsolved(self):
+        result = RoutingResult(RoutingStatus.TIMEOUT, "tool", circuit_name="c")
+        assert "timeout" in result.summary()
+
+
+class TestRouterConfiguration:
+    def test_rejects_bad_slice_size(self):
+        with pytest.raises(ValueError):
+            SatMapRouter(slice_size=0)
+
+    def test_rejects_bad_time_budget(self):
+        with pytest.raises(ValueError):
+            SatMapRouter(time_budget=0)
+
+    def test_default_names(self):
+        assert SatMapRouter().name == "NL-SATMAP"
+        assert SatMapRouter(slice_size=25).name == "SATMAP"
+
+    def test_custom_name(self):
+        assert SatMapRouter(name="mine").name == "mine"
+
+
+class TestMonolithicRouting:
+    def test_running_example_optimal_cost(self, running_example_circuit, line4):
+        result = SatMapRouter(time_budget=30).route(running_example_circuit, line4)
+        assert result.status is RoutingStatus.OPTIMAL
+        assert result.swap_count == 1
+        assert result.added_cnots == 3
+
+    def test_no_swaps_on_already_adjacent_circuit(self, line5):
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        result = SatMapRouter(time_budget=10).route(circuit, line5)
+        assert result.swap_count == 0 and result.optimal
+
+    def test_full_connectivity_never_needs_swaps(self):
+        circuit = random_circuit(5, 15, seed=2)
+        result = SatMapRouter(time_budget=30).route(circuit, full_architecture(5))
+        assert result.swap_count == 0
+
+    def test_routed_circuit_passes_external_verification(self, running_example_circuit, line4):
+        result = SatMapRouter(time_budget=30).route(running_example_circuit, line4)
+        swaps = verify_routing(running_example_circuit, result.routed_circuit,
+                               result.initial_mapping, line4)
+        assert swaps == result.swap_count
+
+    def test_single_qubit_only_circuit(self, line4):
+        circuit = QuantumCircuit(3, [h(0), h(1), h(2)])
+        result = SatMapRouter(time_budget=10).route(circuit, line4)
+        assert result.solved
+        assert result.swap_count == 0
+        assert len(result.routed_circuit) == 3
+
+    def test_empty_circuit(self, line4):
+        result = SatMapRouter(time_budget=10).route(QuantumCircuit(2), line4)
+        assert result.solved and result.swap_count == 0
+
+    def test_circuit_larger_than_architecture_is_an_error(self):
+        circuit = random_circuit(6, 5, seed=1)
+        result = SatMapRouter(time_budget=10).route(circuit, line_architecture(4))
+        assert result.status is RoutingStatus.ERROR
+
+    def test_metadata_populated(self, running_example_circuit, line4):
+        result = SatMapRouter(time_budget=30).route(running_example_circuit, line4)
+        assert result.num_variables > 0
+        assert result.num_hard_clauses > 0
+        assert result.num_soft_clauses > 0
+        assert result.sat_calls >= 1
+        assert result.circuit_name == "running_example"
+
+    def test_initial_mapping_is_injective_and_total(self, running_example_circuit, line4):
+        result = SatMapRouter(time_budget=30).route(running_example_circuit, line4)
+        values = list(result.initial_mapping.values())
+        assert len(set(values)) == len(values)
+        assert sorted(result.initial_mapping) == [0, 1, 2, 3]
+
+    def test_tiny_time_budget_reports_timeout_or_solution(self, grid2x3):
+        circuit = random_circuit(5, 30, seed=4)
+        result = SatMapRouter(time_budget=0.05).route(circuit, grid2x3)
+        assert result.status in (RoutingStatus.TIMEOUT, RoutingStatus.FEASIBLE,
+                                 RoutingStatus.OPTIMAL)
+
+
+class TestSlicedRouting:
+    def test_sliced_solves_and_verifies(self, grid2x3):
+        circuit = random_circuit(5, 18, seed=6)
+        router = SatMapRouter(slice_size=6, time_budget=60)
+        result = router.route(circuit, grid2x3)
+        assert result.solved
+        assert result.num_slices == 3
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, grid2x3)
+
+    def test_sliced_cost_at_least_optimal(self, line5):
+        circuit = random_circuit(4, 12, seed=3)
+        optimal = SatMapRouter(time_budget=60).route(circuit, line5)
+        sliced = SatMapRouter(slice_size=4, time_budget=60).route(circuit, line5)
+        assert optimal.solved and sliced.solved
+        assert sliced.swap_count >= optimal.swap_count
+
+    def test_sliced_never_claims_global_optimality(self, line5):
+        circuit = random_circuit(4, 12, seed=3)
+        result = SatMapRouter(slice_size=4, time_budget=60).route(circuit, line5)
+        assert not result.optimal
+
+    def test_slice_size_larger_than_circuit_behaves_monolithically(self, line4):
+        circuit = QuantumCircuit(4, [cx(0, 1), cx(0, 2), cx(3, 2), cx(0, 3)])
+        result = SatMapRouter(slice_size=100, time_budget=30).route(circuit, line4)
+        assert result.optimal and result.swap_count == 1
+
+    def test_slicing_records_backtracks(self, line5):
+        circuit = random_circuit(4, 12, seed=3)
+        result = SatMapRouter(slice_size=4, time_budget=60).route(circuit, line5)
+        assert result.backtracks >= 0
+
+    def test_different_slice_sizes_all_verify(self, grid2x3):
+        circuit = random_circuit(5, 16, seed=8)
+        for slice_size in (4, 8, 16):
+            result = SatMapRouter(slice_size=slice_size, time_budget=60).route(
+                circuit, grid2x3)
+            assert result.solved
+            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                           grid2x3)

@@ -1,0 +1,93 @@
+"""Focused tests for the local-relaxation machinery (Section V internals)."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx
+from repro.core import SatMapRouter, verify_routing
+from repro.core.result import RoutingStatus
+from repro.core.slicing import route_sliced
+from repro.hardware.topologies import line_architecture, ring_architecture
+
+
+def ladder_circuit(num_qubits: int, rungs: int) -> QuantumCircuit:
+    """A circuit alternating between near and far interactions.
+
+    The far interactions force a slice that inherits an unsuitable mapping to
+    either backtrack or escalate, which is exactly the machinery under test.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"ladder_{num_qubits}_{rungs}")
+    for index in range(rungs):
+        near = (index % (num_qubits - 1), index % (num_qubits - 1) + 1)
+        far = (0, num_qubits - 1 - (index % (num_qubits - 2)))
+        circuit.append(cx(*near))
+        if far[0] != far[1]:
+            circuit.append(cx(*far))
+    return circuit
+
+
+class TestSlicedSolving:
+    def test_example9_slicing_can_cost_one_extra_swap(self):
+        """The paper's Example 9: slicing may lose one SWAP versus the optimum."""
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)], name="example9")
+        arch = line_architecture(3)
+        optimal = SatMapRouter(time_budget=30).route(circuit, arch)
+        sliced = SatMapRouter(slice_size=1, time_budget=30).route(circuit, arch)
+        assert optimal.swap_count == 0
+        assert sliced.solved
+        assert 0 <= sliced.swap_count <= 1
+
+    def test_backtracking_or_escalation_resolves_hard_handoffs(self):
+        circuit = ladder_circuit(5, 6)
+        arch = line_architecture(5)
+        router = SatMapRouter(slice_size=2, time_budget=90, backtrack_limit=3)
+        result = router.route(circuit, arch)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)
+
+    def test_zero_backtrack_limit_still_succeeds_via_escalation(self):
+        circuit = ladder_circuit(5, 5)
+        arch = line_architecture(5)
+        router = SatMapRouter(slice_size=2, time_budget=90, backtrack_limit=0)
+        result = router.route(circuit, arch)
+        assert result.solved
+        assert result.backtracks == 0
+
+    def test_slice_count_matches_circuit_partition(self):
+        circuit = ladder_circuit(4, 6)
+        arch = ring_architecture(4)
+        router = SatMapRouter(slice_size=3, time_budget=90)
+        result = router.route(circuit, arch)
+        expected_slices = len(circuit.sliced_by_two_qubit_gates(3))
+        assert result.num_slices == expected_slices
+
+    def test_route_sliced_requires_slice_size(self):
+        circuit = ladder_circuit(4, 4)
+        arch = ring_architecture(4)
+        router = SatMapRouter(slice_size=2, time_budget=60)
+        result = route_sliced(circuit, arch, router)
+        assert result.solved
+
+    def test_timeout_reported_when_budget_is_tiny(self):
+        circuit = ladder_circuit(6, 20)
+        arch = line_architecture(6)
+        router = SatMapRouter(slice_size=2, time_budget=0.02)
+        result = router.route(circuit, arch)
+        assert result.status in (RoutingStatus.TIMEOUT, RoutingStatus.FEASIBLE)
+
+    def test_sliced_swap_count_equals_routed_swaps(self):
+        circuit = ladder_circuit(5, 8)
+        arch = line_architecture(5)
+        result = SatMapRouter(slice_size=3, time_budget=90).route(circuit, arch)
+        assert result.solved
+        assert result.routed_circuit.num_swaps == result.swap_count
+
+    @pytest.mark.parametrize("backtrack_limit", [0, 2, 10])
+    def test_varying_backtrack_limits_all_verify(self, backtrack_limit):
+        circuit = ladder_circuit(4, 6)
+        arch = line_architecture(4)
+        router = SatMapRouter(slice_size=2, time_budget=90,
+                              backtrack_limit=backtrack_limit)
+        result = router.route(circuit, arch)
+        assert result.solved
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping, arch)

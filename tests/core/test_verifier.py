@@ -1,0 +1,112 @@
+"""Tests for the independent routing verifier."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cx, h, swap
+from repro.core.verifier import VerificationError, verify_routing
+from repro.hardware.topologies import line_architecture
+
+
+def original() -> QuantumCircuit:
+    return QuantumCircuit(3, [h(0), cx(0, 1), cx(0, 2)])
+
+
+IDENTITY = {0: 0, 1: 1, 2: 2}
+
+
+class TestAcceptedRoutings:
+    def test_identity_routing_with_swap(self):
+        routed = QuantumCircuit(3, [h(0), cx(0, 1), swap(1, 2), cx(0, 1)])
+        assert verify_routing(original(), routed, IDENTITY, line_architecture(3)) == 1
+
+    def test_routing_without_swaps(self):
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        routed = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        assert verify_routing(circuit, routed, IDENTITY, line_architecture(3)) == 0
+
+    def test_non_identity_initial_mapping(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(3, [cx(2, 1)])
+        mapping = {0: 2, 1: 1}
+        assert verify_routing(circuit, routed, mapping, line_architecture(3)) == 0
+
+    def test_reordering_of_disjoint_gates_accepted(self):
+        circuit = QuantumCircuit(4, [cx(0, 1), cx(2, 3)])
+        routed = QuantumCircuit(4, [cx(2, 3), cx(0, 1)])
+        mapping = {0: 0, 1: 1, 2: 2, 3: 3}
+        arch = line_architecture(4)
+        assert verify_routing(circuit, routed, mapping, arch) == 0
+
+    def test_unused_logical_qubits_need_no_mapping(self):
+        circuit = QuantumCircuit(4, [cx(0, 1)])
+        routed = QuantumCircuit(4, [cx(0, 1)])
+        assert verify_routing(circuit, routed, {0: 0, 1: 1}, line_architecture(4)) == 0
+
+
+class TestRejectedRoutings:
+    def test_gate_on_non_adjacent_qubits(self):
+        circuit = QuantumCircuit(3, [cx(0, 2)])
+        routed = QuantumCircuit(3, [cx(0, 2)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, IDENTITY, line_architecture(3))
+
+    def test_swap_on_non_edge(self):
+        circuit = QuantumCircuit(3, [cx(0, 1)])
+        routed = QuantumCircuit(3, [swap(0, 2), cx(1, 0)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, IDENTITY, line_architecture(3))
+
+    def test_missing_gate(self):
+        routed = QuantumCircuit(3, [h(0), cx(0, 1)])
+        with pytest.raises(VerificationError):
+            verify_routing(original(), routed, IDENTITY, line_architecture(3))
+
+    def test_extra_gate(self):
+        routed = QuantumCircuit(3, [h(0), cx(0, 1), cx(1, 2), cx(0, 1)])
+        with pytest.raises(VerificationError):
+            verify_routing(original(), routed, IDENTITY, line_architecture(3))
+
+    def test_wrong_logical_operands(self):
+        # Original wants cx(0, 2) after the swap, routed executes cx on the
+        # wrong physical pair so it translates to the wrong logical pair.
+        circuit = QuantumCircuit(3, [cx(0, 1), cx(0, 2)])
+        routed = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, IDENTITY, line_architecture(3))
+
+    def test_non_injective_initial_mapping(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(2, [cx(0, 1)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0, 1: 0}, line_architecture(2))
+
+    def test_mapping_missing_used_qubit(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(2, [cx(0, 1)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0}, line_architecture(2))
+
+    def test_mapping_to_nonexistent_physical_qubit(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(2, [cx(0, 1)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0, 1: 7}, line_architecture(2))
+
+    def test_gate_on_unoccupied_physical_qubit(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(3, [cx(1, 2)])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0, 1: 1}, line_architecture(3))
+
+    def test_wrong_gate_name(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        routed = QuantumCircuit(2, [Gate("cz", (0, 1))])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0, 1: 1}, line_architecture(2))
+
+    def test_wrong_parameters(self):
+        circuit = QuantumCircuit(2, [Gate("rzz", (0, 1), ("a",))])
+        routed = QuantumCircuit(2, [Gate("rzz", (0, 1), ("b",))])
+        with pytest.raises(VerificationError):
+            verify_routing(circuit, routed, {0: 0, 1: 1}, line_architecture(2))

@@ -1,0 +1,92 @@
+"""Tests for the connectivity-graph model."""
+
+import pytest
+
+from repro.hardware.architecture import Architecture
+
+
+def path4() -> Architecture:
+    return Architecture(4, [(0, 1), (1, 2), (2, 3)], name="path4")
+
+
+class TestConstruction:
+    def test_edges_are_normalised_and_deduplicated(self):
+        arch = Architecture(3, [(1, 0), (0, 1), (2, 1)])
+        assert arch.edges == [(0, 1), (1, 2)]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Architecture(3, [(1, 1)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            Architecture(3, [(0, 3)])
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            Architecture(0, [])
+
+
+class TestQueries:
+    def test_neighbors(self):
+        assert path4().neighbors(1) == {0, 2}
+
+    def test_are_adjacent_symmetric(self):
+        arch = path4()
+        assert arch.are_adjacent(0, 1) and arch.are_adjacent(1, 0)
+        assert not arch.are_adjacent(0, 2)
+
+    def test_degree_and_average_degree(self):
+        arch = path4()
+        assert arch.degree(0) == 1 and arch.degree(1) == 2
+        assert arch.average_degree == pytest.approx(1.5)
+
+    def test_distance_matrix(self):
+        arch = path4()
+        assert arch.distance(0, 3) == 3
+        assert arch.distance(2, 2) == 0
+        assert arch.distance(3, 1) == 2
+
+    def test_diameter(self):
+        assert path4().diameter() == 3
+
+    def test_is_connected(self):
+        assert path4().is_connected()
+        disconnected = Architecture(4, [(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+
+    def test_disconnected_distance_is_sentinel(self):
+        disconnected = Architecture(4, [(0, 1), (2, 3)])
+        assert disconnected.distance(0, 3) == 4  # num_qubits sentinel
+
+    def test_shortest_path_endpoints(self):
+        path = path4().shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 4
+
+    def test_shortest_path_same_node(self):
+        assert path4().shortest_path(2, 2) == [2]
+
+    def test_shortest_path_steps_are_edges(self):
+        arch = path4()
+        path = arch.shortest_path(3, 0)
+        assert all(arch.are_adjacent(a, b) for a, b in zip(path, path[1:]))
+
+    def test_shortest_path_unreachable_raises(self):
+        disconnected = Architecture(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            disconnected.shortest_path(0, 2)
+
+
+class TestSubgraph:
+    def test_subgraph_reindexes(self):
+        arch = path4().subgraph([1, 2, 3])
+        assert arch.num_qubits == 3
+        assert arch.edges == [(0, 1), (1, 2)]
+
+    def test_subgraph_drops_external_edges(self):
+        arch = path4().subgraph([0, 2])
+        assert arch.edges == []
+
+    def test_subgraph_name(self):
+        assert path4().subgraph([0, 1], name="sub").name == "sub"

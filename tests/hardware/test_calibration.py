@@ -1,0 +1,133 @@
+"""Tests for the full device calibration model."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx, h, swap
+from repro.hardware.calibration import DeviceCalibration, QubitCalibration
+from repro.hardware.devices import yorktown_architecture
+from repro.hardware.topologies import line_architecture
+
+
+def _circuit(num_qubits, gates):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+class TestQubitCalibration:
+    def test_valid_values(self):
+        data = QubitCalibration(t1=100_000, t2=80_000, readout_error=0.02,
+                                single_qubit_error=0.001)
+        assert data.t1 == 100_000
+
+    @pytest.mark.parametrize("kwargs", [
+        {"t1": 0, "t2": 1, "readout_error": 0.1, "single_qubit_error": 0.01},
+        {"t1": 1, "t2": -5, "readout_error": 0.1, "single_qubit_error": 0.01},
+        {"t1": 1, "t2": 1, "readout_error": 1.5, "single_qubit_error": 0.01},
+        {"t1": 1, "t2": 1, "readout_error": 0.1, "single_qubit_error": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QubitCalibration(**kwargs)
+
+
+class TestDeviceCalibration:
+    def test_synthetic_is_deterministic(self):
+        architecture = yorktown_architecture()
+        first = DeviceCalibration.synthetic(architecture, seed=3)
+        second = DeviceCalibration.synthetic(architecture, seed=3)
+        assert first.two_qubit_error == second.two_qubit_error
+        assert first.qubits[0].t1 == second.qubits[0].t1
+
+    def test_different_seeds_differ(self):
+        architecture = yorktown_architecture()
+        first = DeviceCalibration.synthetic(architecture, seed=1)
+        second = DeviceCalibration.synthetic(architecture, seed=2)
+        assert first.two_qubit_error != second.two_qubit_error
+
+    def test_missing_qubit_rejected(self):
+        architecture = line_architecture(3)
+        base = DeviceCalibration.synthetic(architecture)
+        with pytest.raises(ValueError):
+            DeviceCalibration(architecture,
+                              {0: base.qubits[0], 1: base.qubits[1]},
+                              dict(base.two_qubit_error))
+
+    def test_missing_edge_rejected(self):
+        architecture = line_architecture(3)
+        base = DeviceCalibration.synthetic(architecture)
+        with pytest.raises(ValueError):
+            DeviceCalibration(architecture, dict(base.qubits), {(0, 1): 0.01})
+
+    def test_edge_error_lookup_is_symmetric(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(3))
+        assert calibration.edge_error(0, 1) == calibration.edge_error(1, 0)
+
+    def test_edge_error_unknown_edge(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(3))
+        with pytest.raises(KeyError):
+            calibration.edge_error(0, 2)
+
+    def test_best_edges_sorted_by_error(self):
+        calibration = DeviceCalibration.synthetic(yorktown_architecture())
+        best = calibration.best_edges(count=3)
+        errors = [calibration.two_qubit_error[edge] for edge in best]
+        assert errors == sorted(errors)
+
+    def test_worst_qubits_count(self):
+        calibration = DeviceCalibration.synthetic(yorktown_architecture())
+        assert len(calibration.worst_qubits(2)) == 2
+
+    def test_to_noise_model_preserves_errors(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(4))
+        noise = calibration.to_noise_model()
+        for edge, error in calibration.two_qubit_error.items():
+            assert noise.two_qubit_error[edge] == error
+
+
+class TestFidelityEstimation:
+    def test_empty_circuit_has_unit_fidelity_without_readout(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(2))
+        fidelity = calibration.estimate_fidelity(QuantumCircuit(2),
+                                                 include_readout=False)
+        assert fidelity == pytest.approx(1.0)
+
+    def test_more_gates_lower_fidelity(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(3))
+        short = _circuit(3, [cx(0, 1)])
+        long = _circuit(3, [cx(0, 1), cx(1, 2), cx(0, 1), cx(1, 2)])
+        assert (calibration.estimate_fidelity(long)
+                < calibration.estimate_fidelity(short))
+
+    def test_swap_counts_as_three_cnots(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(2))
+        with_swap = _circuit(2, [swap(0, 1)])
+        with_three_cx = _circuit(2, [cx(0, 1), cx(1, 0), cx(0, 1)])
+        f_swap = calibration.estimate_fidelity(with_swap, include_decoherence=False)
+        f_cx = calibration.estimate_fidelity(with_three_cx, include_decoherence=False)
+        assert f_swap == pytest.approx(f_cx)
+
+    def test_readout_only_counts_used_qubits(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(4))
+        one_qubit = _circuit(4, [h(0)])
+        two_qubits = _circuit(4, [h(0), h(1)])
+        assert (calibration.estimate_fidelity(one_qubit)
+                > calibration.estimate_fidelity(two_qubits))
+
+    def test_decoherence_penalises_idle_qubits(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(2))
+        # Qubit 1 idles between its two CX gates while qubit 0 does work.
+        idle_heavy = _circuit(2, [cx(0, 1), h(0), h(0), h(0), h(0), cx(0, 1)])
+        with_decoherence = calibration.estimate_fidelity(idle_heavy)
+        without_decoherence = calibration.estimate_fidelity(
+            idle_heavy, include_decoherence=False)
+        assert with_decoherence < without_decoherence
+
+    def test_compare_routings_ranks_best_first(self):
+        calibration = DeviceCalibration.synthetic(line_architecture(3))
+        cheap = _circuit(3, [cx(0, 1)])
+        expensive = _circuit(3, [cx(0, 1), swap(1, 2), cx(0, 1)])
+        ranking = calibration.compare_routings({"cheap": cheap, "expensive": expensive})
+        assert ranking[0][0] == "cheap"
+        assert ranking[0][1] >= ranking[1][1]

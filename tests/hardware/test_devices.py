@@ -1,0 +1,112 @@
+"""Tests for the named device catalogue."""
+
+import pytest
+
+from repro.hardware.devices import (
+    architecture_properties,
+    aspen_architecture,
+    device_catalog,
+    get_architecture,
+    guadalupe_architecture,
+    melbourne_architecture,
+    ourense_architecture,
+    sycamore_architecture,
+    trapped_ion_architecture,
+    yorktown_architecture,
+)
+
+
+class TestNamedDevices:
+    def test_yorktown_shape(self):
+        device = yorktown_architecture()
+        assert device.num_qubits == 5
+        assert device.degree(2) == 4  # the middle of the bowtie
+
+    def test_ourense_is_a_tree(self):
+        device = ourense_architecture()
+        assert device.num_qubits == 5
+        assert len(device.edges) == 4
+        assert device.is_connected()
+
+    def test_melbourne_is_a_ladder(self):
+        device = melbourne_architecture()
+        assert device.num_qubits == 14
+        assert device.is_connected()
+        # A 2x7 ladder has 7 rungs + 2*6 rails = 19 edges.
+        assert len(device.edges) == 19
+
+    def test_guadalupe_heavy_hex(self):
+        device = guadalupe_architecture()
+        assert device.num_qubits == 16
+        assert device.is_connected()
+        # Heavy-hex degree never exceeds 3.
+        assert max(device.degree(q) for q in range(16)) == 3
+        # Four spur qubits have degree 1.
+        assert sum(1 for q in range(16) if device.degree(q) == 1) == 4
+
+    def test_sycamore_lattice(self):
+        device = sycamore_architecture(3, 4)
+        assert device.num_qubits == 12
+        assert device.is_connected()
+
+    def test_sycamore_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            sycamore_architecture(1, 5)
+
+    def test_aspen_octagons(self):
+        device = aspen_architecture(2)
+        assert device.num_qubits == 16
+        assert device.is_connected()
+        # Each octagon contributes 8 ring edges; one fused joint adds 2.
+        assert len(device.edges) == 18
+
+    def test_aspen_rejects_zero_octagons(self):
+        with pytest.raises(ValueError):
+            aspen_architecture(0)
+
+    def test_trapped_ion_fully_connected(self):
+        device = trapped_ion_architecture(6)
+        assert len(device.edges) == 15
+        assert device.diameter() == 1
+
+
+class TestCatalog:
+    def test_every_entry_builds_and_is_connected(self):
+        for name, constructor in device_catalog().items():
+            device = constructor()
+            assert device.num_qubits >= 5, name
+            assert device.is_connected(), name
+
+    def test_get_architecture_by_name(self):
+        assert get_architecture("tokyo").num_qubits == 20
+
+    def test_get_architecture_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_architecture("not-a-device")
+
+    def test_tokyo_variants_ordered_by_degree(self):
+        sparse = get_architecture("tokyo-")
+        medium = get_architecture("tokyo")
+        dense = get_architecture("tokyo+")
+        assert sparse.average_degree < medium.average_degree < dense.average_degree
+
+
+class TestArchitectureProperties:
+    def test_properties_of_ring(self):
+        from repro.hardware.topologies import ring_architecture
+
+        properties = architecture_properties(ring_architecture(8))
+        assert properties["num_qubits"] == 8
+        assert properties["average_degree"] == pytest.approx(2.0)
+        assert properties["diameter"] == 4
+
+    def test_properties_keys_stable(self):
+        properties = architecture_properties(yorktown_architecture())
+        assert set(properties) == {
+            "num_qubits", "num_edges", "average_degree", "max_degree",
+            "min_degree", "diameter", "average_distance",
+        }
+
+    def test_average_distance_positive_for_non_complete_graph(self):
+        properties = architecture_properties(melbourne_architecture())
+        assert properties["average_distance"] > 1.0

@@ -1,0 +1,80 @@
+"""Tests for the synthetic noise model."""
+
+import math
+
+import pytest
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.noise import NoiseModel
+from repro.hardware.topologies import line_architecture, tokyo_architecture
+
+
+class TestConstruction:
+    def test_uniform_model(self):
+        arch = line_architecture(4)
+        noise = NoiseModel.uniform(arch, two_qubit_error=0.01)
+        assert noise.edge_error(0, 1) == pytest.approx(0.01)
+        assert noise.edge_error(2, 1) == pytest.approx(0.01)
+
+    def test_missing_edge_rate_rejected(self):
+        arch = line_architecture(3)
+        with pytest.raises(ValueError):
+            NoiseModel(arch, {(0, 1): 0.01})  # (1, 2) missing
+
+    def test_out_of_range_rate_rejected(self):
+        arch = line_architecture(3)
+        with pytest.raises(ValueError):
+            NoiseModel(arch, {(0, 1): 0.01, (1, 2): 1.5})
+
+    def test_synthetic_is_deterministic(self):
+        arch = line_architecture(5)
+        first = NoiseModel.synthetic(arch, seed=3)
+        second = NoiseModel.synthetic(arch, seed=3)
+        assert first.two_qubit_error == second.two_qubit_error
+
+    def test_synthetic_rates_within_bounds(self):
+        arch = tokyo_architecture()
+        noise = NoiseModel.synthetic(arch, low=0.01, high=0.05)
+        assert all(0.01 <= rate <= 0.05 for rate in noise.two_qubit_error.values())
+
+    def test_fake_tokyo_covers_all_edges(self):
+        noise = NoiseModel.fake_tokyo()
+        assert set(noise.two_qubit_error) == set(tokyo_architecture().edges)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.arch = line_architecture(3)
+        self.noise = NoiseModel.uniform(self.arch, two_qubit_error=0.02)
+
+    def test_edge_error_order_independent(self):
+        assert self.noise.edge_error(1, 0) == self.noise.edge_error(0, 1)
+
+    def test_non_edge_rejected(self):
+        with pytest.raises(KeyError):
+            self.noise.edge_error(0, 2)
+
+    def test_cnot_fidelity(self):
+        assert self.noise.cnot_fidelity(0, 1) == pytest.approx(0.98)
+
+    def test_swap_fidelity_is_cubed(self):
+        assert self.noise.swap_fidelity(0, 1) == pytest.approx(0.98 ** 3)
+
+    def test_swap_weight_positive_and_monotone(self):
+        arch = Architecture(3, [(0, 1), (1, 2)])
+        noise = NoiseModel(arch, {(0, 1): 0.01, (1, 2): 0.05})
+        assert noise.swap_weight(0, 1) >= 1
+        assert noise.swap_weight(1, 2) > noise.swap_weight(0, 1)
+
+    def test_circuit_fidelity_product(self):
+        edges = [(0, 1), (1, 2), (0, 1)]
+        expected = 0.98 ** 3
+        assert self.noise.circuit_fidelity(edges) == pytest.approx(expected)
+
+    def test_circuit_log_fidelity_matches_log_of_fidelity(self):
+        edges = [(0, 1), (1, 2)]
+        assert math.exp(self.noise.circuit_log_fidelity(edges)) == pytest.approx(
+            self.noise.circuit_fidelity(edges))
+
+    def test_empty_circuit_has_unit_fidelity(self):
+        assert self.noise.circuit_fidelity([]) == pytest.approx(1.0)

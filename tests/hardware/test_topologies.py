@@ -1,0 +1,109 @@
+"""Tests for the standard coupling graphs, especially the Tokyo family (Fig. 9)."""
+
+import pytest
+
+from repro.hardware.topologies import (
+    full_architecture,
+    grid_architecture,
+    heavy_hex_architecture,
+    line_architecture,
+    reduced_tokyo_architecture,
+    ring_architecture,
+    tokyo_architecture,
+    tokyo_minus_architecture,
+    tokyo_plus_architecture,
+)
+
+
+class TestTokyoFamily:
+    def test_all_have_twenty_qubits(self):
+        for factory in (tokyo_minus_architecture, tokyo_architecture, tokyo_plus_architecture):
+            assert factory().num_qubits == 20
+
+    def test_edge_counts(self):
+        assert len(tokyo_minus_architecture().edges) == 31  # 4x5 grid
+        assert len(tokyo_architecture().edges) == 43  # grid + 12 alternating diagonals
+        assert len(tokyo_plus_architecture().edges) == 55  # grid + 24 diagonals
+
+    def test_tokyo_average_degree_is_halfway(self):
+        sparse = tokyo_minus_architecture().average_degree
+        medium = tokyo_architecture().average_degree
+        dense = tokyo_plus_architecture().average_degree
+        assert medium == pytest.approx((sparse + dense) / 2)
+
+    def test_tokyo_minus_is_subgraph_of_tokyo(self):
+        tokyo_edges = set(tokyo_architecture().edges)
+        assert set(tokyo_minus_architecture().edges) <= tokyo_edges
+
+    def test_tokyo_is_subgraph_of_tokyo_plus(self):
+        plus_edges = set(tokyo_plus_architecture().edges)
+        assert set(tokyo_architecture().edges) <= plus_edges
+
+    def test_all_connected(self):
+        for factory in (tokyo_minus_architecture, tokyo_architecture, tokyo_plus_architecture):
+            assert factory().is_connected()
+
+    def test_diameters_shrink_with_connectivity(self):
+        assert (tokyo_plus_architecture().diameter()
+                <= tokyo_architecture().diameter()
+                <= tokyo_minus_architecture().diameter())
+
+    def test_grid_edges_present(self):
+        tokyo = tokyo_architecture()
+        assert tokyo.are_adjacent(0, 1)
+        assert tokyo.are_adjacent(0, 5)
+        assert not tokyo.are_adjacent(0, 2)
+
+    def test_reduced_tokyo(self):
+        reduced = reduced_tokyo_architecture(8)
+        assert reduced.num_qubits == 8
+        assert reduced.is_connected()
+        full_edges = set(tokyo_architecture().edges)
+        assert all(edge in full_edges for edge in reduced.edges)
+
+    def test_reduced_tokyo_bounds(self):
+        with pytest.raises(ValueError):
+            reduced_tokyo_architecture(1)
+        with pytest.raises(ValueError):
+            reduced_tokyo_architecture(21)
+
+
+class TestGenericTopologies:
+    def test_line(self):
+        line = line_architecture(5)
+        assert len(line.edges) == 4
+        assert line.diameter() == 4
+
+    def test_ring(self):
+        ring = ring_architecture(6)
+        assert len(ring.edges) == 6
+        assert ring.diameter() == 3
+
+    def test_ring_needs_three_qubits(self):
+        with pytest.raises(ValueError):
+            ring_architecture(2)
+
+    def test_grid(self):
+        grid = grid_architecture(3, 4)
+        assert grid.num_qubits == 12
+        assert len(grid.edges) == 3 * 3 + 4 * 2  # horizontal + vertical
+        assert grid.is_connected()
+
+    def test_grid_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_architecture(0, 3)
+
+    def test_full(self):
+        full = full_architecture(5)
+        assert len(full.edges) == 10
+        assert full.diameter() == 1
+
+    def test_heavy_hex(self):
+        heavy = heavy_hex_architecture()
+        assert heavy.num_qubits == 27
+        assert heavy.is_connected()
+        assert max(heavy.degree(q) for q in range(27)) <= 3
+
+    def test_heavy_hex_unknown_distance(self):
+        with pytest.raises(ValueError):
+            heavy_hex_architecture(distance=5)

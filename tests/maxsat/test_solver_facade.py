@@ -1,0 +1,60 @@
+"""Tests for the MaxSatSolver facade."""
+
+import pytest
+
+from repro.maxsat import MaxSatSolver, MaxSatStatus, WcnfBuilder
+
+
+def build(hard, soft):
+    builder = WcnfBuilder()
+    max_var = max((abs(l) for clause in hard + [c for _, c in soft] for l in clause),
+                  default=0)
+    builder.new_vars(max_var)
+    for clause in hard:
+        builder.add_hard(clause)
+    for weight, clause in soft:
+        builder.add_soft(clause, weight)
+    return builder
+
+
+class TestFacade:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MaxSatSolver("magic")
+
+    @pytest.mark.parametrize("strategy", ["linear", "core-guided"])
+    def test_optimum_on_small_instance(self, strategy):
+        builder = build([[1, 2]], [(1, [-1]), (1, [-2])])
+        result = MaxSatSolver(strategy).solve(builder)
+        assert result.status is MaxSatStatus.OPTIMAL
+        assert result.cost == 1
+
+    @pytest.mark.parametrize("strategy", ["linear", "core-guided"])
+    def test_unsatisfiable_hard_clauses(self, strategy):
+        builder = build([[1], [-1]], [(1, [1])])
+        result = MaxSatSolver(strategy).solve(builder)
+        assert result.status is MaxSatStatus.UNSATISFIABLE
+        assert not result.has_model
+
+    def test_core_guided_falls_back_on_weighted(self):
+        builder = build([[1, 2]], [(5, [-1]), (1, [-2])])
+        result = MaxSatSolver("core-guided").solve(builder)
+        assert result.status is MaxSatStatus.OPTIMAL
+        assert result.cost == 1
+
+    def test_model_reported_for_optimal(self):
+        builder = build([[1]], [(1, [-2])])
+        result = MaxSatSolver().solve(builder)
+        assert result.has_model
+        assert result.model[1] is True
+
+    def test_zero_cost_optimum(self):
+        builder = build([[1]], [(3, [1])])
+        result = MaxSatSolver().solve(builder)
+        assert result.is_optimal and result.cost == 0
+
+    def test_statistics_populated(self):
+        builder = build([[1, 2]], [(1, [-1]), (1, [-2])])
+        result = MaxSatSolver().solve(builder)
+        assert result.sat_calls >= 1
+        assert result.solve_time >= 0.0

@@ -1,0 +1,73 @@
+"""Tests for the assignment trail."""
+
+from repro.sat.assignment import Trail
+
+
+class TestTrail:
+    def test_grow_allocates_slots(self):
+        trail = Trail()
+        trail.grow_to(4)
+        assert trail.value_of_var(4) is None
+
+    def test_assign_sets_value(self):
+        trail = Trail()
+        trail.grow_to(3)
+        trail.assign(2, None)
+        assert trail.value_of_var(2) is True
+        assert trail.value_of_literal(2) is True
+        assert trail.value_of_literal(-2) is False
+
+    def test_assign_negative_literal(self):
+        trail = Trail()
+        trail.grow_to(3)
+        trail.assign(-3, None)
+        assert trail.value_of_var(3) is False
+        assert trail.value_of_literal(-3) is True
+
+    def test_decision_levels(self):
+        trail = Trail()
+        trail.grow_to(3)
+        assert trail.decision_level == 0
+        trail.new_decision_level()
+        trail.assign(1, None)
+        assert trail.decision_level == 1
+        assert trail.level_of_var(1) == 1
+
+    def test_backtrack_clears_assignments(self):
+        trail = Trail()
+        trail.grow_to(3)
+        trail.assign(1, None)
+        trail.new_decision_level()
+        trail.assign(2, None)
+        undone = trail.backtrack_to(0)
+        assert undone == [2]
+        assert trail.value_of_var(2) is None
+        assert trail.value_of_var(1) is True
+
+    def test_backtrack_to_current_level_is_noop(self):
+        trail = Trail()
+        trail.grow_to(2)
+        trail.assign(1, None)
+        assert trail.backtrack_to(0) == []
+
+    def test_phase_saving_remembers_last_polarity(self):
+        trail = Trail()
+        trail.grow_to(2)
+        trail.new_decision_level()
+        trail.assign(-2, None)
+        trail.backtrack_to(0)
+        assert trail.saved_phases[2] is False
+
+    def test_reason_tracking(self):
+        trail = Trail()
+        trail.grow_to(2)
+        reason = object()
+        trail.assign(1, reason)
+        assert trail.reason_of_var(1) is reason
+
+    def test_len_counts_assigned_literals(self):
+        trail = Trail()
+        trail.grow_to(5)
+        trail.assign(1, None)
+        trail.assign(-4, None)
+        assert len(trail) == 2

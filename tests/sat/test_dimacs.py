@@ -1,0 +1,115 @@
+"""Tests for DIMACS CNF / WCNF parsing and writing."""
+
+import pytest
+
+from repro.sat.dimacs import (
+    CnfFormula,
+    WcnfFormula,
+    load_cnf,
+    parse_cnf,
+    parse_wcnf,
+    save_cnf,
+    save_wcnf,
+    load_wcnf,
+    write_cnf,
+    write_wcnf,
+)
+
+
+SAMPLE_CNF = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+SAMPLE_WCNF = """c weighted
+p wcnf 3 3 10
+10 1 2 0
+3 -1 0
+1 -2 3 0
+"""
+
+
+class TestCnfParsing:
+    def test_parse_clause_count(self):
+        formula = parse_cnf(SAMPLE_CNF)
+        assert len(formula.clauses) == 2
+
+    def test_parse_clause_contents(self):
+        formula = parse_cnf(SAMPLE_CNF)
+        assert formula.clauses[0] == [1, -2]
+        assert formula.clauses[1] == [2, 3]
+
+    def test_num_vars_from_header(self):
+        assert parse_cnf("p cnf 9 1\n1 0\n").num_vars == 9
+
+    def test_num_vars_grows_beyond_header(self):
+        assert parse_cnf("p cnf 1 1\n5 0\n").num_vars == 5
+
+    def test_multi_line_clause(self):
+        formula = parse_cnf("p cnf 3 1\n1 2\n3 0\n")
+        assert formula.clauses == [[1, 2, 3]]
+
+    def test_comments_ignored(self):
+        formula = parse_cnf("c hello\nc world\np cnf 2 1\n1 2 0\n")
+        assert len(formula.clauses) == 1
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cnf("p dnf 2 1\n1 0\n")
+
+    def test_roundtrip(self):
+        formula = parse_cnf(SAMPLE_CNF)
+        assert parse_cnf(write_cnf(formula)).clauses == formula.clauses
+
+
+class TestWcnfParsing:
+    def test_hard_and_soft_split(self):
+        formula = parse_wcnf(SAMPLE_WCNF)
+        assert formula.hard == [[1, 2]]
+        assert formula.soft == [(3, [-1]), (1, [-2, 3])]
+
+    def test_roundtrip_preserves_weights(self):
+        formula = parse_wcnf(SAMPLE_WCNF)
+        again = parse_wcnf(write_wcnf(formula))
+        assert again.hard == formula.hard
+        assert again.soft == formula.soft
+
+    def test_clause_must_end_with_zero(self):
+        with pytest.raises(ValueError):
+            parse_wcnf("p wcnf 2 1 5\n5 1 2\n")
+
+    def test_top_weight_exceeds_soft_total(self):
+        formula = WcnfFormula()
+        formula.add_hard([1])
+        formula.add_soft([2], 3)
+        formula.add_soft([-2], 4)
+        assert formula.top_weight == 8
+
+
+class TestContainers:
+    def test_cnf_add_clause_tracks_vars(self):
+        formula = CnfFormula()
+        formula.add_clause([4, -6])
+        assert formula.num_vars == 6
+
+    def test_cnf_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            CnfFormula().add_clause([0])
+
+    def test_wcnf_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            WcnfFormula().add_soft([1], 0)
+
+    def test_file_roundtrip(self, tmp_path):
+        formula = parse_cnf(SAMPLE_CNF)
+        path = tmp_path / "f.cnf"
+        save_cnf(formula, path)
+        assert load_cnf(path).clauses == formula.clauses
+
+    def test_wcnf_file_roundtrip(self, tmp_path):
+        formula = parse_wcnf(SAMPLE_WCNF)
+        path = tmp_path / "f.wcnf"
+        save_wcnf(formula, path)
+        again = load_wcnf(path)
+        assert again.hard == formula.hard and again.soft == formula.soft

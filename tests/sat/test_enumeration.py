@@ -1,0 +1,85 @@
+"""Tests for blocking-clause model enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.enumeration import ModelEnumerator, all_models, count_models
+
+
+class TestBasicEnumeration:
+    def test_single_variable_has_two_models_under_tautology(self):
+        # x or not x: both assignments of x are models.
+        assert count_models([[1, -1]]) == 2
+
+    def test_unit_clause_pins_one_model(self):
+        models = all_models([[1]])
+        assert len(models) == 1
+        assert models[0][1] is True
+
+    def test_unsat_formula_has_no_models(self):
+        assert count_models([[1], [-1]]) == 0
+
+    def test_two_free_variables_give_four_models(self):
+        # A tautological constraint over vars 1, 2.
+        assert count_models([[1, -1], [2, -2]]) == 4
+
+    def test_xor_has_two_models(self):
+        clauses = [[1, 2], [-1, -2]]
+        models = all_models(clauses)
+        assert len(models) == 2
+        assert all(model[1] != model[2] for model in models)
+
+    def test_limit_stops_early(self):
+        assert count_models([[1, -1], [2, -2]], limit=3) == 3
+
+
+class TestProjection:
+    def test_projection_collapses_irrelevant_variables(self):
+        # Variable 2 is free, variable 1 is pinned true; projecting on 1
+        # yields a single model even though two total models exist.
+        clauses = [[1], [2, -2]]
+        assert count_models(clauses, projection=[1]) == 1
+        assert count_models(clauses) == 2
+
+    def test_projection_on_xor(self):
+        clauses = [[1, 2], [-1, -2], [3, -3]]
+        assert count_models(clauses, projection=[1, 2]) == 2
+
+    def test_models_respect_projection_distinctness(self):
+        clauses = [[1, 2], [3, -3]]
+        models = all_models(clauses, projection=[1, 2])
+        projected = {(model.get(1, False), model.get(2, False)) for model in models}
+        assert len(projected) == len(models)
+
+
+class TestStats:
+    def test_exhausted_flag_set(self):
+        enumerator = ModelEnumerator([[1]])
+        list(enumerator.enumerate())
+        assert enumerator.stats.exhausted
+        assert enumerator.stats.models == 1
+        assert enumerator.stats.sat_calls >= 2
+
+    def test_blocking_clauses_recorded(self):
+        enumerator = ModelEnumerator([[1, 2]])
+        list(enumerator.enumerate())
+        assert len(enumerator.stats.blocking_clauses) == enumerator.stats.models
+
+    def test_iter_protocol(self):
+        assert len(list(ModelEnumerator([[1]]))) == 1
+
+
+class TestCountsMatchBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.lists(st.integers(min_value=-4, max_value=4).filter(lambda x: x != 0),
+                 min_size=1, max_size=3),
+        min_size=1, max_size=6))
+    def test_enumeration_matches_truth_table(self, clauses):
+        variables = sorted({abs(l) for clause in clauses for l in clause})
+        expected = 0
+        for bits in range(2 ** len(variables)):
+            assignment = {var: bool((bits >> i) & 1) for i, var in enumerate(variables)}
+            if all(any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses):
+                expected += 1
+        assert count_models(clauses, projection=variables) == expected

@@ -1,0 +1,60 @@
+"""Tests for literal/variable helpers."""
+
+import pytest
+
+from repro.sat.literals import lit, neg, sign_of, var_of
+
+
+class TestLit:
+    def test_positive_literal(self):
+        assert lit(3) == 3
+
+    def test_negative_literal(self):
+        assert lit(3, positive=False) == -3
+
+    def test_rejects_zero_variable(self):
+        with pytest.raises(ValueError):
+            lit(0)
+
+    def test_rejects_negative_variable(self):
+        with pytest.raises(ValueError):
+            lit(-2)
+
+
+class TestNeg:
+    def test_neg_positive(self):
+        assert neg(5) == -5
+
+    def test_neg_negative(self):
+        assert neg(-5) == 5
+
+    def test_double_negation_is_identity(self):
+        assert neg(neg(7)) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            neg(0)
+
+
+class TestVarOf:
+    def test_var_of_positive(self):
+        assert var_of(9) == 9
+
+    def test_var_of_negative(self):
+        assert var_of(-9) == 9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            var_of(0)
+
+
+class TestSignOf:
+    def test_sign_of_positive(self):
+        assert sign_of(4) is True
+
+    def test_sign_of_negative(self):
+        assert sign_of(-4) is False
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            sign_of(0)

@@ -1,0 +1,152 @@
+"""Tests for the CNF preprocessor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.preprocessing import Preprocessor, simplify_clauses
+from repro.sat.solver import SatSolver, SolverStatus
+
+
+def _solve(clauses):
+    solver = SatSolver()
+    max_var = max((abs(l) for clause in clauses for l in clause), default=0)
+    solver.ensure_vars(max_var)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()
+
+
+def _satisfies(clauses, model):
+    for clause in clauses:
+        if not any((model.get(abs(l), False)) == (l > 0) for l in clause):
+            return False
+    return True
+
+
+class TestUnitPropagation:
+    def test_single_unit_is_fixed(self):
+        result = simplify_clauses([[1], [-1, 2]])
+        assert not result.unsatisfiable
+        assert 1 in result.fixed_literals
+        assert 2 in result.fixed_literals
+        assert result.clauses == []
+
+    def test_conflicting_units_are_unsat(self):
+        result = simplify_clauses([[1], [-1]])
+        assert result.unsatisfiable
+
+    def test_chain_of_implications_propagates(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        result = simplify_clauses(clauses)
+        assert set(result.fixed_literals) == {1, 2, 3, 4}
+
+    def test_propagation_exposes_empty_clause(self):
+        result = simplify_clauses([[1], [2], [-1, -2]])
+        assert result.unsatisfiable
+
+    def test_counter_reports_units(self):
+        result = simplify_clauses([[5], [-5, 6]])
+        assert result.propagated_units >= 2
+
+
+class TestTautologyAndDuplicates:
+    def test_tautology_removed(self):
+        result = simplify_clauses([[1, -1, 2], [2, 3]])
+        assert result.removed_tautologies == 1
+        assert len(result.clauses) <= 1 or result.fixed_literals
+
+    def test_duplicate_literals_collapsed(self):
+        result = simplify_clauses([[1, 1, 2], [-1, 3]])
+        for clause in result.clauses:
+            assert len(clause) == len(set(clause))
+
+    def test_empty_input_clause_is_unsat(self):
+        result = simplify_clauses([[1, 2], []])
+        assert result.unsatisfiable
+
+
+class TestPureLiterals:
+    def test_pure_literal_is_fixed_positively(self):
+        # Variable 3 only occurs positively.
+        result = simplify_clauses([[1, 3], [-1, 3], [1, -2]])
+        assert 3 in result.fixed_literals
+
+    def test_pure_elimination_removes_clauses(self):
+        result = simplify_clauses([[4, 5], [4, -5]])
+        # 4 is pure, so both clauses disappear.
+        assert result.clauses == []
+        assert 4 in result.fixed_literals
+
+
+class TestSubsumption:
+    def test_superset_clause_removed(self):
+        result = simplify_clauses([[1, -2], [1, -2, 3], [2, 3, 4], [-1, -3]])
+        assert result.removed_subsumed >= 1
+        assert [1, -2, 3] not in result.clauses
+
+    def test_identical_clauses_deduplicated(self):
+        result = simplify_clauses([[1, 2, 7], [1, 2, 7], [-1, -7, 3]])
+        occurrences = sum(1 for clause in result.clauses if sorted(clause, key=abs) == [1, 2, 7])
+        assert occurrences <= 1
+
+
+class TestSelfSubsumption:
+    def test_clause_strengthened(self):
+        # (1 2) and (1 -2 3): the second strengthens to (1 3).  Every variable
+        # occurs in both polarities so pure-literal elimination stays out of
+        # the way.
+        result = simplify_clauses(
+            [[1, 2], [1, -2, 3], [-1, -3], [-2, -3], [2, 3, -1]])
+        assert result.strengthened >= 1
+
+    def test_equivalence_pair_reduces_to_units_or_binary(self):
+        # (1 -2) and (-1 2) encode 1 <-> 2; no contradiction, stays satisfiable.
+        result = simplify_clauses([[1, -2], [-1, 2]])
+        assert not result.unsatisfiable
+
+
+class TestModelExtension:
+    def test_extend_model_adds_fixed_literals(self):
+        result = simplify_clauses([[1], [-1, 2], [3, 4], [-3, 4]])
+        model = {}
+        for clause in result.clauses:
+            model[abs(clause[0])] = clause[0] > 0
+        extended = Preprocessor.extend_model(model, result.fixed_literals)
+        assert extended[1] is True
+        assert extended[2] is True
+
+    def test_extension_preserves_existing_entries(self):
+        extended = Preprocessor.extend_model({7: False}, [1, -2])
+        assert extended == {7: False, 1: True, 2: False}
+
+
+class TestEquisatisfiability:
+    def test_rejects_bad_max_rounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Preprocessor(max_rounds=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.lists(st.integers(min_value=-6, max_value=6).filter(lambda x: x != 0),
+                 min_size=1, max_size=4),
+        min_size=1, max_size=12))
+    def test_simplification_preserves_satisfiability(self, clauses):
+        original = _solve(clauses)
+        result = simplify_clauses(clauses)
+        if result.unsatisfiable:
+            assert original.status is SolverStatus.UNSAT
+            return
+        simplified = _solve(result.clauses) if result.clauses else None
+        if original.status is SolverStatus.SAT:
+            assert simplified is None or simplified.status is SolverStatus.SAT
+            if simplified is not None:
+                extended = Preprocessor.extend_model(simplified.model, result.fixed_literals)
+                assert _satisfies(clauses, extended)
+        else:
+            # Original UNSAT: simplified formula must not become satisfiable
+            # in a way that extends to the original.
+            if simplified is not None and simplified.status is SolverStatus.SAT:
+                extended = Preprocessor.extend_model(simplified.model, result.fixed_literals)
+                assert not _satisfies(clauses, extended)

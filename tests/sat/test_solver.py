@@ -1,0 +1,224 @@
+"""Tests for the CDCL SAT solver."""
+
+import pytest
+
+from repro.sat import SatSolver, SolverStatus
+
+
+def model_satisfies(model: dict[int, bool], clauses: list[list[int]]) -> bool:
+    for clause in clauses:
+        if not any(model.get(abs(l), False) if l > 0 else not model.get(abs(l), False)
+                   for l in clause):
+            return False
+    return True
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve().is_sat
+
+    def test_single_unit_clause(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[1] is True
+
+    def test_negative_unit_clause(self):
+        solver = SatSolver()
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[1] is False
+
+    def test_contradictory_units_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert solver.add_clause([-1]) is False
+        assert solver.solve().is_unsat
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[3] is True
+
+    def test_two_sat_instance(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [1, -3]]
+        solver = SatSolver()
+        solver.add_clauses(clauses)
+        result = solver.solve()
+        assert result.is_sat
+        assert model_satisfies(result.model, clauses)
+
+    def test_unsat_small_formula(self):
+        # (a) & (-a | b) & (-b)
+        solver = SatSolver()
+        solver.add_clauses([[1], [-1, 2], [-2]])
+        assert solver.solve().is_unsat
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[2] is True
+
+    def test_duplicate_literals_collapsed(self):
+        solver = SatSolver()
+        solver.add_clause([3, 3, 3])
+        result = solver.solve()
+        assert result.is_sat and result.model[3] is True
+
+    def test_zero_literal_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([1, 0])
+
+    def test_model_covers_all_variables(self):
+        solver = SatSolver()
+        solver.ensure_vars(6)
+        solver.add_clause([1, 2])
+        result = solver.solve()
+        assert set(result.model) == set(range(1, 7))
+
+
+class TestPigeonhole:
+    """Pigeonhole formulas: n+1 pigeons into n holes is UNSAT, n into n is SAT."""
+
+    @staticmethod
+    def _php(pigeons: int, holes: int) -> SatSolver:
+        solver = SatSolver()
+
+        def var(pigeon: int, hole: int) -> int:
+            return pigeon * holes + hole + 1
+
+        for pigeon in range(pigeons):
+            solver.add_clause([var(pigeon, hole) for hole in range(holes)])
+        for hole in range(holes):
+            for first in range(pigeons):
+                for second in range(first + 1, pigeons):
+                    solver.add_clause([-var(first, hole), -var(second, hole)])
+        return solver
+
+    def test_php_4_into_3_unsat(self):
+        assert self._php(4, 3).solve().is_unsat
+
+    def test_php_5_into_4_unsat(self):
+        assert self._php(5, 4).solve().is_unsat
+
+    def test_php_4_into_4_sat(self):
+        assert self._php(4, 4).solve().is_sat
+
+    def test_php_6_into_6_sat(self):
+        assert self._php(6, 6).solve().is_sat
+
+
+class TestIncrementalAndAssumptions:
+    def test_solve_twice_same_answer(self):
+        solver = SatSolver()
+        solver.add_clauses([[1, 2], [-1, 2]])
+        assert solver.solve().is_sat
+        assert solver.solve().is_sat
+
+    def test_adding_clauses_between_solves(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve().is_sat
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve().is_unsat
+
+    def test_assumption_forces_value(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1])
+        assert result.is_sat
+        assert result.model[1] is False
+        assert result.model[2] is True
+
+    def test_assumptions_do_not_persist(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.solve(assumptions=[-1, -2])
+        result = solver.solve()
+        assert result.is_sat
+
+    def test_conflicting_assumptions_give_core(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1, -2])
+        assert result.is_unsat
+        assert set(abs(l) for l in result.core) <= {1, 2}
+        assert result.core
+
+    def test_core_is_subset_of_assumptions(self):
+        solver = SatSolver()
+        solver.add_clauses([[1], [-1, 2], [-2, 3]])
+        result = solver.solve(assumptions=[-3, 5])
+        assert result.is_unsat
+        assert set(result.core) <= {-3, 5}
+
+    def test_assumption_on_fresh_variable(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        result = solver.solve(assumptions=[9])
+        assert result.is_sat
+        assert result.model[9] is True
+
+
+class TestBudgets:
+    def test_conflict_budget_gives_unknown_on_hard_instance(self):
+        # PHP(7, 6) is hard enough that one conflict is never sufficient.
+        solver = TestPigeonhole._php(7, 6)
+        result = solver.solve(conflict_budget=1)
+        assert result.status in (SolverStatus.UNKNOWN, SolverStatus.UNSAT)
+
+    def test_zero_time_budget_still_terminates(self):
+        solver = TestPigeonhole._php(6, 5)
+        result = solver.solve(time_budget=0.0)
+        assert result.status in (SolverStatus.UNKNOWN, SolverStatus.UNSAT)
+
+    def test_statistics_are_recorded(self):
+        solver = TestPigeonhole._php(5, 4)
+        result = solver.solve()
+        assert result.conflicts > 0
+        assert result.propagations > 0
+        assert result.solve_time >= 0.0
+
+
+class TestGraphColoring:
+    """Graph colouring encodings exercise longer clauses and symmetry."""
+
+    @staticmethod
+    def _coloring(edges: list[tuple[int, int]], nodes: int, colors: int) -> SatSolver:
+        solver = SatSolver()
+
+        def var(node: int, color: int) -> int:
+            return node * colors + color + 1
+
+        for node in range(nodes):
+            solver.add_clause([var(node, color) for color in range(colors)])
+        for first, second in edges:
+            for color in range(colors):
+                solver.add_clause([-var(first, color), -var(second, color)])
+        return solver
+
+    def test_triangle_needs_three_colors(self):
+        triangle = [(0, 1), (1, 2), (0, 2)]
+        assert self._coloring(triangle, 3, 2).solve().is_unsat
+        assert self._coloring(triangle, 3, 3).solve().is_sat
+
+    def test_complete_graph_k5(self):
+        k5 = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        assert self._coloring(k5, 5, 4).solve().is_unsat
+        assert self._coloring(k5, 5, 5).solve().is_sat
+
+    def test_cycle_of_five_needs_three_colors(self):
+        cycle = [(i, (i + 1) % 5) for i in range(5)]
+        assert self._coloring(cycle, 5, 2).solve().is_unsat
+        assert self._coloring(cycle, 5, 3).solve().is_sat

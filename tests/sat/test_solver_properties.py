@@ -1,0 +1,87 @@
+"""Property-based tests cross-checking the CDCL solver against brute force."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import SatSolver
+from repro.sat.solver import luby
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1] for l in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=7))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [draw(st.sampled_from([1, -1])) * draw(st.integers(1, num_vars))
+                  for _ in range(width)]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestSolverAgainstBruteForce:
+    @given(random_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_sat_answer_matches_brute_force(self, instance):
+        num_vars, clauses = instance
+        solver = SatSolver()
+        solver.add_clauses([list(clause) for clause in clauses])
+        result = solver.solve()
+        assert result.is_sat == brute_force_sat(num_vars, clauses)
+
+    @given(random_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_returned_models_satisfy_the_formula(self, instance):
+        num_vars, clauses = instance
+        solver = SatSolver()
+        solver.add_clauses([list(clause) for clause in clauses])
+        result = solver.solve()
+        if result.is_sat:
+            for clause in clauses:
+                assert any(result.model[abs(l)] if l > 0 else not result.model[abs(l)]
+                           for l in clause)
+
+    @given(random_cnf(), st.lists(st.integers(1, 5), min_size=1, max_size=3, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_assumptions_respected_in_models(self, instance, assumed_vars):
+        num_vars, clauses = instance
+        assumptions = [-v for v in assumed_vars]
+        solver = SatSolver()
+        solver.add_clauses([list(clause) for clause in clauses])
+        result = solver.solve(assumptions=assumptions)
+        if result.is_sat:
+            for literal in assumptions:
+                value = result.model[abs(literal)]
+                assert value is (literal > 0)
+
+    @given(random_cnf())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_resolve_is_consistent(self, instance):
+        num_vars, clauses = instance
+        solver = SatSolver()
+        solver.add_clauses([list(clause) for clause in clauses])
+        first = solver.solve()
+        second = solver.solve()
+        assert first.is_sat == second.is_sat
+
+
+class TestLubySequence:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(index) for index in range(1, 16)] == expected
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_values_are_powers_of_two(self, index):
+        value = luby(index)
+        assert value & (value - 1) == 0

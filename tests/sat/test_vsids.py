@@ -1,0 +1,93 @@
+"""Tests for the VSIDS activity heap."""
+
+import pytest
+
+from repro.sat.vsids import VsidsHeap
+
+
+class TestHeapBasics:
+    def test_grow_adds_all_variables(self):
+        heap = VsidsHeap()
+        heap.grow_to(5)
+        assert all(variable in heap for variable in range(1, 6))
+
+    def test_pop_from_empty_returns_none(self):
+        heap = VsidsHeap()
+        assert heap.pop_max() is None
+
+    def test_pop_removes_variable(self):
+        heap = VsidsHeap()
+        heap.grow_to(3)
+        popped = heap.pop_max()
+        assert popped not in heap
+
+    def test_push_reinserts_popped_variable(self):
+        heap = VsidsHeap()
+        heap.grow_to(3)
+        popped = heap.pop_max()
+        heap.push(popped)
+        assert popped in heap
+
+    def test_push_is_idempotent(self):
+        heap = VsidsHeap()
+        heap.grow_to(3)
+        heap.push(1)
+        heap.push(1)
+        popped = {heap.pop_max() for _ in range(3)}
+        assert popped == {1, 2, 3}
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            VsidsHeap(decay=0.0)
+        with pytest.raises(ValueError):
+            VsidsHeap(decay=1.5)
+
+
+class TestActivityOrdering:
+    def test_bumped_variable_pops_first(self):
+        heap = VsidsHeap()
+        heap.grow_to(10)
+        heap.bump(7)
+        assert heap.pop_max() == 7
+
+    def test_repeated_bumps_dominate(self):
+        heap = VsidsHeap()
+        heap.grow_to(4)
+        heap.bump(2)
+        heap.bump(3)
+        heap.bump(3)
+        assert heap.pop_max() == 3
+        assert heap.pop_max() == 2
+
+    def test_decay_makes_later_bumps_heavier(self):
+        heap = VsidsHeap(decay=0.5)
+        heap.grow_to(4)
+        heap.bump(1)
+        heap.decay_activities()
+        heap.bump(2)
+        # Variable 2's bump used a larger increment, so it outranks variable 1.
+        assert heap.pop_max() == 2
+
+    def test_rescaling_preserves_order(self):
+        heap = VsidsHeap(decay=0.5)
+        heap.grow_to(3)
+        # Force many decays so the increment crosses the rescale limit.
+        for _ in range(400):
+            heap.decay_activities()
+            heap.bump(1)
+        heap.bump(2)
+        assert heap.activity[1] < VsidsHeap.RESCALE_LIMIT
+        assert heap.pop_max() == 1
+
+    def test_pop_returns_every_variable_exactly_once(self):
+        heap = VsidsHeap()
+        heap.grow_to(20)
+        for variable in (3, 7, 11):
+            heap.bump(variable)
+        seen = []
+        while True:
+            variable = heap.pop_max()
+            if variable is None:
+                break
+            seen.append(variable)
+        assert sorted(seen) == list(range(1, 21))
