@@ -1,0 +1,106 @@
+"""Service throughput: serial vs. pooled vs. warm-cache on a 20-job batch.
+
+Measures what the batch routing service buys over one-at-a-time routing:
+
+* **serial** -- the reference: one worker, cache disabled; equivalent to the
+  pre-service ``run_router_on_suite`` loop.
+* **pooled** -- the worker pool in its auto-selected mode with a cold cache.
+  On a multi-core machine the pool fans jobs out across processes; on a
+  single visible CPU the pool degrades to serial and the numbers show the
+  service layer's overhead is negligible rather than a speedup.
+* **warm cache** -- the same batch again on the same service: every job is
+  served from the content-addressed cache (after re-verification).
+
+The hard claim is the cache one: a warm identical batch must be served at
+least 5x faster than the serial baseline.  The pooled-vs-serial claim is
+asserted only when real parallelism exists (>1 CPU and a process pool),
+otherwise it is reported for inspection only.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import SATMAP_BUDGET, run_once, save_report
+
+from repro.analysis.reporting import render_table
+from repro.analysis.suite import default_architecture, tiny_suite
+from repro.circuits.random_circuits import random_circuit
+from repro.service import BatchRoutingService, RoutingJob
+
+NUM_JOBS = 20
+ROUTER = "satmap"
+
+
+def twenty_job_batch(architecture) -> list[RoutingJob]:
+    """The tiny suite (12 circuits) plus 8 extra random ones: 20 distinct jobs."""
+    benches = tiny_suite()
+    circuits = [bench.circuit for bench in benches]
+    for extra in range(NUM_JOBS - len(circuits)):
+        circuits.append(random_circuit(4 + extra % 2, 12 + extra,
+                                       seed=1000 + extra,
+                                       name=f"throughput_extra_{extra:02d}"))
+    return [RoutingJob.from_circuit(circuit, architecture, router=ROUTER,
+                                    name=circuit.name)
+            for circuit in circuits[:NUM_JOBS]]
+
+
+def run_experiment():
+    architecture = default_architecture(8)
+
+    def timed_batch(service: BatchRoutingService) -> dict:
+        jobs = twenty_job_batch(architecture)
+        start = time.monotonic()
+        results = service.route_batch(jobs, time_budget=SATMAP_BUDGET)
+        elapsed = time.monotonic() - start
+        return {
+            "time": elapsed,
+            "throughput": len(jobs) / max(elapsed, 1e-9),
+            "solved": sum(1 for result in results if result.solved),
+            "cache_hits": service.cache.hits if service.cache is not None else 0,
+        }
+
+    with BatchRoutingService(max_workers=1, mode="serial", cache=False) as service:
+        serial = timed_batch(service)
+    with BatchRoutingService(mode="auto") as service:
+        pooled = timed_batch(service)
+        warm = timed_batch(service)
+        pool_mode = service.pool.mode
+        workers = service.pool.max_workers
+    return serial, pooled, warm, pool_mode, workers
+
+
+def test_service_throughput(benchmark):
+    serial, pooled, warm, pool_mode, workers = run_once(benchmark, run_experiment)
+
+    rows = [
+        ["serial (no cache)", round(serial["time"], 3),
+         round(serial["throughput"], 2), serial["solved"]],
+        [f"pooled ({pool_mode}, {workers} workers, cold)", round(pooled["time"], 3),
+         round(pooled["throughput"], 2), pooled["solved"]],
+        ["pooled (warm cache)", round(warm["time"], 3),
+         round(warm["throughput"], 2), warm["solved"]],
+    ]
+    summary = render_table(
+        ["configuration", "time (s)", "jobs/s", "solved"], rows,
+        title=f"Service throughput: {NUM_JOBS} x {ROUTER} jobs")
+    summary += (f"\nwarm-cache speedup over serial: "
+                f"{serial['time'] / max(warm['time'], 1e-9):.1f}x"
+                f"\npooled speedup over serial:     "
+                f"{serial['time'] / max(pooled['time'], 1e-9):.2f}x")
+    save_report("service_throughput", summary)
+
+    assert serial["solved"] == NUM_JOBS
+    assert pooled["solved"] == NUM_JOBS
+    assert warm["solved"] == NUM_JOBS
+    # Warm batch is all cache hits and at least 5x faster than serial routing.
+    assert warm["cache_hits"] >= NUM_JOBS
+    assert serial["time"] >= 5.0 * warm["time"], (
+        f"warm cache not >=5x faster: serial {serial['time']:.3f}s vs "
+        f"warm {warm['time']:.3f}s")
+    # True parallel speedup is only claimable with >1 CPU and a process pool.
+    if pool_mode == "process" and (os.cpu_count() or 1) > 1 and workers > 1:
+        assert pooled["throughput"] > serial["throughput"], (
+            f"pooled {pooled['throughput']:.2f} jobs/s not above serial "
+            f"{serial['throughput']:.2f} jobs/s")

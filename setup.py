@@ -1,10 +1,41 @@
-"""Setup shim so the package can be installed in environments without ``wheel``.
+"""Package metadata and install configuration.
 
-All real metadata lives in ``pyproject.toml``; this file only exists to allow
-``pip install -e . --no-use-pep517`` (legacy editable install) when PEP 517
-build isolation is unavailable (e.g. offline machines).
+The project is pure Python with no third-party runtime dependencies, so all
+metadata lives here (no ``pyproject.toml`` is required) and the package
+installs with plain ``pip install .`` or ``pip install -e .`` even on
+machines without PEP 517 build isolation.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_here = Path(__file__).parent
+_readme = _here / "README.md"
+
+setup(
+    name="repro-satmap",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Qubit Mapping and Routing via MaxSAT' (MICRO 2022) "
+        "with a parallel batch-routing service"
+    ),
+    long_description=_readme.read_text() if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -14,7 +14,9 @@ The package is organised bottom-up:
 * :mod:`repro.baselines` -- SABRE, TKET-style, MQT-A*, TB-OLSQ-style and
   EX-MQT-style comparison routers;
 * :mod:`repro.analysis` -- the experiment harness that regenerates the paper's
-  tables and figures.
+  tables and figures;
+* :mod:`repro.service` -- the batch routing service: a parallel worker pool,
+  portfolio racing, and a content-addressed cache of verified results.
 
 Quickstart::
 
@@ -48,8 +50,9 @@ from repro.hardware import (
     tokyo_minus_architecture,
     tokyo_plus_architecture,
 )
+from repro.service import BatchRoutingService, ResultCache, RoutingJob
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -65,6 +68,9 @@ __all__ = [
     "verify_routing",
     "Architecture",
     "NoiseModel",
+    "BatchRoutingService",
+    "RoutingJob",
+    "ResultCache",
     "tokyo_architecture",
     "tokyo_minus_architecture",
     "tokyo_plus_architecture",

@@ -94,7 +94,38 @@ class SuiteComparison:
         return mean_cost_ratio(self.cost_ratios(reference_router, satmap_router))
 
 
-RouterFactory = Callable[[], object]
+#: Either a zero-argument constructor (run in-process) or a registry name
+#: from :mod:`repro.service.registry` (run through the batch service).
+RouterFactory = Callable[[], object] | str
+
+
+def run_suite_through_service(
+    service,
+    router: str,
+    suite: list[BenchmarkCircuit],
+    architecture: Architecture,
+    options: dict | None = None,
+    comparison: SuiteComparison | None = None,
+) -> list[ExperimentRecord]:
+    """Run one registry router over a suite via a :class:`BatchRoutingService`.
+
+    The whole suite is submitted as a single batch, so the service's worker
+    pool parallelises across circuits and repeated (circuit, architecture,
+    router) combinations are served from its content-addressed cache.
+    """
+    from repro.service.jobs import RoutingJob
+
+    jobs = [RoutingJob.from_circuit(bench.circuit, architecture, router=router,
+                                    options=options, name=bench.name)
+            for bench in suite]
+    results = service.route_batch(jobs)
+    records = []
+    for bench, result in zip(suite, results):
+        record = ExperimentRecord.from_result(result, bench)
+        records.append(record)
+        if comparison is not None:
+            comparison.add(record)
+    return records
 
 
 def run_router_on_suite(
@@ -119,9 +150,26 @@ def run_many_routers(
     router_factories: dict[str, RouterFactory],
     suite: list[BenchmarkCircuit],
     architecture: Architecture,
+    service=None,
 ) -> SuiteComparison:
-    """Run several routers over the same suite and return the joint comparison."""
+    """Run several routers over the same suite and return the joint comparison.
+
+    With ``service`` (a :class:`repro.service.BatchRoutingService`), factories
+    given as registry-name *strings* are executed through the service -- one
+    batch per router, parallelised over its worker pool and backed by its
+    result cache -- while callable factories still run in-process.  Records
+    are keyed by each router's own ``name`` in both paths, so downstream
+    reporting is identical.
+    """
     comparison = SuiteComparison()
     for _, factory in router_factories.items():
-        run_router_on_suite(factory, suite, architecture, comparison)
+        if isinstance(factory, str):
+            if service is None:
+                raise ValueError(
+                    f"router factory {factory!r} is a registry name; pass a "
+                    f"BatchRoutingService via service= to run it")
+            run_suite_through_service(service, factory, suite, architecture,
+                                      comparison=comparison)
+        else:
+            run_router_on_suite(factory, suite, architecture, comparison)
     return comparison

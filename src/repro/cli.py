@@ -7,6 +7,11 @@ The subcommands cover the common workflows:
   circuit next to the input;
 * ``compare``  -- run SATMAP and the heuristic baselines over a QASM file (or
   the built-in tiny suite) and print Table I / Fig. 12 style summaries;
+* ``batch``    -- route many QASM files (or a generated suite) through the
+  parallel :class:`~repro.service.BatchRoutingService`: worker pool,
+  optional portfolio racing, and an on-disk result cache;
+* ``bench-service`` -- measure service throughput (serial vs. pooled vs.
+  warm cache) on a generated batch;
 * ``info``     -- print the properties of a named architecture;
 * ``devices``  -- list every architecture in the device catalogue;
 * ``draw``     -- print a text diagram of a QASM circuit;
@@ -45,6 +50,8 @@ from repro.circuits.random_circuits import random_circuit
 from repro.core import HybridSatMapRouter, SatMapRouter, verify_routing
 from repro.hardware.architecture import Architecture
 from repro.hardware.devices import architecture_properties, device_catalog
+from repro.service import BatchRoutingService, RoutingJob
+from repro.service.registry import router_names as service_router_names
 from repro.hardware.topologies import (
     full_architecture,
     grid_architecture,
@@ -120,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(available_architectures()))
     compare.add_argument("--time-budget", type=float, default=10.0)
 
+    batch = subparsers.add_parser(
+        "batch", help="route a batch of circuits through the parallel service")
+    batch.add_argument("qasm", type=Path, nargs="*",
+                       help="OpenQASM 2.0 files; omit to route the built-in tiny suite")
+    batch.add_argument("--arch", default="tokyo8",
+                       choices=sorted(available_architectures()))
+    batch.add_argument("--router", default="satmap", choices=service_router_names(),
+                       help="registry router executed per job (default: satmap)")
+    batch.add_argument("--suite-size", type=int, default=8,
+                       help="number of built-in circuits when no files are given")
+    batch.add_argument("--time-budget", type=float, default=10.0,
+                       help="per-job budget in seconds")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    batch.add_argument("--mode", default="auto",
+                       choices=["auto", "process", "thread", "serial"])
+    batch.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                       help="on-disk result cache directory")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    batch.add_argument("--portfolio", action="store_true",
+                       help="race SATMAP against heuristic baselines per job")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    bench_service = subparsers.add_parser(
+        "bench-service",
+        help="measure service throughput: serial vs. pooled vs. warm cache")
+    bench_service.add_argument("--arch", default="tokyo8",
+                               choices=sorted(available_architectures()))
+    bench_service.add_argument("--router", default="satmap",
+                               choices=service_router_names())
+    bench_service.add_argument("--jobs", type=int, default=12)
+    bench_service.add_argument("--time-budget", type=float, default=5.0)
+    bench_service.add_argument("--workers", type=int, default=None)
+
     info = subparsers.add_parser("info", help="describe a named architecture")
     info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
 
@@ -185,6 +228,119 @@ def command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_jobs(args: argparse.Namespace) -> list[RoutingJob]:
+    """Jobs for ``batch``: the given QASM files or the built-in tiny suite."""
+    architecture = available_architectures()[args.arch]
+    jobs = []
+    if args.qasm:
+        for path in args.qasm:
+            circuit = load_qasm(path)
+            jobs.append(RoutingJob.from_circuit(circuit, architecture,
+                                                router=args.router, name=path.stem))
+    else:
+        for bench in tiny_suite()[:max(1, args.suite_size)]:
+            jobs.append(RoutingJob.from_circuit(bench.circuit, architecture,
+                                                router=args.router, name=bench.name))
+    return jobs
+
+
+def command_batch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.time_budget <= 0:
+        print("error: --time-budget must be positive", file=sys.stderr)
+        return 2
+    missing = [path for path in args.qasm if not path.exists()]
+    if missing:
+        print(f"error: no such file: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    jobs = _batch_jobs(args)
+    progress = None
+    if not args.quiet:
+        progress = lambda update: print(update.format())  # noqa: E731
+    start = _time.monotonic()
+    with BatchRoutingService(
+        max_workers=args.workers,
+        mode=args.mode,
+        time_budget=args.time_budget,
+        cache=False if args.no_cache else None,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        portfolio=args.portfolio or None,
+    ) as service:
+        results = service.route_batch(jobs, progress=progress)
+        wall = _time.monotonic() - start
+
+        rows = []
+        for job, result in zip(jobs, results):
+            rows.append([
+                job.name, result.router_name, result.status.value,
+                result.swap_count if result.solved else "-",
+                result.added_cnots if result.solved else "-",
+                round(result.solve_time, 3),
+                "hit" if "cache-hit" in result.notes else "",
+            ])
+        print()
+        print(render_table(
+            ["circuit", "router", "status", "swaps", "CNOTs", "time (s)", "cache"],
+            rows, title=f"Batch of {len(jobs)} jobs on {args.arch}"))
+        print()
+        print(service.telemetry.summary())
+        cache_stats = service.stats().get("cache")
+        if cache_stats is not None:
+            print(f"cache: {cache_stats['hits']} hits / {cache_stats['misses']} misses "
+                  f"({cache_stats['entries']} entries on disk at {args.cache_dir})")
+        print(f"batch wall time: {wall:.3f}s "
+              f"({len(jobs) / wall if wall > 0 else 0.0:.2f} jobs/s)")
+        solved = sum(1 for result in results if result.solved)
+        print(f"solved {solved}/{len(jobs)} jobs")
+        return 0 if solved == len(jobs) else 2
+
+
+def command_bench_service(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.time_budget <= 0:
+        print("error: --time-budget must be positive", file=sys.stderr)
+        return 2
+    architecture = available_architectures()[args.arch]
+    suite = tiny_suite()
+    benches = [suite[index % len(suite)] for index in range(max(1, args.jobs))]
+
+    def make_jobs() -> list[RoutingJob]:
+        return [RoutingJob.from_circuit(bench.circuit, architecture,
+                                        router=args.router, name=f"{bench.name}#{i}")
+                for i, bench in enumerate(benches)]
+
+    def timed(service: BatchRoutingService) -> tuple[float, int]:
+        jobs = make_jobs()
+        start = _time.monotonic()
+        results = service.route_batch(jobs, time_budget=args.time_budget)
+        elapsed = _time.monotonic() - start
+        return elapsed, sum(1 for result in results if result.solved)
+
+    with BatchRoutingService(max_workers=1, mode="serial", cache=False) as serial:
+        serial_time, serial_solved = timed(serial)
+    with BatchRoutingService(max_workers=args.workers, mode="auto") as pooled:
+        pooled_time, pooled_solved = timed(pooled)
+        warm_time, warm_solved = timed(pooled)
+        hits = pooled.cache.hits
+
+    rows = [
+        ["serial (no cache)", round(serial_time, 3),
+         round(len(benches) / max(serial_time, 1e-9), 2), serial_solved],
+        [f"pooled ({pooled.pool.mode}, cold cache)", round(pooled_time, 3),
+         round(len(benches) / max(pooled_time, 1e-9), 2), pooled_solved],
+        ["pooled (warm cache)", round(warm_time, 3),
+         round(len(benches) / max(warm_time, 1e-9), 2), warm_solved],
+    ]
+    print(render_table(["configuration", "time (s)", "jobs/s", "solved"], rows,
+                       title=f"Service throughput: {len(benches)} x {args.router} "
+                             f"on {args.arch}"))
+    print(f"cache hits on warm run: {hits}")
+    print(f"warm-cache speedup over serial: {serial_time / max(warm_time, 1e-9):.1f}x")
+    return 0
+
+
 def command_info(args: argparse.Namespace) -> int:
     architecture = available_architectures()[args.arch]
     rows = [
@@ -240,6 +396,8 @@ def main(argv: list[str] | None = None) -> int:
     commands = {
         "route": command_route,
         "compare": command_compare,
+        "batch": command_batch,
+        "bench-service": command_bench_service,
         "info": command_info,
         "devices": command_devices,
         "draw": command_draw,

@@ -1,0 +1,57 @@
+"""Batch routing service: parallel execution, portfolio racing, result cache.
+
+This subsystem turns the single-call routers of :mod:`repro.core` and
+:mod:`repro.baselines` into a throughput-oriented service:
+
+* :mod:`repro.service.jobs` -- self-contained, content-hashed job specs;
+* :mod:`repro.service.registry` -- routers constructible by name in workers;
+* :mod:`repro.service.cache` -- content-addressed, verified result cache
+  (in-memory + on-disk JSON);
+* :mod:`repro.service.pool` -- process/thread/serial worker pool with
+  graceful per-job timeouts (best-so-far semantics);
+* :mod:`repro.service.portfolio` -- race SATMAP against heuristic baselines,
+  return the cheapest verified result, cancel the losers;
+* :mod:`repro.service.queue` -- cost-priority batch scheduling with
+  deterministic ordering and progress callbacks;
+* :mod:`repro.service.telemetry` -- structured per-job events and throughput
+  counters;
+* :mod:`repro.service.service` -- the :class:`BatchRoutingService` facade.
+"""
+
+from repro.service.cache import ResultCache, payload_to_result, result_to_payload, verify_cached_result
+from repro.service.jobs import RoutingJob
+from repro.service.pool import WorkerPool, execute_job, is_fallback_result, outcome_to_result
+from repro.service.portfolio import race_portfolio, race_portfolio_batch
+from repro.service.queue import BatchProgress, JobQueue, dispatch_order
+from repro.service.registry import (
+    DEFAULT_PORTFOLIO,
+    FALLBACK_ROUTER,
+    build_router,
+    router_names,
+)
+from repro.service.service import BatchRoutingService
+from repro.service.telemetry import ServiceEvent, TelemetryLog
+
+__all__ = [
+    "BatchRoutingService",
+    "RoutingJob",
+    "ResultCache",
+    "WorkerPool",
+    "JobQueue",
+    "BatchProgress",
+    "TelemetryLog",
+    "ServiceEvent",
+    "race_portfolio",
+    "race_portfolio_batch",
+    "is_fallback_result",
+    "dispatch_order",
+    "build_router",
+    "router_names",
+    "execute_job",
+    "outcome_to_result",
+    "result_to_payload",
+    "payload_to_result",
+    "verify_cached_result",
+    "DEFAULT_PORTFOLIO",
+    "FALLBACK_ROUTER",
+]

@@ -1,0 +1,233 @@
+"""Content-addressed cache of verified routing results.
+
+The cache maps a job's content hash (see
+:meth:`repro.service.jobs.RoutingJob.content_hash`) to a serialised
+:class:`~repro.core.result.RoutingResult`.  Two layers:
+
+* an in-memory dict for the lifetime of a service instance, and
+* an optional on-disk JSON directory (one ``<hash>.json`` per entry) so a
+  second process -- or a second CLI invocation -- reuses earlier work.
+
+Trust model: the cache trusts *nothing*.  Entries are re-verified with the
+independent verifier (:func:`repro.core.verifier.verify_routing`) against the
+job's own circuit and architecture on every load, and results are verified
+again before being stored.  A corrupted, tampered, or stale entry therefore
+degrades to a cache miss (and is evicted) instead of propagating a wrong
+answer -- crucial because the on-disk layer is plain JSON anyone can edit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.circuits.qasm import circuit_to_qasm, parse_qasm
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.verifier import verify_routing
+from repro.service.jobs import RoutingJob
+
+#: Bump when the serialisation layout changes; mismatched entries are misses.
+CACHE_FORMAT_VERSION = 1
+
+
+def result_to_payload(result: RoutingResult) -> dict:
+    """Flatten a solved :class:`RoutingResult` to a JSON-serialisable dict."""
+    if result.routed_circuit is None:
+        raise ValueError("only results with a routed circuit can be serialised")
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "status": result.status.value,
+        "router_name": result.router_name,
+        "circuit_name": result.circuit_name,
+        "initial_mapping": {str(k): v for k, v in result.initial_mapping.items()},
+        "final_mapping": {str(k): v for k, v in result.final_mapping.items()},
+        "routed_qasm": circuit_to_qasm(result.routed_circuit),
+        "routed_num_qubits": result.routed_circuit.num_qubits,
+        "swap_count": result.swap_count,
+        "solve_time": result.solve_time,
+        "sat_calls": result.sat_calls,
+        "optimal": result.optimal,
+        "num_slices": result.num_slices,
+        "objective_value": result.objective_value,
+        "notes": result.notes,
+    }
+
+
+def payload_to_result(payload: dict) -> RoutingResult:
+    """Rebuild a :class:`RoutingResult` from :func:`result_to_payload` output.
+
+    Raises on malformed payloads; callers treat any exception as a miss.
+    """
+    if payload.get("version") != CACHE_FORMAT_VERSION:
+        raise ValueError(f"cache format version mismatch: {payload.get('version')}")
+    routed = parse_qasm(payload["routed_qasm"], name=payload["circuit_name"])
+    return RoutingResult(
+        status=RoutingStatus(payload["status"]),
+        router_name=payload["router_name"],
+        circuit_name=payload["circuit_name"],
+        initial_mapping={int(k): int(v) for k, v in payload["initial_mapping"].items()},
+        final_mapping={int(k): int(v) for k, v in payload["final_mapping"].items()},
+        routed_circuit=routed,
+        swap_count=int(payload["swap_count"]),
+        solve_time=float(payload["solve_time"]),
+        sat_calls=int(payload.get("sat_calls", 0)),
+        optimal=bool(payload["optimal"]),
+        num_slices=int(payload.get("num_slices", 1)),
+        objective_value=payload.get("objective_value"),
+        notes=payload.get("notes", ""),
+    )
+
+
+def verify_cached_result(job: RoutingJob, result: RoutingResult) -> bool:
+    """Re-check a result against its job with the independent verifier.
+
+    Returns ``True`` only if the routed circuit is a valid routing of the
+    job's circuit on the job's architecture *and* the recorded swap count
+    matches what the verifier counts.
+    """
+    if not result.solved or result.routed_circuit is None:
+        return False
+    try:
+        counted = verify_routing(job.circuit(), result.routed_circuit,
+                                 result.initial_mapping, job.architecture())
+    except Exception:
+        return False
+    return counted == result.swap_count
+
+
+class ResultCache:
+    """In-memory + on-disk content-addressed store of verified results.
+
+    Parameters
+    ----------
+    directory:
+        Where on-disk entries live; ``None`` keeps the cache memory-only.
+    verify_on_load:
+        Re-run the independent verifier on every entry read back from memory
+        or disk (default on; turning it off is only sensible in tests).
+    """
+
+    def __init__(self, directory: str | Path | None = None,
+                 verify_on_load: bool = True) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.verify_on_load = verify_on_load
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0  # entries that failed deserialisation or verification
+
+    # -------------------------------------------------------------- helpers
+
+    def _path_for(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _load_payload(self, key: str) -> dict | None:
+        payload = self._memory.get(key)
+        if payload is not None:
+            return payload
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload
+
+    def _evict(self, key: str) -> None:
+        self._memory.pop(key, None)
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # ------------------------------------------------------------------ API
+
+    def get(self, job: RoutingJob) -> RoutingResult | None:
+        """Return the verified cached result for ``job``, or ``None``.
+
+        Any failure along the way -- unreadable file, malformed payload,
+        verification failure -- evicts the entry and counts as a miss.
+        """
+        key = job.content_hash()
+        payload = self._load_payload(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            result = payload_to_result(payload)
+        except Exception:
+            self.rejected += 1
+            self.misses += 1
+            self._evict(key)
+            return None
+        if self.verify_on_load and not verify_cached_result(job, result):
+            self.rejected += 1
+            self.misses += 1
+            self._evict(key)
+            return None
+        self._memory.setdefault(key, payload)
+        self.hits += 1
+        result.notes = (result.notes + "; " if result.notes else "") + "cache-hit"
+        return result
+
+    def put(self, job: RoutingJob, result: RoutingResult) -> bool:
+        """Store a result after verifying it; returns whether it was stored.
+
+        Unsolved results and results that fail the independent verifier are
+        refused (counted in ``rejected``) -- the cache only ever serves
+        answers that have been checked against the job they claim to solve.
+        """
+        if not verify_cached_result(job, result):
+            self.rejected += 1
+            return False
+        key = job.content_hash()
+        payload = result_to_payload(result)
+        self._memory[key] = payload
+        path = self._path_for(key)
+        if path is not None:
+            try:
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+                tmp.replace(path)
+            except OSError:
+                # a full disk or vanished cache dir must not fail the batch;
+                # the entry still lives in the memory layer
+                pass
+        self.stores += 1
+        return True
+
+    def __contains__(self, job: RoutingJob) -> bool:
+        return self._load_payload(job.content_hash()) is not None
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*.json"))
+        return len(keys)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive); used in tests."""
+        self._memory.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejected": self.rejected,
+            "hit_rate": self.hit_rate,
+            "entries": len(self),
+        }

@@ -1,0 +1,153 @@
+"""Routing job specifications and content-addressed job identity.
+
+A :class:`RoutingJob` is the unit of work the batch service operates on.  It
+is deliberately *self-contained and serialisable*: the circuit is stored as
+canonical OpenQASM 2.0 text and the architecture as its edge list, so a job
+can cross a process boundary (``pickle`` for the worker pool) or be hashed
+into a stable cache key without depending on object identity.
+
+The content hash covers what the job itself pins down -- circuit text,
+architecture shape, router name, and router options -- and nothing that
+does not matter (display names, submission order).  Execution-time
+parameters that also shape the outcome, such as the per-job time budget of
+the anytime routers, are folded into the cache key by the service
+(``BatchRoutingService._key_job``), so cached results are only shared when
+the full execution config matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import circuit_to_qasm, parse_qasm
+from repro.hardware.architecture import Architecture
+
+#: Bump when the payload layout changes so stale cache entries never alias.
+JOB_HASH_VERSION = 1
+
+
+@dataclass
+class RoutingJob:
+    """A self-contained, hashable description of one routing task.
+
+    Parameters
+    ----------
+    qasm:
+        The logical circuit as OpenQASM 2.0 text (canonical form: what
+        :func:`repro.circuits.qasm.circuit_to_qasm` emits).
+    arch_num_qubits / arch_edges / arch_name:
+        The connectivity graph, flattened to plain data.
+    router:
+        Registry name of the routing algorithm (see
+        :mod:`repro.service.registry`), e.g. ``"satmap"`` or ``"sabre"``.
+    options:
+        Extra keyword arguments for the router constructor.  Values must be
+        JSON-serialisable scalars so the content hash is well defined.
+    name:
+        Display name for telemetry and result records; not hashed.
+    """
+
+    qasm: str
+    arch_num_qubits: int
+    arch_edges: tuple[tuple[int, int], ...]
+    arch_name: str = "architecture"
+    router: str = "satmap"
+    options: dict = field(default_factory=dict)
+    name: str = "job"
+    _hash: str | None = field(default=None, repr=False, compare=False)
+    _cost: float | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: QuantumCircuit,
+        architecture: Architecture,
+        router: str = "satmap",
+        options: dict | None = None,
+        name: str | None = None,
+    ) -> "RoutingJob":
+        """Build a job from in-memory circuit and architecture objects."""
+        return cls(
+            qasm=circuit_to_qasm(circuit),
+            arch_num_qubits=architecture.num_qubits,
+            arch_edges=tuple(architecture.edges),
+            arch_name=architecture.name,
+            router=router,
+            options=dict(options or {}),
+            name=name or circuit.name,
+        )
+
+    # ---------------------------------------------------------- reconstruct
+
+    def circuit(self) -> QuantumCircuit:
+        """Materialise the logical circuit (fresh object each call)."""
+        return parse_qasm(self.qasm, name=self.name)
+
+    def architecture(self) -> Architecture:
+        """Materialise the connectivity graph (fresh object each call)."""
+        return Architecture(self.arch_num_qubits, [tuple(e) for e in self.arch_edges],
+                            name=self.arch_name)
+
+    def with_router(self, router: str, options: dict | None = None) -> "RoutingJob":
+        """The same work item keyed under a different router/options pair.
+
+        Used by the portfolio (to spawn entrants) and by the service (to
+        namespace cache entries by execution config, so e.g. a portfolio
+        winner can never be served as the answer to a plain ``satmap`` job).
+        """
+        return RoutingJob(qasm=self.qasm, arch_num_qubits=self.arch_num_qubits,
+                          arch_edges=self.arch_edges, arch_name=self.arch_name,
+                          router=router, options=dict(options or {}),
+                          name=self.name)
+
+    # -------------------------------------------------------------- identity
+
+    def content_payload(self) -> str:
+        """The canonical JSON string the content hash is computed over."""
+        payload = {
+            "version": JOB_HASH_VERSION,
+            "qasm": self.qasm,
+            "arch": {
+                "num_qubits": self.arch_num_qubits,
+                "edges": sorted((min(a, b), max(a, b)) for a, b in self.arch_edges),
+            },
+            "router": self.router,
+            "options": self.options,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over circuit, architecture, router, and options."""
+        if self._hash is None:
+            digest = hashlib.sha256(self.content_payload().encode("utf-8"))
+            self._hash = digest.hexdigest()
+        return self._hash
+
+    @property
+    def key(self) -> str:
+        """Short form of the content hash, used in telemetry and filenames."""
+        return self.content_hash()[:16]
+
+    # -------------------------------------------------------------- planning
+
+    def estimated_cost(self) -> float:
+        """Cheap cost estimate used for queue priority (bigger = costlier).
+
+        Counts two-qubit statements in the QASM text without a full parse:
+        routing effort grows with the interaction count, and constraint-based
+        routers also scale with the qubit count.
+        """
+        if self._cost is None:
+            two_qubit = sum(1 for line in self.qasm.splitlines()
+                            if line.count("[") >= 2 and not line.startswith(("qreg", "creg")))
+            self._cost = float(two_qubit * max(self.arch_num_qubits, 1))
+        return self._cost
+
+    def describe(self) -> str:
+        return (f"{self.name} [{self.router} on {self.arch_name}, "
+                f"key={self.key}]")

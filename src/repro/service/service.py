@@ -1,0 +1,263 @@
+"""The batch routing service facade.
+
+:class:`BatchRoutingService` ties the subsystem together: jobs come in, the
+content-addressed cache is consulted first, misses are ordered by estimated
+cost and fanned out over the worker pool (optionally as portfolio races),
+every produced result is re-checked by the independent verifier before it is
+cached, and structured telemetry records each step.  Results always come
+back in submission order, so a batch is deterministic regardless of worker
+count or completion order.
+
+Typical use::
+
+    from repro import BatchRoutingService, RoutingJob
+
+    service = BatchRoutingService(max_workers=4, time_budget=10.0,
+                                  cache_dir=".repro-cache")
+    jobs = [RoutingJob.from_circuit(circ, arch, router="satmap")
+            for circ in circuits]
+    results = service.route_batch(jobs)
+    print(service.telemetry.summary())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.result import RoutingResult
+from repro.hardware.architecture import Architecture
+from repro.service.cache import ResultCache
+from repro.service.jobs import RoutingJob
+from repro.service.pool import WorkerPool, is_fallback_result
+from repro.service.portfolio import race_portfolio_batch
+from repro.service.queue import BatchProgress, JobQueue, ProgressCallback
+from repro.service.registry import DEFAULT_PORTFOLIO
+from repro.service.telemetry import TelemetryLog
+
+
+class BatchRoutingService:
+    """Parallel, cached, verified routing of job batches.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes for the pool (default: visible CPU count).
+    mode:
+        Pool mode: ``"auto"``, ``"process"``, ``"thread"``, or ``"serial"``.
+    time_budget:
+        Default per-job budget in seconds.
+    cache_dir:
+        Directory for the on-disk cache layer; ``None`` keeps results
+        in memory only.  Pass ``cache=False`` to disable caching entirely.
+    portfolio:
+        ``True`` races :data:`~repro.service.registry.DEFAULT_PORTFOLIO`
+        per job, a tuple of registry names races those, ``None``/``False``
+        runs each job's own router only.
+    fallback:
+        Whether jobs whose router produces no solution are rescued with the
+        fast fallback router (best-so-far semantics).  Disable for faithful
+        per-router comparisons, where a timeout should stay a timeout.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        mode: str = "auto",
+        time_budget: float = 30.0,
+        cache_dir: str | Path | None = None,
+        cache: ResultCache | bool | None = None,
+        portfolio: bool | tuple[str, ...] | None = None,
+        telemetry: TelemetryLog | None = None,
+        fallback: bool = True,
+    ) -> None:
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        self.time_budget = time_budget
+        if cache is False:
+            self.cache: ResultCache | None = None
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(directory=cache_dir)
+        if portfolio is True:
+            self.portfolio: tuple[str, ...] | None = DEFAULT_PORTFOLIO
+        elif portfolio:
+            self.portfolio = tuple(portfolio)
+        else:
+            self.portfolio = None
+        self.telemetry = telemetry if telemetry is not None else TelemetryLog()
+        self.fallback = fallback
+        self._max_workers = max_workers
+        self._mode = mode
+        self._pool: WorkerPool | None = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool, created lazily on first miss."""
+        if self._pool is None:
+            self._pool = WorkerPool(max_workers=self._max_workers, mode=self._mode,
+                                    fallback=self.fallback)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "BatchRoutingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- API
+
+    def route_batch(self, jobs: list[RoutingJob],
+                    time_budget: float | None = None,
+                    progress: ProgressCallback | None = None,
+                    ) -> list[RoutingResult]:
+        """Route a batch; the i-th result always answers the i-th job."""
+        budget = time_budget if time_budget is not None else self.time_budget
+        results: list[RoutingResult | None] = [None] * len(jobs)
+        key_jobs = [self._key_job(job, budget) for job in jobs]
+        completed = 0
+
+        def report(index: int, result: RoutingResult) -> None:
+            nonlocal completed
+            completed += 1
+            if progress is not None:
+                progress(BatchProgress(completed=completed, total=len(jobs),
+                                       job=jobs[index], solved=result.solved))
+
+        # Phase 1: cache lookups, plus in-batch dedup -- a content hash is
+        # computed at most once per batch no matter how often it appears.
+        queue = JobQueue()
+        queued_indices: list[int] = []
+        first_occurrence: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []  # (index, index of first occurrence)
+        for index, job in enumerate(jobs):
+            key_job = key_jobs[index]
+            self.telemetry.record("queued", job.key, job.name, router=job.router)
+            cached = self.cache.get(key_job) if self.cache is not None else None
+            if cached is not None:
+                self.telemetry.record("cache-hit", job.key, job.name,
+                                      swaps=cached.swap_count)
+                results[index] = cached
+                report(index, cached)
+            elif key_job.content_hash() in first_occurrence:
+                duplicates.append((index, first_occurrence[key_job.content_hash()]))
+            else:
+                first_occurrence[key_job.content_hash()] = index
+                queue.push(job)
+                queued_indices.append(index)
+
+        # Phase 2: dispatch misses, costliest first.
+        dispatch = queue.drain()
+        ordered_jobs = [job for _, job in dispatch]
+        original_index = [queued_indices[seq] for seq, _ in dispatch]
+
+        def finish(slot: int, job: RoutingJob, result: RoutingResult) -> None:
+            index = original_index[slot]
+            self._record_outcome(job, key_jobs[index], result)
+            results[index] = result
+            report(index, result)
+
+        if self.portfolio is not None and ordered_jobs:
+            for job in ordered_jobs:
+                self.telemetry.record("started", job.key, job.name,
+                                      entrants=len(self.portfolio))
+            raced = race_portfolio_batch(ordered_jobs, budget,
+                                         entrants=self.portfolio, pool=self.pool)
+            for slot, (job, result) in enumerate(zip(ordered_jobs, raced)):
+                finish(slot, job, result)
+        elif ordered_jobs:
+            for job in ordered_jobs:
+                self.telemetry.record("started", job.key, job.name, router=job.router)
+            self.pool.run(ordered_jobs, budget, on_done=finish)
+
+        # Phase 3: duplicates of a computed job are served from the cache
+        # (a verified hit) or, when caching is off, share the first result.
+        for index, source in duplicates:
+            job = jobs[index]
+            served = self.cache.get(key_jobs[index]) if self.cache is not None else None
+            if served is None:
+                served = results[source]
+            self.telemetry.record("cache-hit", job.key, job.name, dedup=True,
+                                  swaps=served.swap_count if served.solved else -1)
+            results[index] = served
+            report(index, served)
+
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def route_one(self, job: RoutingJob,
+                  time_budget: float | None = None) -> RoutingResult:
+        """Route a single job through the full cache/pool/verify path."""
+        return self.route_batch([job], time_budget=time_budget)[0]
+
+    def route_circuit(self, circuit: QuantumCircuit, architecture: Architecture,
+                      router: str = "satmap", options: dict | None = None,
+                      time_budget: float | None = None) -> RoutingResult:
+        """Convenience wrapper building the job from in-memory objects."""
+        job = RoutingJob.from_circuit(circuit, architecture, router=router,
+                                      options=options)
+        return self.route_one(job, time_budget=time_budget)
+
+    # ------------------------------------------------------------ internals
+
+    def _key_job(self, job: RoutingJob, budget: float) -> RoutingJob:
+        """The job as it is keyed in the cache: the full execution config.
+
+        Two refinements over the job's own hash.  A portfolio winner may
+        come from any entrant, so portfolio results live under a namespaced
+        router tag and can never be served as the answer to a plain
+        single-router job (or vice versa).  And the routers are anytime --
+        a larger budget can buy a better solution -- so the effective
+        budget is part of the key and a low-budget result is never served
+        to a high-budget request.
+        """
+        options = dict(job.options)
+        options["time_budget"] = budget
+        router = job.router
+        if self.portfolio is not None:
+            router = "portfolio:" + "+".join(self.portfolio)
+        return job.with_router(router, options=options)
+
+    def _record_outcome(self, job: RoutingJob, key_job: RoutingJob,
+                        result: RoutingResult) -> None:
+        if not result.solved:
+            self.telemetry.record("failed", job.key, job.name,
+                                  status=result.status.value)
+            return
+        rescued = is_fallback_result(result)
+        if rescued:
+            self.telemetry.record("fallback", job.key, job.name,
+                                  router=result.router_name)
+        if self.cache is not None and not rescued:
+            # Fallback substitutes are never cached: the key names the
+            # requested router, and a rescued answer stored under it would
+            # be served forever in place of the real router's result.
+            # ``put`` re-runs the independent verifier; a result that fails
+            # it is refused and surfaces as a cache-reject event.
+            if self.cache.put(key_job, result):
+                self.telemetry.record("cache-store", job.key, job.name)
+            else:
+                self.telemetry.record("cache-reject", job.key, job.name)
+        self.telemetry.record("finished", job.key, job.name,
+                              swaps=result.swap_count,
+                              solve_time=round(result.solve_time, 6))
+
+    def stats(self) -> dict:
+        """Joint cache + telemetry counters for dashboards and tests."""
+        stats = {"throughput": self.telemetry.throughput(),
+                 "jobs_finished": self.telemetry.jobs_finished,
+                 "events": len(self.telemetry.events)}
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        if self._pool is not None:
+            stats["pool_mode"] = self._pool.mode
+            stats["max_workers"] = self._pool.max_workers
+        return stats

@@ -1,0 +1,104 @@
+"""Structured service telemetry: per-job events and aggregate counters.
+
+Every stage of a job's life emits a :class:`ServiceEvent` -- ``queued``,
+``started``, ``cache-hit``, ``cache-store``, ``fallback``, ``finished``,
+``failed`` -- into a :class:`TelemetryLog`.  The log keeps the raw event
+stream (for inspection and tests), aggregate counters, and enough timing to
+report throughput.  Subscribers can attach a callback to observe events as
+they happen; the batch queue uses this for progress reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+EVENT_KINDS = (
+    "queued", "started", "cache-hit", "cache-store", "cache-reject",
+    "fallback", "finished", "failed",
+)
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One structured telemetry record."""
+
+    kind: str
+    job_key: str
+    job_name: str = ""
+    elapsed: float = 0.0  # seconds since the log was created
+    detail: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return (f"[{self.elapsed:8.3f}s] {self.kind:<12} {self.job_name} "
+                f"({self.job_key}){' ' + extra if extra else ''}")
+
+
+class TelemetryLog:
+    """Collects events and derives the aggregate service counters."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+        self.events: list[ServiceEvent] = []
+        self.counters: dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
+        self._subscribers: list[Callable[[ServiceEvent], None]] = []
+        self._solve_time_total = 0.0
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, kind: str, job_key: str, job_name: str = "", **detail) -> ServiceEvent:
+        """Append an event, update counters, and notify subscribers."""
+        if kind not in self.counters:
+            self.counters[kind] = 0
+        event = ServiceEvent(kind=kind, job_key=job_key, job_name=job_name,
+                             elapsed=time.monotonic() - self._start,
+                             detail=dict(detail))
+        self.events.append(event)
+        self.counters[kind] += 1
+        if kind == "finished":
+            self._solve_time_total += float(detail.get("solve_time", 0.0))
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[ServiceEvent], None]) -> None:
+        """Attach a progress callback invoked for every subsequent event."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------- queries
+
+    def events_for(self, job_key: str) -> list[ServiceEvent]:
+        return [event for event in self.events if event.job_key == job_key]
+
+    def kinds_for(self, job_key: str) -> list[str]:
+        return [event.kind for event in self.events_for(job_key)]
+
+    @property
+    def cache_hits(self) -> int:
+        return self.counters.get("cache-hit", 0)
+
+    @property
+    def jobs_finished(self) -> int:
+        return self.counters.get("finished", 0) + self.cache_hits
+
+    @property
+    def wall_time(self) -> float:
+        return time.monotonic() - self._start
+
+    def throughput(self) -> float:
+        """Completed jobs (including cache hits) per wall-clock second."""
+        elapsed = self.wall_time
+        return self.jobs_finished / elapsed if elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable roll-up of the counters."""
+        lines = ["service telemetry:"]
+        for kind in sorted(self.counters):
+            if self.counters[kind]:
+                lines.append(f"  {kind:<12} {self.counters[kind]}")
+        lines.append(f"  {'wall time':<12} {self.wall_time:.3f}s")
+        lines.append(f"  {'solver time':<12} {self._solve_time_total:.3f}s")
+        lines.append(f"  {'throughput':<12} {self.throughput():.2f} jobs/s")
+        return "\n".join(lines)

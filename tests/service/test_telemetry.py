@@ -1,0 +1,59 @@
+"""Telemetry log: events, counters, subscriptions, and summaries."""
+
+from __future__ import annotations
+
+from repro.service import TelemetryLog
+
+
+class TestTelemetryLog:
+    def test_record_appends_and_counts(self):
+        log = TelemetryLog()
+        log.record("queued", "abc", "job-a")
+        log.record("started", "abc", "job-a")
+        log.record("finished", "abc", "job-a", swaps=3, solve_time=0.5)
+        assert log.counters["queued"] == 1
+        assert log.counters["finished"] == 1
+        assert log.jobs_finished == 1
+        assert [event.kind for event in log.events_for("abc")] == [
+            "queued", "started", "finished"]
+
+    def test_cache_hits_count_as_finished_work(self):
+        log = TelemetryLog()
+        log.record("cache-hit", "abc", "job-a")
+        assert log.jobs_finished == 1
+        assert log.cache_hits == 1
+
+    def test_unknown_kinds_are_tracked_rather_than_dropped(self):
+        log = TelemetryLog()
+        log.record("custom-kind", "k", "j")
+        assert log.counters["custom-kind"] == 1
+
+    def test_subscribers_observe_subsequent_events(self):
+        log = TelemetryLog()
+        log.record("queued", "before", "j")
+        seen = []
+        log.subscribe(seen.append)
+        log.record("started", "after", "j", worker=1)
+        assert len(seen) == 1
+        assert seen[0].kind == "started"
+        assert seen[0].detail == {"worker": 1}
+
+    def test_events_carry_monotonic_elapsed_times(self):
+        log = TelemetryLog()
+        first = log.record("queued", "a", "j")
+        second = log.record("started", "a", "j")
+        assert 0.0 <= first.elapsed <= second.elapsed
+
+    def test_summary_and_format_render(self):
+        log = TelemetryLog()
+        log.record("queued", "a", "job-a")
+        log.record("finished", "a", "job-a", solve_time=0.25)
+        text = log.summary()
+        assert "queued" in text and "throughput" in text
+        line = log.events[0].format()
+        assert "job-a" in line and "queued" in line
+
+    def test_throughput_is_positive_once_work_finished(self):
+        log = TelemetryLog()
+        log.record("finished", "a", "j", solve_time=0.1)
+        assert log.throughput() > 0.0
