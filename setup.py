@@ -6,6 +6,7 @@ installs with plain ``pip install .`` or ``pip install -e .`` even on
 machines without PEP 517 build isolation.
 """
 
+import re
 from pathlib import Path
 
 from setuptools import find_packages, setup
@@ -13,9 +14,16 @@ from setuptools import find_packages, setup
 _here = Path(__file__).parent
 _readme = _here / "README.md"
 
+# Single-source the version: repro.__version__ is the only place it lives.
+_version = re.search(
+    r'^__version__\s*=\s*"([^"]+)"',
+    (_here / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
 setup(
     name="repro-satmap",
-    version="1.1.0",
+    version=_version,
     description=(
         "Reproduction of 'Qubit Mapping and Routing via MaxSAT' (MICRO 2022) "
         "with a parallel batch-routing service"

@@ -50,9 +50,10 @@ from repro.hardware import (
     tokyo_minus_architecture,
     tokyo_plus_architecture,
 )
+from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -71,6 +72,7 @@ __all__ = [
     "BatchRoutingService",
     "RoutingJob",
     "ResultCache",
+    "SatSession",
     "tokyo_architecture",
     "tokyo_minus_architecture",
     "tokyo_plus_architecture",

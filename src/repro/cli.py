@@ -15,7 +15,8 @@ The subcommands cover the common workflows:
 * ``info``     -- print the properties of a named architecture;
 * ``devices``  -- list every architecture in the device catalogue;
 * ``draw``     -- print a text diagram of a QASM circuit;
-* ``generate`` -- write a benchmark circuit (QFT, GHZ, QAOA, random) to QASM.
+* ``generate`` -- write a benchmark circuit (QFT, GHZ, QAOA, random) to QASM;
+* ``version``  -- print the package version (also ``repro --version``).
 
 The CLI is intentionally thin: every subcommand is a small wrapper over the
 public library API, so anything it does can also be done programmatically.
@@ -101,10 +102,14 @@ def available_routers(time_budget: float) -> dict[str, object]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Qubit mapping and routing via MaxSAT (SATMAP reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     route = subparsers.add_parser("route", help="route an OpenQASM 2.0 file")
@@ -116,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="two-qubit gates per slice (0 disables slicing; satmap only)")
     route.add_argument("--time-budget", type=float, default=60.0)
     route.add_argument("--swaps-per-gate", type=int, default=1)
+    route.add_argument("--from-scratch", action="store_true",
+                       help="disable incremental solve sessions (rebuild the "
+                            "SAT solver on every call; satmap only)")
     route.add_argument("--output", type=Path, default=None,
                        help="output path (default: <input>.routed.qasm)")
 
@@ -181,6 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="two-qubit gate count (random circuits only)")
     generate.add_argument("--cycles", type=int, default=2, help="QAOA cycles")
     generate.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("version", help="print the package version")
     return parser
 
 
@@ -190,7 +200,8 @@ def command_route(args: argparse.Namespace) -> int:
     if args.router == "satmap":
         slice_size = args.slice_size if args.slice_size > 0 else None
         router = SatMapRouter(slice_size=slice_size, swaps_per_gate=args.swaps_per_gate,
-                              time_budget=args.time_budget)
+                              time_budget=args.time_budget,
+                              incremental=not args.from_scratch)
     else:
         router = available_routers(args.time_budget)[args.router]()
     result = router.route(circuit, architecture)
@@ -373,6 +384,13 @@ def command_draw(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_version(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    print(f"repro {__version__}")
+    return 0
+
+
 def command_generate(args: argparse.Namespace) -> int:
     if args.kind == "qft":
         circuit = qft_circuit(args.qubits)
@@ -402,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         "devices": command_devices,
         "draw": command_draw,
         "generate": command_generate,
+        "version": command_version,
     }
     handler = commands.get(args.command)
     if handler is None:  # pragma: no cover - argparse enforces the choices

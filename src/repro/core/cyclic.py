@@ -108,6 +108,9 @@ def route_cyclic(
         backtracks=block_result.backtracks,
         notes=("cyclic relaxation with token-swap reset" if used_fallback
                else "cyclic relaxation"),
+        stage_timings=dict(block_result.stage_timings),
+        clauses_streamed=block_result.clauses_streamed,
+        learnt_clauses_retained=block_result.learnt_clauses_retained,
     )
     if verify:
         verify_routing(full_original, routed, initial_mapping, architecture)

@@ -57,6 +57,11 @@ class EncodingOptions:
     trailing_swap_slot: bool = False
     cyclic: bool = False
     fixed_initial_mapping: dict[int, int] | None = None
+    #: When true, ``fixed_initial_mapping`` is *not* baked in as hard unit
+    #: clauses; callers pin it per solve call via
+    #: :meth:`QmrEncoding.initial_mapping_assumptions`.  This is what lets a
+    #: live session re-solve one encoding under a different inherited map.
+    pin_initial_via_assumptions: bool = False
     noise_model: NoiseModel | None = None
 
     def __post_init__(self) -> None:
@@ -98,6 +103,46 @@ class QmrEncoding:
     def num_variables(self) -> int:
         return self.builder.num_vars
 
+    @property
+    def root_step(self) -> int:
+        """Step index holding the initial map (-1 with a leading SWAP slot)."""
+        if not self.steps:
+            return 0
+        return -1 if self.options.leading_swap_slot else 0
+
+    @property
+    def final_step(self) -> int:
+        """Step index holding the final map."""
+        if not self.steps:
+            return 0
+        if self.options.trailing_swap_slot or self.options.cyclic:
+            return len(self.steps)
+        return len(self.steps) - 1
+
+    def initial_mapping_assumptions(self, mapping: dict[int, int]) -> list[int]:
+        """Assumption literals pinning the initial map for one solve call.
+
+        Used with :attr:`EncodingOptions.pin_initial_via_assumptions`: the
+        same encoding (and the same live solver) can then be re-solved under
+        a different inherited map by swapping the assumption set, which is
+        how slicing backtracks without re-encoding.
+        """
+        root = self.root_step
+        return [self.registry.map_var(logical, physical, root)
+                for logical, physical in sorted(mapping.items())
+                if logical < self.num_logical]
+
+    def final_mapping_exclusion(self, mapping: dict[int, int]) -> list[int]:
+        """Hard clause (as literals) forbidding ``mapping`` as the final map.
+
+        Only variables the encoding already knows are used; an empty list
+        means the mapping cannot be excluded (nothing to negate).
+        """
+        final = self.final_step
+        return [-variable for logical, physical in mapping.items()
+                if (variable := self.registry.map_vars.get(
+                    (logical, physical, final))) is not None]
+
 
 class QmrEncoder:
     """Builds the MaxSAT instance of Fig. 5 for a circuit and an architecture."""
@@ -109,13 +154,19 @@ class QmrEncoder:
 
     # ------------------------------------------------------------------ API
 
-    def encode(self, circuit: QuantumCircuit) -> QmrEncoding:
-        """Encode ``circuit`` (its two-qubit interaction sequence) as MaxSAT."""
+    def encode(self, circuit: QuantumCircuit, sink=None) -> QmrEncoding:
+        """Encode ``circuit`` (its two-qubit interaction sequence) as MaxSAT.
+
+        With a ``sink`` (a :class:`~repro.sat.session.ClauseSink`, typically a
+        live :class:`~repro.sat.session.SatSession`), every hard clause is
+        streamed into it the moment it is produced, so by the time this
+        method returns the attached solver already holds the formula.
+        """
         interactions = circuit.interaction_sequence()
-        return self.encode_interactions(interactions, circuit.num_qubits)
+        return self.encode_interactions(interactions, circuit.num_qubits, sink=sink)
 
     def encode_interactions(self, interactions: list[tuple[int, int]],
-                            num_logical: int) -> QmrEncoding:
+                            num_logical: int, sink=None) -> QmrEncoding:
         """Encode an explicit interaction sequence over ``num_logical`` qubits."""
         architecture = self.architecture
         options = self.options
@@ -127,6 +178,8 @@ class QmrEncoder:
 
         steps, step_of_gate = self._build_steps(interactions)
         builder = WcnfBuilder()
+        if sink is not None:
+            builder.attach_sink(sink)
         registry = VariableRegistry(builder)
         encoding = QmrEncoding(
             builder=builder,
@@ -340,9 +393,14 @@ class QmrEncoder:
 
         ``root_step`` is -1 when a leading SWAP slot exists (the inherited map
         applies *before* that slot), 0 otherwise.
+
+        When ``pin_initial_via_assumptions`` is set the mapping is *not*
+        encoded as hard clauses; the caller assumes the corresponding map
+        variables per solve call instead (see
+        :meth:`QmrEncoding.initial_mapping_assumptions`).
         """
         fixed = encoding.options.fixed_initial_mapping
-        if not fixed:
+        if not fixed or encoding.options.pin_initial_via_assumptions:
             return
         builder = encoding.builder
         registry = encoding.registry

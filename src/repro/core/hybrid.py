@@ -34,6 +34,7 @@ from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
 from repro.maxsat.solver import MaxSatSolver
 from repro.maxsat.wcnf import WcnfBuilder
+from repro.sat.session import SatSession
 
 
 class HybridSatMapRouter:
@@ -97,7 +98,12 @@ class HybridSatMapRouter:
         (possible only for extremely tight budgets, since the hard constraints
         are trivially satisfiable).
         """
+        # The placement instance streams straight into a live session while it
+        # is built, so the MaxSAT call below starts from a loaded solver
+        # instead of replaying the clause list.
+        session = SatSession()
         builder = WcnfBuilder()
+        builder.attach_sink(session)
         num_logical = circuit.num_qubits
         num_physical = architecture.num_qubits
         map_var = {(logical, physical): builder.new_var()
@@ -131,12 +137,15 @@ class HybridSatMapRouter:
                     adjacency_literals.append(placed)
             builder.add_soft(adjacency_literals, weight=count)
 
-        result = MaxSatSolver(self.strategy).solve(builder, time_budget=time_budget)
+        result = MaxSatSolver(self.strategy, session=session).solve(
+            builder, time_budget=time_budget)
         stats = {
             "sat_calls": result.sat_calls,
             "num_variables": builder.num_vars,
             "num_hard_clauses": builder.num_hard,
             "num_soft_clauses": builder.num_soft,
+            "clauses_streamed": session.stats.clauses_streamed,
+            "learnt_retained": session.learnt_clauses_retained,
             "placement_quality": "optimal" if result.is_optimal else "anytime",
         }
         if not result.has_model:

@@ -45,6 +45,17 @@ class RoutingResult:
     backtracks: int = 0
     objective_value: float | None = None
     notes: str = ""
+    #: Wall-clock seconds per solve stage ("encode" / "solve" / "extract"),
+    #: summed across slices for sliced runs.  Populated by the MaxSAT-based
+    #: routers; heuristics leave it empty.
+    stage_timings: dict[str, float] = field(default_factory=dict)
+    #: Cumulative hard clauses streamed into the live session(s) that
+    #: produced this result, over their whole lifetime (a warm re-solve
+    #: reports the session total, not just its own delta).
+    clauses_streamed: int = 0
+    #: Learnt clauses still retained by the session(s) when the result was
+    #: produced -- the visible payoff of incremental reuse.
+    learnt_clauses_retained: int = 0
 
     SWAP_CNOT_COST: int = 3
 

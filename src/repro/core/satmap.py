@@ -14,12 +14,21 @@ The ``time_budget`` plays the role of the paper's 30-minute compilation
 budget: the MaxSAT search is anytime, so when the budget expires the best
 model found so far is extracted and reported as a feasible (non-optimal)
 solution.
+
+Solving is *incremental* by default: each (sub)circuit encoding streams into
+a persistent :class:`~repro.sat.session.SatSession` and the resulting
+:class:`SliceContext` can be handed back to :meth:`SatMapRouter.solve_monolithic`
+to re-solve the same encoding -- with extra excluded final mappings, or under
+a different inherited initial map expressed as assumptions -- without
+re-encoding and without losing what the SAT solver has learnt.  Set
+``incremental=False`` to restore the historical rebuild-everything behaviour
+(the benchmark uses this as its from-scratch arm).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.encoder import EncodingOptions, QmrEncoder, QmrEncoding
@@ -29,6 +38,62 @@ from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
 from repro.hardware.noise import NoiseModel
 from repro.maxsat.solver import MaxSatSolver, MaxSatStatus
+from repro.sat.session import SatSession
+
+
+@dataclass
+class SliceContext:
+    """Reusable solve state for one (sub)circuit encoding.
+
+    Bundles the persistent session, the encoding built on top of it, and the
+    MaxSAT facade whose relaxation state (selectors, bound totalizer) is tied
+    to both.  A context is only reusable for the *same* slot configuration;
+    escalation (more leading slots, more swaps per gate) changes the encoding
+    shape and forces a rebuild.
+    """
+
+    session: SatSession
+    encoding: QmrEncoding
+    maxsat: MaxSatSolver
+    #: Identity of the instance the encoding was built for (circuit
+    #: interactions + architecture); reuse with anything else is refused.
+    instance_key: tuple = ()
+    #: The excluded final mappings already streamed into the session, in
+    #: order.  Exclusion clauses are permanent, so a reuse request must
+    #: *extend* this list; anything else gets a fresh context.
+    excluded: list[dict[int, int]] = field(default_factory=list)
+    leading_slots: int | None = None
+    swaps_per_gate: int | None = None
+    cyclic: bool = False
+    solves: int = 0
+
+    @property
+    def excluded_count(self) -> int:
+        return len(self.excluded)
+
+    def matches(self, instance_key: tuple, leading_slots: int | None,
+                swaps_per_gate: int | None, cyclic: bool,
+                fixed_initial_mapping: dict[int, int] | None,
+                excluded_final_mappings: list[dict[int, int]]) -> bool:
+        """Whether this context can solve the requested configuration."""
+        if not self.session.ok:
+            return False  # the streamed formula went root-UNSAT; start over
+        if self.instance_key != instance_key:
+            return False  # a context never answers for a different instance
+        if excluded_final_mappings[:len(self.excluded)] != self.excluded:
+            # Already-streamed exclusions are permanent; a request that does
+            # not extend them needs a clean session.
+            return False
+        if (self.leading_slots != leading_slots
+                or self.swaps_per_gate != swaps_per_gate
+                or self.cyclic != cyclic):
+            return False
+        # A pinned initial map is only re-expressible if the encoding pins
+        # via assumptions (it always does in incremental mode when built with
+        # a fixed map; a context built without one cannot suddenly pin).
+        if fixed_initial_mapping is not None:
+            return self.encoding.options.pin_initial_via_assumptions
+        return self.encoding.options.fixed_initial_mapping is None
 
 
 @dataclass
@@ -38,6 +103,9 @@ class MonolithicOutcome:
     result: RoutingResult
     encoding: QmrEncoding | None = None
     model: dict[int, bool] | None = None
+    #: Present in incremental mode: hand it back to ``solve_monolithic`` to
+    #: re-solve this encoding without rebuilding.
+    context: SliceContext | None = None
 
 
 class SatMapRouter:
@@ -60,6 +128,10 @@ class SatMapRouter:
         When provided, soft clauses are weighted by gate fidelities (Q6).
     verify:
         Run the independent verifier on every produced solution (default on).
+    incremental:
+        Solve through persistent :class:`~repro.sat.session.SatSession` s
+        (default).  ``False`` rebuilds the SAT solver from scratch on every
+        call, the pre-session behaviour.
     """
 
     def __init__(
@@ -72,6 +144,7 @@ class SatMapRouter:
         collapse_repeated_pairs: bool = True,
         noise_model: NoiseModel | None = None,
         verify: bool = True,
+        incremental: bool = True,
         name: str | None = None,
     ) -> None:
         if slice_size is not None and slice_size <= 0:
@@ -86,6 +159,7 @@ class SatMapRouter:
         self.collapse_repeated_pairs = collapse_repeated_pairs
         self.noise_model = noise_model
         self.verify = verify
+        self.incremental = incremental
         self.name = name or ("SATMAP" if slice_size is not None else "NL-SATMAP")
 
     # ------------------------------------------------------------------ API
@@ -123,7 +197,8 @@ class SatMapRouter:
                          cyclic: bool = False,
                          leading_swap_slot: bool | None = None,
                          leading_slots: int | None = None,
-                         swaps_per_gate: int | None = None) -> EncodingOptions:
+                         swaps_per_gate: int | None = None,
+                         pin_initial_via_assumptions: bool = False) -> EncodingOptions:
         """The :class:`EncodingOptions` matching this router's configuration."""
         if leading_swap_slot is None:
             leading_swap_slot = fixed_initial_mapping is not None
@@ -134,6 +209,7 @@ class SatMapRouter:
             leading_slots=leading_slots,
             cyclic=cyclic,
             fixed_initial_mapping=fixed_initial_mapping,
+            pin_initial_via_assumptions=pin_initial_via_assumptions,
             noise_model=self.noise_model,
         )
 
@@ -147,28 +223,60 @@ class SatMapRouter:
         excluded_final_mappings: list[dict[int, int]] | None = None,
         leading_slots: int | None = None,
         swaps_per_gate: int | None = None,
+        context: SliceContext | None = None,
     ) -> MonolithicOutcome:
         """Encode and solve one circuit as a single MaxSAT instance.
 
         ``excluded_final_mappings`` lists final maps that must not be returned
         again; the local relaxation uses it to implement backtracking (each
         entry becomes the negation of that mapping's assignment, Example 10).
+
+        In incremental mode a compatible ``context`` (from a previous outcome
+        on the same circuit) is *reused*: only exclusion clauses the context
+        has not seen yet are streamed in, the inherited initial map is pinned
+        via assumptions, and the session's learnt clauses carry over.
         """
-        options = self.encoding_options(fixed_initial_mapping, cyclic,
-                                        leading_slots=leading_slots,
-                                        swaps_per_gate=swaps_per_gate)
-        encoder = QmrEncoder(architecture, options)
-        encoding = encoder.encode(circuit)
-        final_step = len(encoding.steps) - 1 if encoding.steps else 0
-        for mapping in excluded_final_mappings or []:
-            clause = [-variable for (logical, physical) in mapping.items()
-                      if (variable := encoding.registry.map_vars.get(
-                          (logical, physical, final_step))) is not None]
+        excluded = excluded_final_mappings or []
+        timings: dict[str, float] = {}
+        encode_start = time.monotonic()
+        instance_key = (_instance_key(circuit, architecture)
+                        if self.incremental else ())
+
+        if (self.incremental and context is not None
+                and context.matches(instance_key,
+                                    leading_slots, swaps_per_gate,
+                                    cyclic, fixed_initial_mapping, excluded)):
+            encoding = context.encoding
+        else:
+            context = self._build_context(circuit, architecture, instance_key,
+                                          fixed_initial_mapping, cyclic,
+                                          leading_slots, swaps_per_gate)
+            encoding = context.encoding if context is not None else None
+            if encoding is None:  # non-incremental: plain encode
+                options = self.encoding_options(fixed_initial_mapping, cyclic,
+                                                leading_slots=leading_slots,
+                                                swaps_per_gate=swaps_per_gate)
+                encoding = QmrEncoder(architecture, options).encode(circuit)
+        for mapping in excluded[context.excluded_count if context else 0:]:
+            clause = encoding.final_mapping_exclusion(mapping)
             if clause:
                 encoding.builder.add_hard(clause)
+            if context is not None:
+                context.excluded.append(dict(mapping))
+        timings["encode"] = time.monotonic() - encode_start
 
-        solver = MaxSatSolver(self.strategy)
-        maxsat_result = solver.solve(encoding.builder, time_budget=time_budget)
+        assumptions: list[int] | None = None
+        if (fixed_initial_mapping
+                and encoding.options.pin_initial_via_assumptions):
+            assumptions = encoding.initial_mapping_assumptions(fixed_initial_mapping)
+
+        solver = context.maxsat if context is not None else MaxSatSolver(self.strategy)
+        solve_start = time.monotonic()
+        maxsat_result = solver.solve(encoding.builder, time_budget=time_budget,
+                                     assumptions=assumptions)
+        timings["solve"] = time.monotonic() - solve_start
+        if context is not None:
+            context.solves += 1
 
         base = RoutingResult(
             status=RoutingStatus.TIMEOUT,
@@ -178,15 +286,21 @@ class SatMapRouter:
             num_variables=encoding.num_variables,
             num_hard_clauses=encoding.num_hard_clauses,
             num_soft_clauses=encoding.num_soft_clauses,
+            stage_timings=timings,
         )
+        if context is not None:
+            base.clauses_streamed = context.session.stats.clauses_streamed
+            base.learnt_clauses_retained = context.session.learnt_clauses_retained
         if maxsat_result.status is MaxSatStatus.UNSATISFIABLE:
             base.status = RoutingStatus.UNSATISFIABLE
-            return MonolithicOutcome(base, encoding, None)
+            return MonolithicOutcome(base, encoding, None, context)
         if not maxsat_result.has_model:
-            return MonolithicOutcome(base, encoding, None)
+            return MonolithicOutcome(base, encoding, None, context)
 
+        extract_start = time.monotonic()
         solution = extract_solution(encoding, maxsat_result.model)
         routed = build_routed_circuit(circuit, encoding, solution)
+        timings["extract"] = time.monotonic() - extract_start
         base.status = (RoutingStatus.OPTIMAL if maxsat_result.is_optimal
                        else RoutingStatus.FEASIBLE)
         base.optimal = maxsat_result.is_optimal
@@ -196,7 +310,46 @@ class SatMapRouter:
         base.swap_count = solution.swap_count
         if self.noise_model is not None:
             base.objective_value = _routed_fidelity(routed, self.noise_model)
-        return MonolithicOutcome(base, encoding, maxsat_result.model)
+        return MonolithicOutcome(base, encoding, maxsat_result.model, context)
+
+    def _build_context(
+        self,
+        circuit: QuantumCircuit,
+        architecture: Architecture,
+        instance_key: tuple,
+        fixed_initial_mapping: dict[int, int] | None,
+        cyclic: bool,
+        leading_slots: int | None,
+        swaps_per_gate: int | None,
+    ) -> SliceContext | None:
+        """Fresh session + streamed encoding (``None`` when non-incremental)."""
+        if not self.incremental:
+            return None
+        options = self.encoding_options(
+            fixed_initial_mapping, cyclic,
+            leading_slots=leading_slots,
+            swaps_per_gate=swaps_per_gate,
+            pin_initial_via_assumptions=fixed_initial_mapping is not None,
+        )
+        session = SatSession()
+        encoding = QmrEncoder(architecture, options).encode(circuit, sink=session)
+        return SliceContext(
+            session=session,
+            encoding=encoding,
+            maxsat=MaxSatSolver(self.strategy, session=session),
+            instance_key=instance_key,
+            leading_slots=leading_slots,
+            swaps_per_gate=swaps_per_gate,
+            cyclic=cyclic,
+        )
+
+
+def _instance_key(circuit: QuantumCircuit, architecture: Architecture) -> tuple:
+    """Cheap identity of (circuit interactions, architecture) for context reuse."""
+    return (circuit.num_qubits,
+            tuple(circuit.interaction_sequence()),
+            architecture.num_qubits,
+            tuple(sorted(tuple(sorted(edge)) for edge in architecture.edges)))
 
 
 def _routed_fidelity(routed: QuantumCircuit, noise: NoiseModel) -> float:

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult, RoutingStatus
-from repro.core.satmap import MonolithicOutcome
+from repro.core.satmap import MonolithicOutcome, SliceContext
 from repro.hardware.architecture import Architecture
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -40,6 +40,10 @@ class SliceState:
     leading_slots: int = 1
     #: SWAP slots per gate inside the slice (escalated as a last resort).
     swaps_per_gate: int | None = None
+    #: Persistent solve context (incremental mode): one live session per
+    #: slice, so backtracking re-solves stream only the new exclusion clause
+    #: and swap the initial-map assumptions instead of re-encoding.
+    context: SliceContext | None = None
 
 
 def route_sliced(circuit: QuantumCircuit, architecture: Architecture,
@@ -79,7 +83,9 @@ def route_sliced(circuit: QuantumCircuit, architecture: Architecture,
             excluded_final_mappings=state.excluded_final_mappings,
             leading_slots=state.leading_slots if index > 0 else None,
             swaps_per_gate=state.swaps_per_gate,
+            context=state.context,
         )
+        state.context = outcome.context
         if outcome.result.solved:
             state.outcome = outcome
             index += 1
@@ -127,6 +133,9 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
     total_hard = 0
     total_soft = 0
     all_optimal = True
+    stage_timings: dict[str, float] = {}
+    clauses_streamed = 0
+    learnt_retained = 0
     for state in slices:
         outcome = state.outcome
         assert outcome is not None and outcome.result.routed_circuit is not None
@@ -137,6 +146,10 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
         total_hard += outcome.result.num_hard_clauses
         total_soft += outcome.result.num_soft_clauses
         all_optimal = all_optimal and outcome.result.optimal
+        for stage, seconds in outcome.result.stage_timings.items():
+            stage_timings[stage] = stage_timings.get(stage, 0.0) + seconds
+        clauses_streamed += outcome.result.clauses_streamed
+        learnt_retained += outcome.result.learnt_clauses_retained
 
     first = slices[0].outcome
     last = slices[-1].outcome
@@ -164,6 +177,9 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
         num_slices=len(slices),
         backtracks=backtracks,
         notes="locally optimal (sliced)" if all_optimal else "sliced, some slices anytime",
+        stage_timings=stage_timings,
+        clauses_streamed=clauses_streamed,
+        learnt_clauses_retained=learnt_retained,
     )
 
 

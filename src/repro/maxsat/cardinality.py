@@ -118,6 +118,8 @@ class Totalizer:
 
     def assumption_for_at_most(self, bound: int) -> list[int]:
         """Assumption literals enforcing "at most ``bound``" non-permanently."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
         if bound >= len(self.outputs):
             return []
         return [-self.outputs[bound]]
@@ -179,3 +181,19 @@ class GeneralizedTotalizer:
             if weight >= bound:
                 self.builder.add_hard([-self.outputs[weight]])
                 return  # monotonicity clauses handle the larger weights
+
+    def assumptions_for_weight_less_than(self, bound: int) -> list[int]:
+        """Assumption literals enforcing "total weight < ``bound``" non-permanently.
+
+        Incremental sessions use this instead of
+        :meth:`enforce_weight_less_than`: the bound holds only for the solve
+        call that assumes it, so a later call on the same live solver can
+        start from a clean (or different) bound.
+        """
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        for weight in sorted(self.outputs):
+            if weight >= bound:
+                # Monotonicity clauses imply the larger weights stay false.
+                return [-self.outputs[weight]]
+        return []

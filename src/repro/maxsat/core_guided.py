@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.maxsat.cardinality import exactly_one
 from repro.maxsat.wcnf import WcnfBuilder, clause_satisfied
+from repro.sat.session import SatSession
 from repro.sat.solver import SatSolver, SolverStatus
 
 
@@ -36,22 +37,38 @@ class CoreGuidedOutcome:
 
 
 class FuMalikSolver:
-    """Fu-Malik core-guided MaxSAT for unweighted instances."""
+    """Fu-Malik core-guided MaxSAT for unweighted instances.
 
-    def __init__(self, builder: WcnfBuilder) -> None:
+    With a :class:`~repro.sat.session.SatSession` the hard clauses stream into
+    the live solver once and learnt clauses persist across the core loop; the
+    blocking/selector machinery is rebuilt fresh on every run (the previous
+    run's scaffolding becomes inert), which keeps repeated runs sound at the
+    cost of O(#soft) inert clauses per run -- for many re-solves on one
+    session, prefer the ``"linear"`` strategy, whose relaxation is built once.
+    """
+
+    def __init__(self, builder: WcnfBuilder,
+                 session: SatSession | None = None) -> None:
         if builder.is_weighted():
             raise ValueError("FuMalikSolver only supports unweighted soft clauses")
         self.builder = builder
+        self.session = session
 
-    def solve(self, time_budget: float | None = None) -> CoreGuidedOutcome:
+    def solve(self, time_budget: float | None = None,
+              assumptions: list[int] | None = None) -> CoreGuidedOutcome:
         start = time.monotonic()
         builder = self.builder
+        base_assumptions = list(assumptions or [])
         original_soft = [list(soft.literals) for soft in builder.soft]
 
-        sat = SatSolver()
-        sat.ensure_vars(builder.num_vars)
-        for clause in builder.hard:
-            sat.add_clause(clause)
+        if self.session is not None:
+            builder.attach_sink(self.session)
+            sat = self.session.solver
+        else:
+            sat = SatSolver()
+            sat.ensure_vars(builder.num_vars)
+            for clause in builder.hard:
+                sat.add_clause(clause)
 
         # Working copy of every soft clause: original literals plus the
         # blocking variables accumulated over the cores it has appeared in.
@@ -77,8 +94,8 @@ class FuMalikSolver:
                 if remaining <= 0:
                     return CoreGuidedOutcome(False, False, lower_bound, {}, sat_calls,
                                              time.monotonic() - start)
-            assumptions = [-selector for selector in selectors]
-            result = sat.solve(assumptions=assumptions, time_budget=remaining)
+            assumption_literals = base_assumptions + [-selector for selector in selectors]
+            result = sat.solve(assumptions=assumption_literals, time_budget=remaining)
             sat_calls += 1
             if result.status is SolverStatus.SAT:
                 cost = sum(1 for literals in original_soft
@@ -122,5 +139,7 @@ class FuMalikSolver:
             hard_before = len(builder.hard)
             exactly_one(builder, blocking_vars)
             sat.ensure_vars(builder.num_vars)
-            for clause in builder.hard[hard_before:]:
-                sat.add_clause(clause)
+            if self.session is None:
+                # An attached session already received these via streaming.
+                for clause in builder.hard[hard_before:]:
+                    sat.add_clause(clause)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.maxsat.cardinality import Totalizer
 from repro.maxsat.wcnf import WcnfBuilder
+from repro.sat.session import SatSession
 from repro.sat.solver import SatSolver, SolverStatus
 
 
@@ -44,20 +45,38 @@ class OllOutcome:
 
 
 class OllSolver:
-    """Weighted core-guided MaxSAT via the OLL algorithm."""
+    """Weighted core-guided MaxSAT via the OLL algorithm.
 
-    def __init__(self, builder: WcnfBuilder) -> None:
+    With a :class:`~repro.sat.session.SatSession` the hard clauses stream into
+    the live solver once (through the builder's attached sink) and learnt
+    clauses survive the whole core-extraction loop; the per-call selector
+    relaxation is recreated fresh on every run, which keeps repeated runs on
+    one session sound (stale selectors are simply never assumed again) but
+    grows the session by O(#soft) inert scaffolding clauses per run -- for
+    workloads that re-solve one session many times (slicing backtracks),
+    prefer the ``"linear"`` strategy, whose relaxation is built once.
+    """
+
+    def __init__(self, builder: WcnfBuilder,
+                 session: SatSession | None = None) -> None:
         self.builder = builder
+        self.session = session
 
-    def solve(self, time_budget: float | None = None) -> OllOutcome:
+    def solve(self, time_budget: float | None = None,
+              assumptions: list[int] | None = None) -> OllOutcome:
         """Run OLL to optimality or until the wall-clock budget expires."""
         start = time.monotonic()
         builder = self.builder
+        base_assumptions = list(assumptions or [])
 
-        sat = SatSolver()
-        sat.ensure_vars(builder.num_vars)
-        for clause in builder.hard:
-            sat.add_clause(clause)
+        if self.session is not None:
+            builder.attach_sink(self.session)
+            sat = self.session.solver
+        else:
+            sat = SatSolver()
+            sat.ensure_vars(builder.num_vars)
+            for clause in builder.hard:
+                sat.add_clause(clause)
 
         # Relax every soft clause with a selector whose truth means "violated".
         weights: dict[int, int] = {}
@@ -82,9 +101,10 @@ class OllSolver:
                 if remaining <= 0:
                     return OllOutcome(False, False, lower_bound, {}, sat_calls, cores,
                                       time.monotonic() - start)
-            assumptions = [-selector for selector, weight in sorted(weights.items())
-                           if weight > 0]
-            result = sat.solve(assumptions=assumptions, time_budget=remaining)
+            assumption_literals = base_assumptions + [
+                -selector for selector, weight in sorted(weights.items())
+                if weight > 0]
+            result = sat.solve(assumptions=assumption_literals, time_budget=remaining)
             sat_calls += 1
 
             if result.status is SolverStatus.SAT:
@@ -124,8 +144,10 @@ class OllSolver:
                 hard_before = len(builder.hard)
                 totalizer = Totalizer(builder, core_selectors)
                 sat.ensure_vars(builder.num_vars)
-                for clause in builder.hard[hard_before:]:
-                    sat.add_clause(clause)
+                if self.session is None:
+                    # An attached session already received these via streaming.
+                    for clause in builder.hard[hard_before:]:
+                        sat.add_clause(clause)
                 for output in totalizer.outputs[1:]:
                     weights[output] = weights.get(output, 0) + core_weight
             # Cores of size one need no totalizer: the selector's weight simply

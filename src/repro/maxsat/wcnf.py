@@ -3,6 +3,13 @@
 :class:`WcnfBuilder` is the object the SATMAP encoder populates: it owns the
 variable counter, the hard clauses, and the weighted soft clauses, and it can
 be converted to the DIMACS containers in :mod:`repro.sat.dimacs`.
+
+The builder is itself a :class:`repro.sat.session.ClauseSink`, and it can be
+*attached* to another sink -- typically a live
+:class:`~repro.sat.session.SatSession`.  While attached, every hard clause is
+streamed into the session the moment it is added, so the MaxSAT strategies
+never replay ``self.hard`` into a fresh solver: by the time a strategy runs,
+the session already holds the formula.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ class WcnfBuilder:
     num_vars: int = 0
     hard: list[list[int]] = field(default_factory=list)
     soft: list[SoftClause] = field(default_factory=list)
+    #: Attached streaming sink (a ``SatSession`` in practice); ``None`` keeps
+    #: the builder a plain in-memory container, exactly as before.
+    _sink: object | None = field(default=None, repr=False, compare=False)
+    _streamed: int = field(default=0, repr=False, compare=False)
+    #: The sink generation last streamed to; a mismatch (session reset)
+    #: restarts streaming from the first clause.
+    _sink_generation: int = field(default=0, repr=False, compare=False)
 
     def new_var(self) -> int:
         """Allocate a fresh Boolean variable and return its index."""
@@ -38,9 +52,24 @@ class WcnfBuilder:
         return [self.new_var() for _ in range(count)]
 
     def add_hard(self, clause: list[int]) -> None:
-        """Add a hard clause (must be satisfied by every solution)."""
+        """Add a hard clause (must be satisfied by every solution).
+
+        When a sink is attached the clause is also streamed into it
+        immediately, so attached solvers stay in sync clause by clause.
+        """
         self._validate(clause)
-        self.hard.append(list(clause))
+        stored = list(clause)
+        self.hard.append(stored)
+        sink = self._sink
+        if sink is not None:
+            if (self._streamed == len(self.hard) - 1
+                    and getattr(sink, "generation", 0) == self._sink_generation):
+                # Fast path: the sink is in sync, stream just this clause.
+                sink.ensure_vars(self.num_vars)
+                sink.add_hard(stored)
+                self._streamed += 1
+            else:
+                self.sync_sink()
 
     def add_soft(self, clause: list[int], weight: int = 1) -> None:
         """Add a soft clause with the given positive integer weight."""
@@ -57,6 +86,55 @@ class WcnfBuilder:
                 raise ValueError("0 is not a valid literal")
             if abs(literal) > self.num_vars:
                 self.num_vars = abs(literal)
+
+    # ------------------------------------------------------------ streaming
+
+    @property
+    def sink(self) -> object | None:
+        """The attached streaming sink, if any."""
+        return self._sink
+
+    def attach_sink(self, sink) -> None:
+        """Stream hard clauses into ``sink`` as they are added.
+
+        Clauses already in the builder are streamed immediately (exactly
+        once); afterwards every :meth:`add_hard` forwards the clause the
+        moment it exists.  Attaching a *different* sink restarts streaming
+        from the first clause for that sink.
+        """
+        if sink is self._sink:
+            self.sync_sink()
+            return
+        self._sink = sink
+        self._streamed = 0
+        self._sink_generation = getattr(sink, "generation", 0)
+        self.sync_sink()
+
+    def detach_sink(self) -> None:
+        """Stop streaming; the builder reverts to a plain container."""
+        self._sink = None
+        self._streamed = 0
+        self._sink_generation = 0
+
+    def sync_sink(self) -> None:
+        """Stream any hard clauses the attached sink has not seen yet.
+
+        A sink whose ``generation`` changed (a reset session) is treated as
+        empty and re-fed the whole formula.
+        """
+        sink = self._sink
+        if sink is None:
+            return
+        generation = getattr(sink, "generation", 0)
+        if generation != self._sink_generation:
+            self._streamed = 0
+            self._sink_generation = generation
+        sink.ensure_vars(self.num_vars)
+        for clause in self.hard[self._streamed:]:
+            sink.add_hard(clause)
+        self._streamed = len(self.hard)
+
+    # -------------------------------------------------------------- queries
 
     @property
     def total_soft_weight(self) -> int:
@@ -90,6 +168,11 @@ class WcnfBuilder:
             if not clause_satisfied(soft.literals, model):
                 cost += soft.weight
         return cost
+
+    def ensure_vars(self, max_var: int) -> None:
+        """Grow the variable counter to cover ``max_var`` (ClauseSink API)."""
+        if max_var > self.num_vars:
+            self.num_vars = max_var
 
 
 def clause_satisfied(clause: list[int], model: dict[int, bool]) -> bool:

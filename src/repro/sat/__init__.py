@@ -10,6 +10,10 @@ The public entry points are:
 
 * :class:`repro.sat.solver.SatSolver` -- the incremental CDCL solver.
 * :class:`repro.sat.solver.SolveResult` -- SAT/UNSAT/UNKNOWN outcome.
+* :class:`repro.sat.session.SatSession` -- a persistent solve session that
+  keeps one solver (and its learnt clauses) alive across calls.
+* :class:`repro.sat.session.ClauseSink` -- the streaming-ingestion protocol
+  shared by sessions and the WCNF builder.
 * :mod:`repro.sat.dimacs` -- reading and writing DIMACS CNF / WCNF files.
 * :mod:`repro.sat.preprocessing` -- clause-level simplification.
 * :mod:`repro.sat.enumeration` -- blocking-clause model enumeration.
@@ -17,6 +21,7 @@ The public entry points are:
 
 from repro.sat.literals import lit, neg, var_of, sign_of
 from repro.sat.solver import SatSolver, SolveResult, SolverStatus
+from repro.sat.session import ClauseSink, SatSession, SessionStats
 from repro.sat.preprocessing import Preprocessor, PreprocessResult, simplify_clauses
 from repro.sat.enumeration import ModelEnumerator, all_models, count_models
 
@@ -24,6 +29,9 @@ __all__ = [
     "SatSolver",
     "SolveResult",
     "SolverStatus",
+    "SatSession",
+    "SessionStats",
+    "ClauseSink",
     "lit",
     "neg",
     "var_of",

@@ -9,12 +9,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Clause:
     """A disjunction of literals.
 
     The first two positions are the watched literals; the solver maintains the
     invariant that they are unassigned or satisfied whenever possible.
+    ``slots`` keeps the per-clause footprint flat: a clause is four fixed
+    fields, not a dict, which matters when a long-lived session accumulates
+    tens of thousands of learnt clauses.
     """
 
     literals: list[int]

@@ -7,6 +7,14 @@ solver accepts per-call budgets (time and conflicts), which the MaxSAT layer
 uses to implement the anytime behaviour of Open-WBO-Inc-MCS: if the budget is
 exhausted the call returns ``UNKNOWN`` and the caller keeps the best model it
 has seen so far.
+
+All per-variable and per-literal state is held in flat arrays indexed by
+variable (assignment, reason, level, activity, phase) or by a dense literal
+index (watch lists), mirroring the layout of hardware and C solvers: variable
+``v`` owns slots ``2v`` (positive literal) and ``2v + 1`` (negative literal)
+of the watch table.  The solver is designed to stay alive across ``solve()``
+calls -- learnt clauses, VSIDS activity, and saved phases all persist -- which
+is what :class:`repro.sat.session.SatSession` builds on.
 """
 
 from __future__ import annotations
@@ -19,6 +27,11 @@ from repro.sat.assignment import Trail
 from repro.sat.clause import Clause, ClauseDatabase
 from repro.sat.literals import neg, var_of
 from repro.sat.vsids import VsidsHeap
+
+
+def watch_index(literal: int) -> int:
+    """Dense index of ``literal`` in the flat watch table (2v / 2v+1)."""
+    return (literal << 1) if literal > 0 else ((-literal << 1) | 1)
 
 
 class SolverStatus(Enum):
@@ -107,6 +120,9 @@ class SatSolver:
     The solver is incremental: clauses can be added between solve calls, and
     ``solve(assumptions=[...])`` temporarily forces literals true, returning an
     unsat core over the assumptions when the instance is unsatisfiable.
+    Learnt clauses and branching activity survive between calls, so a sequence
+    of related solves (the MaxSAT refinement loop, slicing re-solves) gets
+    faster as the session warms up.
     """
 
     def __init__(
@@ -119,7 +135,12 @@ class SatSolver:
         self.database = ClauseDatabase()
         self.trail = Trail()
         self.vsids = VsidsHeap(decay=decay)
-        self.watches: dict[int, list[Clause]] = {}
+        #: Flat watch table: ``_watches[watch_index(l)]`` holds the clauses to
+        #: revisit when literal ``l`` becomes true.  Slots 0/1 are unused so
+        #: variable ``v`` owns slots ``2v`` and ``2v + 1``.
+        self._watches: list[list[Clause]] = [[], []]
+        #: Scratch "seen" flags for conflict analysis, indexed by variable.
+        self._seen = bytearray(1)
         self.stats = SolverStatistics()
         self.restart_base = restart_base
         self.max_learnt_ratio = max_learnt_ratio
@@ -135,14 +156,21 @@ class SatSolver:
         self.num_vars += 1
         self.trail.grow_to(self.num_vars)
         self.vsids.grow_to(self.num_vars)
-        self.watches.setdefault(self.num_vars, [])
-        self.watches.setdefault(-self.num_vars, [])
+        self._watches.append([])
+        self._watches.append([])
+        self._seen.append(0)
         return self.num_vars
 
     def ensure_vars(self, max_var: int) -> None:
-        """Make sure all variables up to ``max_var`` exist."""
-        while self.num_vars < max_var:
-            self.new_var()
+        """Make sure all variables up to ``max_var`` exist (bulk growth)."""
+        grow = max_var - self.num_vars
+        if grow <= 0:
+            return
+        self.trail.grow_to(max_var)
+        self.vsids.grow_to(max_var)
+        self._watches.extend([] for _ in range(2 * grow))
+        self._seen.extend(b"\x00" * grow)
+        self.num_vars = max_var
 
     def add_clause(self, literals: list[int]) -> bool:
         """Add a clause; return ``False`` if the formula became trivially UNSAT.
@@ -158,7 +186,7 @@ class SatSolver:
             if literal == 0:
                 raise ValueError("0 is not a valid literal")
             self.ensure_vars(var_of(literal))
-            if neg(literal) in seen:
+            if -literal in seen:
                 return True  # tautology, trivially satisfied
             if literal in seen:
                 continue
@@ -204,21 +232,28 @@ class SatSolver:
         return True
 
     def _watch_clause(self, clause: Clause) -> None:
-        self.watches[neg(clause[0])].append(clause)
-        self.watches[neg(clause[1])].append(clause)
+        lits = clause.literals
+        self._watches[watch_index(-lits[0])].append(clause)
+        self._watches[watch_index(-lits[1])].append(clause)
 
     # ------------------------------------------------------------ propagation
 
     def _propagate(self) -> Clause | None:
         """Unit propagation; return the conflicting clause or ``None``."""
         trail = self.trail
-        while self._propagation_head < len(trail.trail):
-            literal = trail.trail[self._propagation_head]
+        trail_list = trail.trail
+        values = trail.values
+        watches = self._watches
+        while self._propagation_head < len(trail_list):
+            literal = trail_list[self._propagation_head]
             self._propagation_head += 1
             self.stats.propagations += 1
-            watchers = self.watches[literal]
+            # watch_index(literal), inlined for the propagation hot loop.
+            windex = (literal << 1) if literal > 0 else ((-literal << 1) | 1)
+            watchers = watches[windex]
             new_watchers: list[Clause] = []
             conflict: Clause | None = None
+            false_literal = -literal
             index = 0
             total = len(watchers)
             while index < total:
@@ -226,10 +261,12 @@ class SatSolver:
                 index += 1
                 lits = clause.literals
                 # Make sure the false literal is in position 1.
-                if lits[0] == neg(literal):
+                if lits[0] == false_literal:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                first_value = trail.value_of_literal(first)
+                value = values[first] if first > 0 else values[-first]
+                first_value = (value if value is None
+                               else (value if first > 0 else not value))
                 if first_value is True:
                     new_watchers.append(clause)
                     continue
@@ -237,9 +274,14 @@ class SatSolver:
                 found = False
                 for position in range(2, len(lits)):
                     candidate = lits[position]
-                    if trail.value_of_literal(candidate) is not False:
+                    cvalue = values[candidate] if candidate > 0 else values[-candidate]
+                    if cvalue is None or cvalue is (candidate > 0):
                         lits[1], lits[position] = lits[position], lits[1]
-                        self.watches[neg(lits[1])].append(clause)
+                        # watch_index(-lits[1]), inlined: this and the outer
+                        # lookup are the two hottest index computations.
+                        moved = -lits[1]
+                        watches[(moved << 1) if moved > 0
+                                else ((-moved << 1) | 1)].append(clause)
                         found = True
                         break
                 if found:
@@ -251,7 +293,7 @@ class SatSolver:
                     conflict = clause
                     break
                 trail.assign(first, clause)
-            self.watches[literal] = new_watchers
+            watches[windex] = new_watchers
             if conflict is not None:
                 return conflict
         return None
@@ -262,15 +304,19 @@ class SatSolver:
         """First-UIP conflict analysis.
 
         Returns the learnt clause (asserting literal first) and the backtrack
-        level.
+        level.  The "seen" set is a flat byte array indexed by variable,
+        cleared via the touched list on the way out.
         """
         trail = self.trail
+        trail_list = trail.trail
+        levels = trail.levels
+        seen = self._seen
         learnt: list[int] = [0]  # placeholder for the asserting literal
-        seen: set[int] = set()
+        touched: list[int] = []
         counter = 0
         literal: int | None = None
         reason: Clause | None = conflict
-        trail_index = len(trail.trail) - 1
+        trail_index = len(trail_list) - 1
         current_level = trail.decision_level
 
         while True:
@@ -279,38 +325,41 @@ class SatSolver:
             for other in reason.literals:
                 if literal is not None and other == literal:
                     continue
-                variable = var_of(other)
-                if variable in seen or trail.level_of_var(variable) == 0:
+                variable = other if other > 0 else -other
+                if seen[variable] or levels[variable] == 0:
                     continue
-                seen.add(variable)
+                seen[variable] = 1
+                touched.append(variable)
                 self.vsids.bump(variable)
-                if trail.level_of_var(variable) >= current_level:
+                if levels[variable] >= current_level:
                     counter += 1
                 else:
                     learnt.append(other)
             # Find the next literal on the trail to resolve on.
-            while var_of(trail.trail[trail_index]) not in seen:
+            while not seen[abs(trail_list[trail_index])]:
                 trail_index -= 1
-            literal = trail.trail[trail_index]
+            literal = trail_list[trail_index]
             trail_index -= 1
-            variable = var_of(literal)
-            seen.discard(variable)
+            variable = abs(literal)
+            seen[variable] = 0
             counter -= 1
             if counter == 0:
                 break
             reason = trail.reason_of_var(variable)
 
-        learnt[0] = neg(literal)
-        learnt = self._minimize_learnt(learnt, seen_levels=None)
+        learnt[0] = -literal
+        learnt = self._minimize_learnt(learnt)
+        for variable in touched:
+            seen[variable] = 0
 
         if len(learnt) == 1:
             backtrack_level = 0
         else:
             # Second-highest decision level in the clause.
             max_index = 1
-            max_level = trail.level_of_var(var_of(learnt[1]))
+            max_level = levels[abs(learnt[1])]
             for position in range(2, len(learnt)):
-                level = trail.level_of_var(var_of(learnt[position]))
+                level = levels[abs(learnt[position])]
                 if level > max_level:
                     max_level = level
                     max_index = position
@@ -318,7 +367,7 @@ class SatSolver:
             backtrack_level = max_level
         return learnt, backtrack_level
 
-    def _minimize_learnt(self, learnt: list[int], seen_levels) -> list[int]:
+    def _minimize_learnt(self, learnt: list[int]) -> list[int]:
         """Remove literals implied by the rest of the learnt clause."""
         keep = {var_of(literal) for literal in learnt}
         minimized = [learnt[0]]
@@ -517,9 +566,11 @@ class SatSolver:
 
     def _extract_model(self) -> dict[int, bool]:
         model: dict[int, bool] = {}
+        values = self.trail.values
+        phases = self.trail.saved_phases
         for variable in range(1, self.num_vars + 1):
-            value = self.trail.value_of_var(variable)
-            model[variable] = bool(value) if value is not None else self.trail.saved_phases[variable]
+            value = values[variable]
+            model[variable] = phases[variable] if value is None else value
         return model
 
     # ----------------------------------------------------- clause reduction
@@ -550,8 +601,11 @@ class SatSolver:
         if not removed:
             return
         removed_ids = {id(clause) for clause in removed}
-        for literal, watchers in self.watches.items():
-            self.watches[literal] = [c for c in watchers if id(c) not in removed_ids]
+        watches = self._watches
+        for windex in range(2, len(watches)):
+            watchers = watches[windex]
+            if watchers:
+                watches[windex] = [c for c in watchers if id(c) not in removed_ids]
         self.database.learnt_clauses = kept
         self.stats.deleted_clauses += len(removed)
 
@@ -564,3 +618,7 @@ class SatSolver:
 
     def num_clauses(self) -> int:
         return self.database.num_problem
+
+    def num_learnt(self) -> int:
+        """Learnt clauses currently retained in the database."""
+        return self.database.num_learnt

@@ -50,6 +50,9 @@ def result_to_payload(result: RoutingResult) -> dict:
         "num_slices": result.num_slices,
         "objective_value": result.objective_value,
         "notes": result.notes,
+        "stage_timings": dict(result.stage_timings),
+        "clauses_streamed": result.clauses_streamed,
+        "learnt_clauses_retained": result.learnt_clauses_retained,
     }
 
 
@@ -75,6 +78,10 @@ def payload_to_result(payload: dict) -> RoutingResult:
         num_slices=int(payload.get("num_slices", 1)),
         objective_value=payload.get("objective_value"),
         notes=payload.get("notes", ""),
+        stage_timings={str(stage): float(seconds) for stage, seconds
+                       in payload.get("stage_timings", {}).items()},
+        clauses_streamed=int(payload.get("clauses_streamed", 0)),
+        learnt_clauses_retained=int(payload.get("learnt_clauses_retained", 0)),
     )
 
 

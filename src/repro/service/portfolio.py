@@ -59,6 +59,15 @@ def _judged(job: RoutingJob, candidates: list[RoutingResult],
     winner.notes = ((winner.notes + "; ") if winner.notes else "") + (
         f"portfolio winner={winner.router_name} "
         f"({finishers}/{len(entrants)} entrants finished)")
+    if winner.stage_timings:
+        # Surface the winner's solve-path breakdown and session-reuse
+        # counters so races make the incremental-solver win observable.
+        stages = " ".join(f"{stage}={seconds:.3f}s"
+                          for stage, seconds in sorted(winner.stage_timings.items()))
+        winner.notes += f"; stages: {stages}"
+        if winner.clauses_streamed:
+            winner.notes += (f" streamed={winner.clauses_streamed}"
+                             f" learnt_kept={winner.learnt_clauses_retained}")
     return winner
 
 

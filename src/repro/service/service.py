@@ -246,9 +246,18 @@ class BatchRoutingService:
                 self.telemetry.record("cache-store", job.key, job.name)
             else:
                 self.telemetry.record("cache-reject", job.key, job.name)
-        self.telemetry.record("finished", job.key, job.name,
-                              swaps=result.swap_count,
-                              solve_time=round(result.solve_time, 6))
+        detail = {"swaps": result.swap_count,
+                  "solve_time": round(result.solve_time, 6)}
+        # Per-stage solve-path timings (encode / solve / extract) and session
+        # reuse counters, when the router reports them: this is what makes
+        # incremental solving observable from the service.
+        for stage, seconds in result.stage_timings.items():
+            detail[f"stage_{stage}"] = round(seconds, 6)
+        if result.clauses_streamed:
+            detail["clauses_streamed"] = result.clauses_streamed
+        if result.learnt_clauses_retained:
+            detail["learnt_retained"] = result.learnt_clauses_retained
+        self.telemetry.record("finished", job.key, job.name, **detail)
 
     def stats(self) -> dict:
         """Joint cache + telemetry counters for dashboards and tests."""

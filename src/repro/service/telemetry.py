@@ -45,6 +45,12 @@ class TelemetryLog:
         self.counters: dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
         self._subscribers: list[Callable[[ServiceEvent], None]] = []
         self._solve_time_total = 0.0
+        #: Per-stage solve-path seconds summed over finished jobs
+        #: ("encode" / "solve" / "extract"), from ``stage_*`` event details.
+        self.stage_totals: dict[str, float] = {}
+        #: Session-reuse counters summed over finished jobs.
+        self.clauses_streamed = 0
+        self.learnt_retained = 0
 
     # ------------------------------------------------------------ recording
 
@@ -59,6 +65,13 @@ class TelemetryLog:
         self.counters[kind] += 1
         if kind == "finished":
             self._solve_time_total += float(detail.get("solve_time", 0.0))
+            for key, value in detail.items():
+                if key.startswith("stage_"):
+                    stage = key[len("stage_"):]
+                    self.stage_totals[stage] = (self.stage_totals.get(stage, 0.0)
+                                                + float(value))
+            self.clauses_streamed += int(detail.get("clauses_streamed", 0))
+            self.learnt_retained += int(detail.get("learnt_retained", 0))
         for subscriber in list(self._subscribers):
             subscriber(event)
         return event
@@ -100,5 +113,12 @@ class TelemetryLog:
                 lines.append(f"  {kind:<12} {self.counters[kind]}")
         lines.append(f"  {'wall time':<12} {self.wall_time:.3f}s")
         lines.append(f"  {'solver time':<12} {self._solve_time_total:.3f}s")
+        for stage in ("encode", "solve", "extract"):
+            if stage in self.stage_totals:
+                lines.append(f"  {'· ' + stage:<12} {self.stage_totals[stage]:.3f}s")
+        if self.clauses_streamed:
+            lines.append(f"  {'streamed':<12} {self.clauses_streamed} clauses")
+        if self.learnt_retained:
+            lines.append(f"  {'learnt kept':<12} {self.learnt_retained} clauses")
         lines.append(f"  {'throughput':<12} {self.throughput():.2f} jobs/s")
         return "\n".join(lines)

@@ -48,7 +48,22 @@ class TestAgainstExhaustiveOptimum:
         satmap = SatMapRouter(time_budget=60).route(circuit, architecture)
         exact = ExhaustiveOptimalRouter(time_budget=60).route(circuit, architecture)
         if satmap.optimal and exact.solved:
-            assert satmap.swap_count == exact.swap_count
+            # Soundness: the MaxSAT optimum can never beat the true optimum.
+            assert satmap.swap_count >= exact.swap_count
+            if satmap.swap_count != exact.swap_count:
+                # The default encoding offers one SWAP slot per transition, so
+                # its optimum may legitimately exceed the true optimum when a
+                # transition needs several SWAPs (e.g. seed 367 needs two).
+                # Granting diameter-many slots makes the encoding complete, at
+                # which point the optima must coincide.
+                escalated = SatMapRouter(
+                    time_budget=60,
+                    swaps_per_gate=architecture.diameter()).route(circuit,
+                                                                  architecture)
+                # These 4-qubit/6-gate instances solve well within the
+                # budget; requiring optimality keeps the check non-vacuous.
+                assert escalated.optimal
+                assert escalated.swap_count == exact.swap_count
 
     @pytest.mark.parametrize("seed", [5, 6])
     def test_relaxations_never_beat_the_optimum(self, seed):
