@@ -13,19 +13,44 @@ The package is organised bottom-up:
   the independent verifier;
 * :mod:`repro.baselines` -- SABRE, TKET-style, MQT-A*, TB-OLSQ-style and
   EX-MQT-style comparison routers;
+* :mod:`repro.api` -- the canonical public surface: the ``Router`` protocol,
+  declarative ``RouterSpec`` s, the capability-aware router registry, and the
+  one-call :func:`repro.route`;
 * :mod:`repro.analysis` -- the experiment harness that regenerates the paper's
   tables and figures;
 * :mod:`repro.service` -- the batch routing service: a parallel worker pool,
   portfolio racing, and a content-addressed cache of verified results.
 
-Quickstart::
+Quickstart -- route one circuit with a declarative router spec:
 
-    from repro import SatMapRouter, tokyo_architecture, random_circuit
+    >>> import repro
+    >>> circuit = repro.random_circuit(num_qubits=4, num_two_qubit_gates=8,
+    ...                                seed=1)
+    >>> result = repro.route(circuit, repro.tokyo_architecture(),
+    ...                      spec="sabre:seed=0,time_budget=10")
+    >>> result.solved
+    True
 
-    circuit = random_circuit(num_qubits=5, num_two_qubit_gates=20, seed=1)
-    result = SatMapRouter(slice_size=25, time_budget=60).route(
-        circuit, tokyo_architecture())
-    print(result.summary())
+Specs name any registered router and round-trip between the string, dict,
+and JSON forms (the dict form is what keys the service's result cache):
+
+    >>> spec = repro.RouterSpec.from_string("satmap:slice_size=25")
+    >>> spec.to_dict()
+    {'router': 'satmap', 'options': {'slice_size': 25}}
+    >>> repro.RouterSpec.parse(spec.to_dict()) == spec
+    True
+    >>> "noise-satmap" in repro.list_routers(capability="noise_aware")
+    True
+
+The same specs drive the batch service (parallel worker pool, portfolio
+racing, verified result cache)::
+
+    from repro import BatchRoutingService, RoutingJob
+
+    with BatchRoutingService(time_budget=10.0) as service:
+        jobs = [RoutingJob.from_spec(circ, arch, "satmap:slice_size=25")
+                for circ in circuits]
+        results = service.route_batch(jobs)
 """
 
 from repro.circuits import (
@@ -36,12 +61,26 @@ from repro.circuits import (
     random_circuit,
 )
 from repro.core import (
+    CyclicRouter,
     NoiseAwareSatMapRouter,
     RoutingResult,
     RoutingStatus,
     SatMapRouter,
     route_cyclic,
     verify_routing,
+)
+
+# repro.api sits above repro.core (its protocol module needs core.result and
+# core's routers import the protocol), so it must import after repro.core.
+from repro.api import (
+    BaseRouter,
+    RouteRequest,
+    Router,
+    RouterSpec,
+    get_router,
+    list_routers,
+    register_router,
+    route,
 )
 from repro.hardware import (
     Architecture,
@@ -53,7 +92,7 @@ from repro.hardware import (
 from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -61,8 +100,17 @@ __all__ = [
     "maxcut_qaoa_circuit",
     "parse_qasm",
     "load_qasm",
+    "route",
+    "Router",
+    "BaseRouter",
+    "RouterSpec",
+    "RouteRequest",
+    "register_router",
+    "get_router",
+    "list_routers",
     "SatMapRouter",
     "NoiseAwareSatMapRouter",
+    "CyclicRouter",
     "route_cyclic",
     "RoutingResult",
     "RoutingStatus",

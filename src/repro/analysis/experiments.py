@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.metrics import cost_ratio, mean_cost_ratio
+from repro.api.spec import RouterSpec
 from repro.circuits.library import BenchmarkCircuit
 from repro.core.result import RoutingResult
 from repro.hardware.architecture import Architecture
@@ -94,14 +95,24 @@ class SuiteComparison:
         return mean_cost_ratio(self.cost_ratios(reference_router, satmap_router))
 
 
-#: Either a zero-argument constructor (run in-process) or a registry name
-#: from :mod:`repro.service.registry` (run through the batch service).
-RouterFactory = Callable[[], object] | str
+#: A router selection for the harness: a zero-argument constructor (run
+#: in-process), or a declarative spec -- a :class:`~repro.api.RouterSpec` or
+#: a spec string like ``"satmap:slice_size=10"`` -- built through the one
+#: registry (in-process, or via the batch service when one is supplied).
+RouterFactory = Callable[[], object] | str | RouterSpec
+
+
+def _as_factory(factory: RouterFactory) -> Callable[[], object]:
+    """A zero-argument constructor for any accepted factory form."""
+    if callable(factory):
+        return factory
+    spec = RouterSpec.parse(factory)
+    return lambda: spec.build()
 
 
 def run_suite_through_service(
     service,
-    router: str,
+    router: str | RouterSpec,
     suite: list[BenchmarkCircuit],
     architecture: Architecture,
     options: dict | None = None,
@@ -109,9 +120,10 @@ def run_suite_through_service(
 ) -> list[ExperimentRecord]:
     """Run one registry router over a suite via a :class:`BatchRoutingService`.
 
-    The whole suite is submitted as a single batch, so the service's worker
-    pool parallelises across circuits and repeated (circuit, architecture,
-    router) combinations are served from its content-addressed cache.
+    ``router`` is any spec form the registry accepts.  The whole suite is
+    submitted as a single batch, so the service's worker pool parallelises
+    across circuits and repeated (circuit, architecture, router)
+    combinations are served from its content-addressed cache.
     """
     from repro.service.jobs import RoutingJob
 
@@ -134,10 +146,16 @@ def run_router_on_suite(
     architecture: Architecture,
     comparison: SuiteComparison | None = None,
 ) -> list[ExperimentRecord]:
-    """Run a router (one fresh instance per circuit) over a benchmark suite."""
+    """Run a router (one fresh instance per circuit) over a benchmark suite.
+
+    ``router_factory`` may be a zero-argument constructor or a declarative
+    spec (string or :class:`~repro.api.RouterSpec`) resolved through the
+    registry.
+    """
+    make_router = _as_factory(router_factory)
     records = []
     for bench in suite:
-        router = router_factory()
+        router = make_router()
         result = router.route(bench.circuit, architecture)
         record = ExperimentRecord.from_result(result, bench)
         records.append(record)
@@ -155,19 +173,17 @@ def run_many_routers(
     """Run several routers over the same suite and return the joint comparison.
 
     With ``service`` (a :class:`repro.service.BatchRoutingService`), factories
-    given as registry-name *strings* are executed through the service -- one
-    batch per router, parallelised over its worker pool and backed by its
-    result cache -- while callable factories still run in-process.  Records
-    are keyed by each router's own ``name`` in both paths, so downstream
-    reporting is identical.
+    given as declarative specs -- strings like ``"satmap:slice_size=10"`` or
+    :class:`~repro.api.RouterSpec` objects -- are executed through the
+    service: one batch per router, parallelised over its worker pool and
+    backed by its result cache.  Without a service, spec factories run
+    in-process through the same registry.  Callable factories always run
+    in-process.  Records are keyed by each router's own ``name`` in all
+    paths, so downstream reporting is identical.
     """
     comparison = SuiteComparison()
     for _, factory in router_factories.items():
-        if isinstance(factory, str):
-            if service is None:
-                raise ValueError(
-                    f"router factory {factory!r} is a registry name; pass a "
-                    f"BatchRoutingService via service= to run it")
+        if isinstance(factory, (str, RouterSpec)) and service is not None:
             run_suite_through_service(service, factory, suite, architecture,
                                       comparison=comparison)
         else:

@@ -1,0 +1,65 @@
+"""repro.api: the canonical public surface for naming and running routers.
+
+Everything that selects a router -- the library, the CLI, the batch service,
+the portfolio racer, the experiment harness -- goes through this package:
+
+* :class:`Router` / :class:`BaseRouter` -- the structural protocol every
+  router satisfies, and the shared deadline/verify/error-capture scaffolding
+  (:mod:`repro.api.protocol`);
+* :class:`RouterSpec` -- a declarative, serialisable router selection: name
+  plus typed options, parseable from strings like
+  ``"satmap:slice_size=25,time_budget=60"``, dicts, and JSON
+  (:mod:`repro.api.spec`);
+* the registry -- :func:`register_router`, :func:`get_router`,
+  :func:`list_routers`, capability filtering (:mod:`repro.api.registry`);
+* :func:`route` / :class:`RouteRequest` -- one-call routing built on the
+  registry (:mod:`repro.api.routing`).
+
+Example::
+
+    from repro.api import RouterSpec, list_routers, route
+
+    list_routers(capability="noise_aware")       # -> ['noise-satmap']
+    spec = RouterSpec.from_string("satmap:slice_size=25,time_budget=30")
+    result = route(circuit, architecture, spec)
+"""
+
+from repro.api.protocol import BaseRouter, Router, RoutingTimeout, format_error_notes
+from repro.api.registry import (
+    OptionField,
+    RouterEntry,
+    UnknownRouterError,
+    describe_routers,
+    display_name,
+    get_router,
+    list_routers,
+    register_router,
+    router_capabilities,
+    router_entry,
+    unregister_router,
+)
+from repro.api.routing import DEFAULT_SPEC, RouteRequest, route
+from repro.api.spec import RouterSpec, SpecError
+
+__all__ = [
+    "Router",
+    "BaseRouter",
+    "RoutingTimeout",
+    "format_error_notes",
+    "RouterSpec",
+    "SpecError",
+    "RouterEntry",
+    "OptionField",
+    "UnknownRouterError",
+    "register_router",
+    "unregister_router",
+    "get_router",
+    "router_entry",
+    "router_capabilities",
+    "list_routers",
+    "describe_routers",
+    "display_name",
+    "route",
+    "RouteRequest",
+    "DEFAULT_SPEC",
+]

@@ -1,0 +1,88 @@
+"""Top-level routing entry points: ``repro.route`` and :class:`RouteRequest`.
+
+These are the "just route it" surface of the library: pick a router with a
+declarative spec (string, dict, or :class:`~repro.api.spec.RouterSpec`),
+let the registry construct it, and get a
+:class:`~repro.core.result.RoutingResult` back.  The batch service consumes
+the same requests via :meth:`RouteRequest.to_job`, so a one-off call and a
+cached, pooled batch job are built from identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.registry import get_router
+from repro.api.spec import RouterSpec
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.result import RoutingResult
+from repro.hardware.architecture import Architecture
+
+#: Spec used when a caller does not name a router at all.
+DEFAULT_SPEC = "satmap"
+
+
+def route(
+    circuit: QuantumCircuit,
+    architecture: Architecture,
+    spec: RouterSpec | str | Mapping[str, Any] = DEFAULT_SPEC,
+    time_budget: float | None = None,
+    **options: Any,
+) -> RoutingResult:
+    """Route ``circuit`` onto ``architecture`` with the router ``spec`` names.
+
+    ``options`` (and a bare ``time_budget``) are conveniences that merge into
+    the spec's options, so these are equivalent::
+
+        route(circuit, arch, "satmap:slice_size=10,time_budget=30")
+        route(circuit, arch, "satmap", slice_size=10, time_budget=30)
+        route(circuit, arch, RouterSpec("satmap", {"slice_size": 10}),
+              time_budget=30)
+    """
+    parsed = RouterSpec.parse(spec)
+    if options:
+        parsed = parsed.with_options(**options)
+    if time_budget is not None:
+        parsed = parsed.with_options(time_budget=time_budget)
+    return get_router(parsed).route(circuit, architecture)
+
+
+@dataclass
+class RouteRequest:
+    """One routing task as declarative data: circuit, architecture, spec.
+
+    The uniform currency between the convenience API and the batch service:
+    ``request.run()`` routes in-process, ``request.to_job()`` produces the
+    hashable :class:`~repro.service.jobs.RoutingJob` the service queues,
+    caches, and ships across process boundaries.
+    """
+
+    circuit: QuantumCircuit
+    architecture: Architecture
+    spec: RouterSpec = field(default_factory=lambda: RouterSpec.parse(DEFAULT_SPEC))
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.spec = RouterSpec.parse(self.spec).validated()
+
+    def run(self) -> RoutingResult:
+        """Route in-process through the registry."""
+        return get_router(self.spec).route(self.circuit, self.architecture)
+
+    def to_job(self):
+        """The equivalent batch-service job (content-hashed from the spec)."""
+        from repro.service.jobs import RoutingJob
+
+        return RoutingJob.from_spec(self.circuit, self.architecture, self.spec,
+                                    name=self.name)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary for logs and telemetry."""
+        return {
+            "circuit": self.name or self.circuit.name,
+            "qubits": self.circuit.num_qubits,
+            "two_qubit_gates": self.circuit.num_two_qubit_gates,
+            "architecture": self.architecture.name,
+            "spec": self.spec.to_dict(),
+        }

@@ -1,0 +1,222 @@
+"""Declarative router specifications.
+
+A :class:`RouterSpec` is the one way to *name* a configured router in this
+repository: a registry name plus a flat dictionary of typed options.  Specs
+are plain data -- they parse from dicts, JSON, and compact CLI strings like
+``"satmap:slice_size=25,time_budget=60"`` and serialise symmetrically with
+:meth:`RouterSpec.to_dict`, so the same value that selects a router on the
+command line also keys the service's content-addressed result cache and
+appears verbatim in telemetry.
+
+The grammar of the string form::
+
+    spec    := name [":" option ("," option)*]
+    option  := key "=" value
+    value   := int | float | bool | "none" | string
+
+Booleans accept ``true/false``, ``yes/no``, ``on/off`` (case-insensitive);
+``none``/``null`` parse to ``None``; everything else stays a string.  Keys
+are sorted on output, so ``to_string`` is canonical: two specs with the same
+name and options always render identically.
+
+Validation against a router's option schema (types, unknown-option
+rejection, defaults) lives in :mod:`repro.api.registry`; a spec itself is
+just the parsed, serialisable value.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class SpecError(ValueError):
+    """A router spec that cannot be parsed or validated."""
+
+
+def parse_scalar(text: str) -> Any:
+    """Parse one option value from its string form (CLI grammar)."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.strip()
+
+
+def render_scalar(value: Any) -> str:
+    """The inverse of :func:`parse_scalar`, used by :meth:`RouterSpec.to_string`."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    return str(value)
+
+
+def _check_option_key(key: str) -> str:
+    key = key.strip()
+    if not key or not key.replace("_", "").isalnum():
+        raise SpecError(f"invalid option name {key!r}")
+    return key
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """A router selected by registry name, with typed construction options.
+
+    Instances are immutable; derivation helpers (:meth:`with_options`,
+    :meth:`with_defaults`) return new specs.  Equality is structural, so two
+    specs parsed from different representations of the same configuration
+    compare equal.
+    """
+
+    name: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError(f"router name must be a non-empty string, got {self.name!r}")
+        # Freeze a private copy so the shared default {} is never mutated.
+        object.__setattr__(self, "options", dict(self.options))
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_string(cls, text: str) -> "RouterSpec":
+        """Parse the compact CLI form, e.g. ``"satmap:slice_size=25"``."""
+        if not isinstance(text, str) or not text.strip():
+            raise SpecError(f"empty router spec {text!r}")
+        name, _, tail = text.strip().partition(":")
+        name = name.strip()
+        if not name:
+            raise SpecError(f"router spec {text!r} has no router name")
+        options: dict[str, Any] = {}
+        if tail.strip():
+            for piece in tail.split(","):
+                key, eq, value = piece.partition("=")
+                if not eq:
+                    raise SpecError(
+                        f"malformed option {piece.strip()!r} in spec {text!r} "
+                        f"(expected key=value)")
+                options[_check_option_key(key)] = parse_scalar(value)
+        return cls(name, options)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RouterSpec":
+        """Parse the dict form: ``{"router": name, "options": {...}}``.
+
+        ``"name"`` is accepted as an alias for ``"router"``; any other key is
+        rejected so typos surface instead of silently vanishing.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(f"expected a mapping, got {type(data).__name__}")
+        payload = dict(data)
+        name = payload.pop("router", None)
+        alias = payload.pop("name", None)
+        if name is None:
+            name = alias
+        elif alias is not None and alias != name:
+            raise SpecError(f"spec dict names two routers: {name!r} and {alias!r}")
+        options = payload.pop("options", {}) or {}
+        if payload:
+            raise SpecError(f"unknown spec keys {sorted(payload)} "
+                            f"(expected 'router' and 'options')")
+        if not isinstance(options, Mapping):
+            raise SpecError("spec 'options' must be a mapping")
+        if not name:
+            raise SpecError("spec dict needs a 'router' name")
+        return cls(str(name), dict(options))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RouterSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid JSON router spec: {error}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def parse(cls, value: "RouterSpec | str | Mapping[str, Any]") -> "RouterSpec":
+        """Coerce any accepted representation into a spec.
+
+        Accepts an existing spec (returned as-is), a compact string, or a
+        dict -- the single entry point every API that takes a "router"
+        argument funnels through.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.from_string(value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise SpecError(
+            f"cannot interpret {type(value).__name__} as a router spec "
+            f"(expected RouterSpec, str, or dict)")
+
+    # ---------------------------------------------------------- serialisers
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict form; feeds cache keys and telemetry verbatim."""
+        return {"router": self.name,
+                "options": {key: self.options[key] for key in sorted(self.options)}}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def to_string(self) -> str:
+        """Canonical compact form; round-trips through :meth:`from_string`."""
+        if not self.options:
+            return self.name
+        rendered = ",".join(f"{key}={render_scalar(self.options[key])}"
+                            for key in sorted(self.options))
+        return f"{self.name}:{rendered}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_string()
+
+    # ------------------------------------------------------------ derivation
+
+    def with_options(self, **overrides: Any) -> "RouterSpec":
+        """A new spec with ``overrides`` replacing/adding options."""
+        merged = dict(self.options)
+        merged.update(overrides)
+        return RouterSpec(self.name, merged)
+
+    def with_defaults(self, **defaults: Any) -> "RouterSpec":
+        """A new spec where ``defaults`` fill only *missing* options."""
+        merged = dict(defaults)
+        merged.update(self.options)
+        return RouterSpec(self.name, merged)
+
+    # ------------------------------------------------------------ validation
+
+    def validated(self) -> "RouterSpec":
+        """This spec with options type-checked and coerced by the registry.
+
+        Raises :class:`~repro.api.registry.UnknownRouterError` for an
+        unregistered name and :class:`SpecError` for unknown or ill-typed
+        options.  Import is deferred to keep this module dependency-free.
+        """
+        from repro.api.registry import router_entry
+
+        entry = router_entry(self.name)
+        return RouterSpec(self.name, entry.validate_options(self.options))
+
+    def build(self, **defaults: Any):
+        """Instantiate the configured router (see :func:`repro.api.get_router`)."""
+        from repro.api.registry import get_router
+
+        return get_router(self, **defaults)

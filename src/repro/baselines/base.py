@@ -4,75 +4,25 @@ Every baseline transforms a logical circuit into a physical circuit by
 maintaining a logical-to-physical map and inserting SWAPs.
 :class:`RoutedBuilder` captures that pattern so each algorithm only has to
 decide *which* swaps to insert; emission, mapping updates, swap counting, and
-result assembly are shared.  :class:`Router` is the abstract interface used by
-the experiment harness.
+result assembly are shared.
+
+The deadline/verify/error-capture scaffolding formerly defined here now
+lives in :mod:`repro.api.protocol` and is shared by *all* routers (the SATMAP
+family included); ``Router`` and ``RoutingTimeout`` remain importable from
+this module as deprecated aliases of :class:`repro.api.BaseRouter` and
+:class:`repro.api.RoutingTimeout`.
 """
 
 from __future__ import annotations
 
-import abc
-import time
-
+from repro.api.protocol import BaseRouter, RoutingTimeout  # noqa: F401 - shim
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.core.result import RoutingResult, RoutingStatus
-from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
 
-
-class RoutingTimeout(Exception):
-    """Raised internally when a router exceeds its deadline."""
-
-
-class Router(abc.ABC):
-    """Common interface of every mapping-and-routing algorithm in this repo."""
-
-    name: str = "router"
-
-    def __init__(self, time_budget: float = 60.0, verify: bool = True) -> None:
-        if time_budget <= 0:
-            raise ValueError("time_budget must be positive")
-        self.time_budget = time_budget
-        self.verify = verify
-
-    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
-        """Route ``circuit`` onto ``architecture`` within the time budget."""
-        start = time.monotonic()
-        deadline = start + self.time_budget
-        try:
-            result = self._route(circuit, architecture, deadline)
-        except RoutingTimeout:
-            return RoutingResult(
-                status=RoutingStatus.TIMEOUT,
-                router_name=self.name,
-                circuit_name=circuit.name,
-                solve_time=time.monotonic() - start,
-            )
-        except Exception as error:  # pragma: no cover - defensive reporting
-            return RoutingResult(
-                status=RoutingStatus.ERROR,
-                router_name=self.name,
-                circuit_name=circuit.name,
-                solve_time=time.monotonic() - start,
-                notes=f"{type(error).__name__}: {error}",
-            )
-        result.router_name = self.name
-        result.circuit_name = circuit.name
-        result.solve_time = time.monotonic() - start
-        if result.solved and self.verify and result.routed_circuit is not None:
-            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
-                           architecture)
-        return result
-
-    @abc.abstractmethod
-    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
-               deadline: float) -> RoutingResult:
-        """Algorithm-specific implementation."""
-
-    @staticmethod
-    def check_deadline(deadline: float) -> None:
-        if time.monotonic() > deadline:
-            raise RoutingTimeout
+#: Deprecated alias: subclass :class:`repro.api.BaseRouter` instead.
+Router = BaseRouter
 
 
 class RoutedBuilder:

@@ -3,20 +3,27 @@
 The subcommands cover the common workflows:
 
 * ``route``    -- map and route an OpenQASM 2.0 file onto a named architecture
-  (SATMAP by default, any router via ``--router``) and write the routed
-  circuit next to the input;
+  (SATMAP by default, any router spec via ``--router``) and write the routed
+  circuit next to the input; ``--json`` for scriptable output;
 * ``compare``  -- run SATMAP and the heuristic baselines over a QASM file (or
-  the built-in tiny suite) and print Table I / Fig. 12 style summaries;
+  the built-in tiny suite) and print Table I / Fig. 12 style summaries
+  (``--json`` for the raw records);
 * ``batch``    -- route many QASM files (or a generated suite) through the
   parallel :class:`~repro.service.BatchRoutingService`: worker pool,
   optional portfolio racing, and an on-disk result cache;
 * ``bench-service`` -- measure service throughput (serial vs. pooled vs.
   warm cache) on a generated batch;
+* ``routers``  -- list every registered router: capabilities and option
+  schemas, straight from the :mod:`repro.api` registry;
 * ``info``     -- print the properties of a named architecture;
 * ``devices``  -- list every architecture in the device catalogue;
 * ``draw``     -- print a text diagram of a QASM circuit;
 * ``generate`` -- write a benchmark circuit (QFT, GHZ, QAOA, random) to QASM;
 * ``version``  -- print the package version (also ``repro --version``).
+
+Anywhere a router is named, a full *spec string* is accepted --
+``--router satmap:slice_size=10,swaps_per_gate=2`` -- and validated against
+the registry's option schemas at argument-parsing time.
 
 The CLI is intentionally thin: every subcommand is a small wrapper over the
 public library API, so anything it does can also be done programmatically.
@@ -25,6 +32,8 @@ public library API, so anything it does can also be done programmatically.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
 
@@ -35,24 +44,17 @@ from repro.analysis.reporting import (
     render_table,
 )
 from repro.analysis.suite import tiny_suite
-from repro.baselines import (
-    AStarLayerRouter,
-    BmtLikeRouter,
-    NaiveShortestPathRouter,
-    SabreRouter,
-    TketLikeRouter,
-)
+from repro.api import RouterSpec, describe_routers, get_router, list_routers
 from repro.circuits.drawer import circuit_summary, draw_circuit
 from repro.circuits.library import BenchmarkCircuit
 from repro.circuits.named_circuits import ghz_circuit, qft_circuit
 from repro.circuits.qaoa import maxcut_qaoa_circuit
 from repro.circuits.qasm import load_qasm, save_qasm
 from repro.circuits.random_circuits import random_circuit
-from repro.core import HybridSatMapRouter, SatMapRouter, verify_routing
+from repro.core import verify_routing
 from repro.hardware.architecture import Architecture
 from repro.hardware.devices import architecture_properties, device_catalog
 from repro.service import BatchRoutingService, RoutingJob
-from repro.service.registry import router_names as service_router_names
 from repro.hardware.topologies import (
     full_architecture,
     grid_architecture,
@@ -88,17 +90,30 @@ def available_architectures() -> dict[str, Architecture]:
 
 
 def available_routers(time_budget: float) -> dict[str, object]:
-    """Router constructors selectable with ``route --router``."""
-    return {
-        "satmap": lambda: SatMapRouter(slice_size=25, time_budget=time_budget),
-        "nl-satmap": lambda: SatMapRouter(time_budget=time_budget),
-        "hybrid": lambda: HybridSatMapRouter(time_budget=time_budget),
-        "sabre": lambda: SabreRouter(time_budget=time_budget),
-        "tket": lambda: TketLikeRouter(time_budget=time_budget),
-        "astar": lambda: AStarLayerRouter(time_budget=time_budget),
-        "bmt": lambda: BmtLikeRouter(time_budget=time_budget),
-        "naive": lambda: NaiveShortestPathRouter(time_budget=time_budget),
-    }
+    """Router constructors selectable with ``route --router``.
+
+    Deprecated shim over the :mod:`repro.api` registry (every registered
+    router, not a hand-kept subset); kept because older scripts imported it.
+    """
+    def factory(name: str):
+        return lambda: get_router(name, time_budget=time_budget)
+
+    return {name: factory(name) for name in list_routers()}
+
+
+def _router_spec(text: str) -> str:
+    """argparse type for ``--router``: validate a spec string, keep the text.
+
+    Validation against the registry (unknown routers *and* unknown/ill-typed
+    options) happens at parse time, so ``repro route --router no-such`` or
+    ``--router satmap:slize_size=9`` exit with a usage error instead of
+    failing mid-run.
+    """
+    try:
+        RouterSpec.from_string(text).validated()
+    except Exception as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,8 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     route = subparsers.add_parser("route", help="route an OpenQASM 2.0 file")
     route.add_argument("qasm", type=Path, help="input OpenQASM 2.0 file")
     route.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
-    route.add_argument("--router", default="satmap", choices=sorted(available_routers(1.0)),
-                       help="routing algorithm (default: satmap with slicing)")
+    route.add_argument("--router", default="satmap", type=_router_spec,
+                       help="router spec, e.g. satmap or "
+                            "satmap:slice_size=10,swaps_per_gate=2 "
+                            "(default: satmap with slicing; see `repro routers`)")
     route.add_argument("--slice-size", type=int, default=25,
                        help="two-qubit gates per slice (0 disables slicing; satmap only)")
     route.add_argument("--time-budget", type=float, default=60.0)
@@ -126,6 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "SAT solver on every call; satmap only)")
     route.add_argument("--output", type=Path, default=None,
                        help="output path (default: <input>.routed.qasm)")
+    route.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON result instead of text")
 
     compare = subparsers.add_parser("compare",
                                     help="compare SATMAP against heuristic baselines")
@@ -134,6 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--arch", default="tokyo8",
                          choices=sorted(available_architectures()))
     compare.add_argument("--time-budget", type=float, default=10.0)
+    compare.add_argument("--json", action="store_true",
+                         help="print the raw experiment records as JSON")
 
     batch = subparsers.add_parser(
         "batch", help="route a batch of circuits through the parallel service")
@@ -141,8 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="OpenQASM 2.0 files; omit to route the built-in tiny suite")
     batch.add_argument("--arch", default="tokyo8",
                        choices=sorted(available_architectures()))
-    batch.add_argument("--router", default="satmap", choices=service_router_names(),
-                       help="registry router executed per job (default: satmap)")
+    batch.add_argument("--router", default="satmap", type=_router_spec,
+                       help="router spec executed per job (default: satmap)")
     batch.add_argument("--suite-size", type=int, default=8,
                        help="number of built-in circuits when no files are given")
     batch.add_argument("--time-budget", type=float, default=10.0,
@@ -165,8 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure service throughput: serial vs. pooled vs. warm cache")
     bench_service.add_argument("--arch", default="tokyo8",
                                choices=sorted(available_architectures()))
-    bench_service.add_argument("--router", default="satmap",
-                               choices=service_router_names())
+    bench_service.add_argument("--router", default="satmap", type=_router_spec)
     bench_service.add_argument("--jobs", type=int, default=12)
     bench_service.add_argument("--time-budget", type=float, default=5.0)
     bench_service.add_argument("--workers", type=int, default=None)
@@ -175,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
 
     subparsers.add_parser("devices", help="list the device catalogue")
+
+    routers = subparsers.add_parser(
+        "routers", help="list registered routers (capabilities, options)")
+    routers.add_argument("name", nargs="?", default=None,
+                         help="show the full option schema of one router")
+    routers.add_argument("--capability", default=None,
+                         help="only routers with this capability tag "
+                              "(e.g. noise_aware, optimal, anytime)")
+    routers.add_argument("--json", action="store_true",
+                         help="print the registry entries as JSON")
 
     draw = subparsers.add_parser("draw", help="print a text diagram of a QASM circuit")
     draw.add_argument("qasm", type=Path, help="input OpenQASM 2.0 file")
@@ -194,23 +224,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _route_spec(args: argparse.Namespace) -> RouterSpec:
+    """The effective spec of ``repro route``: spec string + legacy flags.
+
+    The dedicated flags (``--slice-size``, ``--swaps-per-gate``,
+    ``--from-scratch``) only configure plain ``satmap``, as they always did;
+    any other router is configured through its spec options.  Options written
+    in the spec string win over the flags.
+    """
+    spec = RouterSpec.from_string(args.router)
+    defaults: dict = {"time_budget": args.time_budget}
+    if spec.name == "satmap":
+        defaults.update(
+            slice_size=args.slice_size if args.slice_size > 0 else None,
+            swaps_per_gate=args.swaps_per_gate,
+            incremental=not args.from_scratch,
+        )
+    return spec.with_defaults(**defaults)
+
+
+def _result_json(result, spec: RouterSpec, architecture: Architecture,
+                 output: Path | None = None) -> dict:
+    """The machine-readable shape shared by ``route --json`` records."""
+    payload = {
+        "circuit": result.circuit_name,
+        "architecture": architecture.name,
+        "spec": spec.to_dict(),
+        "router": result.router_name,
+        "status": result.status.value,
+        "solved": result.solved,
+        "optimal": result.optimal,
+        "swap_count": result.swap_count if result.solved else None,
+        "added_cnots": result.added_cnots if result.solved else None,
+        "solve_time": round(result.solve_time, 6),
+        "initial_mapping": {str(k): v for k, v in result.initial_mapping.items()},
+        "notes": result.notes,
+        "output": str(output) if output is not None else None,
+    }
+    if result.objective_value is not None:
+        payload["objective_value"] = result.objective_value
+    return payload
+
+
 def command_route(args: argparse.Namespace) -> int:
     architecture = available_architectures()[args.arch]
     circuit = load_qasm(args.qasm)
-    if args.router == "satmap":
-        slice_size = args.slice_size if args.slice_size > 0 else None
-        router = SatMapRouter(slice_size=slice_size, swaps_per_gate=args.swaps_per_gate,
-                              time_budget=args.time_budget,
-                              incremental=not args.from_scratch)
-    else:
-        router = available_routers(args.time_budget)[args.router]()
+    spec = _route_spec(args)
+    router = get_router(spec)
     result = router.route(circuit, architecture)
+    output = None
+    if result.solved:
+        verify_routing(circuit, result.routed_circuit, result.initial_mapping,
+                       architecture)
+        output = args.output or args.qasm.with_suffix(".routed.qasm")
+        save_qasm(result.routed_circuit, output)
+    if args.json:
+        print(json.dumps(_result_json(result, spec, architecture, output),
+                         indent=2, sort_keys=True))
+        return 0 if result.solved else 2
     print(result.summary())
     if not result.solved:
         return 2
-    verify_routing(circuit, result.routed_circuit, result.initial_mapping, architecture)
-    output = args.output or args.qasm.with_suffix(".routed.qasm")
-    save_qasm(result.routed_circuit, output)
     print(f"initial mapping: {result.initial_mapping}")
     print(f"routed circuit written to {output}")
     return 0
@@ -225,12 +299,20 @@ def command_compare(args: argparse.Namespace) -> int:
     else:
         suite = tiny_suite()[:6]
     routers = {
-        "SATMAP": lambda: SatMapRouter(slice_size=25, time_budget=args.time_budget),
-        "SABRE": lambda: SabreRouter(),
-        "TKET-like": lambda: TketLikeRouter(),
-        "MQT-A*": lambda: AStarLayerRouter(),
+        "SATMAP": f"satmap:time_budget={args.time_budget}",
+        "SABRE": "sabre",
+        "TKET-like": "tket",
+        "MQT-A*": "astar",
     }
     comparison = run_many_routers(routers, suite, architecture)
+    if args.json:
+        records = [dataclasses.asdict(record)
+                   for router in comparison.routers()
+                   for record in comparison.records[router]]
+        print(json.dumps({"architecture": architecture.name,
+                          "suite_size": len(suite),
+                          "records": records}, indent=2, sort_keys=True))
+        return 0
     print(render_solve_rate_table(comparison, total=len(suite),
                                   title=f"Solve rate on {architecture.name}"))
     print()
@@ -374,6 +456,49 @@ def command_devices(args: argparse.Namespace) -> int:
                      round(properties["average_degree"], 2), int(properties["diameter"])])
     print(render_table(["device", "qubits", "edges", "avg degree", "diameter"], rows,
                        title="Device catalogue"))
+    print(f"\nrouters: {', '.join(list_routers())} (see `repro routers`)")
+    return 0
+
+
+def _render_option(option: dict) -> str:
+    default = option["default"]
+    rendered = "none" if default is None else default
+    return f"{option['name']}={rendered}"
+
+
+def command_routers(args: argparse.Namespace) -> int:
+    entries = describe_routers(args.capability)
+    if args.name is not None:
+        entries = [entry for entry in entries if entry["name"] == args.name]
+        if not entries:
+            known = ", ".join(list_routers(args.capability))
+            print(f"error: unknown router {args.name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if args.name is not None:
+        entry = entries[0]
+        print(f"{entry['name']}: {entry['summary']}")
+        print(f"capabilities: {', '.join(entry['capabilities']) or '-'}")
+        rows = [[option["name"], option["type"] + ("?" if option["allow_none"] else ""),
+                 "none" if option["default"] is None else option["default"],
+                 option["help"]]
+                for option in entry["options"]]
+        print(render_table(["option", "type", "default", "description"], rows))
+        print(f"\nspec string: {entry['name']}:"
+              + ",".join(f"{o['name']}=..." for o in entry["options"][:2]))
+        return 0
+    rows = [[entry["name"], ", ".join(entry["capabilities"]),
+             " ".join(_render_option(option) for option in entry["options"]
+                      if option["name"] not in ("time_budget", "verify")) or "-",
+             entry["summary"]]
+            for entry in entries]
+    print(render_table(["router", "capabilities", "options (defaults)", "summary"],
+                       rows, title="Registered routers"))
+    print("\nselect with --router NAME[:key=value,...]; "
+          "details: repro routers NAME")
     return 0
 
 
@@ -418,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-service": command_bench_service,
         "info": command_info,
         "devices": command_devices,
+        "routers": command_routers,
         "draw": command_draw,
         "generate": command_generate,
         "version": command_version,

@@ -17,13 +17,14 @@ The package exposes:
 from repro.core.encoder import QmrEncoder, EncodingOptions
 from repro.core.result import RoutingResult, RoutingStatus
 from repro.core.satmap import SatMapRouter
-from repro.core.cyclic import route_cyclic
+from repro.core.cyclic import CyclicRouter, route_cyclic
 from repro.core.noise_aware import NoiseAwareSatMapRouter
 from repro.core.hybrid import HybridSatMapRouter, placement_adjacency_score
 from repro.core.verifier import VerificationError, verify_routing
 
 __all__ = [
     "SatMapRouter",
+    "CyclicRouter",
     "NoiseAwareSatMapRouter",
     "HybridSatMapRouter",
     "placement_adjacency_score",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 
+from repro.api.protocol import BaseRouter
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.core.result import RoutingResult, RoutingStatus
@@ -69,7 +70,12 @@ def route_cyclic(
     used_fallback = False
     if not block_result.solved and fallback_reset:
         used_fallback = True
-        block_result = _route_block_with_reset(block, architecture, router)
+        # The cyclic attempt already consumed part of the budget; the
+        # fallback solve gets only what is left, so the whole call stays
+        # within router.time_budget instead of up to twice it.
+        remaining = max(0.001, router.time_budget - (time.monotonic() - start))
+        block_result = _route_block_with_reset(block, architecture, router,
+                                               time_budget=remaining)
 
     if not block_result.solved:
         block_result.router_name = "CYC-" + router.name.removeprefix("CYC-")
@@ -117,6 +123,57 @@ def route_cyclic(
     return result
 
 
+class CyclicRouter(BaseRouter):
+    """The cyclic relaxation as a spec-constructible :class:`Router`.
+
+    Treats the input circuit as the repeating block: ``route`` returns the
+    routed ``block * cycles`` (with the final map equal to the initial map,
+    so the copies compose swap-free).  With the default ``cycles=1`` this is
+    simply routing under the closure constraint, which makes the router a
+    drop-in portfolio entrant.  All options are scalars, so the registry can
+    build it from ``"cyclic:cycles=4"`` and jobs hash deterministically.
+    """
+
+    name = "CYC-SATMAP"
+
+    def __init__(self, cycles: int = 1, time_budget: float = 60.0,
+                 slice_size: int | None = None, swaps_per_gate: int = 1,
+                 fallback_reset: bool = True, strategy: str = "linear",
+                 incremental: bool = True, verify: bool = True) -> None:
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        super().__init__(time_budget=time_budget, verify=verify)
+        self.cycles = cycles
+        self.slice_size = slice_size
+        self.swaps_per_gate = swaps_per_gate
+        self.fallback_reset = fallback_reset
+        self.strategy = strategy
+        self.incremental = incremental
+
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
+        inner = SatMapRouter(slice_size=self.slice_size,
+                             swaps_per_gate=self.swaps_per_gate,
+                             time_budget=self.time_budget,
+                             strategy=self.strategy,
+                             incremental=self.incremental,
+                             verify=False, name=self.name)
+        # route_cyclic verifies against the *composed* circuit when asked;
+        # BaseRouter._verify is overridden below to do the same.
+        return route_cyclic(circuit, self.cycles, architecture, router=inner,
+                            fallback_reset=self.fallback_reset, verify=False)
+
+    def _circuit_label(self, circuit: QuantumCircuit) -> str:
+        return (circuit.name if self.cycles == 1
+                else f"{circuit.name}_x{self.cycles}")
+
+    def _verify(self, circuit: QuantumCircuit, architecture: Architecture,
+                result: RoutingResult) -> None:
+        reference = _compose_original(circuit, self.cycles, None)
+        verify_routing(reference, result.routed_circuit, result.initial_mapping,
+                       architecture)
+
+
 def _compose_original(block: QuantumCircuit, cycles: int,
                       prelude: QuantumCircuit | None) -> QuantumCircuit:
     name = f"{block.name}_x{cycles}"
@@ -129,9 +186,20 @@ def _compose_original(block: QuantumCircuit, cycles: int,
 
 
 def _route_block_with_reset(block: QuantumCircuit, architecture: Architecture,
-                            router: SatMapRouter) -> RoutingResult:
-    """Route the block normally, then append SWAPs restoring the initial map."""
-    base = router.route(block, architecture)
+                            router: SatMapRouter,
+                            time_budget: float | None = None) -> RoutingResult:
+    """Route the block normally, then append SWAPs restoring the initial map.
+
+    ``time_budget`` caps this solve (the caller passes its remaining time);
+    the router's own budget is restored afterwards.
+    """
+    original_budget = router.time_budget
+    if time_budget is not None:
+        router.time_budget = time_budget
+    try:
+        base = router.route(block, architecture)
+    finally:
+        router.time_budget = original_budget
     if not base.solved or base.routed_circuit is None:
         return base
     reset_edges = reset_swap_sequence(base.initial_mapping, base.final_mapping,

@@ -26,36 +26,34 @@ from __future__ import annotations
 
 import time
 
+from repro.api.protocol import BaseRouter
 from repro.baselines.base import interaction_counts
 from repro.baselines.sabre import SabreRouter
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult, RoutingStatus
-from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
 from repro.maxsat.solver import MaxSatSolver
 from repro.maxsat.wcnf import WcnfBuilder
 from repro.sat.session import SatSession
 
 
-class HybridSatMapRouter:
+class HybridSatMapRouter(BaseRouter):
     """Optimal MaxSAT placement followed by SABRE routing."""
 
     def __init__(self, time_budget: float = 60.0, placement_share: float = 0.5,
                  strategy: str = "linear", verify: bool = True,
                  name: str = "HYBRID-SATMAP") -> None:
-        if time_budget <= 0:
-            raise ValueError("time_budget must be positive")
         if not 0.0 < placement_share < 1.0:
             raise ValueError("placement_share must be strictly between 0 and 1")
-        self.time_budget = time_budget
+        super().__init__(time_budget=time_budget, verify=verify)
         self.placement_share = placement_share
         self.strategy = strategy
-        self.verify = verify
         self.name = name
 
     # ------------------------------------------------------------------ API
 
-    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
         """Place with MaxSAT, route with SABRE, and report one result."""
         start = time.monotonic()
         if circuit.num_qubits > architecture.num_qubits:
@@ -69,22 +67,16 @@ class HybridSatMapRouter:
         mapping, placement_stats = self.solve_placement(circuit, architecture,
                                                         placement_budget)
 
-        routing_budget = max(0.001, self.time_budget - (time.monotonic() - start))
+        routing_budget = max(0.001, deadline - time.monotonic())
         sabre = SabreRouter(time_budget=routing_budget, initial_mapping=mapping,
                             verify=False)
         result = sabre.route(circuit, architecture)
-        result.router_name = self.name
-        result.circuit_name = circuit.name
-        result.solve_time = time.monotonic() - start
         result.sat_calls = placement_stats["sat_calls"]
         result.num_variables = placement_stats["num_variables"]
         result.num_hard_clauses = placement_stats["num_hard_clauses"]
         result.num_soft_clauses = placement_stats["num_soft_clauses"]
         result.notes = ("placement " + placement_stats["placement_quality"]
                         + "; routing heuristic")
-        if result.solved and self.verify and result.routed_circuit is not None:
-            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
-                           architecture)
         return result
 
     # ------------------------------------------------------------ placement

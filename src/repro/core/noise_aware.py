@@ -7,19 +7,42 @@ product of gate fidelities.  :class:`NoiseAwareSatMapRouter` is a thin wrapper
 around :class:`~repro.core.satmap.SatMapRouter` that installs a noise model
 and reports the estimated fidelity of the routed circuit in
 ``RoutingResult.objective_value``.
+
+The noise model can be given two ways:
+
+* an explicit :class:`~repro.hardware.noise.NoiseModel` (the historical
+  constructor signature), or
+* a named *profile* (``noise="uniform"`` or ``"synthetic"``) with scalar
+  parameters, materialised lazily against whatever architecture each
+  ``route`` call targets.  Profiles are what make the router constructible
+  from a declarative :class:`~repro.api.RouterSpec` -- plain scalars cross
+  process boundaries and hash into cache keys; a ``NoiseModel`` object does
+  not.
 """
 
 from __future__ import annotations
 
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.result import RoutingResult
 from repro.core.satmap import SatMapRouter
+from repro.hardware.architecture import Architecture
 from repro.hardware.noise import NoiseModel
+
+#: Profiles materialisable per architecture from scalar options alone.
+NOISE_PROFILES = ("uniform", "synthetic")
 
 
 class NoiseAwareSatMapRouter(SatMapRouter):
     """SATMAP with the weighted (fidelity-maximising) objective."""
 
-    def __init__(self, noise_model: NoiseModel, slice_size: int | None = None,
-                 time_budget: float = 60.0, **kwargs) -> None:
+    def __init__(self, noise_model: NoiseModel | None = None,
+                 slice_size: int | None = None, time_budget: float = 60.0,
+                 noise: str = "uniform", two_qubit_error: float = 0.02,
+                 single_qubit_error: float = 0.001, seed: int = 2019,
+                 **kwargs) -> None:
+        if noise_model is None and noise not in NOISE_PROFILES:
+            raise ValueError(f"unknown noise profile {noise!r}; "
+                             f"expected one of {NOISE_PROFILES}")
         super().__init__(
             slice_size=slice_size,
             time_budget=time_budget,
@@ -27,3 +50,24 @@ class NoiseAwareSatMapRouter(SatMapRouter):
             name=kwargs.pop("name", "SATMAP-noise"),
             **kwargs,
         )
+        self.noise_profile = None if noise_model is not None else noise
+        self.two_qubit_error = two_qubit_error
+        self.single_qubit_error = single_qubit_error
+        self.noise_seed = seed
+
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
+        if self.noise_profile is not None:
+            # Lazily (re)build the profile against the call's architecture so
+            # one router instance serves any device.
+            if (self.noise_model is None
+                    or self.noise_model.architecture is not architecture):
+                self.noise_model = self._materialise(architecture)
+        return super()._route(circuit, architecture, deadline)
+
+    def _materialise(self, architecture: Architecture) -> NoiseModel:
+        if self.noise_profile == "synthetic":
+            return NoiseModel.synthetic(architecture, seed=self.noise_seed)
+        return NoiseModel.uniform(architecture,
+                                  two_qubit_error=self.two_qubit_error,
+                                  single_qubit_error=self.single_qubit_error)

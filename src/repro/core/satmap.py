@@ -30,11 +30,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.api.protocol import BaseRouter
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.encoder import EncodingOptions, QmrEncoder, QmrEncoding
 from repro.core.extraction import build_routed_circuit, extract_solution
 from repro.core.result import RoutingResult, RoutingStatus
-from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
 from repro.hardware.noise import NoiseModel
 from repro.maxsat.solver import MaxSatSolver, MaxSatStatus
@@ -108,7 +108,7 @@ class MonolithicOutcome:
     context: SliceContext | None = None
 
 
-class SatMapRouter:
+class SatMapRouter(BaseRouter):
     """Qubit mapping and routing via MaxSAT.
 
     Parameters
@@ -149,47 +149,27 @@ class SatMapRouter:
     ) -> None:
         if slice_size is not None and slice_size <= 0:
             raise ValueError("slice_size must be positive or None")
-        if time_budget <= 0:
-            raise ValueError("time_budget must be positive")
+        super().__init__(time_budget=time_budget, verify=verify)
         self.slice_size = slice_size
         self.swaps_per_gate = swaps_per_gate
-        self.time_budget = time_budget
         self.strategy = strategy
         self.backtrack_limit = backtrack_limit
         self.collapse_repeated_pairs = collapse_repeated_pairs
         self.noise_model = noise_model
-        self.verify = verify
         self.incremental = incremental
         self.name = name or ("SATMAP" if slice_size is not None else "NL-SATMAP")
 
     # ------------------------------------------------------------------ API
 
-    def route(self, circuit: QuantumCircuit, architecture: Architecture) -> RoutingResult:
-        """Map and route ``circuit`` onto ``architecture``."""
-        start = time.monotonic()
-        try:
-            if self.slice_size is None or circuit.num_two_qubit_gates <= self.slice_size:
-                outcome = self.solve_monolithic(circuit, architecture, self.time_budget)
-                result = outcome.result
-            else:
-                from repro.core.slicing import route_sliced
+    def _route(self, circuit: QuantumCircuit, architecture: Architecture,
+               deadline: float) -> RoutingResult:
+        """Map and route ``circuit``; scaffolding lives in ``BaseRouter``."""
+        if self.slice_size is None or circuit.num_two_qubit_gates <= self.slice_size:
+            return self.solve_monolithic(circuit, architecture,
+                                         self.time_budget).result
+        from repro.core.slicing import route_sliced
 
-                result = route_sliced(circuit, architecture, self)
-        except Exception as error:  # pragma: no cover - defensive reporting
-            return RoutingResult(
-                status=RoutingStatus.ERROR,
-                router_name=self.name,
-                circuit_name=circuit.name,
-                solve_time=time.monotonic() - start,
-                notes=f"{type(error).__name__}: {error}",
-            )
-        result.solve_time = time.monotonic() - start
-        result.router_name = self.name
-        result.circuit_name = circuit.name
-        if result.solved and self.verify and result.routed_circuit is not None:
-            verify_routing(circuit, result.routed_circuit, result.initial_mapping,
-                           architecture)
-        return result
+        return route_sliced(circuit, architecture, self)
 
     # ------------------------------------------------------------ internals
 

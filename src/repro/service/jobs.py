@@ -21,12 +21,14 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from repro.api.spec import RouterSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.qasm import circuit_to_qasm, parse_qasm
 from repro.hardware.architecture import Architecture
 
 #: Bump when the payload layout changes so stale cache entries never alias.
-JOB_HASH_VERSION = 1
+#: v2: the router is hashed as its canonical ``RouterSpec.to_dict()`` form.
+JOB_HASH_VERSION = 2
 
 
 @dataclass
@@ -41,8 +43,10 @@ class RoutingJob:
     arch_num_qubits / arch_edges / arch_name:
         The connectivity graph, flattened to plain data.
     router:
-        Registry name of the routing algorithm (see
-        :mod:`repro.service.registry`), e.g. ``"satmap"`` or ``"sabre"``.
+        Registry name of the routing algorithm (see :mod:`repro.api`),
+        e.g. ``"satmap"`` or ``"sabre"``.  Together with ``options`` this is
+        exactly a :class:`~repro.api.RouterSpec`; use :meth:`spec` /
+        :meth:`from_spec` to convert.
     options:
         Extra keyword arguments for the router constructor.  Values must be
         JSON-serialisable scalars so the content hash is well defined.
@@ -67,20 +71,46 @@ class RoutingJob:
         cls,
         circuit: QuantumCircuit,
         architecture: Architecture,
-        router: str = "satmap",
+        router: str | RouterSpec = "satmap",
         options: dict | None = None,
         name: str | None = None,
     ) -> "RoutingJob":
-        """Build a job from in-memory circuit and architecture objects."""
+        """Build a job from in-memory circuit and architecture objects.
+
+        ``router`` accepts a registry name, a spec string such as
+        ``"satmap:slice_size=10"``, or a :class:`~repro.api.RouterSpec`;
+        ``options`` merge over the spec's own options.  The merged spec is
+        validated against the registry schema, which both fails
+        misconfigured jobs at submission and *canonicalises* option types
+        (``"25"`` -> ``25``, ``1`` -> ``1.0`` for float options) so the
+        content hash does not depend on which construction path or spelling
+        produced the job.
+        """
+        spec = RouterSpec.parse(router)
+        if options:
+            spec = spec.with_options(**options)
+        spec = spec.validated()
         return cls(
             qasm=circuit_to_qasm(circuit),
             arch_num_qubits=architecture.num_qubits,
             arch_edges=tuple(architecture.edges),
             arch_name=architecture.name,
-            router=router,
-            options=dict(options or {}),
+            router=spec.name,
+            options=dict(spec.options),
             name=name or circuit.name,
         )
+
+    @classmethod
+    def from_spec(
+        cls,
+        circuit: QuantumCircuit,
+        architecture: Architecture,
+        spec: str | dict | RouterSpec,
+        name: str | None = None,
+    ) -> "RoutingJob":
+        """Build a job from a declarative router spec (validated up front)."""
+        return cls.from_circuit(circuit, architecture,
+                                router=RouterSpec.parse(spec), name=name)
 
     # ---------------------------------------------------------- reconstruct
 
@@ -93,22 +123,39 @@ class RoutingJob:
         return Architecture(self.arch_num_qubits, [tuple(e) for e in self.arch_edges],
                             name=self.arch_name)
 
+    def spec(self) -> RouterSpec:
+        """This job's router selection as a declarative spec."""
+        return RouterSpec(self.router, dict(self.options))
+
     def with_router(self, router: str, options: dict | None = None) -> "RoutingJob":
         """The same work item keyed under a different router/options pair.
 
         Used by the portfolio (to spawn entrants) and by the service (to
         namespace cache entries by execution config, so e.g. a portfolio
         winner can never be served as the answer to a plain ``satmap`` job).
+        The ``router`` string is kept verbatim -- the service uses synthetic
+        tags like ``"portfolio:satmap+sabre"`` as cache namespaces -- so spec
+        parsing happens only in :meth:`with_spec` and the builders.
         """
         return RoutingJob(qasm=self.qasm, arch_num_qubits=self.arch_num_qubits,
                           arch_edges=self.arch_edges, arch_name=self.arch_name,
                           router=router, options=dict(options or {}),
                           name=self.name)
 
+    def with_spec(self, spec: str | dict | RouterSpec) -> "RoutingJob":
+        """The same work item behind a different router spec."""
+        parsed = RouterSpec.parse(spec)
+        return self.with_router(parsed.name, options=dict(parsed.options))
+
     # -------------------------------------------------------------- identity
 
     def content_payload(self) -> str:
-        """The canonical JSON string the content hash is computed over."""
+        """The canonical JSON string the content hash is computed over.
+
+        The router/options pair enters as ``RouterSpec.to_dict()`` -- the
+        same canonical form the CLI prints and telemetry records -- so a
+        cache key can be reproduced from any surface that shows the spec.
+        """
         payload = {
             "version": JOB_HASH_VERSION,
             "qasm": self.qasm,
@@ -116,8 +163,7 @@ class RoutingJob:
                 "num_qubits": self.arch_num_qubits,
                 "edges": sorted((min(a, b), max(a, b)) for a, b in self.arch_edges),
             },
-            "router": self.router,
-            "options": self.options,
+            "spec": self.spec().to_dict(),
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 

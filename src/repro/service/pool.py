@@ -31,10 +31,11 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable
 
+from repro.api.registry import display_name, get_router
 from repro.core.result import RoutingResult, RoutingStatus
 from repro.service.cache import payload_to_result, result_to_payload
 from repro.service.jobs import RoutingJob
-from repro.service.registry import FALLBACK_ROUTER, build_router, display_name
+from repro.service.registry import FALLBACK_ROUTER
 
 #: Extra wall-clock slack (seconds) granted on top of a job's budget before
 #: the pool declares a hard timeout.  Routers self-terminate at their budget;
@@ -65,10 +66,11 @@ def execute_job(job: RoutingJob, time_budget: float, fallback: bool = True) -> d
     """
     circuit = job.circuit()
     architecture = job.architecture()
-    router = build_router(job.router, time_budget, job.options)
+    router = get_router(job.spec(), time_budget=time_budget)
     result = router.route(circuit, architecture)
     if not result.solved and fallback and job.router != FALLBACK_ROUTER:
-        rescue = build_router(FALLBACK_ROUTER, max(time_budget, 1.0)).route(
+        rescue = get_router(FALLBACK_ROUTER,
+                            time_budget=max(time_budget, 1.0)).route(
             circuit, architecture)
         if rescue.solved:
             rescue.notes = (f"fallback={FALLBACK_ROUTER} after {job.router} "

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, wait
 
+from repro.api.spec import RouterSpec
 from repro.core.result import RoutingResult, RoutingStatus
 from repro.service.cache import verify_cached_result
 from repro.service.jobs import RoutingJob
@@ -28,10 +29,17 @@ from repro.service.pool import WorkerPool, execute_job, outcome_to_result
 from repro.service.registry import DEFAULT_PORTFOLIO
 
 
-def entrant_job(job: RoutingJob, router: str) -> RoutingJob:
-    """The same work item with a different router behind it."""
-    return job.with_router(router,
-                           options=job.options if router == job.router else None)
+def entrant_job(job: RoutingJob, router: str | RouterSpec) -> RoutingJob:
+    """The same work item with a different router behind it.
+
+    ``router`` is a spec (string form allowed), so portfolios can race
+    *configured* entrants like ``"satmap:slice_size=10"``.  An entrant naming
+    the job's own router inherits the job's options as defaults.
+    """
+    spec = RouterSpec.parse(router)
+    if spec.name == job.router:
+        spec = spec.with_defaults(**job.options)
+    return job.with_spec(spec)
 
 
 def pick_winner(job: RoutingJob, candidates: list[RoutingResult]) -> RoutingResult | None:

@@ -1,56 +1,25 @@
-"""Router registry: build router instances from plain names and options.
+"""Deprecated shim over :mod:`repro.api`'s single router registry.
 
-Worker processes receive jobs as plain data (see :mod:`repro.service.jobs`),
-so routers must be constructible from a *name* rather than a closure -- a
-lambda cannot cross a process boundary.  This module is the single mapping
-from registry names to router classes; the CLI, the portfolio, and the worker
-pool all share it so ``"satmap"`` means the same thing everywhere.
+This module used to hold its own name->factory table, parallel to the CLI's
+``available_routers``.  Both now delegate to :mod:`repro.api.registry`, so
+``"satmap"`` (or any spec string such as ``"satmap:slice_size=10"``) means
+the same thing everywhere: library, CLI, worker pool, portfolio, harness.
+
+Only the service-policy constants live here: which routers race by default
+and which one rescues timed-out jobs.  New code should import
+:func:`repro.api.get_router` / :func:`repro.api.list_routers` directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.baselines import (
-    AStarLayerRouter,
-    BmtLikeRouter,
-    NaiveShortestPathRouter,
-    SabreRouter,
-    TketLikeRouter,
-)
-from repro.core import HybridSatMapRouter, SatMapRouter
-
-
-def _satmap(time_budget: float, **options) -> SatMapRouter:
-    options.setdefault("slice_size", 25)
-    return SatMapRouter(time_budget=time_budget, **options)
-
-
-def _nl_satmap(time_budget: float, **options) -> SatMapRouter:
-    options.setdefault("slice_size", None)
-    return SatMapRouter(time_budget=time_budget, **options)
-
-
-_REGISTRY: dict[str, Callable] = {
-    "satmap": _satmap,
-    "nl-satmap": _nl_satmap,
-    "hybrid": lambda time_budget, **options: HybridSatMapRouter(
-        time_budget=time_budget, **options),
-    "sabre": lambda time_budget, **options: SabreRouter(
-        time_budget=time_budget, **options),
-    "tket": lambda time_budget, **options: TketLikeRouter(
-        time_budget=time_budget, **options),
-    "astar": lambda time_budget, **options: AStarLayerRouter(
-        time_budget=time_budget, **options),
-    "bmt": lambda time_budget, **options: BmtLikeRouter(
-        time_budget=time_budget, **options),
-    "naive": lambda time_budget, **options: NaiveShortestPathRouter(
-        time_budget=time_budget, **options),
-}
+from repro.api.registry import display_name as _api_display_name
+from repro.api.registry import get_router, list_routers
+from repro.api.spec import RouterSpec
 
 #: Default racing line-up: the anytime MaxSAT router plus two fast heuristics
 #: with very different search styles, so at least one entrant finishes early
-#: on every instance while SATMAP chases optimality.
+#: on every instance while SATMAP chases optimality.  Entries are router
+#: *specs*, so configured entrants like ``"satmap:slice_size=10"`` are valid.
 DEFAULT_PORTFOLIO: tuple[str, ...] = ("satmap", "sabre", "tket")
 
 #: The router used to guarantee a feasible best-so-far answer when the
@@ -61,33 +30,23 @@ FALLBACK_ROUTER = "naive"
 
 def router_names() -> list[str]:
     """All registry names, sorted for stable CLI choices."""
-    return sorted(_REGISTRY)
+    return list_routers()
 
 
 def build_router(name: str, time_budget: float, options: dict | None = None):
-    """Instantiate the router registered under ``name``.
+    """Instantiate the router a name/spec string describes.
 
-    ``options`` are forwarded to the router constructor; unknown names raise
-    ``KeyError`` early so misconfigured jobs fail at submission, not in a
-    worker.
+    ``options`` merge over the spec's own options; unknown names raise
+    ``KeyError`` (and unknown options ``ValueError``) early so misconfigured
+    jobs fail at submission, not in a worker.  Deprecated: call
+    :func:`repro.api.get_router` with a :class:`~repro.api.RouterSpec`.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown router {name!r}; known routers: {', '.join(router_names())}"
-        ) from None
-    return factory(time_budget, **dict(options or {}))
+    spec = RouterSpec.parse(name)
+    if options:
+        spec = spec.with_options(**options)
+    return get_router(spec, time_budget=time_budget)
 
 
 def display_name(name: str, options: dict | None = None) -> str:
-    """The router's self-reported display name (``'satmap'`` -> ``'SATMAP'``).
-
-    Experiment records are keyed by the name routers stamp on their results;
-    synthetic results (e.g. a hard-timeout record) must use the same name or
-    they fragment the comparison tables.
-    """
-    try:
-        return build_router(name, 1.0, options).name
-    except Exception:
-        return name
+    """Deprecated alias of :func:`repro.api.display_name`."""
+    return _api_display_name(name, options)

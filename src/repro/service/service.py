@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.api.spec import RouterSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult
 from repro.hardware.architecture import Architecture
@@ -83,7 +84,12 @@ class BatchRoutingService:
         if portfolio is True:
             self.portfolio: tuple[str, ...] | None = DEFAULT_PORTFOLIO
         elif portfolio:
-            self.portfolio = tuple(portfolio)
+            # Entrants are router specs; normalise to canonical string form
+            # (and validate them now) so equivalent spellings produce the
+            # same cache namespace in _key_job.
+            self.portfolio = tuple(
+                RouterSpec.parse(entry).validated().to_string()
+                for entry in portfolio)
         else:
             self.portfolio = None
         self.telemetry = telemetry if telemetry is not None else TelemetryLog()
@@ -199,12 +205,25 @@ class BatchRoutingService:
         return self.route_batch([job], time_budget=time_budget)[0]
 
     def route_circuit(self, circuit: QuantumCircuit, architecture: Architecture,
-                      router: str = "satmap", options: dict | None = None,
+                      router: str | RouterSpec = "satmap",
+                      options: dict | None = None,
                       time_budget: float | None = None) -> RoutingResult:
-        """Convenience wrapper building the job from in-memory objects."""
+        """Convenience wrapper building the job from in-memory objects.
+
+        ``router`` accepts a registry name, a spec string like
+        ``"satmap:slice_size=10"``, or a :class:`~repro.api.RouterSpec`.
+        """
         job = RoutingJob.from_circuit(circuit, architecture, router=router,
                                       options=options)
         return self.route_one(job, time_budget=time_budget)
+
+    def route_requests(self, requests: list,
+                       time_budget: float | None = None,
+                       progress=None) -> list[RoutingResult]:
+        """Route a batch of :class:`repro.api.RouteRequest` objects."""
+        jobs = [request.to_job() for request in requests]
+        return self.route_batch(jobs, time_budget=time_budget,
+                                progress=progress)
 
     # ------------------------------------------------------------ internals
 
@@ -215,12 +234,15 @@ class BatchRoutingService:
         come from any entrant, so portfolio results live under a namespaced
         router tag and can never be served as the answer to a plain
         single-router job (or vice versa).  And the routers are anytime --
-        a larger budget can buy a better solution -- so the effective
+        a larger budget can buy a better solution -- so the *effective*
         budget is part of the key and a low-budget result is never served
-        to a high-budget request.
+        to a high-budget request.  A ``time_budget`` carried in the job's
+        own spec wins at execution (the worker builds the router from the
+        spec), so it must win in the key too; the service budget applies
+        only when the spec leaves it unset.
         """
         options = dict(job.options)
-        options["time_budget"] = budget
+        options.setdefault("time_budget", float(budget))
         router = job.router
         if self.portfolio is not None:
             router = "portfolio:" + "+".join(self.portfolio)

@@ -1,0 +1,54 @@
+"""The advertised API cannot drift: run the quickstart docs.
+
+Two guards, both part of tier-1 (and called out explicitly in CI):
+
+* the doctests embedded in ``repro``'s package docstring run verbatim;
+* every ``python`` code block in the README executes without error.
+
+If a README example references a name that no longer exists, or the
+``__init__`` quickstart stops working, this file fails the build.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import repro
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+class TestInitQuickstart:
+    def test_package_docstring_doctests_pass(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted > 0, "quickstart lost its doctests"
+        assert results.failed == 0
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+def python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeExamples:
+    def test_readme_has_python_examples(self):
+        assert len(python_blocks(README.read_text())) >= 1
+
+    def test_readme_python_blocks_execute(self, tmp_path, monkeypatch):
+        # Run inside a scratch directory so examples that write (cache
+        # directories, QASM output) never touch the repository.
+        monkeypatch.chdir(tmp_path)
+        for index, block in enumerate(python_blocks(README.read_text())):
+            namespace: dict = {}
+            try:
+                exec(compile(block, f"README.md[python #{index}]", "exec"),
+                     namespace)
+            except Exception as error:  # pragma: no cover - failure reporting
+                raise AssertionError(
+                    f"README python block #{index} failed: {error}\n{block}"
+                ) from error

@@ -155,3 +155,31 @@ class TestNoiseAwareRouting:
         circuit = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
         result = NoiseAwareSatMapRouter(noise, time_budget=30).route(circuit, arch)
         assert result.status in (RoutingStatus.OPTIMAL, RoutingStatus.FEASIBLE)
+
+
+class TestFallbackBudget:
+    def test_fallback_reset_respects_remaining_budget(self):
+        """The fallback re-route runs within the caller's remaining time and
+        restores the router's own budget afterwards (the cyclic call must
+        never take ~2x its declared time_budget)."""
+        from repro.core.cyclic import _route_block_with_reset
+
+        block = QuantumCircuit(3, [cx(0, 1), cx(1, 2), cx(0, 2)])
+        router = SatMapRouter(time_budget=30.0, verify=False)
+        result = _route_block_with_reset(block, ring_architecture(3), router,
+                                         time_budget=5.0)
+        assert router.time_budget == 30.0  # restored
+        assert result.solved
+        assert result.final_mapping == result.initial_mapping
+
+    def test_budget_restored_even_when_routing_fails(self):
+        from repro.core.cyclic import _route_block_with_reset
+
+        block = QuantumCircuit(3, [cx(0, 1), cx(1, 2), cx(0, 2)])
+        router = SatMapRouter(time_budget=30.0, verify=False)
+        # 3 qubits cannot fit a 2-qubit line: routing errors out, budget
+        # must still be restored by the finally block.
+        result = _route_block_with_reset(block, line_architecture(2), router,
+                                         time_budget=5.0)
+        assert router.time_budget == 30.0
+        assert not result.solved

@@ -121,6 +121,13 @@ class TestServiceExperimentHarness:
         assert comparison.solved_count("SABRE") == len(suite)
         assert comparison.solved_count("naive") == len(suite)
 
-    def test_registry_name_without_service_is_an_error(self, arch):
-        with pytest.raises(ValueError):
-            run_many_routers({"SABRE": "sabre"}, tiny_suite()[:1], arch)
+    def test_spec_string_without_service_runs_in_process(self, arch):
+        # Since the repro.api redesign, spec strings resolve through the one
+        # registry, so the harness no longer needs a service to run them.
+        suite = tiny_suite()[:1]
+        comparison = run_many_routers({"SABRE": "sabre:seed=1"}, suite, arch)
+        assert comparison.solved_count("SABRE") == len(suite)
+
+    def test_unknown_spec_string_fails_loudly(self, arch):
+        with pytest.raises(KeyError):
+            run_many_routers({"X": "no-such-router"}, tiny_suite()[:1], arch)
