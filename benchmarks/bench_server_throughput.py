@@ -1,0 +1,215 @@
+"""Gateway throughput: requests/sec at 1, 8, and 32 concurrent clients.
+
+Measures the network serving layer end to end: a real
+:class:`~repro.server.app.RoutingGateway` on a background thread, hit by N
+threads each owning a blocking :class:`~repro.server.client.RoutingClient`.
+Every request is a full submit -> long-poll -> result round trip over HTTP.
+
+Two phases per concurrency level:
+
+* **cold** -- every client submits *distinct* circuits: each one is a real
+  solve through the worker pool;
+* **warm** -- the identical payloads again: the gateway answers from its
+  job records / the verified result cache, so this isolates the serving
+  overhead (HTTP + protocol + dedup) from solver time.
+
+Hard claims (enforced in both modes, they are correctness not timing):
+
+* every request completes and every result verifies as solved;
+* the warm phase performs **zero** new solves -- all repeats are served by
+  dedup or the cache;
+* no request is refused (admission is configured wide open here; quota
+  behaviour has its own tests).
+
+Timing inversions (warm slower than cold, throughput not scaling) only
+warn in ``--smoke`` mode -- shared CI runners are too noisy -- but the
+numbers are printed and written as JSON under ``benchmarks/results/`` for
+inspection.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:  # direct invocation from any cwd
+    sys.path.insert(0, str(_HERE))
+_SRC = _HERE.parent / "src"
+try:  # fall back to the in-repo tree when repro is not installed
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+from _harness import RESULTS_DIR  # noqa: E402
+
+from repro.analysis.reporting import render_table  # noqa: E402
+from repro.circuits.random_circuits import random_circuit  # noqa: E402
+from repro.server import AdmissionController, GatewayThread, RoutingClient  # noqa: E402
+from repro.service import BatchRoutingService  # noqa: E402
+
+LEVELS = (1, 8, 32)
+ROUTER = "sabre:seed=0"
+ARCH = "tokyo8"
+
+
+def make_workload(level: int, jobs_per_client: int) -> list[list]:
+    """Distinct circuits, one batch per client (stable across phases)."""
+    return [[random_circuit(4, 8 + (index % 4),
+                            seed=10_000 + level * 1000 + client * 100 + index,
+                            name=f"bench_l{level}_c{client}_{index}")
+             for index in range(jobs_per_client)]
+            for client in range(level)]
+
+
+def run_phase(port: int, workload: list[list], timeout: float) -> dict:
+    """All clients submit-and-wait their batch concurrently; returns metrics."""
+    errors: list[BaseException] = []
+    solved = [0] * len(workload)
+
+    def client_loop(client_index: int) -> None:
+        client = RoutingClient(port=port,
+                               client_id=f"bench-client-{client_index}",
+                               timeout=timeout)
+        try:
+            for circuit in workload[client_index]:
+                result = client.route(circuit, architecture=ARCH,
+                                      router=ROUTER, timeout=timeout)
+                if result.solved:
+                    solved[client_index] += 1
+        except BaseException as error:
+            errors.append(error)
+
+    threads = [threading.Thread(target=client_loop, args=(index,))
+               for index in range(len(workload))]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout + 30)
+    elapsed = time.monotonic() - start
+    if errors:
+        raise errors[0]
+    requests = sum(len(batch) for batch in workload)
+    return {
+        "requests": requests,
+        "solved": sum(solved),
+        "time": round(elapsed, 4),
+        "requests_per_sec": round(requests / max(elapsed, 1e-9), 2),
+    }
+
+
+def run_level(level: int, jobs_per_client: int, timeout: float) -> dict:
+    """One gateway per level, so counters are clean and ports never clash."""
+    service = BatchRoutingService(mode="thread", time_budget=5.0)
+    admission = AdmissionController(rate=10_000.0, burst=10_000.0,
+                                    max_pending=10_000)
+    with GatewayThread(service=service, admission=admission,
+                       time_budget=5.0, max_batch=64) as gateway:
+        workload = make_workload(level, jobs_per_client)
+        cold = run_phase(gateway.port, workload, timeout)
+        finished_after_cold = service.telemetry.counters["finished"]
+        warm = run_phase(gateway.port, workload, timeout)
+        finished_after_warm = service.telemetry.counters["finished"]
+        counters = dict(gateway.gateway.counters)
+        admission_stats = gateway.gateway.admission.stats()
+    service.close()
+    return {
+        "clients": level,
+        "jobs_per_client": jobs_per_client,
+        "cold": cold,
+        "warm": warm,
+        "solves_cold": finished_after_cold,
+        "new_solves_warm": finished_after_warm - finished_after_cold,
+        "deduplicated": counters["deduplicated"],
+        "rejected_quota": admission_stats["rejected_quota"],
+        "rejected_backpressure": admission_stats["rejected_backpressure"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI configuration; timing claims only warn")
+    parser.add_argument("--jobs-per-client", type=int, default=None,
+                        help="override requests per client (default: 1 smoke, "
+                             "4 full)")
+    args = parser.parse_args(argv)
+    jobs_per_client = (args.jobs_per_client if args.jobs_per_client is not None
+                       else (1 if args.smoke else 4))
+    timeout = 120.0
+
+    report_rows = []
+    records = []
+    failures = []
+    warnings = []
+    for level in LEVELS:
+        record = run_level(level, jobs_per_client, timeout)
+        records.append(record)
+        report_rows.append([
+            level, record["cold"]["requests"],
+            record["cold"]["time"], record["cold"]["requests_per_sec"],
+            record["warm"]["time"], record["warm"]["requests_per_sec"],
+        ])
+
+        requests = record["cold"]["requests"]
+        if record["cold"]["solved"] != requests:
+            failures.append(f"{level} clients: cold phase solved "
+                            f"{record['cold']['solved']}/{requests}")
+        if record["warm"]["solved"] != requests:
+            failures.append(f"{level} clients: warm phase solved "
+                            f"{record['warm']['solved']}/{requests}")
+        if record["new_solves_warm"] != 0:
+            failures.append(f"{level} clients: warm phase re-solved "
+                            f"{record['new_solves_warm']} jobs (dedup/cache "
+                            f"must serve all repeats)")
+        if record["rejected_quota"] or record["rejected_backpressure"]:
+            failures.append(f"{level} clients: admission refused requests "
+                            f"under a wide-open configuration")
+        if record["warm"]["time"] > record["cold"]["time"]:
+            warnings.append(f"{level} clients: warm phase ({record['warm']['time']}s) "
+                            f"slower than cold ({record['cold']['time']}s)")
+
+    table = render_table(
+        ["clients", "requests", "cold (s)", "cold req/s", "warm (s)",
+         "warm req/s"],
+        report_rows,
+        title=f"Gateway throughput ({jobs_per_client} jobs/client, "
+              f"router {ROUTER})")
+    print()
+    print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "bench_server_throughput.json"
+    out_path.write_text(json.dumps({
+        "smoke": args.smoke,
+        "router": ROUTER,
+        "architecture": ARCH,
+        "levels": records,
+        "failures": failures,
+        "warnings": warnings,
+    }, indent=2, sort_keys=True))
+    print(f"\nresults written to {out_path}")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    if not args.smoke and warnings:
+        failures.extend(warnings)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: all requests served, warm phase solver-free, no refusals")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

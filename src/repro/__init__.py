@@ -19,7 +19,11 @@ The package is organised bottom-up:
 * :mod:`repro.analysis` -- the experiment harness that regenerates the paper's
   tables and figures;
 * :mod:`repro.service` -- the batch routing service: a parallel worker pool,
-  portfolio racing, and a content-addressed cache of verified results.
+  portfolio racing, and a content-addressed cache of verified results;
+* :mod:`repro.server` -- the network layer: an asyncio JSON-over-HTTP
+  gateway serving the batch service to concurrent clients (versioned wire
+  protocol, cross-client dedup, token-bucket admission control, ``/metrics``,
+  graceful drain) plus the blocking ``RoutingClient``.
 
 Quickstart -- route one circuit with a declarative router spec:
 
@@ -91,8 +95,9 @@ from repro.hardware import (
 )
 from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
+from repro.server import RoutingClient, RoutingGateway
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -120,6 +125,8 @@ __all__ = [
     "BatchRoutingService",
     "RoutingJob",
     "ResultCache",
+    "RoutingClient",
+    "RoutingGateway",
     "SatSession",
     "tokyo_architecture",
     "tokyo_minus_architecture",

@@ -13,6 +13,11 @@ The subcommands cover the common workflows:
   optional portfolio racing, and an on-disk result cache;
 * ``bench-service`` -- measure service throughput (serial vs. pooled vs.
   warm cache) on a generated batch;
+* ``serve``    -- run the JSON-over-HTTP routing gateway
+  (:mod:`repro.server`): concurrent submissions, cross-client dedup,
+  admission quotas, ``/metrics``, graceful drain on SIGTERM;
+* ``submit``   -- submit a QASM file to a running gateway and wait for the
+  routed result;
 * ``routers``  -- list every registered router: capabilities and option
   schemas, straight from the :mod:`repro.api` registry;
 * ``info``     -- print the properties of a named architecture;
@@ -53,40 +58,21 @@ from repro.circuits.qasm import load_qasm, save_qasm
 from repro.circuits.random_circuits import random_circuit
 from repro.core import verify_routing
 from repro.hardware.architecture import Architecture
-from repro.hardware.devices import architecture_properties, device_catalog
-from repro.service import BatchRoutingService, RoutingJob
-from repro.hardware.topologies import (
-    full_architecture,
-    grid_architecture,
-    heavy_hex_architecture,
-    line_architecture,
-    reduced_tokyo_architecture,
-    ring_architecture,
-    tokyo_architecture,
-    tokyo_minus_architecture,
-    tokyo_plus_architecture,
+from repro.hardware.devices import (
+    architecture_record,
+    device_records,
+    named_architectures,
 )
+from repro.service import BatchRoutingService, RoutingJob
 
 
 def available_architectures() -> dict[str, Architecture]:
-    """Named architectures selectable from the command line."""
-    architectures = {
-        "tokyo": tokyo_architecture(),
-        "tokyo-": tokyo_minus_architecture(),
-        "tokyo+": tokyo_plus_architecture(),
-        "tokyo8": reduced_tokyo_architecture(8),
-        "tokyo6": reduced_tokyo_architecture(6),
-        "line8": line_architecture(8),
-        "line16": line_architecture(16),
-        "ring8": ring_architecture(8),
-        "grid3x3": grid_architecture(3, 3),
-        "grid4x4": grid_architecture(4, 4),
-        "heavy-hex": heavy_hex_architecture(),
-        "full8": full_architecture(8),
-    }
-    for name, constructor in device_catalog().items():
-        architectures.setdefault(name, constructor())
-    return architectures
+    """Named architectures selectable from the command line.
+
+    Thin alias of :func:`repro.hardware.devices.named_architectures` -- the
+    same table the network gateway resolves architecture names against.
+    """
+    return named_architectures()
 
 
 def available_routers(time_budget: float) -> dict[str, object]:
@@ -191,10 +177,62 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--time-budget", type=float, default=5.0)
     bench_service.add_argument("--workers", type=int, default=None)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the JSON-over-HTTP routing gateway")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8037,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--time-budget", type=float, default=10.0,
+                       help="default per-job budget in seconds")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    serve.add_argument("--mode", default="auto",
+                       choices=["auto", "process", "thread", "serial"])
+    serve.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                       help="on-disk result cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    serve.add_argument("--cache-max-mb", type=float, default=None,
+                       help="bound the result cache; LRU-evict past this size")
+    serve.add_argument("--rate", type=float, default=20.0,
+                       help="per-client sustained submissions per second")
+    serve.add_argument("--burst", type=float, default=40.0,
+                       help="per-client burst allowance (token bucket size)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="refuse submissions past this backlog (backpressure)")
+    serve.add_argument("--portfolio", action="store_true",
+                       help="race SATMAP against heuristic baselines per job")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a QASM file to a running gateway")
+    submit.add_argument("qasm", type=Path, help="input OpenQASM 2.0 file")
+    submit.add_argument("--url", default="http://127.0.0.1:8037",
+                        help="gateway address")
+    submit.add_argument("--arch", default="tokyo",
+                        choices=sorted(available_architectures()))
+    submit.add_argument("--router", default="satmap", type=_router_spec,
+                        help="router spec, e.g. satmap:slice_size=10")
+    submit.add_argument("--time-budget", type=float, default=None,
+                        help="per-job budget in seconds (server default if unset)")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side wait timeout in seconds")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job ticket and return immediately")
+    submit.add_argument("--client-id", default=None,
+                        help="quota identity sent as X-Client-Id")
+    submit.add_argument("--output", type=Path, default=None,
+                        help="write the routed circuit here when solved")
+    submit.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON record")
+
     info = subparsers.add_parser("info", help="describe a named architecture")
     info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
+    info.add_argument("--json", action="store_true",
+                      help="print the architecture record (with edges) as JSON")
 
-    subparsers.add_parser("devices", help="list the device catalogue")
+    devices = subparsers.add_parser("devices", help="list the device catalogue")
+    devices.add_argument("--json", action="store_true",
+                         help="print the catalogue records as JSON")
 
     routers = subparsers.add_parser(
         "routers", help="list registered routers (capabilities, options)")
@@ -434,26 +472,127 @@ def command_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import AdmissionController, RoutingGateway
+    from repro.server.app import serve as serve_gateway
+
+    if args.time_budget <= 0:
+        print("error: --time-budget must be positive", file=sys.stderr)
+        return 2
+    max_bytes = (int(args.cache_max_mb * 1024 * 1024)
+                 if args.cache_max_mb else None)
+    service = BatchRoutingService(
+        max_workers=args.workers,
+        mode=args.mode,
+        time_budget=args.time_budget,
+        cache=False if args.no_cache else None,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_max_bytes=max_bytes,
+        portfolio=args.portfolio or None,
+    )
+    admission = AdmissionController(rate=args.rate, burst=args.burst,
+                                    max_pending=args.max_pending)
+    gateway = RoutingGateway(service=service, host=args.host, port=args.port,
+                             admission=admission,
+                             time_budget=args.time_budget)
+
+    def announce(started: RoutingGateway) -> None:
+        print(f"repro gateway listening on {started.url} "
+              f"(budget {args.time_budget}s, rate {args.rate}/s, "
+              f"burst {args.burst:g}, backlog {args.max_pending})")
+        print("SIGTERM or ^C drains in-flight jobs before exiting")
+
+    try:
+        asyncio.run(serve_gateway(gateway, on_started=announce))
+    finally:
+        service.close()
+    print(service.telemetry.summary())
+    return 0
+
+
+def command_submit(args: argparse.Namespace) -> int:
+    from repro.server import QuotaExceededError, RoutingClient, ServerError
+
+    client = RoutingClient.from_url(args.url, client_id=args.client_id,
+                                    timeout=min(60.0, args.timeout))
+    qasm_text = args.qasm.read_text()
+    try:
+        ticket = client.submit(qasm_text, architecture=args.arch,
+                               router=args.router, name=args.qasm.stem,
+                               time_budget=args.time_budget)
+    except QuotaExceededError as error:
+        print(f"error: over quota; retry after {error.retry_after:.1f}s",
+              file=sys.stderr)
+        return 3
+    except (ServerError, ConnectionError, OSError) as error:
+        print(f"error: cannot submit to {client.url}: {error}", file=sys.stderr)
+        return 2
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(ticket, indent=2, sort_keys=True))
+        else:
+            dedup = " (deduplicated)" if ticket.get("deduplicated") else ""
+            print(f"job {ticket['job_id']} {ticket['status']}{dedup}")
+        return 0
+    try:
+        result = client.wait(ticket["job_id"], timeout=args.timeout)
+    except (ServerError, TimeoutError, ConnectionError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    output = None
+    if result.solved and args.output is not None:
+        save_qasm(result.routed_circuit, args.output)
+        output = args.output
+    if args.json:
+        payload = {
+            "job_id": ticket["job_id"],
+            "deduplicated": ticket.get("deduplicated", False),
+            "server": client.url,
+            "status": result.status.value,
+            "solved": result.solved,
+            "router": result.router_name,
+            "swap_count": result.swap_count if result.solved else None,
+            "added_cnots": result.added_cnots if result.solved else None,
+            "solve_time": round(result.solve_time, 6),
+            "notes": result.notes,
+            "output": str(output) if output is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        if output is not None:
+            print(f"routed circuit written to {output}")
+    return 0 if result.solved else 2
+
+
 def command_info(args: argparse.Namespace) -> int:
     architecture = available_architectures()[args.arch]
+    record = architecture_record(architecture, key=args.arch, include_edges=True)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
     rows = [
-        ["name", architecture.name],
-        ["physical qubits", architecture.num_qubits],
-        ["edges", len(architecture.edges)],
-        ["average degree", architecture.average_degree],
-        ["diameter", architecture.diameter()],
-        ["connected", architecture.is_connected()],
+        ["name", record["name"]],
+        ["physical qubits", record["num_qubits"]],
+        ["edges", record["num_edges"]],
+        ["average degree", record["average_degree"]],
+        ["diameter", record["diameter"]],
+        ["connected", record["connected"]],
     ]
     print(render_table(["property", "value"], rows))
     return 0
 
 
 def command_devices(args: argparse.Namespace) -> int:
-    rows = []
-    for name, constructor in sorted(device_catalog().items()):
-        properties = architecture_properties(constructor())
-        rows.append([name, int(properties["num_qubits"]), int(properties["num_edges"]),
-                     round(properties["average_degree"], 2), int(properties["diameter"])])
+    records = device_records()
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    rows = [[record["device"], record["num_qubits"], record["num_edges"],
+             round(record["average_degree"], 2), record["diameter"]]
+            for record in records]
     print(render_table(["device", "qubits", "edges", "avg degree", "diameter"], rows,
                        title="Device catalogue"))
     print(f"\nrouters: {', '.join(list_routers())} (see `repro routers`)")
@@ -541,6 +680,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": command_compare,
         "batch": command_batch,
         "bench-service": command_bench_service,
+        "serve": command_serve,
+        "submit": command_submit,
         "info": command_info,
         "devices": command_devices,
         "routers": command_routers,

@@ -23,8 +23,11 @@ from repro.hardware.noise import NoiseModel
 from repro.hardware.calibration import DeviceCalibration, QubitCalibration
 from repro.hardware.devices import (
     architecture_properties,
+    architecture_record,
     device_catalog,
+    device_records,
     get_architecture,
+    named_architectures,
 )
 
 __all__ = [
@@ -43,4 +46,7 @@ __all__ = [
     "device_catalog",
     "get_architecture",
     "architecture_properties",
+    "architecture_record",
+    "device_records",
+    "named_architectures",
 ]

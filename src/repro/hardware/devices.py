@@ -25,6 +25,7 @@ from repro.hardware.topologies import (
     grid_architecture,
     heavy_hex_architecture,
     line_architecture,
+    reduced_tokyo_architecture,
     ring_architecture,
     tokyo_architecture,
     tokyo_minus_architecture,
@@ -149,6 +150,65 @@ def get_architecture(name: str) -> Architecture:
         known = ", ".join(sorted(catalog))
         raise KeyError(f"unknown architecture {name!r}; known names: {known}")
     return catalog[name]()
+
+
+def named_architectures() -> dict[str, Architecture]:
+    """Every architecture selectable by name: topology shortcuts + catalogue.
+
+    This is the single name->architecture table shared by the CLI (``--arch``
+    choices) and the network gateway (architectures addressable over the
+    wire), so both surfaces accept exactly the same names.
+    """
+    architectures = {
+        "tokyo": tokyo_architecture(),
+        "tokyo-": tokyo_minus_architecture(),
+        "tokyo+": tokyo_plus_architecture(),
+        "tokyo8": reduced_tokyo_architecture(8),
+        "tokyo6": reduced_tokyo_architecture(6),
+        "line8": line_architecture(8),
+        "line16": line_architecture(16),
+        "ring8": ring_architecture(8),
+        "grid3x3": grid_architecture(3, 3),
+        "grid4x4": grid_architecture(4, 4),
+        "heavy-hex": heavy_hex_architecture(),
+        "full8": full_architecture(8),
+    }
+    for name, constructor in device_catalog().items():
+        architectures.setdefault(name, constructor())
+    return architectures
+
+
+def architecture_record(architecture: Architecture, key: str | None = None,
+                        include_edges: bool = False) -> dict:
+    """One architecture as a JSON-serialisable record.
+
+    The single serialiser behind ``repro devices --json``, ``repro info
+    --json``, and the server's ``/v1/devices`` endpoint, so every surface
+    lists devices in the same shape.
+    """
+    properties = architecture_properties(architecture)
+    record = {
+        "name": architecture.name,
+        "num_qubits": int(properties["num_qubits"]),
+        "num_edges": int(properties["num_edges"]),
+        "average_degree": round(properties["average_degree"], 4),
+        "max_degree": int(properties["max_degree"]),
+        "diameter": int(properties["diameter"]),
+        "connected": architecture.is_connected(),
+    }
+    if key is not None:
+        record["device"] = key
+    if include_edges:
+        record["edges"] = sorted([min(a, b), max(a, b)]
+                                 for a, b in architecture.edges)
+    return record
+
+
+def device_records(include_edges: bool = False) -> list[dict]:
+    """The whole device catalogue as serialisable records, sorted by key."""
+    return [architecture_record(constructor(), key=name,
+                                include_edges=include_edges)
+            for name, constructor in sorted(device_catalog().items())]
 
 
 def architecture_properties(architecture: Architecture) -> dict[str, float]:

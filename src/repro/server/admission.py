@@ -1,0 +1,143 @@
+"""Admission control for the routing gateway: token buckets + backpressure.
+
+Overload must degrade gracefully, not catastrophically: a routing solve can
+burn seconds of CPU, so the gateway refuses work it cannot schedule soon
+rather than queueing unboundedly.  Two independent gates run on every
+submission, before any parsing or hashing:
+
+* **Per-client token bucket** -- each client (the ``X-Client-Id`` header, or
+  the peer address when absent) gets a bucket holding ``burst`` tokens that
+  refills at ``rate`` tokens/second.  A submission costs one token; an empty
+  bucket means HTTP 429 with a ``Retry-After`` telling the client exactly
+  when a token will be available.  One greedy client therefore cannot starve
+  the rest.
+* **Global backpressure** -- when more than ``max_pending`` jobs are already
+  queued or running, *every* client gets 429 until the backlog drains.  This
+  bounds gateway memory and keeps queueing latency honest.
+
+Clocks are injectable so the tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Buckets tracked at most; beyond this, idle (full) buckets are pruned.
+MAX_TRACKED_CLIENTS = 4096
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    allowed: bool
+    reason: str = "ok"  # "ok" | "quota" | "backpressure"
+    retry_after: float = 0.0  # seconds; meaningful when not allowed
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class TokenBucket:
+    """The classic token bucket: ``burst`` capacity, ``rate`` tokens/sec."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; returns 0.0 on success, else seconds to wait."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class AdmissionController:
+    """Per-client quotas plus a global pending-work bound.
+
+    Parameters
+    ----------
+    rate / burst:
+        Token-bucket parameters applied to every client individually.
+    max_pending:
+        Submissions are refused while this many jobs are already queued or
+        running (``None`` disables backpressure).
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(self, rate: float = 20.0, burst: float = 40.0,
+                 max_pending: int | None = 256,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError("max_pending must be positive (or None)")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_pending = max_pending
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected: dict[str, int] = {"quota": 0, "backpressure": 0}
+
+    def _bucket(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= MAX_TRACKED_CLIENTS:
+                self._prune()
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def _prune(self) -> None:
+        """Drop buckets that have refilled completely (idle clients)."""
+        for key in [key for key, bucket in self._buckets.items()
+                    if bucket.available >= bucket.burst]:
+            del self._buckets[key]
+
+    def admit(self, client_id: str = "anonymous",
+              pending: int = 0) -> AdmissionDecision:
+        """Decide one submission from ``client_id`` with ``pending`` open jobs."""
+        if self.max_pending is not None and pending >= self.max_pending:
+            self.rejected["backpressure"] += 1
+            # The backlog drains at solver speed, which we cannot predict;
+            # one second is a sane client re-poll interval.
+            return AdmissionDecision(False, "backpressure", retry_after=1.0)
+        retry_after = self._bucket(client_id).try_acquire()
+        if retry_after > 0.0:
+            self.rejected["quota"] += 1
+            return AdmissionDecision(False, "quota",
+                                     retry_after=round(retry_after, 3))
+        self.admitted += 1
+        return AdmissionDecision(True)
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected_quota": self.rejected["quota"],
+            "rejected_backpressure": self.rejected["backpressure"],
+            "clients": len(self._buckets),
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_pending": self.max_pending if self.max_pending is not None else 0,
+        }

@@ -1,0 +1,680 @@
+"""The asyncio JSON-over-HTTP routing gateway.
+
+:class:`RoutingGateway` puts a network front on
+:class:`~repro.service.BatchRoutingService`: many concurrent clients submit
+routing jobs, identical submissions deduplicate into one solve, admission
+control sheds overload with 429s, and a metrics endpoint exposes the
+service's telemetry.  Everything is stdlib: the HTTP layer is a small
+HTTP/1.1 reader/writer over ``asyncio.start_server`` (one request per
+connection, ``Connection: close``), which is all a JSON API needs.
+
+Endpoints (wire schemas in :mod:`repro.server.protocol`):
+
+==========  =========================  ==========================================
+method      path                       purpose
+==========  =========================  ==========================================
+GET         ``/healthz``               liveness + drain state
+POST        ``/v1/jobs``               submit a routing job (dedups by content)
+GET         ``/v1/jobs``               list known jobs
+GET         ``/v1/jobs/<id>``          job status; ``?wait=SECS`` long-polls
+GET         ``/v1/jobs/<id>/result``   the full result (routed circuit as QASM)
+GET         ``/v1/routers``            registry listing (``?capability=`` filter)
+GET         ``/v1/devices``            device catalogue + addressable arch names
+GET         ``/v1/stats``              JSON counters (telemetry/cache/admission)
+GET         ``/metrics``               Prometheus-style text metrics
+POST        ``/v1/admin/drain``        begin graceful shutdown
+==========  =========================  ==========================================
+
+Execution model: submissions land in an asyncio queue; a single dispatcher
+task collects whatever is queued (up to ``max_batch``) and runs it as *one*
+``route_batch`` call in a worker thread.  Parallelism across jobs comes from
+the service's own worker pool; the gateway never calls the service from two
+threads at once.  Dedup happens at two levels: the gateway maps equal
+:meth:`~repro.service.BatchRoutingService.job_key` hashes onto one job
+record before anything is queued, and the service's verified result cache
+answers repeats across batches and restarts.
+
+Graceful shutdown (`SIGTERM`, ``/v1/admin/drain``, or
+:meth:`RoutingGateway.initiate_drain`): new submissions get 503, the
+dispatcher finishes every queued job -- each bounded by its time budget,
+with the pool's best-so-far fallback -- status/result requests keep being
+served while that happens, and only then does the server close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.api.registry import describe_routers
+from repro.core.result import RoutingResult
+from repro.hardware.devices import device_records, named_architectures
+from repro.server import protocol
+from repro.server.admission import AdmissionController
+from repro.service import BatchRoutingService
+from repro.service.jobs import RoutingJob
+
+#: Hard cap on request body size (canonical QASM for big circuits is ~1 MB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Seconds a request may take to arrive before the connection is dropped.
+READ_TIMEOUT = 30.0
+#: Most header lines accepted per request.
+MAX_HEADERS = 100
+
+
+@dataclass
+class JobRecord:
+    """One deduplicated unit of work and its lifecycle state."""
+
+    job_id: str
+    job: RoutingJob
+    status: str = "queued"  # queued | running | done
+    submissions: int = 1
+    submitted_at: float = field(default_factory=time.monotonic)
+    finished_at: float | None = None
+    result: RoutingResult | None = None
+    error: str | None = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def status_payload(self, include_result: bool = False) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "name": self.job.name,
+            "spec": self.job.spec().to_dict(),
+            "architecture": self.job.arch_name,
+            "submissions": self.submissions,
+        }
+        if self.status == "done":
+            payload["elapsed"] = round(
+                (self.finished_at or time.monotonic()) - self.submitted_at, 6)
+            if self.error is not None:
+                payload["solved"] = False
+                payload["error"] = self.error
+            elif self.result is not None:
+                payload["solved"] = self.result.solved
+                payload["cache_hit"] = "cache-hit" in self.result.notes
+                if include_result:
+                    payload["result"] = protocol.result_to_wire(self.result)
+        return protocol.envelope(payload)
+
+
+class RoutingGateway:
+    """Serve :class:`BatchRoutingService` over HTTP to concurrent clients.
+
+    Parameters
+    ----------
+    service:
+        The backing service; a default one (auto pool mode, memory cache) is
+        created when omitted and closed with the gateway.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    admission:
+        The :class:`AdmissionController`; a permissive default is created
+        when omitted.
+    time_budget:
+        Default per-job budget; ``None`` uses the service's own default.
+    max_batch:
+        Most queued jobs folded into one ``route_batch`` call.
+    long_poll_cap:
+        Upper bound on ``?wait=`` long-poll durations, seconds.
+    max_records:
+        Most finished job records kept in memory; past it the oldest
+        finished ones are dropped (their results stay reachable through the
+        service's result cache -- a resubmission is a fast cache hit, not a
+        re-solve).  Queued/running jobs are never dropped.
+    """
+
+    def __init__(self, service: BatchRoutingService | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 admission: AdmissionController | None = None,
+                 time_budget: float | None = None,
+                 max_batch: int = 32,
+                 long_poll_cap: float = 30.0,
+                 max_records: int = 4096,
+                 architectures: dict | None = None) -> None:
+        self.service = service if service is not None else BatchRoutingService()
+        self._owns_service = service is None
+        self.host = host
+        self.port = port
+        self.admission = admission if admission is not None else AdmissionController()
+        self.time_budget = time_budget
+        self.max_batch = max(1, max_batch)
+        self.long_poll_cap = long_poll_cap
+        self.max_records = max(1, max_records)
+        self.architectures = (architectures if architectures is not None
+                              else named_architectures())
+        self.jobs: dict[str, JobRecord] = {}
+        self.counters = {
+            "requests": 0,
+            "submitted": 0,
+            "deduplicated": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected_draining": 0,
+            "bad_requests": 0,
+            "records_pruned": 0,
+        }
+        self._open_jobs = 0  # queued + running
+        self._draining = False
+        self._started = time.monotonic()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closed = asyncio.Event()
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher."""
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; call from the loop thread).
+
+        New submissions are refused with 503 from this point on; queued and
+        running jobs are completed (best-so-far within their budgets) and
+        stay fetchable until the queue is empty, then the server closes.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._queue.put_nowait(None)  # wake the dispatcher
+
+    async def wait_closed(self) -> None:
+        """Block until a drain has fully completed."""
+        await self._closed.wait()
+
+    async def _shutdown(self) -> None:
+        """Close the listener, let in-flight responses finish, release workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.wait(self._connections,
+                               timeout=self.long_poll_cap + 5.0)
+        if self._owns_service:
+            self.service.close()
+        self._closed.set()
+
+    # ------------------------------------------------------------ dispatcher
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            batch: list[JobRecord] = [] if item is None else [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is not None:
+                    batch.append(extra)
+            if batch:
+                for record in batch:
+                    record.status = "running"
+                jobs = [record.job for record in batch]
+                try:
+                    results = await loop.run_in_executor(
+                        None, self._route_batch_sync, jobs)
+                except Exception as error:  # worker-side crash: fail the batch
+                    for record in batch:
+                        self._finish(record, None, error=repr(error))
+                else:
+                    for record, result in zip(batch, results):
+                        self._finish(record, result)
+            if self._draining and self._queue.empty():
+                break
+        await self._shutdown()
+
+    def _route_batch_sync(self, jobs: list[RoutingJob]) -> list[RoutingResult]:
+        return self.service.route_batch(jobs, time_budget=self.time_budget)
+
+    def _finish(self, record: JobRecord, result: RoutingResult | None,
+                error: str | None = None) -> None:
+        record.result = result
+        record.error = error
+        record.status = "done"
+        record.finished_at = time.monotonic()
+        self._open_jobs -= 1
+        if error is None and result is not None:
+            self.counters["completed"] += 1
+        else:
+            self.counters["failed"] += 1
+        record.done.set()
+        self._prune_records()
+
+    def _prune_records(self) -> None:
+        """Bound the in-memory job history (the cache still has the results)."""
+        excess = len(self.jobs) - self.max_records
+        if excess <= 0:
+            return
+        finished = sorted(
+            (record for record in self.jobs.values()
+             if record.status == "done"),
+            key=lambda record: record.finished_at or 0.0)
+        for record in finished[:excess]:
+            del self.jobs[record.job_id]
+            self.counters["records_pruned"] += 1
+
+    # ------------------------------------------------------------- endpoints
+
+    async def _submit(self, headers: dict, payload: dict,
+                      peer: str) -> tuple[int, dict, dict]:
+        client_id = headers.get("x-client-id") or peer
+        if self._draining:
+            self.counters["rejected_draining"] += 1
+            return 503, protocol.error_payload("server is draining"), {}
+        decision = self.admission.admit(client_id, pending=self._open_jobs)
+        if not decision:
+            body = protocol.error_payload(
+                f"over quota ({decision.reason})", reason=decision.reason,
+                retry_after=decision.retry_after)
+            return 429, body, {"Retry-After": f"{decision.retry_after:.3f}"}
+
+        def parse_and_key():
+            # QASM parsing, canonicalisation, and the SHA-256 content hash
+            # can burn real CPU on large circuits -- off the loop thread.
+            job = protocol.parse_submit(payload, self.architectures)
+            return job, self.service.job_key(job, self.time_budget)
+
+        loop = asyncio.get_running_loop()
+        job, job_id = await loop.run_in_executor(None, parse_and_key)
+        record = self.jobs.get(job_id)
+        if record is not None and record.status == "done" and (
+                record.error is not None
+                or record.result is None or not record.result.solved):
+            # A crashed or unsolved (timed-out) attempt must not poison this
+            # content hash forever: forget the record and solve afresh.
+            # Successful results stay deduplicated indefinitely -- they are
+            # verified and content-addressed, so they cannot go stale.
+            del self.jobs[job_id]
+            record = None
+        if record is not None:
+            # Content-identical to a known job: answer with the same record,
+            # whatever its state -- this is the cross-client single-solve
+            # dedup path.
+            record.submissions += 1
+            self.counters["deduplicated"] += 1
+            body = record.status_payload()
+            body["deduplicated"] = True
+            return 200, body, {}
+        record = JobRecord(job_id=job_id, job=job)
+        self.jobs[job_id] = record
+        self._open_jobs += 1
+        self.counters["submitted"] += 1
+        self._queue.put_nowait(record)
+        body = record.status_payload()
+        body["deduplicated"] = False
+        return 202, body, {}
+
+    async def _job_status(self, job_id: str, query: dict) -> tuple[int, dict, dict]:
+        record = self.jobs.get(job_id)
+        if record is None:
+            return 404, protocol.error_payload(f"unknown job {job_id!r}"), {}
+        wait = 0.0
+        if "wait" in query:
+            try:
+                wait = max(0.0, float(query["wait"]))
+            except ValueError:
+                raise protocol.ProtocolError("wait must be a number") from None
+        if wait > 0.0 and not record.done.is_set():
+            try:
+                await asyncio.wait_for(record.done.wait(),
+                                       min(wait, self.long_poll_cap))
+            except asyncio.TimeoutError:
+                pass
+        # ``include_result`` lets a long-poll carry the result home on the
+        # same connection -- essential during a drain, when the listener may
+        # close before a follow-up fetch could connect.
+        include_result = query.get("include_result", "") in ("1", "true", "yes")
+        return 200, record.status_payload(include_result=include_result), {}
+
+    def _job_result(self, job_id: str) -> tuple[int, dict, dict]:
+        record = self.jobs.get(job_id)
+        if record is None:
+            return 404, protocol.error_payload(f"unknown job {job_id!r}"), {}
+        if record.status != "done":
+            return 409, protocol.error_payload(
+                "job not finished", status=record.status), {}
+        return 200, record.status_payload(include_result=True), {}
+
+    def _stats_payload(self) -> dict:
+        telemetry = self.service.telemetry
+        # dict() snapshots are atomic under the GIL; the executor thread
+        # mutates these counters while we serialise them.
+        telemetry_counters = dict(telemetry.counters)
+        stats = {
+            "uptime": round(time.monotonic() - self._started, 3),
+            "draining": self._draining,
+            "jobs_open": self._open_jobs,
+            "jobs_known": len(self.jobs),
+            "gateway": dict(self.counters),
+            "admission": self.admission.stats(),
+            "telemetry": {kind: count
+                          for kind, count in sorted(telemetry_counters.items())
+                          if count},
+            "throughput": round(telemetry.throughput(), 4),
+        }
+        if self.service.cache is not None:
+            stats["cache"] = self.service.cache.stats()
+        return stats
+
+    def _metrics_text(self) -> str:
+        """The /metrics scrape: Prometheus text exposition, no dependencies."""
+        from repro import __version__
+
+        lines = [
+            "# HELP repro_server_info Build and wire-protocol identity.",
+            "# TYPE repro_server_info gauge",
+            f'repro_server_info{{version="{__version__}",'
+            f'wire_version="{protocol.WIRE_VERSION}"}} 1',
+            f"repro_server_uptime_seconds "
+            f"{time.monotonic() - self._started:.3f}",
+            f"repro_server_draining {int(self._draining)}",
+            f"repro_server_jobs_open {self._open_jobs}",
+            f"repro_server_jobs_known {len(self.jobs)}",
+        ]
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"repro_server_{name}_total {value}")
+        admission = self.admission.stats()
+        lines.append(f"repro_server_admission_admitted_total "
+                     f"{admission['admitted']}")
+        for reason in ("quota", "backpressure"):
+            lines.append(
+                f'repro_server_admission_rejected_total{{reason="{reason}"}} '
+                f"{admission[f'rejected_{reason}']}")
+        for kind, count in sorted(dict(self.service.telemetry.counters).items()):
+            lines.append(
+                f'repro_telemetry_events_total{{kind="{kind}"}} {count}')
+        if self.service.cache is not None:
+            cache = self.service.cache.stats()
+            for key in ("hits", "misses", "stores", "rejected", "evictions"):
+                lines.append(f"repro_cache_{key}_total {int(cache[key])}")
+            lines.append(f"repro_cache_entries {int(cache['entries'])}")
+            lines.append(f"repro_cache_bytes {int(cache['total_bytes'])}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------ HTTP layer
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "unknown"
+        try:
+            try:
+                request = await asyncio.wait_for(self._read_request(reader),
+                                                 READ_TIMEOUT)
+            except protocol.ProtocolError as error:
+                # Malformed before dispatch (bad request line, oversized or
+                # negative Content-Length): still owed an HTTP error reply.
+                self.counters["bad_requests"] += 1
+                request = None
+                status = error.http_status
+                payload, extra = protocol.error_payload(str(error)), {}
+            else:
+                if request is None:
+                    return
+            if request is not None:
+                method, path, query, headers, body = request
+                self.counters["requests"] += 1
+                try:
+                    status, payload, extra = await self._dispatch(
+                        method, path, query, headers, body, peer)
+                except protocol.ProtocolError as error:
+                    self.counters["bad_requests"] += 1
+                    status = error.http_status
+                    payload, extra = protocol.error_payload(str(error)), {}
+                except Exception as error:  # never leak a traceback to the wire
+                    status, extra = 500, {}
+                    payload = protocol.error_payload(f"internal error: {error!r}")
+            if isinstance(payload, str):
+                await self._write_response(writer, status, payload.encode(),
+                                           "text/plain; charset=utf-8", extra)
+            else:
+                body_bytes = json.dumps(payload, sort_keys=True).encode()
+                await self._write_response(writer, status, body_bytes,
+                                           "application/json", extra)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await reader.readline()
+        except ValueError:  # line over the StreamReader limit
+            raise protocol.ProtocolError("request line too long") from None
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise protocol.ProtocolError("malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise protocol.ProtocolError("header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise protocol.ProtocolError("too many headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise protocol.ProtocolError("bad Content-Length") from None
+        if length < 0:
+            raise protocol.ProtocolError("bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise protocol.ProtocolError("request body too large",
+                                         http_status=413)
+        body = await reader.readexactly(length) if length else b""
+        parsed = urllib.parse.urlsplit(target)
+        query = {key: values[-1] for key, values
+                 in urllib.parse.parse_qs(parsed.query).items()}
+        return method.upper(), parsed.path, query, headers, body
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise protocol.ProtocolError("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise protocol.ProtocolError("request body must be a JSON object")
+        return payload
+
+    async def _dispatch(self, method: str, path: str, query: dict,
+                        headers: dict, body: bytes, peer: str):
+        if path == "/healthz" and method == "GET":
+            from repro import __version__
+            return 200, protocol.envelope(
+                status="draining" if self._draining else "ok",
+                version=__version__, uptime=round(time.monotonic()
+                                                  - self._started, 3)), {}
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics_text(), {}
+        if path == "/v1/routers" and method == "GET":
+            return 200, protocol.envelope(
+                routers=describe_routers(query.get("capability"))), {}
+        if path == "/v1/devices" and method == "GET":
+            return 200, protocol.envelope(
+                devices=device_records(),
+                architectures=sorted(self.architectures)), {}
+        if path == "/v1/stats" and method == "GET":
+            return 200, protocol.envelope(self._stats_payload()), {}
+        if path == "/v1/jobs" and method == "POST":
+            return await self._submit(headers, self._json_body(body), peer)
+        if path == "/v1/jobs" and method == "GET":
+            summaries = [record.status_payload()
+                         for record in self.jobs.values()]
+            return 200, protocol.envelope(jobs=summaries), {}
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job_id = path[len("/v1/jobs/"):]
+            if job_id.endswith("/result"):
+                return self._job_result(job_id[:-len("/result")])
+            return await self._job_status(job_id, query)
+        if path == "/v1/admin/drain" and method == "POST":
+            self.initiate_drain()
+            return 200, protocol.envelope(draining=True,
+                                          jobs_open=self._open_jobs), {}
+        return 404, protocol.error_payload(f"no such endpoint: "
+                                           f"{method} {path}"), {}
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              body: bytes, content_type: str,
+                              extra_headers: dict) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict", 413: "Payload Too Large",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in extra_headers.items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+async def serve(gateway: RoutingGateway,
+                install_signal_handlers: bool = True,
+                on_started=None) -> None:
+    """Start ``gateway`` and block until it has drained and closed.
+
+    With ``install_signal_handlers`` (the default, used by ``repro serve``)
+    SIGTERM and SIGINT trigger :meth:`RoutingGateway.initiate_drain`, so a
+    ^C or an orchestrator's stop signal finishes in-flight jobs -- best-so-far
+    within their budgets -- before the process exits.  ``on_started`` is
+    called with the gateway once the port is bound (the CLI prints its
+    listening line there).
+    """
+    await gateway.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, gateway.initiate_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX platforms
+    if on_started is not None:
+        on_started(gateway)
+    await gateway.wait_closed()
+
+
+class GatewayThread:
+    """Run a gateway on a daemon thread: tests, examples, and benchmarks.
+
+    Usage::
+
+        with GatewayThread(service=BatchRoutingService(mode="thread")) as gw:
+            client = RoutingClient(port=gw.port)
+            ...
+
+    Exiting the context initiates a drain and joins the thread, so queued
+    jobs finish before the block returns.
+    """
+
+    def __init__(self, **gateway_kwargs) -> None:
+        self._kwargs = gateway_kwargs
+        self.gateway: RoutingGateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        try:
+            self.gateway = RoutingGateway(**self._kwargs)
+            await self.gateway.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.gateway.wait_closed()
+
+    def start(self) -> "GatewayThread":
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("gateway failed to start") from self._startup_error
+        if self.gateway is None:
+            raise RuntimeError("gateway did not start within 10s")
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self.gateway is not None
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        assert self.gateway is not None
+        return self.gateway.port
+
+    @property
+    def url(self) -> str:
+        assert self.gateway is not None
+        return self.gateway.url
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the gateway and join its thread."""
+        if self._loop is not None and self.gateway is not None \
+                and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.gateway.initiate_drain)
+            except RuntimeError:
+                pass  # the loop closed between is_alive() and the call
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

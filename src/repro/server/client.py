@@ -1,0 +1,240 @@
+"""A small blocking client for the routing gateway.
+
+:class:`RoutingClient` wraps the wire protocol behind library-shaped calls:
+submit a circuit, long-poll for completion, get a full
+:class:`~repro.core.result.RoutingResult` back (routed circuit included).
+It is stdlib-only (``http.client``), one connection per request -- matching
+the gateway's ``Connection: close`` HTTP -- and is what the CLI's ``submit``
+subcommand, the examples, and the tests use.
+
+Typical round trip::
+
+    from repro.server import RoutingClient
+
+    client = RoutingClient(port=8037)
+    ticket = client.submit(circuit, architecture="tokyo8",
+                           router="satmap:slice_size=25", time_budget=5)
+    result = client.wait(ticket["job_id"], timeout=60)
+    print(result.summary())
+
+Overload surfaces as :class:`QuotaExceededError` carrying the server's
+``Retry-After`` hint; every other non-2xx response raises
+:class:`ServerError` with the decoded error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any
+
+from repro.core.result import RoutingResult
+from repro.hardware.architecture import Architecture
+from repro.server import protocol
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the gateway."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class QuotaExceededError(ServerError):
+    """HTTP 429: admission control refused the submission.
+
+    ``retry_after`` is the server's hint, in seconds, for when to retry.
+    """
+
+    def __init__(self, status: int, payload: Any, retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class RoutingClient:
+    """Blocking HTTP client for a :class:`~repro.server.app.RoutingGateway`.
+
+    Parameters
+    ----------
+    host / port:
+        Gateway address (see also :meth:`from_url`).
+    client_id:
+        Sent as ``X-Client-Id``; admission quotas are tracked per client id
+        (falling back to the peer address when unset).
+    timeout:
+        Socket timeout per request, seconds.  Long polls add their wait on
+        top of this.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8037,
+                 client_id: str | None = None, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    @classmethod
+    def from_url(cls, url: str, client_id: str | None = None,
+                 timeout: float = 60.0) -> "RoutingClient":
+        """Build a client from ``http://host:port`` (path/scheme extras ignored)."""
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}")
+        if not parsed.hostname:
+            raise ValueError(f"cannot parse gateway URL {url!r}")
+        return cls(host=parsed.hostname, port=parsed.port or 8037,
+                   client_id=client_id, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -------------------------------------------------------------- plumbing
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        headers = {"Connection": "close"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+            content_type = response.getheader("Content-Type", "")
+            retry_after = response.getheader("Retry-After")
+        finally:
+            connection.close()
+        if content_type.startswith("application/json"):
+            decoded: Any = json.loads(raw.decode("utf-8")) if raw else {}
+        else:
+            decoded = raw.decode("utf-8", errors="replace")
+        if status == 429:
+            raise QuotaExceededError(status, decoded,
+                                     retry_after=float(retry_after or 1.0))
+        if status >= 400:
+            raise ServerError(status, decoded)
+        if isinstance(decoded, dict):
+            version = decoded.get("wire_version")
+            if version != protocol.WIRE_VERSION:
+                raise ServerError(status, {
+                    "error": f"server speaks wire_version {version!r}, "
+                             f"client speaks {protocol.WIRE_VERSION}"})
+        return decoded
+
+    # ------------------------------------------------------------- inquiries
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text of ``/metrics``."""
+        return self._request("GET", "/metrics")
+
+    def routers(self, capability: str | None = None) -> list[dict]:
+        path = "/v1/routers"
+        if capability:
+            path += "?" + urllib.parse.urlencode({"capability": capability})
+        return self._request("GET", path)["routers"]
+
+    def devices(self) -> list[dict]:
+        return self._request("GET", "/v1/devices")["devices"]
+
+    def architectures(self) -> list[str]:
+        """Names the gateway resolves in submit requests."""
+        return self._request("GET", "/v1/devices")["architectures"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    # ------------------------------------------------------------- job flow
+
+    def submit(self, circuit: Any, architecture: Architecture | str = "tokyo",
+               router: Any = "satmap", name: str | None = None,
+               time_budget: float | None = None) -> dict:
+        """Submit one routing job; returns the status ticket.
+
+        The ticket's ``job_id`` is the job's content hash;
+        ``ticket["deduplicated"]`` says whether the gateway matched it to an
+        already-known job instead of scheduling a new solve.  Raises
+        :class:`QuotaExceededError` on 429.
+        """
+        payload = protocol.submit_payload(circuit, architecture, router=router,
+                                          name=name, time_budget=time_budget)
+        return self._request("POST", "/v1/jobs", payload=payload)
+
+    def status(self, job_id: str, wait: float | None = None,
+               include_result: bool = False) -> dict:
+        """Job status; ``wait`` long-polls up to that many seconds."""
+        query = {}
+        if wait is not None:
+            query["wait"] = f"{wait:.3f}"
+        if include_result:
+            query["include_result"] = "1"
+        path = f"/v1/jobs/{job_id}"
+        if query:
+            path += "?" + urllib.parse.urlencode(query)
+        timeout = self.timeout + (wait or 0.0)
+        return self._request("GET", path, timeout=timeout)
+
+    def result(self, job_id: str) -> RoutingResult:
+        """The finished job's result, rebuilt into a :class:`RoutingResult`.
+
+        A job that finished with a server-side error has no result payload;
+        that surfaces as :class:`ServerError` carrying the error message.
+        """
+        payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if "result" not in payload:
+            message = payload.get("error") or "job finished without a result"
+            raise ServerError(500, {"error": message})
+        return protocol.result_from_wire(payload["result"])
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 10.0) -> RoutingResult:
+        """Long-poll until the job finishes; the result rides the last poll.
+
+        The result is carried on the same long-poll connection that observes
+        completion, so waiting works even while the server is draining (no
+        second fetch that could race the listener closing).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not done within {timeout}s")
+            status = self.status(job_id, wait=min(poll, remaining),
+                                 include_result=True)
+            if status["status"] == "done":
+                if status.get("error"):
+                    raise ServerError(500, {"error": status["error"]})
+                if "result" in status:
+                    return protocol.result_from_wire(status["result"])
+                return self.result(job_id)
+
+    def route(self, circuit: Any, architecture: Architecture | str = "tokyo",
+              router: Any = "satmap", name: str | None = None,
+              time_budget: float | None = None,
+              timeout: float = 120.0) -> RoutingResult:
+        """Submit and wait: the one-call remote equivalent of :func:`repro.route`."""
+        ticket = self.submit(circuit, architecture, router=router, name=name,
+                             time_budget=time_budget)
+        return self.wait(ticket["job_id"], timeout=timeout)
+
+    # ---------------------------------------------------------------- admin
+
+    def drain(self) -> dict:
+        """Ask the gateway to drain and shut down gracefully."""
+        return self._request("POST", "/v1/admin/drain", payload={})

@@ -19,6 +19,8 @@ answer -- crucial because the on-disk layer is plain JSON anyone can edit.
 from __future__ import annotations
 
 import json
+import os
+import time
 from pathlib import Path
 
 from repro.circuits.qasm import circuit_to_qasm, parse_qasm
@@ -112,19 +114,46 @@ class ResultCache:
     verify_on_load:
         Re-run the independent verifier on every entry read back from memory
         or disk (default on; turning it off is only sensible in tests).
+    max_bytes:
+        Upper bound on the total serialised size of the store.  When a
+        ``put`` pushes the store over the limit, least-recently-used entries
+        are evicted (memory and disk) until it fits again; the most recently
+        stored entry always survives, even if it alone exceeds the budget.
+        ``None`` (the default) keeps the store unbounded.  Recency is the
+        last hit or store; for disk entries written by other processes it
+        falls back to the file's mtime, which ``get`` refreshes on a hit, so
+        the LRU order also holds across server restarts.
     """
 
     def __init__(self, directory: str | Path | None = None,
-                 verify_on_load: bool = True) -> None:
+                 verify_on_load: bool = True,
+                 max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.verify_on_load = verify_on_load
+        self.max_bytes = max_bytes
         self._memory: dict[str, dict] = {}
+        self._recency: dict[str, float] = {}  # key -> last hit/store timestamp
+        self._sizes: dict[str, int] = {}  # serialised bytes per memory entry
+        # Running byte total so the common paths (stores under budget,
+        # stats/metrics scrapes) are O(1); seeded from disk once here and
+        # resynced by a full scan whenever the budget is actually exceeded,
+        # which also picks up entries other processes wrote meanwhile.
+        self._total_bytes = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    self._total_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - racing deletion
+                    pass
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.rejected = 0  # entries that failed deserialisation or verification
+        self.evictions = 0  # entries dropped to stay under max_bytes
 
     # -------------------------------------------------------------- helpers
 
@@ -147,13 +176,81 @@ class ResultCache:
         return payload
 
     def _evict(self, key: str) -> None:
+        size = self._sizes.pop(key, None)
         self._memory.pop(key, None)
+        self._recency.pop(key, None)
         path = self._path_for(key)
         if path is not None and path.exists():
+            if size is None:
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - racing deletion
+                    size = None
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+        self._total_bytes = max(0, self._total_bytes - (size or 0))
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` as most recently used (memory clock + file mtime)."""
+        self._recency[key] = time.time()
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - best-effort bookkeeping
+                pass
+
+    def _entry_inventory(self) -> dict[str, tuple[float, int]]:
+        """Every known entry as ``key -> (recency, serialised bytes)``.
+
+        Iterates over snapshots of the internal dicts: the server's metrics
+        endpoint reads this from the event-loop thread while a worker thread
+        may be storing results.
+        """
+        inventory: dict[str, tuple[float, int]] = {}
+        if self.directory is not None:
+            for path in list(self.directory.glob("*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                key = path.stem
+                inventory[key] = (self._recency.get(key, stat.st_mtime),
+                                  stat.st_size)
+        for key, payload in list(self._memory.items()):
+            if key not in inventory:
+                if key not in self._sizes:
+                    self._sizes[key] = len(json.dumps(payload, sort_keys=True))
+                inventory[key] = (self._recency.get(key, 0.0), self._sizes[key])
+        return inventory
+
+    def total_bytes(self) -> int:
+        """Total serialised size of the store, from the running counter."""
+        return self._total_bytes
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used entries until the store fits max_bytes.
+
+        The most recently used entry is never evicted, so a single oversized
+        result still lands in the cache instead of thrashing forever.  The
+        O(1) running total gates the check; the full directory scan (which
+        also resyncs the counter against other writers) only happens when
+        the budget is actually exceeded.
+        """
+        if self.max_bytes is None or self._total_bytes <= self.max_bytes:
+            return
+        inventory = self._entry_inventory()
+        self._total_bytes = sum(size for _, size in inventory.values())
+        if self._total_bytes <= self.max_bytes:
+            return
+        by_age = sorted(inventory, key=lambda key: inventory[key][0])
+        for key in by_age[:-1]:  # keep the newest entry no matter what
+            if self._total_bytes <= self.max_bytes:
+                break
+            self._evict(key)  # maintains the running total
+            self.evictions += 1
 
     # ------------------------------------------------------------------ API
 
@@ -181,6 +278,7 @@ class ResultCache:
             self._evict(key)
             return None
         self._memory.setdefault(key, payload)
+        self._touch(key)
         self.hits += 1
         result.notes = (result.notes + "; " if result.notes else "") + "cache-hit"
         return result
@@ -198,17 +296,31 @@ class ResultCache:
         key = job.content_hash()
         payload = result_to_payload(result)
         self._memory[key] = payload
+        serialised = json.dumps(payload, sort_keys=True, indent=1)
+        old_size = self._sizes.get(key)
+        if old_size is None and self.directory is not None:
+            # overwriting an entry this instance never measured (written by
+            # an earlier process): account for the bytes it replaces
+            path = self._path_for(key)
+            try:
+                old_size = path.stat().st_size if path.exists() else None
+            except OSError:  # pragma: no cover - racing deletion
+                old_size = None
+        self._sizes[key] = len(serialised)
+        self._total_bytes += len(serialised) - (old_size or 0)
         path = self._path_for(key)
         if path is not None:
             try:
                 tmp = path.with_suffix(".tmp")
-                tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+                tmp.write_text(serialised)
                 tmp.replace(path)
             except OSError:
                 # a full disk or vanished cache dir must not fail the batch;
                 # the entry still lives in the memory layer
                 pass
         self.stores += 1
+        self._touch(key)
+        self._enforce_budget()
         return True
 
     def __contains__(self, job: RoutingJob) -> bool:
@@ -235,6 +347,9 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "rejected": self.rejected,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
             "entries": len(self),
+            "total_bytes": self._total_bytes,
+            "max_bytes": self.max_bytes if self.max_bytes is not None else 0,
         }

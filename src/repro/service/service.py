@@ -51,6 +51,10 @@ class BatchRoutingService:
     cache_dir:
         Directory for the on-disk cache layer; ``None`` keeps results
         in memory only.  Pass ``cache=False`` to disable caching entirely.
+    cache_max_bytes:
+        Size bound for the result cache (LRU eviction past the limit);
+        ``None`` leaves it unbounded.  Ignored when an explicit ``cache``
+        instance is supplied.
     portfolio:
         ``True`` races :data:`~repro.service.registry.DEFAULT_PORTFOLIO`
         per job, a tuple of registry names races those, ``None``/``False``
@@ -68,6 +72,7 @@ class BatchRoutingService:
         time_budget: float = 30.0,
         cache_dir: str | Path | None = None,
         cache: ResultCache | bool | None = None,
+        cache_max_bytes: int | None = None,
         portfolio: bool | tuple[str, ...] | None = None,
         telemetry: TelemetryLog | None = None,
         fallback: bool = True,
@@ -80,7 +85,8 @@ class BatchRoutingService:
         elif isinstance(cache, ResultCache):
             self.cache = cache
         else:
-            self.cache = ResultCache(directory=cache_dir)
+            self.cache = ResultCache(directory=cache_dir,
+                                     max_bytes=cache_max_bytes)
         if portfolio is True:
             self.portfolio: tuple[str, ...] | None = DEFAULT_PORTFOLIO
         elif portfolio:
@@ -225,6 +231,18 @@ class BatchRoutingService:
         return self.route_batch(jobs, time_budget=time_budget,
                                 progress=progress)
 
+    def job_key(self, job: RoutingJob, time_budget: float | None = None) -> str:
+        """The content hash a job is cached (and deduplicated) under.
+
+        This is the job's own content hash refined with the execution config
+        (effective budget, portfolio namespace) exactly as ``route_batch``
+        keys the cache, so two submissions with equal ``job_key`` are
+        guaranteed to share one solve.  The network gateway uses this for
+        cross-client dedup.
+        """
+        budget = time_budget if time_budget is not None else self.time_budget
+        return self._key_job(job, budget).content_hash()
+
     # ------------------------------------------------------------ internals
 
     def _key_job(self, job: RoutingJob, budget: float) -> RoutingJob:
@@ -264,10 +282,18 @@ class BatchRoutingService:
             # be served forever in place of the real router's result.
             # ``put`` re-runs the independent verifier; a result that fails
             # it is refused and surfaces as a cache-reject event.
+            evicted_before = self.cache.evictions
             if self.cache.put(key_job, result):
                 self.telemetry.record("cache-store", job.key, job.name)
             else:
                 self.telemetry.record("cache-reject", job.key, job.name)
+            evicted = self.cache.evictions - evicted_before
+            if evicted:
+                # Size-bound eviction triggered by this store: observable in
+                # telemetry (and the server's /metrics) like any other event.
+                self.telemetry.record("cache-evict", job.key, job.name,
+                                      evicted=evicted,
+                                      total_bytes=self.cache.total_bytes())
         detail = {"swaps": result.swap_count,
                   "solve_time": round(result.solve_time, 6)}
         # Per-stage solve-path timings (encode / solve / extract) and session

@@ -16,7 +16,7 @@ from typing import Callable
 
 EVENT_KINDS = (
     "queued", "started", "cache-hit", "cache-store", "cache-reject",
-    "fallback", "finished", "failed",
+    "cache-evict", "fallback", "finished", "failed",
 )
 
 

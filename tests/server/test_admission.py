@@ -1,0 +1,104 @@
+"""Token-bucket admission control, driven with a deterministic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestAdmissionController:
+    def test_per_client_quotas_are_independent(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=2.0, clock=clock)
+        assert controller.admit("alice")
+        assert controller.admit("alice")
+        refused = controller.admit("alice")
+        assert not refused and refused.reason == "quota"
+        assert refused.retry_after > 0.0
+        # bob has a full bucket of his own
+        assert controller.admit("bob")
+
+    def test_quota_recovers_over_time(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=2.0, burst=1.0, clock=clock)
+        assert controller.admit("c")
+        assert not controller.admit("c")
+        clock.advance(0.6)
+        assert controller.admit("c")
+
+    def test_backpressure_hits_every_client(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=100.0, burst=100.0,
+                                         max_pending=4, clock=clock)
+        decision = controller.admit("anyone", pending=4)
+        assert not decision and decision.reason == "backpressure"
+        assert decision.retry_after > 0.0
+        # below the bound, the same client sails through
+        assert controller.admit("anyone", pending=3)
+
+    def test_stats_counts_decisions(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1.0, max_pending=2,
+                                         clock=clock)
+        controller.admit("a")
+        controller.admit("a")             # quota
+        controller.admit("b", pending=2)  # backpressure
+        stats = controller.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected_quota"] == 1
+        assert stats["rejected_backpressure"] == 1
+        assert stats["clients"] == 1  # backpressure never made a bucket
+
+    def test_prunes_idle_clients_at_cap(self, monkeypatch):
+        import repro.server.admission as admission_module
+        monkeypatch.setattr(admission_module, "MAX_TRACKED_CLIENTS", 4)
+        clock = FakeClock()
+        controller = AdmissionController(rate=100.0, burst=2.0, clock=clock)
+        for index in range(4):
+            controller.admit(f"client-{index}")
+        clock.advance(10.0)  # everyone refills to full
+        controller.admit("one-more")
+        assert len(controller._buckets) <= 2

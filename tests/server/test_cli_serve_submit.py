@@ -1,0 +1,90 @@
+"""The ``serve`` and ``submit`` CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits.qasm import load_qasm
+from repro.cli import build_parser, main
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[0],q[1];
+cx q[0],q[2];
+cx q[3],q[2];
+cx q[0],q[3];
+"""
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "prog.qasm"
+    path.write_text(QASM)
+    return path
+
+
+class TestParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8037
+        assert args.time_budget == 10.0
+        assert args.rate == 20.0
+        assert args.max_pending == 256
+        assert not args.no_cache
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "x.qasm"])
+        assert args.url == "http://127.0.0.1:8037"
+        assert args.router == "satmap"
+        assert not args.no_wait
+
+    def test_submit_rejects_bad_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "x.qasm",
+                                       "--router", "no-such"])
+
+    def test_serve_rejects_bad_budget(self, capsys):
+        assert main(["serve", "--time-budget", "-1"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+
+class TestSubmitCommand:
+    def test_submit_waits_and_writes_output(self, gateway, qasm_file,
+                                            tmp_path, capsys):
+        routed = tmp_path / "routed.qasm"
+        argv = ["submit", str(qasm_file), "--url", gateway.url,
+                "--arch", "tokyo6", "--router", "sabre:seed=0",
+                "--output", str(routed), "--client-id", "cli-test"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "SABRE" in out
+        assert routed.exists()
+        load_qasm(routed)  # parses back
+
+    def test_submit_json_record(self, gateway, qasm_file, capsys):
+        argv = ["submit", str(qasm_file), "--url", gateway.url,
+                "--arch", "tokyo6", "--router", "sabre:seed=0", "--json"]
+        assert main(argv) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["solved"] is True
+        assert record["router"] == "SABRE"
+        assert record["deduplicated"] is False
+        assert record["server"] == gateway.url
+
+    def test_submit_no_wait_prints_ticket(self, gateway, qasm_file, capsys):
+        argv = ["submit", str(qasm_file), "--url", gateway.url,
+                "--arch", "tokyo6", "--router", "sabre:seed=0",
+                "--no-wait", "--json"]
+        assert main(argv) == 0
+        ticket = json.loads(capsys.readouterr().out)
+        assert ticket["status"] in ("queued", "running", "done")
+        assert len(ticket["job_id"]) == 64
+
+    def test_submit_against_dead_server_fails_cleanly(self, qasm_file, capsys):
+        argv = ["submit", str(qasm_file), "--url", "http://127.0.0.1:1",
+                "--arch", "tokyo6"]
+        assert main(argv) == 2
+        assert "cannot submit" in capsys.readouterr().err
