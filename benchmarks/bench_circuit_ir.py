@@ -1,0 +1,480 @@
+"""Flat circuit IR vs the legacy object-per-gate front end.
+
+Measures the three layers the IR refactor rebuilt, old versus new, at
+100/1k/10k two-qubit gates:
+
+* **build** -- constructing a circuit from a stream of gate applications
+  (legacy: one ``Gate`` dataclass per application appended to a list; new:
+  ``append_op`` straight into the array columns), plus the encoder-facing
+  interaction extraction on the result;
+* **dag** -- dependency-DAG construction (legacy: a ``DagNode`` with two
+  Python sets per gate; new: CSR index arrays built in one iterative pass);
+* **sabre** -- a full SABRE routing run (legacy: dict mapping with O(n)
+  inverse scans and a mapping copy per candidate swap; new: flat
+  logical<->physical arrays, CSR front layer, flat distance matrix).
+
+The legacy implementations below are faithful ports of the pre-refactor
+modules; both SABRE variants make identical decisions, so their swap counts
+must agree exactly -- that equality (plus the independent verifier on the
+new result) is the correctness gate.  Timing regressions fail the run in
+full mode and warn in ``--smoke`` mode (shared CI runners are too noisy),
+matching the other benchmark gates.  Results are written as JSON under
+``benchmarks/results/``.
+
+    PYTHONPATH=src python benchmarks/bench_circuit_ir.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+
+from _harness import RESULTS_DIR
+
+from repro.baselines.sabre import SabreRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag
+from repro.circuits.gates import Gate
+from repro.circuits.random_circuits import random_circuit
+from repro.core.verifier import verify_routing
+from repro.hardware.topologies import grid_architecture
+
+# --------------------------------------------------------------------------
+# Legacy reference implementations (ports of the pre-refactor modules).
+# --------------------------------------------------------------------------
+
+
+class LegacyCircuit:
+    """The old ``QuantumCircuit``: a validated list of ``Gate`` objects."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        self.num_qubits = num_qubits
+        self.name = name
+        self.gates: list[Gate] = []
+
+    def append(self, gate: Gate) -> None:
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError("qubit out of range")
+        self.gates.append(gate)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for gate in self.gates if gate.is_two_qubit)
+
+    def interaction_sequence(self) -> list[tuple[int, int]]:
+        return [tuple(gate.qubits) for gate in self.gates if gate.is_two_qubit]
+
+
+class LegacyDagNode:
+    __slots__ = ("index", "gate", "predecessors", "successors")
+
+    def __init__(self, index: int, gate: Gate) -> None:
+        self.index = index
+        self.gate = gate
+        self.predecessors: set[int] = set()
+        self.successors: set[int] = set()
+
+
+class LegacyDag:
+    """The old ``CircuitDag``: one node object with two sets per gate."""
+
+    def __init__(self, circuit) -> None:
+        self.circuit = circuit
+        self.nodes: list[LegacyDagNode] = []
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            node = LegacyDagNode(index, gate)
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    predecessor = last_on_qubit[qubit]
+                    node.predecessors.add(predecessor)
+                    self.nodes[predecessor].successors.add(index)
+                last_on_qubit[qubit] = index
+            self.nodes.append(node)
+
+    def front_layer(self, executed: set[int]) -> list[LegacyDagNode]:
+        return [node for node in self.nodes
+                if node.index not in executed
+                and node.predecessors.issubset(executed)]
+
+
+class LegacyBuilder:
+    """The old ``RoutedBuilder``: dict mapping, O(n) inverse lookups."""
+
+    def __init__(self, circuit, architecture, initial_mapping) -> None:
+        self.architecture = architecture
+        self.mapping = dict(initial_mapping)
+        self.routed_gates: list[Gate] = []
+        self.swap_count = 0
+
+    def physical_of(self, logical: int) -> int:
+        return self.mapping[logical]
+
+    def logical_at(self, physical: int):
+        for logical, position in self.mapping.items():
+            if position == physical:
+                return logical
+        return None
+
+    def can_execute(self, gate: Gate) -> bool:
+        if not gate.is_two_qubit:
+            return True
+        first, second = (self.mapping[q] for q in gate.qubits)
+        return self.architecture.are_adjacent(first, second)
+
+    def emit_gate(self, gate: Gate) -> None:
+        physical = tuple(self.mapping[q] for q in gate.qubits)
+        self.routed_gates.append(Gate(gate.name, physical, gate.params))
+
+    def emit_swap(self, physical_a: int, physical_b: int) -> None:
+        logical_a = self.logical_at(physical_a)
+        logical_b = self.logical_at(physical_b)
+        if logical_a is not None:
+            self.mapping[logical_a] = physical_b
+        if logical_b is not None:
+            self.mapping[logical_b] = physical_a
+        self.routed_gates.append(Gate("swap", (physical_a, physical_b)))
+        self.swap_count += 1
+
+
+def legacy_greedy_interaction_mapping(circuit, architecture) -> dict[int, int]:
+    """Port of the pre-refactor placement (nested distance matrix, gate scans)."""
+    counts: dict[tuple[int, int], int] = {}
+    for first, second in circuit.interaction_sequence():
+        key = (min(first, second), max(first, second))
+        counts[key] = counts.get(key, 0) + 1
+    weight_of = {q: 0 for q in range(circuit.num_qubits)}
+    partners: dict[int, dict[int, int]] = {q: {} for q in range(circuit.num_qubits)}
+    for (first, second), count in counts.items():
+        weight_of[first] += count
+        weight_of[second] += count
+        partners[first][second] = count
+        partners[second][first] = count
+    order = sorted(range(circuit.num_qubits), key=lambda q: -weight_of[q])
+    distance = architecture.distance_matrix()
+    mapping: dict[int, int] = {}
+    free = set(range(architecture.num_qubits))
+    for logical in order:
+        best_physical = None
+        best_cost = None
+        for physical in sorted(free):
+            cost = 0.0
+            for partner, count in partners[logical].items():
+                if partner in mapping:
+                    cost += count * distance[physical][mapping[partner]]
+            cost -= 0.001 * architecture.degree(physical)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_physical = physical
+        mapping[logical] = best_physical
+        free.discard(best_physical)
+    return mapping
+
+
+class LegacySabre:
+    """Faithful port of the pre-refactor SABRE (same decisions as the new one)."""
+
+    def __init__(self, lookahead_size: int = 20, lookahead_weight: float = 0.5,
+                 decay_factor: float = 0.001, decay_reset_interval: int = 5,
+                 bidirectional_passes: int = 3, seed: int = 0) -> None:
+        self.lookahead_size = lookahead_size
+        self.lookahead_weight = lookahead_weight
+        self.decay_factor = decay_factor
+        self.decay_reset_interval = decay_reset_interval
+        self.bidirectional_passes = bidirectional_passes
+        self.seed = seed
+
+    def route(self, circuit, architecture):
+        rng = random.Random(self.seed)
+        mapping = legacy_greedy_interaction_mapping(circuit, architecture)
+        reversed_circuit = LegacyCircuit(circuit.num_qubits, name="rev")
+        reversed_circuit.gates = list(reversed(circuit.gates))
+        for pass_index in range(self.bidirectional_passes):
+            target = circuit if pass_index % 2 == 0 else reversed_circuit
+            builder = self._route_once(target, architecture, mapping, rng)
+            mapping = dict(builder.mapping)
+        if self.bidirectional_passes % 2 == 1:
+            builder = self._route_once(reversed_circuit, architecture, mapping, rng)
+            mapping = dict(builder.mapping)
+        return self._route_once(circuit, architecture, mapping, rng)
+
+    def _route_once(self, circuit, architecture, initial_mapping, rng):
+        dag = LegacyDag(circuit)
+        builder = LegacyBuilder(circuit, architecture, initial_mapping)
+        distance = architecture.distance_matrix()
+        executed: set[int] = set()
+        decay = [1.0] * architecture.num_qubits
+        swaps_since_progress = 0
+
+        front = {node.index for node in dag.front_layer(executed)}
+        while front:
+            progressed = False
+            for index in sorted(front):
+                node = dag.nodes[index]
+                if builder.can_execute(node.gate):
+                    builder.emit_gate(node.gate)
+                    executed.add(index)
+                    front.discard(index)
+                    for successor in node.successors:
+                        if dag.nodes[successor].predecessors.issubset(executed):
+                            front.add(successor)
+                    progressed = True
+            if progressed:
+                swaps_since_progress = 0
+                decay = [1.0] * architecture.num_qubits
+                continue
+
+            front_gates = [dag.nodes[index].gate for index in sorted(front)
+                           if dag.nodes[index].gate.is_two_qubit]
+            if not front_gates:
+                for index in sorted(front):
+                    builder.emit_gate(dag.nodes[index].gate)
+                    executed.add(index)
+                front = {node.index for node in dag.front_layer(executed)}
+                continue
+
+            if swaps_since_progress > 4 * architecture.num_qubits:
+                gate = front_gates[0]
+                path = architecture.shortest_path(
+                    builder.physical_of(gate.qubits[0]),
+                    builder.physical_of(gate.qubits[1]))
+                builder.emit_swap(path[0], path[1])
+                swaps_since_progress = 0
+                continue
+
+            extended = self._extended_set(dag, front, executed)
+            candidates = self._candidate_swaps(front_gates, builder)
+            best_swap = None
+            best_score = None
+            for swap in sorted(candidates):
+                score = self._score_swap(swap, front_gates, extended, builder,
+                                         distance, decay)
+                if best_score is None or score < best_score - 1e-12 or (
+                        abs(score - best_score) <= 1e-12 and rng.random() < 0.5):
+                    best_score = score
+                    best_swap = swap
+            builder.emit_swap(*best_swap)
+            decay[best_swap[0]] += self.decay_factor
+            decay[best_swap[1]] += self.decay_factor
+            swaps_since_progress += 1
+            if swaps_since_progress % self.decay_reset_interval == 0:
+                decay = [1.0] * architecture.num_qubits
+        return builder
+
+    def _extended_set(self, dag, front, executed):
+        extended = []
+        queue = sorted(front)
+        seen = set(queue)
+        position = 0
+        while position < len(queue) and len(extended) < self.lookahead_size:
+            node = dag.nodes[queue[position]]
+            position += 1
+            for successor in sorted(node.successors):
+                if successor in seen or successor in executed:
+                    continue
+                seen.add(successor)
+                queue.append(successor)
+                successor_gate = dag.nodes[successor].gate
+                if successor_gate.is_two_qubit:
+                    extended.append(successor_gate)
+        return extended
+
+    def _candidate_swaps(self, front_gates, builder):
+        involved_physical = set()
+        for gate in front_gates:
+            for logical in gate.qubits:
+                involved_physical.add(builder.physical_of(logical))
+        candidates = set()
+        for physical in involved_physical:
+            for neighbor in builder.architecture.neighbors(physical):
+                candidates.add((min(physical, neighbor), max(physical, neighbor)))
+        return candidates
+
+    def _score_swap(self, swap, front_gates, extended, builder, distance, decay):
+        trial = dict(builder.mapping)
+        logical_a = builder.logical_at(swap[0])
+        logical_b = builder.logical_at(swap[1])
+        if logical_a is not None:
+            trial[logical_a] = swap[1]
+        if logical_b is not None:
+            trial[logical_b] = swap[0]
+        front_cost = sum(distance[trial[g.qubits[0]]][trial[g.qubits[1]]]
+                         for g in front_gates)
+        front_cost /= max(1, len(front_gates))
+        lookahead_cost = 0.0
+        if extended:
+            lookahead_cost = sum(distance[trial[g.qubits[0]]][trial[g.qubits[1]]]
+                                 for g in extended) / len(extended)
+        decay_penalty = max(decay[swap[0]], decay[swap[1]])
+        return decay_penalty * (front_cost + self.lookahead_weight * lookahead_cost)
+
+
+# --------------------------------------------------------------------------
+# Measurement harness.
+# --------------------------------------------------------------------------
+
+
+def best_of(repeats: int, function, *args):
+    """Wall-clock seconds for the fastest of ``repeats`` calls, plus the result."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = function(*args)
+        elapsed = time.perf_counter() - begin
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def op_stream(size: int, seed: int = 0) -> list[tuple[str, tuple[int, ...], tuple[str, ...]]]:
+    """A reproducible gate-application stream with ``size`` two-qubit gates."""
+    source = random_circuit(num_qubits=20, num_two_qubit_gates=size, seed=seed)
+    return list(source.iter_ops())
+
+
+def build_legacy(ops, num_qubits: int) -> LegacyCircuit:
+    circuit = LegacyCircuit(num_qubits)
+    for name, qubits, params in ops:
+        circuit.append(Gate(name, qubits, params))
+    return circuit
+
+
+def build_new(ops, num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits)
+    for name, qubits, params in ops:
+        circuit.append_op(name, qubits, params)
+    return circuit
+
+
+def bench_size(size: int, repeats: int, route: bool) -> dict:
+    ops = op_stream(size)
+    num_qubits = 20
+
+    legacy_build_s, legacy_circuit = best_of(repeats, build_legacy, ops, num_qubits)
+    new_build_s, new_circuit = best_of(repeats, build_new, ops, num_qubits)
+    assert len(legacy_circuit.gates) == len(new_circuit)
+
+    legacy_extract_s, legacy_seq = best_of(repeats,
+                                           legacy_circuit.interaction_sequence)
+    new_extract_s, new_seq = best_of(repeats, new_circuit.interaction_sequence)
+    assert legacy_seq == new_seq, "interaction extraction diverged"
+
+    legacy_dag_s, legacy_dag = best_of(repeats, LegacyDag, legacy_circuit)
+    new_dag_s, new_dag = best_of(repeats, CircuitDag, new_circuit)
+    assert len(legacy_dag.nodes) == len(new_dag)
+
+    record = {
+        "two_qubit_gates": size,
+        "build": {"legacy_s": legacy_build_s, "new_s": new_build_s,
+                  "speedup": legacy_build_s / max(new_build_s, 1e-12)},
+        "interaction_extraction": {
+            "legacy_s": legacy_extract_s, "new_s": new_extract_s,
+            "speedup": legacy_extract_s / max(new_extract_s, 1e-12)},
+        "dag": {"legacy_s": legacy_dag_s, "new_s": new_dag_s,
+                "speedup": legacy_dag_s / max(new_dag_s, 1e-12)},
+    }
+
+    if route:
+        architecture = grid_architecture(4, 5)
+        route_repeats = max(1, repeats - 1)
+        legacy_router = LegacySabre()
+        legacy_route_s, legacy_builder = best_of(
+            route_repeats, legacy_router.route, legacy_circuit, architecture)
+        new_router = SabreRouter(time_budget=600.0, verify=False)
+        new_route_s, new_result = best_of(route_repeats, new_router.route,
+                                          new_circuit, architecture)
+        # Same algorithm, same decisions: swap counts must agree exactly, and
+        # the new result must pass the independent verifier.
+        assert new_result.solved
+        verify_routing(new_circuit, new_result.routed_circuit,
+                       new_result.initial_mapping, architecture)
+        record["sabre_swaps_match"] = (legacy_builder.swap_count
+                                       == new_result.swap_count)
+        record["sabre"] = {"legacy_s": legacy_route_s, "new_s": new_route_s,
+                           "speedup": legacy_route_s / max(new_route_s, 1e-12),
+                           "swaps": new_result.swap_count,
+                           "legacy_swaps": legacy_builder.swap_count}
+    return record
+
+
+def run(smoke: bool, output: Path) -> int:
+    sizes = [100, 1000] if smoke else [100, 1000, 10000]
+    repeats = 3 if smoke else 5
+    records = [bench_size(size, repeats, route=size <= 1000) for size in sizes]
+
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    def gate(condition: bool, message: str, hard: bool) -> None:
+        if condition:
+            return
+        (failures if hard else warnings).append(message)
+
+    for record in records:
+        size = record["two_qubit_gates"]
+        if "sabre_swaps_match" in record:
+            gate(record["sabre_swaps_match"],
+                 f"{size}: SABRE swap counts diverged "
+                 f"(legacy {record['sabre']['legacy_swaps']} vs "
+                 f"new {record['sabre']['swaps']})", hard=True)
+        # Timing gates: hard in full mode, warnings in smoke (noisy runners).
+        at_1k = size == 1000
+        if at_1k:
+            gate(record["dag"]["speedup"] >= 3.0,
+                 f"{size}: DAG build speedup {record['dag']['speedup']:.2f}x < 3x",
+                 hard=not smoke)
+            gate(record["sabre"]["speedup"] >= 2.0,
+                 f"{size}: SABRE speedup {record['sabre']['speedup']:.2f}x < 2x",
+                 hard=not smoke)
+            gate(record["interaction_extraction"]["speedup"] >= 1.0,
+                 f"{size}: interaction extraction slower than legacy "
+                 f"({record['interaction_extraction']['speedup']:.2f}x)",
+                 hard=not smoke)
+
+    payload = {
+        "benchmark": "bench_circuit_ir",
+        "mode": "smoke" if smoke else "full",
+        "records": records,
+        "failures": failures,
+        "warnings": warnings,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"bench_circuit_ir ({payload['mode']})")
+    for record in records:
+        size = record["two_qubit_gates"]
+        line = (f"  {size:>6} 2q gates: "
+                f"build {record['build']['speedup']:.1f}x, "
+                f"extract {record['interaction_extraction']['speedup']:.1f}x, "
+                f"dag {record['dag']['speedup']:.1f}x")
+        if "sabre" in record:
+            line += f", sabre {record['sabre']['speedup']:.1f}x"
+        print(line)
+    for message in warnings:
+        print(f"  WARNING: {message}")
+    for message in failures:
+        print(f"  FAILURE: {message}")
+    print(f"  results -> {output}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: smaller sizes, timing gates warn only")
+    parser.add_argument("--output", type=Path,
+                        default=RESULTS_DIR / "bench_circuit_ir.json")
+    args = parser.parse_args(argv)
+    return run(args.smoke, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

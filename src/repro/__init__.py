@@ -97,7 +97,7 @@ from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
 from repro.server import RoutingClient, RoutingGateway
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "QuantumCircuit",

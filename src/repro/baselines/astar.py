@@ -14,6 +14,10 @@ one.  A node-expansion cap keeps worst cases bounded; when it trips, the
 router falls back to walking the most-distant gate's qubits together, which
 preserves correctness (the result is still verified) at the price of
 optimality for that layer.
+
+Layers come from :meth:`~repro.circuits.dag.CircuitDag.layer_indices` (node
+indices, no DagNode materialisation) and all distance lookups inside the
+search read the architecture's flat distance matrix.
 """
 
 from __future__ import annotations
@@ -46,46 +50,52 @@ class AStarLayerRouter(Router):
         mapping = greedy_interaction_mapping(circuit, architecture)
         builder = RoutedBuilder(circuit, architecture, mapping)
         dag = CircuitDag(circuit)
-        layers = dag.layers()
+        ir = circuit.ir
+        qa, qb, offset = ir.qa, ir.qb, ir.start
 
-        for layer in layers:
+        for layer in dag.layer_indices():
             self.check_deadline(deadline)
-            two_qubit_gates = [node.gate for node in layer if node.gate.is_two_qubit]
-            if two_qubit_gates:
-                swap_sequence = self._search_layer(two_qubit_gates, builder,
+            pairs = [(qa[offset + index], qb[offset + index])
+                     for index in layer if qb[offset + index] >= 0]
+            if pairs:
+                for logical_a, logical_b in pairs:
+                    builder.require_reachable(logical_a, logical_b)
+                swap_sequence = self._search_layer(pairs, builder,
                                                    architecture, deadline)
                 for edge in swap_sequence:
                     builder.emit_swap(*edge)
-            for node in layer:
-                builder.emit_gate(node.gate)
+            for index in layer:
+                builder.emit_index(ir, index)
         return builder.result(self.name, status=RoutingStatus.FEASIBLE)
 
     # ------------------------------------------------------------ A* search
 
-    def _search_layer(self, gates, builder: RoutedBuilder,
+    def _search_layer(self, pairs: list[tuple[int, int]], builder: RoutedBuilder,
                       architecture: Architecture, deadline: float
                       ) -> list[tuple[int, int]]:
-        """Minimal SWAP sequence making all ``gates`` executable at once."""
-        distance = architecture.distance_matrix()
-        logical_qubits = sorted({q for gate in gates for q in gate.qubits})
-        pairs = [tuple(gate.qubits) for gate in gates]
-
-        def placement_of(mapping: dict[int, int]) -> tuple[int, ...]:
-            return tuple(mapping[q] for q in logical_qubits)
+        """Minimal SWAP sequence making all ``pairs`` executable at once."""
+        distance = architecture.flat_distance_lookup()
+        num_physical = architecture.num_qubits
+        logical_qubits = sorted({q for pair in pairs for q in pair})
+        slot_of = {logical: slot for slot, logical in enumerate(logical_qubits)}
+        pair_slots = [(slot_of[first], slot_of[second]) for first, second in pairs]
 
         def heuristic(placement: tuple[int, ...]) -> int:
-            position = dict(zip(logical_qubits, placement))
             total = 0
-            for first, second in pairs:
-                total += max(0, distance[position[first]][position[second]] - 1)
-            return math.ceil(total / 2) if total else 0
+            for first, second in pair_slots:
+                gap = distance[placement[first] * num_physical + placement[second]] - 1
+                if gap > 0:
+                    total += gap
+            return (total + 1) // 2 if total else 0
 
         def is_goal(placement: tuple[int, ...]) -> bool:
-            position = dict(zip(logical_qubits, placement))
-            return all(architecture.are_adjacent(position[a], position[b])
-                       for a, b in pairs)
+            for first, second in pair_slots:
+                if distance[placement[first] * num_physical + placement[second]] != 1:
+                    return False
+            return True
 
-        start_placement = placement_of(builder.mapping)
+        phys_of = builder.phys_of
+        start_placement = tuple(phys_of[q] for q in logical_qubits)
         if is_goal(start_placement):
             return []
 
@@ -106,13 +116,12 @@ class AStarLayerRouter(Router):
                 continue
             expansions += 1
             if expansions > self.expansion_limit:
-                return self._greedy_fallback(gates, builder, architecture)
-            occupied = dict(zip(logical_qubits, placement))
-            relevant_physical = set(occupied.values())
+                return self._greedy_fallback(pairs, builder, architecture)
+            relevant_physical = set(placement)
             for edge in architecture.edges:
                 if edge[0] not in relevant_physical and edge[1] not in relevant_physical:
                     continue
-                new_placement = _apply_swap(placement, logical_qubits, occupied, edge)
+                new_placement = _apply_swap(placement, edge)
                 new_cost = cost + 1
                 if new_cost >= best_cost.get(new_placement, math.inf):
                     continue
@@ -120,15 +129,14 @@ class AStarLayerRouter(Router):
                 heapq.heappush(frontier, (new_cost + heuristic(new_placement),
                                           next(counter), new_cost, new_placement,
                                           path + [edge]))
-        return self._greedy_fallback(gates, builder, architecture)
+        return self._greedy_fallback(pairs, builder, architecture)
 
-    def _greedy_fallback(self, gates, builder: RoutedBuilder,
+    def _greedy_fallback(self, pairs: list[tuple[int, int]], builder: RoutedBuilder,
                          architecture: Architecture) -> list[tuple[int, int]]:
         """Walk each gate's qubits adjacent along shortest paths (non-optimal)."""
         position = dict(builder.mapping)
         swaps: list[tuple[int, int]] = []
-        for gate in gates:
-            first, second = gate.qubits
+        for first, second in pairs:
             while not architecture.are_adjacent(position[first], position[second]):
                 path = architecture.shortest_path(position[first], position[second])
                 edge = (path[0], path[1])
@@ -144,8 +152,8 @@ class AStarLayerRouter(Router):
         return swaps
 
 
-def _apply_swap(placement: tuple[int, ...], logical_qubits: list[int],
-                occupied: dict[int, int], edge: tuple[int, int]) -> tuple[int, ...]:
+def _apply_swap(placement: tuple[int, ...], edge: tuple[int, int]) -> tuple[int, ...]:
     """Placement after swapping the physical qubits of ``edge``."""
-    translation = {edge[0]: edge[1], edge[1]: edge[0]}
-    return tuple(translation.get(occupied[q], occupied[q]) for q in logical_qubits)
+    first, second = edge
+    return tuple(second if p == first else first if p == second else p
+                 for p in placement)

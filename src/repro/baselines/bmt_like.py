@@ -46,16 +46,28 @@ class BmtLikeRouter(Router):
         mappings = self._place_regions(circuit, regions, architecture, deadline)
 
         builder = RoutedBuilder(circuit, architecture, mappings[0])
+        ir = circuit.ir
         for region_index, (start, end) in enumerate(regions):
             self.check_deadline(deadline)
             if region_index > 0:
                 self._transition(builder, architecture,
                                  mappings[region_index - 1], mappings[region_index])
-            for gate in circuit.gates[start:end]:
-                builder.emit_gate(gate)
+            for index in range(start, end):
+                builder.emit_op(*ir.gate(index))
         return builder.result(self.name)
 
     # ----------------------------------------------------------- region split
+
+    def _two_qubit_items(self, circuit: QuantumCircuit) -> list[tuple[int, int, int]]:
+        """``(gate index, low qubit, high qubit)`` per two-qubit gate, in order."""
+        ir = circuit.ir
+        qa, qb, offset = ir.qa, ir.qb, ir.start
+        items = []
+        for index in ir.two_qubit_indices():
+            a = qa[offset + index]
+            b = qb[offset + index]
+            items.append((index, a, b) if a < b else (index, b, a))
+        return items
 
     def _split_into_regions(self, circuit: QuantumCircuit, architecture: Architecture,
                             deadline: float) -> list[tuple[int, int]]:
@@ -63,11 +75,9 @@ class BmtLikeRouter(Router):
         regions: list[tuple[int, int]] = []
         start = 0
         current_pairs: set[tuple[int, int]] = set()
-        for index, gate in enumerate(circuit.gates):
-            if not gate.is_two_qubit:
-                continue
+        for index, low, high in self._two_qubit_items(circuit):
             self.check_deadline(deadline)
-            pair = (min(gate.qubits), max(gate.qubits))
+            pair = (low, high)
             candidate = current_pairs | {pair}
             if (pair not in current_pairs
                     and self._find_embedding(candidate, circuit.num_qubits,
@@ -77,16 +87,13 @@ class BmtLikeRouter(Router):
                 current_pairs = {pair}
             else:
                 current_pairs = candidate
-        regions.append((start, len(circuit.gates)))
-        return [region for region in regions if region[0] < region[1]] or [(0, len(circuit.gates))]
+        regions.append((start, len(circuit)))
+        return [region for region in regions if region[0] < region[1]] or [(0, len(circuit))]
 
     def _region_pairs(self, circuit: QuantumCircuit,
                       region: tuple[int, int]) -> set[tuple[int, int]]:
-        pairs = set()
-        for gate in circuit.gates[region[0]:region[1]]:
-            if gate.is_two_qubit:
-                pairs.add((min(gate.qubits), max(gate.qubits)))
-        return pairs
+        return {(low, high) for index, low, high in self._two_qubit_items(circuit)
+                if region[0] <= index < region[1]}
 
     # ------------------------------------------------------------- placement
 
@@ -198,8 +205,8 @@ class BmtLikeRouter(Router):
 
 def interaction_pairs(circuit: QuantumCircuit) -> set[tuple[int, int]]:
     """All distinct (unordered) logical pairs touched by two-qubit gates."""
-    return {(min(gate.qubits), max(gate.qubits))
-            for gate in circuit.gates if gate.is_two_qubit}
+    return {(first, second) if first < second else (second, first)
+            for first, second in circuit.interaction_sequence()}
 
 
 def embeds_without_swaps(circuit: QuantumCircuit, architecture: Architecture,

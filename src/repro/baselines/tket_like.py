@@ -8,6 +8,11 @@ module reimplements that strategy at the level of detail the paper's
 comparison needs: the scoring window, the greedy argmin choice, and the
 absence of SABRE's decay/bidirectional machinery are what differentiate its
 behaviour (and its failure mode on highly-connected graphs, Q4).
+
+Like SABRE, the routing loop runs on the flat structures: CSR successor
+arrays with remaining-predecessor counters for the front layer, the flat
+distance matrix for scoring, and two-entry special-casing instead of a
+mapping copy per candidate swap.
 """
 
 from __future__ import annotations
@@ -37,45 +42,96 @@ class TketLikeRouter(Router):
         mapping = greedy_interaction_mapping(circuit, architecture)
         dag = CircuitDag(circuit)
         builder = RoutedBuilder(circuit, architecture, mapping)
-        distance = architecture.distance_matrix()
-        executed: set[int] = set()
-        front = {node.index for node in dag.front_layer(executed)}
+        ir = circuit.ir
+        qa, qb, offset = ir.qa, ir.qb, ir.start
+        distance = architecture.flat_distance_lookup()
+        num_physical = architecture.num_qubits
+        succ0, succ1 = dag.succ0, dag.succ1
+        remaining = dag.indegrees()
+        done = bytearray(len(dag))
+        phys_of, log_at = builder.phys_of, builder.log_at
+        front: set[int] = set(dag.initial_front())
         stuck_rounds = 0
 
         while front:
             self.check_deadline(deadline)
             progressed = False
             for index in sorted(front):
-                node = dag.nodes[index]
-                if builder.can_execute(node.gate):
-                    builder.emit_gate(node.gate)
-                    executed.add(index)
+                a = qa[offset + index]
+                b = qb[offset + index]
+                if b < 0 or distance[phys_of[a] * num_physical + phys_of[b]] == 1:
+                    builder.emit_index(ir, index)
+                    done[index] = 1
                     front.discard(index)
-                    for successor in node.successors:
-                        if dag.nodes[successor].predecessors.issubset(executed):
+                    successor = succ0[index]
+                    if successor >= 0:
+                        remaining[successor] -= 1
+                        if remaining[successor] == 0:
                             front.add(successor)
+                        successor = succ1[index]
+                        if successor >= 0:
+                            remaining[successor] -= 1
+                            if remaining[successor] == 0:
+                                front.add(successor)
                     progressed = True
             if progressed:
                 stuck_rounds = 0
                 continue
 
-            blocked = [dag.nodes[index].gate for index in sorted(front)
-                       if dag.nodes[index].gate.is_two_qubit]
-            window = self._window(dag, front, executed)
+            blocked = [(qa[offset + index], qb[offset + index])
+                       for index in sorted(front) if qb[offset + index] >= 0]
+            for logical_a, logical_b in blocked:
+                builder.require_reachable(logical_a, logical_b)
+            window = self._window(dag, front, done, qa, qb, offset)
 
             stuck_rounds += 1
-            if stuck_rounds > 4 * architecture.num_qubits:
-                gate = blocked[0]
-                path = architecture.shortest_path(builder.physical_of(gate.qubits[0]),
-                                                  builder.physical_of(gate.qubits[1]))
+            if stuck_rounds > 4 * num_physical:
+                logical_a, logical_b = blocked[0]
+                path = architecture.shortest_path(phys_of[logical_a],
+                                                  phys_of[logical_b])
                 builder.emit_swap(path[0], path[1])
                 stuck_rounds = 0
                 continue
 
             best_swap = None
             best_score = None
+            window_discount = self.window_discount
             for edge in self._candidate_edges(blocked, builder):
-                score = self._score(edge, blocked, window, builder, distance)
+                swap_a, swap_b = edge
+                logical_a = log_at[swap_a]
+                logical_b = log_at[swap_b]
+                score = 0
+                for first, second in blocked:
+                    if first == logical_a:
+                        pa = swap_b
+                    elif first == logical_b:
+                        pa = swap_a
+                    else:
+                        pa = phys_of[first]
+                    if second == logical_a:
+                        pb = swap_b
+                    elif second == logical_b:
+                        pb = swap_a
+                    else:
+                        pb = phys_of[second]
+                    score += distance[pa * num_physical + pb]
+                score = float(score)
+                discount = window_discount
+                for first, second in window:
+                    if first == logical_a:
+                        pa = swap_b
+                    elif first == logical_b:
+                        pa = swap_a
+                    else:
+                        pa = phys_of[first]
+                    if second == logical_a:
+                        pb = swap_b
+                    elif second == logical_b:
+                        pb = swap_a
+                    else:
+                        pb = phys_of[second]
+                    score += discount * distance[pa * num_physical + pb]
+                    discount *= window_discount
                 if best_score is None or score < best_score:
                     best_score = score
                     best_swap = edge
@@ -84,46 +140,38 @@ class TketLikeRouter(Router):
 
         return builder.result(self.name, status=RoutingStatus.FEASIBLE)
 
-    def _window(self, dag: CircuitDag, front: set[int], executed: set[int]) -> list:
+    def _window(self, dag: CircuitDag, front: set[int], done: bytearray,
+                qa, qb, offset: int) -> list[tuple[int, int]]:
         """The next ``window_size`` two-qubit gates in topological order."""
-        window = []
+        window: list[tuple[int, int]] = []
         queue = sorted(front)
         seen = set(queue)
+        succ0, succ1 = dag.succ0, dag.succ1
         position = 0
-        while position < len(queue) and len(window) < self.window_size:
-            node = dag.nodes[queue[position]]
+        window_size = self.window_size
+        while position < len(queue) and len(window) < window_size:
+            node = queue[position]
             position += 1
-            for successor in sorted(node.successors):
-                if successor in seen or successor in executed:
+            for successor in (succ0[node], succ1[node]):
+                if successor < 0 or successor in seen or done[successor]:
                     continue
                 seen.add(successor)
                 queue.append(successor)
-                gate = dag.nodes[successor].gate
-                if gate.is_two_qubit:
-                    window.append(gate)
+                b = qb[offset + successor]
+                if b >= 0:
+                    window.append((qa[offset + successor], b))
         return window
 
     def _candidate_edges(self, blocked, builder: RoutedBuilder) -> list[tuple[int, int]]:
-        involved = {builder.physical_of(q) for gate in blocked for q in gate.qubits}
+        phys_of = builder.phys_of
+        involved = set()
+        for logical_a, logical_b in blocked:
+            involved.add(phys_of[logical_a])
+            involved.add(phys_of[logical_b])
         candidates = set()
+        architecture = builder.architecture
         for physical in involved:
-            for neighbor in builder.architecture.neighbors(physical):
-                candidates.add((min(physical, neighbor), max(physical, neighbor)))
+            for neighbor in architecture.neighbors_sorted(physical):
+                candidates.add((physical, neighbor) if physical < neighbor
+                               else (neighbor, physical))
         return sorted(candidates)
-
-    def _score(self, edge: tuple[int, int], blocked, window,
-               builder: RoutedBuilder, distance) -> float:
-        trial = dict(builder.mapping)
-        logical_a = builder.logical_at(edge[0])
-        logical_b = builder.logical_at(edge[1])
-        if logical_a is not None:
-            trial[logical_a] = edge[1]
-        if logical_b is not None:
-            trial[logical_b] = edge[0]
-        score = float(sum(distance[trial[g.qubits[0]]][trial[g.qubits[1]]]
-                          for g in blocked))
-        discount = self.window_discount
-        for gate in window:
-            score += discount * distance[trial[gate.qubits[0]]][trial[gate.qubits[1]]]
-            discount *= self.window_discount
-        return score

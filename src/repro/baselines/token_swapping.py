@@ -41,14 +41,15 @@ def approximate_token_swapping(architecture: Architecture,
     _check_injective(current, architecture)
     _check_injective(target, architecture)
 
-    distance = architecture.distance_matrix()
+    distance = architecture.flat_distance_matrix()
+    num_physical = architecture.num_qubits
     position = dict(current)                      # logical -> physical
     occupant = {p: q for q, p in position.items()}  # physical -> logical
     destination = dict(target)
     swaps: list[tuple[int, int]] = []
 
     def token_distance(logical: int) -> int:
-        return distance[position[logical]][destination[logical]]
+        return distance[position[logical] * num_physical + destination[logical]]
 
     def total_distance() -> int:
         return sum(token_distance(logical) for logical in position)
@@ -74,7 +75,8 @@ def approximate_token_swapping(architecture: Architecture,
         best_swap = None
         best_gain = 0
         for first, second in architecture.edges:
-            gain = _swap_gain(first, second, occupant, destination, distance)
+            gain = _swap_gain(first, second, occupant, destination, distance,
+                              num_physical)
             if gain > best_gain:
                 best_gain = gain
                 best_swap = (first, second)
@@ -104,7 +106,8 @@ def _complete_on_spanning_tree(architecture: Architecture,
     permanent progress and the procedure terminates.
     """
     tree = _bfs_spanning_tree(architecture)
-    distance = architecture.distance_matrix()
+    distance = architecture.flat_distance_matrix()
+    num_physical = architecture.num_qubits
     remaining: set[int] = set(range(architecture.num_qubits))
 
     # Extend to a full permutation with dummy tokens (negative ids).  The
@@ -122,7 +125,7 @@ def _complete_on_spanning_tree(architecture: Architecture,
             next_dummy -= 1
     for dummy in sorted((token for token in position if token < 0), reverse=True):
         home = position[dummy]
-        free_destinations.sort(key=lambda vertex: distance[home][vertex])
+        free_destinations.sort(key=lambda vertex: distance[home * num_physical + vertex])
         destination[dummy] = free_destinations.pop(0)
     wants = {physical: logical for logical, physical in destination.items()}
 
@@ -167,7 +170,7 @@ def _bfs_spanning_tree(architecture: Architecture) -> dict[int, set[int]]:
     queue = deque([0])
     while queue:
         vertex = queue.popleft()
-        for neighbor in sorted(architecture.neighbors(vertex)):
+        for neighbor in architecture.neighbors_sorted(vertex):
             if neighbor not in visited:
                 visited.add(neighbor)
                 tree[vertex].add(neighbor)
@@ -179,7 +182,8 @@ def _bfs_spanning_tree(architecture: Architecture) -> dict[int, set[int]]:
 
 
 def _swap_gain(first: int, second: int, occupant: dict[int, int],
-               destination: dict[int, int], distance: list[list[int]]) -> int:
+               destination: dict[int, int], distance,
+               num_physical: int) -> int:
     """Total decrease in token-to-destination distance if (first, second) swap."""
     gain = 0
     logical_first = occupant.get(first)
@@ -187,11 +191,13 @@ def _swap_gain(first: int, second: int, occupant: dict[int, int],
     if logical_first is None and logical_second is None:
         return 0
     if logical_first is not None:
-        gain += (distance[first][destination[logical_first]]
-                 - distance[second][destination[logical_first]])
+        home = destination[logical_first]
+        gain += (distance[first * num_physical + home]
+                 - distance[second * num_physical + home])
     if logical_second is not None:
-        gain += (distance[second][destination[logical_second]]
-                 - distance[first][destination[logical_second]])
+        home = destination[logical_second]
+        gain += (distance[second * num_physical + home]
+                 - distance[first * num_physical + home])
     return gain
 
 
@@ -206,8 +212,10 @@ def swap_distance_lower_bound(architecture: Architecture,
     """
     if set(current) != set(target):
         raise ValueError("current and target mappings must place the same logical qubits")
-    distance = architecture.distance_matrix()
-    total = sum(distance[current[logical]][target[logical]] for logical in current)
+    distance = architecture.flat_distance_matrix()
+    num_physical = architecture.num_qubits
+    total = sum(distance[current[logical] * num_physical + target[logical]]
+                for logical in current)
     return (total + 1) // 2
 
 

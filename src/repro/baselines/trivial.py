@@ -49,6 +49,7 @@ class NaiveShortestPathRouter(Router):
             if not gate.is_two_qubit:
                 builder.emit_gate(gate)
                 continue
+            builder.require_reachable(*gate.qubits)
             first, second = (builder.physical_of(q) for q in gate.qubits)
             if not architecture.are_adjacent(first, second):
                 path = architecture.shortest_path(first, second)

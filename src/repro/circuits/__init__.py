@@ -3,8 +3,9 @@
 The paper evaluates QMR on circuits drawn from the RevLib / Quipper /
 ScaffoldCC benchmark collection, QAOA circuits, and circuits expressed in
 OpenQASM 2.0.  This package provides everything QMR needs to know about a
-circuit: a gate-level IR, a dependency DAG with topological layers, an
-OpenQASM 2.0 reader/writer, generators for random and QAOA circuits, and a
+circuit: a flat structure-of-arrays IR (:mod:`repro.circuits.ir`) behind the
+:class:`QuantumCircuit` facade, a CSR dependency DAG with topological layers,
+an OpenQASM 2.0 reader/writer, generators for random and QAOA circuits, and a
 named benchmark suite that stands in for the paper's 160-circuit collection.
 Post-routing tooling lives here too: transformation passes (SWAP
 decomposition, inverse cancellation, rotation merging), ASAP/ALAP scheduling,
@@ -13,6 +14,7 @@ structured kernel generators (QFT, GHZ, adders), and a text-mode drawer.
 
 from repro.circuits.gates import Gate, GateKind
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.ir import CircuitIR
 from repro.circuits.passes import (
     PassManager,
     cancel_adjacent_inverses,
@@ -47,6 +49,7 @@ __all__ = [
     "Gate",
     "GateKind",
     "QuantumCircuit",
+    "CircuitIR",
     "CircuitDag",
     "topological_layers",
     "parse_qasm",

@@ -4,10 +4,22 @@ The heuristic baselines (SABRE, the TKET-style router, and the MQT-style A*
 router) all operate on the circuit's dependency structure rather than on its
 flat gate list: a gate becomes executable once every earlier gate sharing a
 qubit with it has been executed.  This module provides that structure.
+
+Since the flat-IR refactor the DAG is stored in CSR (compressed sparse row)
+form, specialised to this graph's fixed arity: every gate touches at most
+two qubits, so every node has at most two predecessors and two successors
+and the row pointers are implicit.  Four flat ``array('i')`` columns --
+``pred0``/``pred1`` and ``succ0``/``succ1``, ``-1`` marking an absent edge
+-- are filled in a single iterative pass over the circuit's qubit columns;
+no per-gate node object or Python set is allocated.  The routers consume
+the columns directly (see :meth:`CircuitDag.indegrees`); generic CSR
+``ptr``/``idx`` buffers and the legacy :attr:`CircuitDag.nodes` view are
+derived lazily for consumers that want them.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.circuits.circuit import QuantumCircuit
@@ -16,7 +28,7 @@ from repro.circuits.gates import Gate
 
 @dataclass
 class DagNode:
-    """A gate together with its dependency links."""
+    """A gate together with its dependency links (compatibility view)."""
 
     index: int
     gate: Gate
@@ -31,47 +43,182 @@ class CircuitDag:
     acting on one of ``i``'s qubits.
     """
 
+    __slots__ = ("circuit", "pred0", "pred1", "succ0", "succ1", "_num_gates",
+                 "_csr", "_nodes")
+
     def __init__(self, circuit: QuantumCircuit) -> None:
         self.circuit = circuit
-        self.nodes: list[DagNode] = []
-        last_on_qubit: dict[int, int] = {}
-        for index, gate in enumerate(circuit.gates):
-            node = DagNode(index, gate)
-            for qubit in gate.qubits:
-                if qubit in last_on_qubit:
-                    predecessor = last_on_qubit[qubit]
-                    node.predecessors.add(predecessor)
-                    self.nodes[predecessor].successors.add(index)
-                last_on_qubit[qubit] = index
-            self.nodes.append(node)
+        ir = circuit.ir
+        num_gates = len(ir)
+        qa, qb = ir.qa, ir.qb
+        start = ir.start
+
+        # Scratch as plain lists (fastest int storage inside the loop); the
+        # persistent columns are converted to arrays once at the end.
+        minus_ones = [-1] * num_gates
+        pred0 = minus_ones[:]
+        pred1 = minus_ones[:]
+        succ0 = minus_ones[:]
+        succ1 = minus_ones[:]
+        last_on_qubit = [-1] * circuit.num_qubits
+        for index in range(num_gates):
+            absolute = start + index
+            a = qa[absolute]
+            b = qb[absolute]
+            pa = last_on_qubit[a]
+            last_on_qubit[a] = index
+            if b >= 0:
+                pb = last_on_qubit[b]
+                last_on_qubit[b] = index
+                if pb == pa:
+                    pb = -1
+            else:
+                pb = -1
+            if pa >= 0:
+                pred0[index] = pa
+                # Successor slots fill in node order, so each pair comes out
+                # ascending without a sort.
+                if succ0[pa] < 0:
+                    succ0[pa] = index
+                else:
+                    succ1[pa] = index
+            if pb >= 0:
+                # Keep the invariant "pred1 set only if pred0 set" so a node
+                # with no predecessors is recognisable from pred0 alone.
+                if pa >= 0:
+                    pred1[index] = pb
+                else:
+                    pred0[index] = pb
+                if succ0[pb] < 0:
+                    succ0[pb] = index
+                else:
+                    succ1[pb] = index
+
+        self._num_gates = num_gates
+        self.pred0 = array("i", pred0)
+        self.pred1 = array("i", pred1)
+        self.succ0 = array("i", succ0)
+        self.succ1 = array("i", succ1)
+        self._csr: tuple[array, array, array, array] | None = None
+        self._nodes: list[DagNode] | None = None
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return self._num_gates
+
+    # ----------------------------------------------------------- array access
+
+    def indegrees(self) -> list[int]:
+        """A fresh per-node predecessor count (the routers' work array)."""
+        pred0, pred1 = self.pred0, self.pred1
+        return [(pred0[i] >= 0) + (pred1[i] >= 0)
+                for i in range(self._num_gates)]
+
+    def initial_front(self) -> list[int]:
+        """Indices of the nodes with no predecessors, ascending."""
+        pred0 = self.pred0
+        return [i for i in range(self._num_gates) if pred0[i] < 0]
+
+    def successor_range(self, index: int) -> list[int]:
+        """The successor indices of ``index`` (ascending, at most two)."""
+        first = self.succ0[index]
+        if first < 0:
+            return []
+        second = self.succ1[index]
+        return [first] if second < 0 else [first, second]
+
+    def predecessor_range(self, index: int) -> list[int]:
+        """The predecessor indices of ``index`` (at most two)."""
+        first = self.pred0[index]
+        if first < 0:
+            return []
+        second = self.pred1[index]
+        return [first] if second < 0 else [first, second]
+
+    def csr(self) -> tuple[array, array, array, array]:
+        """Generic ``(pred_ptr, pred_idx, succ_ptr, succ_idx)`` CSR buffers.
+
+        Derived lazily from the fixed-arity columns for consumers that want
+        classic row-pointer iteration.
+        """
+        if self._csr is None:
+            num_gates = self._num_gates
+            pred_ptr = array("i", bytes(4 * (num_gates + 1)))
+            succ_ptr = array("i", bytes(4 * (num_gates + 1)))
+            pred_idx = array("i")
+            succ_idx = array("i")
+            for index in range(num_gates):
+                pred_ptr[index] = len(pred_idx)
+                pred_idx.extend(self.predecessor_range(index))
+                succ_ptr[index] = len(succ_idx)
+                succ_idx.extend(self.successor_range(index))
+            pred_ptr[num_gates] = len(pred_idx)
+            succ_ptr[num_gates] = len(succ_idx)
+            self._csr = (pred_ptr, pred_idx, succ_ptr, succ_idx)
+        return self._csr
+
+    def layer_indices(self) -> list[list[int]]:
+        """Topological (ASAP) layers as node-index lists, iteratively."""
+        num_gates = self._num_gates
+        level = [0] * num_gates
+        layers: list[list[int]] = []
+        pred0, pred1 = self.pred0, self.pred1
+        for index in range(num_gates):  # nodes are already topologically sorted
+            depth = 0
+            first = pred0[index]
+            if first >= 0:
+                depth = level[first] + 1
+            second = pred1[index]
+            if second >= 0:
+                candidate = level[second] + 1
+                if candidate > depth:
+                    depth = candidate
+            level[index] = depth
+            if depth == len(layers):
+                layers.append([])
+            layers[depth].append(index)
+        return layers
+
+    # ------------------------------------------------------ compatibility API
+
+    @property
+    def nodes(self) -> list[DagNode]:
+        """Per-gate :class:`DagNode` objects (materialised lazily)."""
+        if self._nodes is None:
+            gates = self.circuit.gates
+            self._nodes = [
+                DagNode(index, gates[index],
+                        set(self.predecessor_range(index)),
+                        set(self.successor_range(index)))
+                for index in range(self._num_gates)
+            ]
+        return self._nodes
 
     def front_layer(self, executed: set[int]) -> list[DagNode]:
         """Nodes whose predecessors have all been executed and which are not yet executed."""
-        return [
-            node for node in self.nodes
-            if node.index not in executed
-            and node.predecessors.issubset(executed)
-        ]
+        nodes = self.nodes
+        pred0, pred1 = self.pred0, self.pred1
+        result = []
+        for index in range(self._num_gates):
+            if index in executed:
+                continue
+            first = pred0[index]
+            if first >= 0 and first not in executed:
+                continue
+            second = pred1[index]
+            if second >= 0 and second not in executed:
+                continue
+            result.append(nodes[index])
+        return result
 
     def successors_of(self, index: int) -> list[DagNode]:
-        return [self.nodes[successor] for successor in sorted(self.nodes[index].successors)]
+        nodes = self.nodes
+        return [nodes[successor] for successor in self.successor_range(index)]
 
     def layers(self) -> list[list[DagNode]]:
         """Partition the nodes into topological layers (ASAP schedule)."""
-        level_of: dict[int, int] = {}
-        layers: list[list[DagNode]] = []
-        for node in self.nodes:  # nodes are already in topological order
-            level = 0
-            for predecessor in node.predecessors:
-                level = max(level, level_of[predecessor] + 1)
-            level_of[node.index] = level
-            while len(layers) <= level:
-                layers.append([])
-            layers[level].append(node)
-        return layers
+        nodes = self.nodes
+        return [[nodes[index] for index in layer]
+                for layer in self.layer_indices()]
 
     def two_qubit_layers(self) -> list[list[DagNode]]:
         """Topological layers restricted to two-qubit gates.
@@ -85,4 +232,6 @@ class CircuitDag:
 
 def topological_layers(circuit: QuantumCircuit) -> list[list[Gate]]:
     """Return the ASAP topological layers of ``circuit`` as lists of gates."""
-    return [[node.gate for node in layer] for layer in CircuitDag(circuit).layers()]
+    dag = CircuitDag(circuit)
+    gates = circuit.gates
+    return [[gates[index] for index in layer] for layer in dag.layer_indices()]

@@ -14,6 +14,11 @@ steps immediately around it that the paper's cost accounting depends on:
 * :func:`mirror_cnots_for_directed_coupling` -- orient CNOTs along a directed
   coupling map by conjugating with Hadamards when needed.
 
+All passes iterate the circuit's flat IR as ``(name, qubits, params)``
+tuples and stream their output through
+:meth:`~repro.circuits.circuit.QuantumCircuit.append_op`; no ``Gate`` object
+is boxed on either side.
+
 :class:`PassManager` chains passes and records per-pass statistics, mirroring
 how production compilers report what each stage removed or added.
 """
@@ -24,13 +29,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
 
 #: Gates that are their own inverse (on the same qubit tuple).
 SELF_INVERSE_GATES = {"x", "y", "z", "h", "cx", "cz", "swap", "id"}
 
 #: Rotation gates whose adjacent applications on one qubit can be merged.
 MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "u1"}
+
+_NO_PARAMS: tuple[str, ...] = ()
+
+#: An IR operation as plain data.
+_Op = tuple[str, tuple[int, ...], tuple[str, ...]]
 
 
 def decompose_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -40,26 +49,26 @@ def decompose_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
     SWAP contributes three CNOTs to the added-gate count.
     """
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    for gate in circuit:
-        if gate.name == "swap":
-            first, second = gate.qubits
-            result.append(Gate("cx", (first, second)))
-            result.append(Gate("cx", (second, first)))
-            result.append(Gate("cx", (first, second)))
+    for name, qubits, params in circuit.iter_ops():
+        if name == "swap":
+            first, second = qubits
+            result.append_op("cx", (first, second))
+            result.append_op("cx", (second, first))
+            result.append_op("cx", (first, second))
         else:
-            result.append(gate)
+            result.append_op(name, qubits, params)
     return result
 
 
 def remove_trivial_gates(circuit: QuantumCircuit) -> QuantumCircuit:
     """Drop identity gates, barriers, and zero-angle rotations."""
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    for gate in circuit:
-        if gate.name in ("id", "barrier"):
+    for name, qubits, params in circuit.iter_ops():
+        if name in ("id", "barrier"):
             continue
-        if gate.name in MERGEABLE_ROTATIONS and _is_zero_angle(gate):
+        if name in MERGEABLE_ROTATIONS and _is_zero_angle(params):
             continue
-        result.append(gate)
+        result.append_op(name, qubits, params)
     return result
 
 
@@ -71,45 +80,41 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
     The pass repeats until no further cancellation applies, so chains like
     ``H H H H`` collapse completely.
     """
-    gates = list(circuit.gates)
+    ops = list(circuit.iter_ops())
     changed = True
     while changed:
-        gates, changed = _cancel_one_round(gates)
+        ops, changed = _cancel_one_round(ops)
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    result.extend(gates)
+    for name, qubits, params in ops:
+        result.append_op(name, qubits, params)
     return result
 
 
-def _cancel_one_round(gates: list[Gate]) -> tuple[list[Gate], bool]:
-    kept: list[Gate] = []
+def _cancel_one_round(ops: list[_Op]) -> tuple[list[_Op], bool]:
     cancelled_indices: set[int] = set()
     last_on_qubit: dict[int, int] = {}
-    gate_at: dict[int, Gate] = {}
-    for index, gate in enumerate(gates):
-        gate_at[index] = gate
+    for index, (name, qubits, params) in enumerate(ops):
         partner = None
-        if gate.name in SELF_INVERSE_GATES:
-            candidates = [last_on_qubit.get(q) for q in gate.qubits]
+        if name in SELF_INVERSE_GATES:
+            candidates = [last_on_qubit.get(q) for q in qubits]
             if (candidates and candidates[0] is not None
                     and all(c == candidates[0] for c in candidates)):
                 previous_index = candidates[0]
-                previous = gate_at[previous_index]
+                previous = ops[previous_index]
                 if (previous_index not in cancelled_indices
-                        and previous.name == gate.name
-                        and previous.qubits == gate.qubits
-                        and previous.params == gate.params):
+                        and previous == (name, qubits, params)):
                     partner = previous_index
         if partner is not None:
             cancelled_indices.add(partner)
             cancelled_indices.add(index)
-            for qubit in gate.qubits:
+            for qubit in qubits:
                 last_on_qubit.pop(qubit, None)
         else:
-            for qubit in gate.qubits:
+            for qubit in qubits:
                 last_on_qubit[qubit] = index
     if not cancelled_indices:
-        return gates, False
-    kept = [gate for index, gate in enumerate(gates) if index not in cancelled_indices]
+        return ops, False
+    kept = [op for index, op in enumerate(ops) if index not in cancelled_indices]
     return kept, True
 
 
@@ -121,27 +126,27 @@ def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
     angle sums to zero are dropped.
     """
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    pending: dict[int, Gate] = {}
+    pending: dict[int, _Op] = {}
 
     def flush(qubit: int) -> None:
-        gate = pending.pop(qubit, None)
-        if gate is not None and not _is_zero_angle(gate):
-            result.append(gate)
+        op = pending.pop(qubit, None)
+        if op is not None and not _is_zero_angle(op[2]):
+            result.append_op(*op)
 
-    for gate in circuit:
-        if gate.name in MERGEABLE_ROTATIONS and gate.is_single_qubit:
-            qubit = gate.qubits[0]
+    for name, qubits, params in circuit.iter_ops():
+        if name in MERGEABLE_ROTATIONS and len(qubits) == 1:
+            qubit = qubits[0]
             waiting = pending.get(qubit)
-            if waiting is not None and waiting.name == gate.name:
-                pending[qubit] = Gate(gate.name, gate.qubits,
-                                      (_add_angles(waiting.params[0], gate.params[0]),))
+            if waiting is not None and waiting[0] == name:
+                pending[qubit] = (name, qubits,
+                                  (_add_angles(waiting[2][0], params[0]),))
             else:
                 flush(qubit)
-                pending[qubit] = gate
+                pending[qubit] = (name, qubits, params)
         else:
-            for qubit in gate.qubits:
+            for qubit in qubits:
                 flush(qubit)
-            result.append(gate)
+            result.append_op(name, qubits, params)
     for qubit in sorted(pending):
         flush(qubit)
     return result
@@ -161,30 +166,30 @@ def mirror_cnots_for_directed_coupling(
     """
     allowed = set(allowed_directions)
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    for gate in circuit:
-        if gate.name != "cx":
-            result.append(gate)
+    for name, qubits, params in circuit.iter_ops():
+        if name != "cx":
+            result.append_op(name, qubits, params)
             continue
-        control, target = gate.qubits
+        control, target = qubits
         if (control, target) in allowed:
-            result.append(gate)
+            result.append_op(name, qubits, params)
         elif (target, control) in allowed:
-            result.append(Gate("h", (control,)))
-            result.append(Gate("h", (target,)))
-            result.append(Gate("cx", (target, control)))
-            result.append(Gate("h", (control,)))
-            result.append(Gate("h", (target,)))
+            result.append_op("h", (control,))
+            result.append_op("h", (target,))
+            result.append_op("cx", (target, control))
+            result.append_op("h", (control,))
+            result.append_op("h", (target,))
         else:
             raise ValueError(
                 f"cx on ({control}, {target}) is not available in either direction")
     return result
 
 
-def _is_zero_angle(gate: Gate) -> bool:
-    if not gate.params:
+def _is_zero_angle(params: tuple[str, ...]) -> bool:
+    if not params:
         return False
     try:
-        return abs(float(gate.params[0])) < 1e-12
+        return abs(float(params[0])) < 1e-12
     except ValueError:
         return False
 

@@ -78,7 +78,7 @@ def maxcut_qaoa_circuit(
     for cycle_index in range(num_cycles):
         cycle = qaoa_cycle(edges, num_qubits,
                            gamma=f"gamma{cycle_index}", beta=f"beta{cycle_index}")
-        circuit.extend(cycle.gates)
+        circuit.extend(cycle)
     return circuit
 
 

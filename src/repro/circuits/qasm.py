@@ -15,11 +15,16 @@ import re
 from pathlib import Path
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import KNOWN_GATES, Gate
+from repro.circuits.gates import KNOWN_GATES
+from repro.circuits.ir import CircuitIR
 
 
 class QasmError(ValueError):
     """Raised when a QASM file cannot be parsed."""
+
+
+#: An expanded statement: ``(name, qubits, params)`` -- plain data, no boxing.
+_Op = tuple[str, tuple[int, ...], tuple[str, ...]]
 
 
 _STATEMENT_RE = re.compile(r"[^;]+;")
@@ -35,12 +40,16 @@ def parse_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
     Multi-register programs are flattened into a single contiguous qubit index
     space in declaration order.  Measurements and barriers are dropped (they
     are irrelevant to mapping and routing).
+
+    Statements stream straight into a flat :class:`CircuitIR` as they are
+    expanded -- no per-gate object is allocated while reading -- and the
+    circuit facade is wrapped around the finished columns at the end.
     """
     text = _strip_comments(text)
     register_offsets: dict[str, int] = {}
     register_sizes: dict[str, int] = {}
     total_qubits = 0
-    gates: list[Gate] = []
+    ir = CircuitIR()
     custom_gates: dict[str, tuple[list[str], list[str], list[str]]] = {}
 
     body = _extract_gate_definitions(text, custom_gates)
@@ -67,13 +76,15 @@ def parse_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
         if parsed is None:
             continue
         gate_name, params, qubits = parsed
-        gates.extend(_expand(gate_name, params, qubits, custom_gates))
+        for op_name, op_qubits, op_params in _expand(gate_name, params, qubits,
+                                                     custom_gates):
+            ir.append(op_name, op_qubits, op_params)
 
     if total_qubits == 0:
         raise QasmError("no qreg declaration found")
-    circuit = QuantumCircuit(total_qubits, name=name)
-    circuit.extend(gates)
-    return circuit
+    # Register bounds were checked per statement, so every operand already
+    # lies inside 0..total_qubits-1; wrap the columns without revalidating.
+    return QuantumCircuit.from_ir(total_qubits, ir, name=name)
 
 
 def _strip_comments(text: str) -> str:
@@ -139,8 +150,8 @@ def _expand(
     qubits: list[int],
     custom_gates: dict[str, tuple[list[str], list[str], list[str]]],
     depth: int = 0,
-) -> list[Gate]:
-    """Expand a gate application into known primitive gates."""
+) -> list[_Op]:
+    """Expand a gate application into known primitive gates (as plain tuples)."""
     if depth > 16:
         raise QasmError(f"gate definition nesting too deep at {gate_name!r}")
     if gate_name in KNOWN_GATES:
@@ -149,7 +160,9 @@ def _expand(
             raise QasmError(
                 f"gate {gate_name} expects {expected_arity} qubits, got {len(qubits)}"
             )
-        return [Gate(gate_name, tuple(qubits), params)]
+        if len(set(qubits)) != len(qubits):
+            raise QasmError(f"gate {gate_name} repeats a qubit: {tuple(qubits)}")
+        return [(gate_name, tuple(qubits), params)]
     if gate_name == "ccx" or gate_name == "ccz":
         return _expand_toffoli(qubits)
     if gate_name in custom_gates:
@@ -159,7 +172,7 @@ def _expand(
                 f"gate {gate_name} expects {len(formal_args)} qubits, got {len(qubits)}"
             )
         binding = dict(zip(formal_args, qubits))
-        expanded: list[Gate] = []
+        expanded: list[_Op] = []
         for statement in body:
             parsed = _APPLICATION_RE.match(statement)
             if not parsed:
@@ -181,7 +194,7 @@ def _expand(
     raise QasmError(f"unknown gate {gate_name!r}")
 
 
-def _expand_toffoli(qubits: list[int]) -> list[Gate]:
+def _expand_toffoli(qubits: list[int]) -> list[_Op]:
     """Standard 6-CNOT decomposition of the Toffoli gate.
 
     RevLib benchmarks use ``ccx`` heavily; QMR only needs the CNOT skeleton,
@@ -189,23 +202,26 @@ def _expand_toffoli(qubits: list[int]) -> list[Gate]:
     """
     if len(qubits) != 3:
         raise QasmError("ccx expects exactly 3 qubits")
+    if len(set(qubits)) != 3:
+        raise QasmError(f"ccx repeats a qubit: {tuple(qubits)}")
     a, b, c = qubits
+    no_params: tuple[str, ...] = ()
     return [
-        Gate("h", (c,)),
-        Gate("cx", (b, c)),
-        Gate("tdg", (c,)),
-        Gate("cx", (a, c)),
-        Gate("t", (c,)),
-        Gate("cx", (b, c)),
-        Gate("tdg", (c,)),
-        Gate("cx", (a, c)),
-        Gate("t", (b,)),
-        Gate("t", (c,)),
-        Gate("cx", (a, b)),
-        Gate("h", (c,)),
-        Gate("t", (a,)),
-        Gate("tdg", (b,)),
-        Gate("cx", (a, b)),
+        ("h", (c,), no_params),
+        ("cx", (b, c), no_params),
+        ("tdg", (c,), no_params),
+        ("cx", (a, c), no_params),
+        ("t", (c,), no_params),
+        ("cx", (b, c), no_params),
+        ("tdg", (c,), no_params),
+        ("cx", (a, c), no_params),
+        ("t", (b,), no_params),
+        ("t", (c,), no_params),
+        ("cx", (a, b), no_params),
+        ("h", (c,), no_params),
+        ("t", (a,), no_params),
+        ("tdg", (b,), no_params),
+        ("cx", (a, b), no_params),
     ]
 
 
@@ -216,12 +232,12 @@ def circuit_to_qasm(circuit: QuantumCircuit, register_name: str = "q") -> str:
         'include "qelib1.inc";',
         f"qreg {register_name}[{circuit.num_qubits}];",
     ]
-    for gate in circuit.gates:
-        operands = ",".join(f"{register_name}[{qubit}]" for qubit in gate.qubits)
-        if gate.params:
-            lines.append(f"{gate.name}({','.join(gate.params)}) {operands};")
+    for gate_name, qubits, params in circuit.iter_ops():
+        operands = ",".join(f"{register_name}[{qubit}]" for qubit in qubits)
+        if params:
+            lines.append(f"{gate_name}({','.join(params)}) {operands};")
         else:
-            lines.append(f"{gate.name} {operands};")
+            lines.append(f"{gate_name} {operands};")
     return "\n".join(lines) + "\n"
 
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 import random
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
 
 
 SINGLE_QUBIT_POOL = ("h", "x", "t", "tdg", "s", "rz")
@@ -63,7 +62,7 @@ def random_circuit(
             gate_name = rng.choice(SINGLE_QUBIT_POOL)
             qubit = rng.randrange(num_qubits)
             params = ("0.5",) if gate_name == "rz" else ()
-            circuit.append(Gate(gate_name, (qubit,), params))
+            circuit.append_op(gate_name, (qubit,), params)
         if rng.random() < interaction_bias:
             first = rng.choice(hubs)
         else:
@@ -71,7 +70,7 @@ def random_circuit(
         second = rng.randrange(num_qubits)
         while second == first:
             second = rng.randrange(num_qubits)
-        circuit.append(Gate(rng.choice(TWO_QUBIT_POOL), (first, second)))
+        circuit.append_op(rng.choice(TWO_QUBIT_POOL), (first, second))
     return circuit
 
 
@@ -91,5 +90,5 @@ def layered_random_circuit(
         qubits = list(range(num_qubits))
         rng.shuffle(qubits)
         for first, second in zip(qubits[0::2], qubits[1::2]):
-            circuit.append(Gate("cx", (first, second)))
+            circuit.append_op("cx", (first, second))
     return circuit

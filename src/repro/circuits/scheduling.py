@@ -41,11 +41,22 @@ class GateDurations:
 
     durations: dict[str, float] = field(default_factory=dict)
 
+    def table(self) -> dict[str, float]:
+        """The merged name->duration table (build once, look up per gate)."""
+        return {**DEFAULT_DURATIONS, **self.durations}
+
     def of(self, gate: Gate) -> float:
-        table = {**DEFAULT_DURATIONS, **self.durations}
+        table = self.table()
         if gate.name in table:
             return table[gate.name]
         return table["cx"] if gate.is_two_qubit else table["single"]
+
+    def of_op(self, name: str, qubits: tuple[int, ...],
+              table: dict[str, float]) -> float:
+        """Duration of a gate given as plain data against a prebuilt table."""
+        if name in table:
+            return table[name]
+        return table["cx"] if len(qubits) == 2 else table["single"]
 
 
 @dataclass
@@ -136,11 +147,12 @@ def asap_schedule(circuit: QuantumCircuit,
                   durations: GateDurations | None = None) -> Schedule:
     """Schedule every gate as soon as its qubits are free."""
     durations = durations or GateDurations()
+    table = durations.table()
     qubit_free_at = [0.0] * circuit.num_qubits
     entries: list[ScheduledGate] = []
-    for index, gate in enumerate(circuit):
-        start = max((qubit_free_at[q] for q in gate.qubits), default=0.0)
-        finish = start + durations.of(gate)
+    for index, gate in enumerate(circuit.gates):
+        start = max(qubit_free_at[q] for q in gate.qubits)
+        finish = start + durations.of_op(gate.name, gate.qubits, table)
         for qubit in gate.qubits:
             qubit_free_at[qubit] = finish
         entries.append(ScheduledGate(gate, index, start, finish))
@@ -151,13 +163,15 @@ def alap_schedule(circuit: QuantumCircuit,
                   durations: GateDurations | None = None) -> Schedule:
     """Schedule every gate as late as possible without extending the makespan."""
     durations = durations or GateDurations()
+    table = durations.table()
     makespan = asap_schedule(circuit, durations).makespan
     qubit_needed_at = [makespan] * circuit.num_qubits
     reversed_entries: list[ScheduledGate] = []
-    for index in range(len(circuit) - 1, -1, -1):
-        gate = circuit[index]
-        finish = min((qubit_needed_at[q] for q in gate.qubits), default=makespan)
-        start = finish - durations.of(gate)
+    gates = circuit.gates
+    for index in range(len(gates) - 1, -1, -1):
+        gate = gates[index]
+        finish = min(qubit_needed_at[q] for q in gate.qubits)
+        start = finish - durations.of_op(gate.name, gate.qubits, table)
         for qubit in gate.qubits:
             qubit_needed_at[qubit] = start
         reversed_entries.append(ScheduledGate(gate, index, start, finish))

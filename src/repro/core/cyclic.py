@@ -21,8 +21,7 @@ import time
 
 from repro.api.protocol import BaseRouter
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
-from repro.core.result import RoutingResult, RoutingStatus
+from repro.core.result import RoutingResult
 from repro.core.satmap import SatMapRouter
 from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
@@ -59,7 +58,7 @@ def route_cyclic(
     """
     if cycles <= 0:
         raise ValueError("cycles must be positive")
-    if prelude is not None and any(gate.is_two_qubit for gate in prelude.gates):
+    if prelude is not None and prelude.num_two_qubit_gates:
         raise ValueError("the prelude may only contain single-qubit gates")
     router = router or SatMapRouter(name="CYC-SATMAP")
     start = time.monotonic()
@@ -88,13 +87,12 @@ def route_cyclic(
                             name=f"{full_original.name}@{architecture.name}")
     initial_mapping = block_result.initial_mapping
     if prelude is not None:
-        for gate in prelude.gates:
-            routed.append(Gate(gate.name,
-                               tuple(initial_mapping[q] for q in gate.qubits),
-                               gate.params))
+        for name, qubits, params in prelude.iter_ops():
+            routed.append_op(name, tuple(initial_mapping[q] for q in qubits),
+                             params)
     assert block_result.routed_circuit is not None
     for _ in range(cycles):
-        routed.extend(block_result.routed_circuit.gates)
+        routed.extend(block_result.routed_circuit)  # array-level bulk copy
 
     result = RoutingResult(
         status=block_result.status,
@@ -179,9 +177,9 @@ def _compose_original(block: QuantumCircuit, cycles: int,
     name = f"{block.name}_x{cycles}"
     full = QuantumCircuit(block.num_qubits, name=name)
     if prelude is not None:
-        full.extend(prelude.gates)
+        full.extend(prelude)
     for _ in range(cycles):
-        full.extend(block.gates)
+        full.extend(block)
     return full
 
 
@@ -206,7 +204,7 @@ def _route_block_with_reset(block: QuantumCircuit, architecture: Architecture,
                                       architecture)
     routed = base.routed_circuit.copy()
     for edge in reset_edges:
-        routed.append(Gate("swap", edge))
+        routed.append_op("swap", edge)
     base.routed_circuit = routed
     base.swap_count += len(reset_edges)
     base.final_mapping = dict(base.initial_mapping)

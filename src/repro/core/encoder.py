@@ -161,6 +161,10 @@ class QmrEncoder:
         live :class:`~repro.sat.session.SatSession`), every hard clause is
         streamed into it the moment it is produced, so by the time this
         method returns the attached solver already holds the formula.
+
+        Interaction extraction reads the circuit IR's two-qubit columns
+        directly (O(#interactions), no gate-list rescans), so slice views
+        encode without ever materialising their gates.
         """
         interactions = circuit.interaction_sequence()
         return self.encode_interactions(interactions, circuit.num_qubits, sink=sink)
@@ -285,7 +289,7 @@ class QmrEncoder:
         architecture = encoding.architecture
         for logical, other in ((first, second), (second, first)):
             for physical in range(architecture.num_qubits):
-                neighbors = sorted(architecture.neighbors(physical))
+                neighbors = architecture.neighbors_sorted(physical)
                 clause = [-registry.map_var(logical, physical, step)]
                 clause.extend(registry.map_var(other, neighbor, step)
                               for neighbor in neighbors)

@@ -334,11 +334,14 @@ def _instance_key(circuit: QuantumCircuit, architecture: Architecture) -> tuple:
 
 def _routed_fidelity(routed: QuantumCircuit, noise: NoiseModel) -> float:
     """Estimated success probability of a routed circuit under ``noise``."""
+    from repro.circuits.ir import SWAP_OP
+
     executed_edges: list[tuple[int, int]] = []
-    for gate in routed.gates:
-        if not gate.is_two_qubit:
-            continue
-        edge = (gate.qubits[0], gate.qubits[1])
-        repetitions = 3 if gate.name == "swap" else 1
+    ir = routed.ir
+    op, qa, qb = ir.op, ir.qa, ir.qb
+    for index in ir.two_qubit_indices():
+        absolute = ir.start + index
+        edge = (qa[absolute], qb[absolute])
+        repetitions = 3 if op[absolute] == SWAP_OP else 1
         executed_edges.extend([edge] * repetitions)
     return noise.circuit_fidelity(executed_edges)

@@ -139,7 +139,7 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
     for state in slices:
         outcome = state.outcome
         assert outcome is not None and outcome.result.routed_circuit is not None
-        routed.extend(outcome.result.routed_circuit.gates)
+        routed.extend(outcome.result.routed_circuit)  # array-level bulk copy
         total_swaps += outcome.result.swap_count
         total_sat_calls += outcome.result.sat_calls
         total_vars += outcome.result.num_variables

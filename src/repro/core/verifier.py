@@ -8,10 +8,16 @@ the routed circuit preserves the original circuit's logical gate sequence.
 
 The verifier shares no code with the encoder or the extraction logic: it works
 purely on the routed circuit, the original circuit, the initial mapping, and
-the connectivity graph.
+the connectivity graph.  It traverses both circuits as flat
+``(name, qubits, params)`` tuples straight off their IR columns -- the routed
+circuit is usually the largest object a routing run produces, and the
+verifier runs on every solved result, so it must not box a ``Gate`` per
+emitted operation.
 """
 
 from __future__ import annotations
+
+from array import array
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.architecture import Architecture
@@ -44,10 +50,10 @@ def verify_routing(original: QuantumCircuit, routed: QuantumCircuit,
     """
     _check_initial_mapping(original, initial_mapping, architecture)
 
-    # physical -> logical view of the evolving map
-    physical_to_logical: dict[int, int] = {}
+    # physical -> logical view of the evolving map (-1 marks an empty qubit)
+    physical_to_logical = array("i", [-1]) * architecture.num_qubits
     for logical, physical in initial_mapping.items():
-        if physical in physical_to_logical:
+        if physical_to_logical[physical] >= 0:
             raise VerificationError(
                 f"initial mapping sends two logical qubits to physical {physical}"
             )
@@ -56,39 +62,32 @@ def verify_routing(original: QuantumCircuit, routed: QuantumCircuit,
     translated_gates: list[tuple[str, tuple[str, ...], tuple[int, ...]]] = []
     swap_count = 0
 
-    for position, gate in enumerate(routed.gates):
-        if gate.is_two_qubit:
-            first, second = gate.qubits
+    for position, (name, qubits, params) in enumerate(routed.iter_ops()):
+        if len(qubits) == 2:
+            first, second = qubits
             if not architecture.are_adjacent(first, second):
                 raise VerificationError(
-                    f"gate #{position} ({gate.name}) acts on non-adjacent physical "
+                    f"gate #{position} ({name}) acts on non-adjacent physical "
                     f"qubits {first} and {second} of {architecture.name}"
                 )
-        if gate.name == "swap":
-            swap_count += 1
-            first, second = gate.qubits
-            logical_first = physical_to_logical.get(first)
-            logical_second = physical_to_logical.get(second)
-            if logical_first is not None:
+            if name == "swap":
+                swap_count += 1
+                logical_first = physical_to_logical[first]
+                logical_second = physical_to_logical[second]
                 physical_to_logical[second] = logical_first
-            else:
-                physical_to_logical.pop(second, None)
-            if logical_second is not None:
                 physical_to_logical[first] = logical_second
-            else:
-                physical_to_logical.pop(first, None)
-            continue
+                continue
 
         translated = []
-        for physical in gate.qubits:
-            logical = physical_to_logical.get(physical)
-            if logical is None:
+        for physical in qubits:
+            logical = physical_to_logical[physical]
+            if logical < 0:
                 raise VerificationError(
-                    f"gate #{position} ({gate.name}) touches physical qubit "
+                    f"gate #{position} ({name}) touches physical qubit "
                     f"{physical}, which holds no logical qubit"
                 )
             translated.append(logical)
-        translated_gates.append((gate.name, gate.params, tuple(translated)))
+        translated_gates.append((name, params, tuple(translated)))
 
     _check_per_qubit_sequences(original, translated_gates)
     return swap_count
@@ -99,10 +98,10 @@ def _check_per_qubit_sequences(
     translated_gates: list[tuple[str, tuple[str, ...], tuple[int, ...]]],
 ) -> None:
     """Compare per-logical-qubit gate sequences of the original and routed circuits."""
-    if len(translated_gates) != len(original.gates):
+    if len(translated_gates) != len(original):
         raise VerificationError(
             f"routed circuit has {len(translated_gates)} non-SWAP gates, the "
-            f"original has {len(original.gates)}"
+            f"original has {len(original)}"
         )
 
     def project(gates) -> dict[int, list[tuple]]:
@@ -112,7 +111,8 @@ def _check_per_qubit_sequences(
                 sequences[qubit].append((name, params, qubits))
         return sequences
 
-    original_view = [(gate.name, gate.params, gate.qubits) for gate in original.gates]
+    original_view = [(name, params, qubits)
+                     for name, qubits, params in original.iter_ops()]
     expected = project(original_view)
     actual = project(translated_gates)
     for qubit in range(original.num_qubits):

@@ -2,13 +2,25 @@
 
 Section III of the paper models a device as ``G = (Phys, Edges)``.
 :class:`Architecture` is that object plus the derived data every router needs:
-adjacency sets, all-pairs shortest-path distances (BFS, since edges are
-unweighted), and graph diameter (the paper's bound on the number of SWAP slots
-needed per gate for guaranteed completeness).
+adjacency (as sets for the API, as CSR arrays for the hot loops), all-pairs
+shortest-path distances (BFS, since edges are unweighted; stored once as a
+flat ``array('i')`` of length ``n*n`` and shared by every consumer), and
+graph diameter (the paper's bound on the number of SWAP slots needed per
+gate for guaranteed completeness).
+
+Derived data is computed once per instance and cached; none of it enters the
+service job content hash (jobs hash the edge list itself, see
+:mod:`repro.service.jobs`), so cache identity is unchanged by this layer.
+
+Unreachable pairs carry the sentinel distance ``num_qubits`` (an impossible
+real distance).  :meth:`reachable` and :meth:`is_connected` expose that
+information explicitly so routers can *reject* impossible gates instead of
+silently scoring the sentinel.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -21,7 +33,13 @@ class Architecture:
     edges: list[tuple[int, int]]
     name: str = "architecture"
     _adjacency: dict[int, set[int]] = field(init=False, repr=False)
+    _adj_ptr: array = field(init=False, repr=False)
+    _adj_idx: array = field(init=False, repr=False)
+    _neighbor_lists: list[list[int]] = field(init=False, repr=False)
+    _flat_distances: array | None = field(init=False, default=None, repr=False)
+    _flat_lookup: tuple | None = field(init=False, default=None, repr=False)
     _distances: list[list[int]] | None = field(init=False, default=None, repr=False)
+    _connected: bool | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_qubits <= 0:
@@ -38,6 +56,29 @@ class Architecture:
         for first, second in self.edges:
             self._adjacency[first].add(second)
             self._adjacency[second].add(first)
+        # CSR adjacency: sorted neighbour runs in one flat buffer.  The edge
+        # list is sorted, so filling in edge order keeps each run ascending.
+        counts = array("i", bytes(4 * self.num_qubits))
+        for first, second in self.edges:
+            counts[first] += 1
+            counts[second] += 1
+        ptr = array("i", bytes(4 * (self.num_qubits + 1)))
+        cursor = 0
+        for qubit in range(self.num_qubits):
+            ptr[qubit] = cursor
+            cursor += counts[qubit]
+        ptr[self.num_qubits] = cursor
+        idx = array("i", bytes(4 * cursor))
+        fill = array("i", ptr[:self.num_qubits]) if self.num_qubits else array("i")
+        for first, second in self.edges:
+            idx[fill[first]] = second
+            fill[first] += 1
+            idx[fill[second]] = first
+            fill[second] += 1
+        self._adj_ptr = ptr
+        self._adj_idx = idx
+        self._neighbor_lists = [list(idx[ptr[q]:ptr[q + 1]])
+                                for q in range(self.num_qubits)]
 
     # ---------------------------------------------------------------- queries
 
@@ -45,66 +86,120 @@ class Architecture:
         """Physical qubits adjacent to ``qubit``."""
         return set(self._adjacency[qubit])
 
+    def neighbors_sorted(self, qubit: int) -> list[int]:
+        """Adjacent qubits in ascending order, without building a set.
+
+        The returned list is shared and must not be mutated; it is the form
+        the encoder's adjacency clauses and the routers' candidate loops use.
+        """
+        return self._neighbor_lists[qubit]
+
     def are_adjacent(self, first: int, second: int) -> bool:
         """Whether a two-qubit gate can run directly on ``(first, second)``."""
         return second in self._adjacency[first]
 
     def degree(self, qubit: int) -> int:
-        return len(self._adjacency[qubit])
+        return self._adj_ptr[qubit + 1] - self._adj_ptr[qubit]
 
     @property
     def average_degree(self) -> float:
         return 2.0 * len(self.edges) / self.num_qubits
 
-    def distance_matrix(self) -> list[list[int]]:
-        """All-pairs shortest-path distances (cached).
+    @property
+    def unreachable_distance(self) -> int:
+        """Sentinel stored for unreachable pairs (an impossible real distance)."""
+        return self.num_qubits
 
-        Unreachable pairs get distance ``num_qubits`` (an impossible real
-        distance), which keeps heuristic scores finite on disconnected graphs.
+    def flat_distance_matrix(self) -> array:
+        """All-pairs shortest-path distances as one flat ``array('i')``.
+
+        Entry ``(a, b)`` lives at index ``a * num_qubits + b``.  Computed once
+        per instance with one BFS per source over the CSR adjacency and shared
+        by every consumer; unreachable pairs hold
+        :attr:`unreachable_distance`.
         """
-        if self._distances is None:
-            unreachable = self.num_qubits
-            matrix = [[unreachable] * self.num_qubits for _ in range(self.num_qubits)]
-            for source in range(self.num_qubits):
-                matrix[source][source] = 0
+        if self._flat_distances is None:
+            n = self.num_qubits
+            unreachable = n
+            matrix = array("i", [unreachable]) * (n * n)
+            ptr, idx = self._adj_ptr, self._adj_idx
+            for source in range(n):
+                row = source * n
+                matrix[row + source] = 0
                 queue = deque([source])
                 while queue:
                     current = queue.popleft()
-                    for neighbor in self._adjacency[current]:
-                        if matrix[source][neighbor] == unreachable:
-                            matrix[source][neighbor] = matrix[source][current] + 1
+                    next_distance = matrix[row + current] + 1
+                    for cursor in range(ptr[current], ptr[current + 1]):
+                        neighbor = idx[cursor]
+                        if matrix[row + neighbor] == unreachable:
+                            matrix[row + neighbor] = next_distance
                             queue.append(neighbor)
-            self._distances = matrix
+            self._flat_distances = matrix
+        return self._flat_distances
+
+    def flat_distance_lookup(self) -> tuple:
+        """The flat distance matrix as a cached tuple (fastest indexing).
+
+        Same layout as :meth:`flat_distance_matrix` (``a * num_qubits + b``).
+        The routers' scoring loops perform millions of reads; tuple indexing
+        avoids the per-read unboxing of ``array('i')``.
+        """
+        if self._flat_lookup is None:
+            self._flat_lookup = tuple(self.flat_distance_matrix())
+        return self._flat_lookup
+
+    def distance_matrix(self) -> list[list[int]]:
+        """All-pairs distances as nested lists (cached compatibility view).
+
+        Unreachable pairs get distance ``num_qubits`` (an impossible real
+        distance), which keeps heuristic scores finite on disconnected graphs;
+        check :meth:`reachable` before trusting a sentinel-valued entry.
+        """
+        if self._distances is None:
+            flat = self.flat_distance_matrix()
+            n = self.num_qubits
+            self._distances = [list(flat[row * n:(row + 1) * n])
+                               for row in range(n)]
         return self._distances
 
     def distance(self, first: int, second: int) -> int:
-        return self.distance_matrix()[first][second]
+        return self.flat_distance_matrix()[first * self.num_qubits + second]
+
+    def reachable(self, first: int, second: int) -> bool:
+        """Whether a path exists between two physical qubits."""
+        return (self.flat_distance_matrix()[first * self.num_qubits + second]
+                < self.num_qubits)
 
     def diameter(self) -> int:
         """Longest shortest-path distance between connected qubit pairs."""
-        matrix = self.distance_matrix()
         unreachable = self.num_qubits
         longest = 0
-        for row in matrix:
-            for value in row:
-                if value != unreachable:
-                    longest = max(longest, value)
+        for value in self.flat_distance_matrix():
+            if value != unreachable and value > longest:
+                longest = value
         return longest
 
     def is_connected(self) -> bool:
-        matrix = self.distance_matrix()
-        unreachable = self.num_qubits
-        return all(value != unreachable for value in matrix[0])
+        """Whether every physical qubit can reach every other (cached)."""
+        if self._connected is None:
+            flat = self.flat_distance_matrix()
+            unreachable = self.num_qubits
+            self._connected = all(value != unreachable
+                                  for value in flat[:self.num_qubits])
+        return self._connected
 
     def shortest_path(self, source: int, target: int) -> list[int]:
         """One shortest path between two physical qubits (inclusive of both)."""
         if source == target:
             return [source]
+        ptr, idx = self._adj_ptr, self._adj_idx
         previous: dict[int, int] = {source: source}
         queue = deque([source])
         while queue:
             current = queue.popleft()
-            for neighbor in self._adjacency[current]:
+            for cursor in range(ptr[current], ptr[current + 1]):
+                neighbor = idx[cursor]
                 if neighbor not in previous:
                     previous[neighbor] = current
                     if neighbor == target:

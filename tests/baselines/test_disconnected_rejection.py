@@ -1,0 +1,86 @@
+"""Heuristic baselines must reject unreachable pairs, not score the sentinel.
+
+On a disconnected coupling graph the distance matrix stores a finite
+sentinel (``num_qubits``) for unreachable pairs.  Before the flat-IR
+refactor the heuristics silently folded that sentinel into their scores and
+either livelocked or produced garbage; now :class:`RoutedBuilder` raises
+:class:`UnroutableGateError` the moment a front-layer gate's operands sit in
+different components, and :class:`~repro.api.BaseRouter` surfaces that as an
+ERROR result whose notes name the qubits.
+"""
+
+import pytest
+
+from repro.baselines.astar import AStarLayerRouter
+from repro.baselines.base import RoutedBuilder, UnroutableGateError
+from repro.baselines.sabre import SabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.baselines.trivial import NaiveShortestPathRouter
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx
+from repro.core.result import RoutingStatus
+from repro.hardware.architecture import Architecture
+
+
+def split_architecture() -> Architecture:
+    """Two disjoint edges: components {0,1} and {2,3}."""
+    return Architecture(4, [(0, 1), (2, 3)], name="split")
+
+
+def triangle_circuit() -> QuantumCircuit:
+    """Three pairwise-interacting logicals cannot fit in components of size 2."""
+    return QuantumCircuit(3, [cx(0, 1), cx(1, 2), cx(0, 2)], name="triangle")
+
+
+@pytest.mark.parametrize("router", [
+    SabreRouter(time_budget=5.0),
+    TketLikeRouter(time_budget=5.0),
+    AStarLayerRouter(time_budget=5.0),
+    NaiveShortestPathRouter(time_budget=5.0),
+], ids=lambda router: router.name)
+def test_routers_error_instead_of_scoring_unreachable_pairs(router):
+    result = router.route(triangle_circuit(), split_architecture())
+    assert result.status is RoutingStatus.ERROR
+    assert not result.solved
+    assert "unreachable" in result.notes
+
+
+def test_builder_raises_a_named_error():
+    architecture = split_architecture()
+    builder = RoutedBuilder(triangle_circuit(), architecture, {0: 0, 1: 1, 2: 2})
+    builder.require_reachable(0, 1)  # same component: fine
+    with pytest.raises(UnroutableGateError) as excinfo:
+        builder.require_reachable(0, 2)
+    message = str(excinfo.value)
+    assert "unreachable" in message and "disconnected" in message
+
+
+def test_partial_initial_mapping_is_rejected_loudly():
+    """An unmapped logical must raise, not wrap a -1 into the distance tuple."""
+    circuit = QuantumCircuit(2, [cx(0, 1)], name="partial")
+    architecture = Architecture(4, [(0, 1), (1, 2), (2, 3)], name="line4")
+    builder = RoutedBuilder(circuit, architecture, {0: 0})  # qubit 1 unmapped
+    with pytest.raises(ValueError, match="not in the initial mapping"):
+        builder.require_reachable(0, 1)
+    with pytest.raises(ValueError, match="not in the initial mapping"):
+        builder.can_execute_pair(0, 1)
+    result = SabreRouter(time_budget=5.0,
+                         initial_mapping={0: 0}).route(circuit, architecture)
+    assert result.status is RoutingStatus.ERROR
+    assert "initial mapping" in result.notes
+
+
+def test_connected_component_still_routes():
+    """A circuit confined to one component routes normally on a split graph."""
+    architecture = split_architecture()
+    circuit = QuantumCircuit(2, [cx(0, 1), cx(0, 1)], name="confined")
+    result = SabreRouter(time_budget=5.0).route(circuit, architecture)
+    assert result.solved
+
+
+def test_reachability_api():
+    architecture = split_architecture()
+    assert architecture.reachable(0, 1)
+    assert not architecture.reachable(0, 2)
+    assert not architecture.is_connected()
+    assert architecture.distance(0, 2) == architecture.unreachable_distance

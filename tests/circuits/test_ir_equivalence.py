@@ -1,0 +1,276 @@
+"""Property tests: the flat-IR facade behaves exactly like the legacy model.
+
+The legacy ``QuantumCircuit`` was a list of ``Gate`` dataclasses rescanned
+per property, and ``CircuitDag`` allocated a node with two Python sets per
+gate.  These tests pin the facade to that semantics: every cached statistic,
+sliced view, QASM round-trip, and CSR-derived dependency structure is
+compared against a straightforward reference recomputation over the
+materialised gate list, on randomized circuits.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag
+from repro.circuits.gates import Gate, cx, h, swap
+from repro.circuits.ir import CircuitIR
+from repro.circuits.qasm import circuit_to_qasm, parse_qasm
+from repro.circuits.random_circuits import random_circuit
+
+
+def random_mixed_circuit(seed: int, num_qubits: int = 6,
+                         num_two_qubit: int = 30) -> QuantumCircuit:
+    circuit = random_circuit(num_qubits=num_qubits,
+                             num_two_qubit_gates=num_two_qubit, seed=seed)
+    # Sprinkle SWAPs and parametrised gates so every column is exercised.
+    rng = random.Random(seed + 1)
+    for _ in range(5):
+        first = rng.randrange(num_qubits)
+        second = (first + 1 + rng.randrange(num_qubits - 1)) % num_qubits
+        circuit.append(swap(first, second))
+        circuit.append(Gate("rz", (first,), (str(rng.random()),)))
+    return circuit
+
+
+SEEDS = range(6)
+
+
+class TestCachedStatistics:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_counts_match_gate_list_rescans(self, seed):
+        circuit = random_mixed_circuit(seed)
+        gates = circuit.gates
+        assert circuit.num_two_qubit_gates == sum(1 for g in gates if g.is_two_qubit)
+        assert circuit.num_single_qubit_gates == sum(1 for g in gates if g.is_single_qubit)
+        assert circuit.num_swaps == sum(1 for g in gates if g.name == "swap")
+        assert circuit.two_qubit_gates == [g for g in gates if g.is_two_qubit]
+        assert circuit.interaction_sequence() == [
+            tuple(g.qubits) for g in gates if g.is_two_qubit]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_counts_stay_valid_after_append(self, seed):
+        circuit = random_mixed_circuit(seed)
+        before = circuit.num_two_qubit_gates
+        _ = circuit.gates  # populate the lazy cache, then invalidate it
+        circuit.append(cx(0, 1))
+        circuit.append(h(2))
+        assert circuit.num_two_qubit_gates == before + 1
+        assert circuit.gates[-1] == h(2)
+        assert circuit.gates[-2] == cx(0, 1)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_depth_and_used_qubits(self, seed):
+        circuit = random_mixed_circuit(seed)
+        frontier = [0] * circuit.num_qubits
+        used = set()
+        for gate in circuit.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for qubit in gate.qubits:
+                frontier[qubit] = level
+            used.update(gate.qubits)
+        assert circuit.depth() == max(frontier, default=0)
+        assert circuit.used_qubits() == used
+
+
+class TestSliceViews:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("slice_size", [1, 3, 7, 100])
+    def test_views_flatten_to_the_original(self, seed, slice_size):
+        circuit = random_mixed_circuit(seed)
+        slices = circuit.sliced_by_two_qubit_gates(slice_size)
+        flattened = [gate for piece in slices for gate in piece.gates]
+        assert flattened == circuit.gates
+        for piece in slices[:-1]:
+            assert piece.num_two_qubit_gates == slice_size
+        assert slices[-1].num_two_qubit_gates <= slice_size
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_views_share_arrays_with_the_base(self, seed):
+        circuit = random_mixed_circuit(seed)
+        slices = circuit.sliced_by_two_qubit_gates(4)
+        assert all(piece.ir.qa is circuit.ir.qa for piece in slices)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_view_statistics_match_materialised_copy(self, seed):
+        circuit = random_mixed_circuit(seed)
+        for piece in circuit.sliced_by_two_qubit_gates(5):
+            copy = piece.copy()
+            assert len(piece) == len(copy)
+            assert piece.num_two_qubit_gates == copy.num_two_qubit_gates
+            assert piece.num_swaps == copy.num_swaps
+            assert piece.interaction_sequence() == copy.interaction_sequence()
+            assert piece.gates == copy.gates
+
+    def test_appending_to_a_view_compacts_it_first(self):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 1), cx(1, 2)])
+        view = circuit.sliced_by_two_qubit_gates(1)[0]
+        view.append(cx(0, 2))
+        assert [g.name for g in view.gates] == ["h", "cx", "cx"]
+        assert len(circuit) == 3  # the base circuit is untouched
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repeat_equals_gate_level_repeat(self, seed):
+        circuit = random_mixed_circuit(seed, num_two_qubit=10)
+        repeated = circuit.repeated(3)
+        assert repeated.gates == circuit.gates * 3
+        assert repeated.num_two_qubit_gates == 3 * circuit.num_two_qubit_gates
+
+
+class TestQasmRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip_preserves_gates(self, seed):
+        circuit = random_mixed_circuit(seed)
+        back = parse_qasm(circuit_to_qasm(circuit), name=circuit.name)
+        assert back.gates == circuit.gates
+        assert back.num_qubits == circuit.num_qubits
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip_of_a_slice_view(self, seed):
+        circuit = random_mixed_circuit(seed)
+        view = circuit.sliced_by_two_qubit_gates(7)[0]
+        back = parse_qasm(circuit_to_qasm(view))
+        assert back.gates == view.gates
+
+
+class TestDagEquivalence:
+    @staticmethod
+    def reference_links(circuit):
+        """The legacy DAG construction: dict/set based, last-writer per qubit."""
+        predecessors = [set() for _ in circuit.gates]
+        successors = [set() for _ in circuit.gates]
+        last_on_qubit = {}
+        for index, gate in enumerate(circuit.gates):
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    predecessors[index].add(last_on_qubit[qubit])
+                    successors[last_on_qubit[qubit]].add(index)
+                last_on_qubit[qubit] = index
+        return predecessors, successors
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_csr_matches_reference_links(self, seed):
+        circuit = random_mixed_circuit(seed)
+        dag = CircuitDag(circuit)
+        predecessors, successors = self.reference_links(circuit)
+        for index in range(len(dag)):
+            assert set(dag.predecessor_range(index)) == predecessors[index]
+            assert set(dag.successor_range(index)) == successors[index]
+            assert dag.nodes[index].predecessors == predecessors[index]
+            assert dag.nodes[index].successors == successors[index]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_layers_match_reference_levels(self, seed):
+        circuit = random_mixed_circuit(seed)
+        dag = CircuitDag(circuit)
+        predecessors, _ = self.reference_links(circuit)
+        level = {}
+        for index in range(len(dag)):
+            level[index] = max((level[p] + 1 for p in predecessors[index]),
+                               default=0)
+        for depth, layer in enumerate(dag.layer_indices()):
+            for index in layer:
+                assert level[index] == depth
+        assert sum(len(layer) for layer in dag.layer_indices()) == len(dag)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dag_of_a_view_ignores_the_rest_of_the_base(self, seed):
+        circuit = random_mixed_circuit(seed)
+        view = circuit.sliced_by_two_qubit_gates(6)[1]
+        from_view = CircuitDag(view)
+        from_copy = CircuitDag(view.copy())
+        assert len(from_view) == len(from_copy)
+        for index in range(len(from_view)):
+            assert (list(from_view.predecessor_range(index))
+                    == list(from_copy.predecessor_range(index)))
+            assert (list(from_view.successor_range(index))
+                    == list(from_copy.successor_range(index)))
+
+
+class TestRouterParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_routers_treat_views_and_copies_identically(self, seed):
+        from repro.baselines.sabre import SabreRouter
+        from repro.baselines.tket_like import TketLikeRouter
+        from repro.baselines.trivial import NaiveShortestPathRouter
+        from repro.hardware.topologies import grid_architecture
+
+        architecture = grid_architecture(2, 3)
+        circuit = random_circuit(num_qubits=5, num_two_qubit_gates=15, seed=seed)
+        view = circuit.sliced_by_two_qubit_gates(circuit.num_two_qubit_gates)[0]
+        reparsed = parse_qasm(circuit_to_qasm(circuit), name=circuit.name)
+        for router in (SabreRouter(seed=seed), TketLikeRouter(),
+                       NaiveShortestPathRouter()):
+            results = [router.route(variant, architecture)
+                       for variant in (circuit, view, reparsed)]
+            assert all(r.solved for r in results)
+            baseline = results[0]
+            for other in results[1:]:
+                assert other.swap_count == baseline.swap_count
+                assert other.initial_mapping == baseline.initial_mapping
+                assert other.routed_circuit.gates == baseline.routed_circuit.gates
+
+
+class TestPickleAndIntern:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_circuits_round_trip_through_pickle(self, seed):
+        circuit = random_mixed_circuit(seed)
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.gates == circuit.gates
+        assert clone.num_qubits == circuit.num_qubits
+        assert clone.name == circuit.name
+
+    def test_views_pickle_as_their_window(self):
+        circuit = random_mixed_circuit(0)
+        view = circuit.sliced_by_two_qubit_gates(5)[1]
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.gates == view.gates
+        assert len(clone) == len(view)
+
+    def test_unknown_opcodes_are_interned_on_the_fly(self):
+        ir = CircuitIR()
+        ir.append("totally_custom_gate", (0, 1))
+        name, qubits, params = ir.gate(0)
+        assert name == "totally_custom_gate"
+        assert qubits == (0, 1)
+        assert params == ()
+
+
+class TestFacadeValidation:
+    def test_append_op_rejects_bad_arity_and_repeats(self):
+        circuit = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            circuit.append_op("ccx", (0, 1, 2))
+        with pytest.raises(ValueError):
+            circuit.append_op("cx", (1, 1))
+        with pytest.raises(ValueError):
+            circuit.append_op("h", ())
+        assert len(circuit) == 0
+
+    def test_self_extension_with_params(self):
+        circuit = QuantumCircuit(2, name="selfext")
+        circuit.append_op("rz", (0,), ("0.5",))
+        circuit.append_op("cx", (0, 1))
+        reference = circuit.gates
+        circuit.extend(circuit)
+        assert circuit.gates == reference * 2
+
+    def test_extension_with_own_slice_view(self):
+        circuit = QuantumCircuit(2, name="viewext")
+        circuit.append_op("rz", (0,), ("0.25",))
+        circuit.append_op("cx", (0, 1))
+        circuit.append_op("cx", (0, 1))
+        view = circuit.sliced_by_two_qubit_gates(1)[0]
+        expected = circuit.gates + view.gates
+        circuit.extend(view)
+        assert circuit.gates == expected
+
+    def test_gates_list_mutation_never_touches_the_circuit(self):
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        aliased = circuit.gates
+        aliased.append(h(0))
+        aliased[0] = h(1)
+        assert circuit.gates == [cx(0, 1)]
+        assert len(circuit) == 1

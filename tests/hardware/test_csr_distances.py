@@ -1,0 +1,79 @@
+"""The architecture's CSR adjacency and flat distance matrix.
+
+Both are derived once per instance and shared by every router; these tests
+pin them to the set-based adjacency and the nested distance matrix they
+replaced in the hot paths.
+"""
+
+import pytest
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.topologies import (
+    grid_architecture,
+    heavy_hex_architecture,
+    line_architecture,
+    ring_architecture,
+    tokyo_architecture,
+)
+
+ARCHITECTURES = [
+    line_architecture(7),
+    ring_architecture(6),
+    grid_architecture(3, 4),
+    tokyo_architecture(),
+    heavy_hex_architecture(3),
+    Architecture(5, [(0, 1), (3, 4)], name="two-islands"),
+]
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES,
+                         ids=lambda a: a.name)
+def test_neighbors_sorted_matches_adjacency_sets(architecture):
+    for qubit in range(architecture.num_qubits):
+        run = architecture.neighbors_sorted(qubit)
+        assert run == sorted(architecture.neighbors(qubit))
+        assert architecture.degree(qubit) == len(run)
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES,
+                         ids=lambda a: a.name)
+def test_flat_distances_match_nested_view(architecture):
+    flat = architecture.flat_distance_matrix()
+    nested = architecture.distance_matrix()
+    n = architecture.num_qubits
+    assert len(flat) == n * n
+    for a in range(n):
+        for b in range(n):
+            assert flat[a * n + b] == nested[a][b]
+            assert architecture.distance(a, b) == nested[a][b]
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES,
+                         ids=lambda a: a.name)
+def test_flat_matrix_is_computed_once_and_shared(architecture):
+    assert architecture.flat_distance_matrix() is architecture.flat_distance_matrix()
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES,
+                         ids=lambda a: a.name)
+def test_reachability_agrees_with_bfs(architecture):
+    n = architecture.num_qubits
+    for source in range(n):
+        seen = {source}
+        stack = [source]
+        while stack:
+            for neighbor in architecture.neighbors_sorted(stack.pop()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        for target in range(n):
+            assert architecture.reachable(source, target) == (target in seen)
+
+
+def test_distance_one_is_exactly_adjacency():
+    architecture = tokyo_architecture()
+    n = architecture.num_qubits
+    flat = architecture.flat_distance_matrix()
+    for a in range(n):
+        for b in range(n):
+            assert (flat[a * n + b] == 1) == architecture.are_adjacent(a, b)

@@ -1,0 +1,78 @@
+"""Cache-compatibility regression: job content hashes are frozen.
+
+The flat-IR refactor rebuilt the circuit and architecture layers underneath
+the service, but a :class:`~repro.service.jobs.RoutingJob` hashes only the
+canonical QASM text, the architecture's edge list, and the canonical router
+spec -- none of the derived data (CSR adjacency, flat distance matrices,
+prefix statistics).  These golden hashes were captured from the pre-refactor
+implementation; if any of them moves, previously cached results silently
+stop being found (or worse, alias), so a change here is a cache-format
+break and must bump ``JOB_HASH_VERSION`` deliberately.
+"""
+
+from repro.circuits.named_circuits import ghz_circuit, qft_circuit
+from repro.circuits.random_circuits import random_circuit
+from repro.hardware.topologies import (
+    grid_architecture,
+    line_architecture,
+    tokyo_architecture,
+)
+from repro.service.jobs import RoutingJob
+
+#: spec string -> (job builder, golden SHA-256 captured before the IR refactor)
+GOLDEN = {
+    "satmap": (
+        lambda: (qft_circuit(5), tokyo_architecture()),
+        "8da806fa513fa80d8a7a417e560a884c1a27a0c4054122a39a4991a26ec59f91",
+    ),
+    "satmap:slice_size=10,swaps_per_gate=2": (
+        lambda: (qft_circuit(4), line_architecture(5)),
+        "e295a47cb8096cf3dd728069101ff5125fd4039b2d96c0a4e3a6eb3085860cc5",
+    ),
+    "sabre:seed=3": (
+        lambda: (ghz_circuit(6), grid_architecture(2, 4)),
+        "89c4f523fa8e262199bf54ba24af26c3be074ca8361bd33c27f6d254f3ad6ecd",
+    ),
+    "tket": (
+        lambda: (random_circuit(num_qubits=6, num_two_qubit_gates=20, seed=11),
+                 grid_architecture(3, 3)),
+        "9e76c9f930b53f139a5aee1547cf5317d322e6652434b7cd707fe4be9d5bb6c0",
+    ),
+    "astar": (
+        lambda: (random_circuit(num_qubits=4, num_two_qubit_gates=8,
+                                single_qubit_ratio=0.5, seed=7),
+                 line_architecture(4)),
+        "b65ab85656dc8bf35d8fe61483516418769b9824960c0c332df902405d693f1a",
+    ),
+}
+
+
+def test_job_content_hashes_are_byte_identical_to_the_seed():
+    for spec, (build, golden) in GOLDEN.items():
+        circuit, architecture = build()
+        job = RoutingJob.from_spec(circuit, architecture, spec)
+        assert job.content_hash() == golden, (
+            f"content hash for {spec!r} drifted -- cached results would be "
+            f"orphaned; bump JOB_HASH_VERSION if this is intentional"
+        )
+
+
+def test_hash_is_insensitive_to_derived_architecture_state():
+    """Forcing the derived caches (distances, CSR) must not perturb the hash."""
+    circuit, architecture = GOLDEN["satmap"][0]()
+    cold = RoutingJob.from_spec(circuit, architecture, "satmap").content_hash()
+    architecture.flat_distance_matrix()
+    architecture.distance_matrix()
+    architecture.is_connected()
+    warm = RoutingJob.from_spec(circuit, architecture, "satmap").content_hash()
+    assert cold == warm == GOLDEN["satmap"][1]
+
+
+def test_hash_is_insensitive_to_circuit_views_and_caches():
+    """A slice view covering the whole circuit hashes like the circuit."""
+    circuit, architecture = GOLDEN["tket"][0]()
+    whole_view = circuit.sliced_by_two_qubit_gates(
+        circuit.num_two_qubit_gates)[0]
+    from_view = RoutingJob.from_circuit(whole_view, architecture, "tket",
+                                        name=circuit.name)
+    assert from_view.content_hash() == GOLDEN["tket"][1]
