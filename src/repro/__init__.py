@@ -23,7 +23,10 @@ The package is organised bottom-up:
 * :mod:`repro.server` -- the network layer: an asyncio JSON-over-HTTP
   gateway serving the batch service to concurrent clients (versioned wire
   protocol, cross-client dedup, token-bucket admission control, ``/metrics``,
-  graceful drain) plus the blocking ``RoutingClient``.
+  graceful drain) plus the blocking ``RoutingClient``;
+* :mod:`repro.obs` -- observability primitives shared by all of the above:
+  nested spans that survive the process-pool boundary, fixed-bucket
+  Prometheus histograms, and a JSONL trace exporter.
 
 Quickstart -- route one circuit with a declarative router spec:
 
@@ -97,7 +100,7 @@ from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
 from repro.server import RoutingClient, RoutingGateway
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "QuantumCircuit",

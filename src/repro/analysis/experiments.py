@@ -34,9 +34,15 @@ class ExperimentRecord:
     solve_time: float
     status: str
     notes: str = ""
+    #: Solver-depth counters from the SAT core (zero for heuristic routers
+    #: and cache hits, which never touch the solver).
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
 
     @classmethod
     def from_result(cls, result: RoutingResult, bench: BenchmarkCircuit) -> "ExperimentRecord":
+        stats = result.solver_stats or {}
         return cls(
             router=result.router_name,
             circuit=bench.name,
@@ -49,6 +55,9 @@ class ExperimentRecord:
             solve_time=result.solve_time,
             status=result.status.value,
             notes=result.notes,
+            conflicts=int(stats.get("conflicts", 0)),
+            propagations=int(stats.get("propagations", 0)),
+            restarts=int(stats.get("restarts", 0)),
         )
 
 

@@ -72,6 +72,28 @@ def render_cost_ratio_summary(comparison: SuiteComparison, satmap_router: str,
         rows, title=title)
 
 
+def render_solver_depth_table(comparison: SuiteComparison,
+                              title: str = "solver depth per router") -> str:
+    """SAT effort roll-up: conflicts / propagations / restarts per router.
+
+    Heuristic routers never touch the solver, so their rows are all zeros;
+    the table makes the MaxSAT work visible next to the wall-clock numbers.
+    """
+    rows = []
+    for router in comparison.routers():
+        records = comparison.records[router]
+        rows.append([
+            router,
+            sum(record.conflicts for record in records),
+            sum(record.propagations for record in records),
+            sum(record.restarts for record in records),
+            round(sum(record.solve_time for record in records), 3),
+        ])
+    return render_table(
+        ["tool", "conflicts", "propagations", "restarts", "time (s)"],
+        rows, title=title)
+
+
 def render_records_table(comparison: SuiteComparison,
                          title: str = "per-benchmark results") -> str:
     """Long-form dump: one row per (router, circuit)."""

@@ -29,6 +29,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult, RoutingStatus
 from repro.core.verifier import verify_routing
 from repro.hardware.architecture import Architecture
+from repro.obs import trace as obs_trace
 
 
 class RoutingTimeout(Exception):
@@ -107,7 +108,9 @@ class BaseRouter(abc.ABC):
         result.circuit_name = self._circuit_label(circuit)
         result.solve_time = time.monotonic() - start
         if result.solved and self.verify and result.routed_circuit is not None:
-            self._verify(circuit, architecture, result)
+            with obs_trace.span("verify") as verify_span:
+                self._verify(circuit, architecture, result)
+                verify_span.set(swaps=result.swap_count)
         return result
 
     @abc.abstractmethod

@@ -18,6 +18,8 @@ The subcommands cover the common workflows:
   admission quotas, ``/metrics``, graceful drain on SIGTERM;
 * ``submit``   -- submit a QASM file to a running gateway and wait for the
   routed result;
+* ``trace``    -- fetch a finished job's span tree from a running gateway
+  and print it as an indented timing tree (``--json`` for the raw spans);
 * ``routers``  -- list every registered router: capabilities and option
   schemas, straight from the :mod:`repro.api` registry;
 * ``info``     -- print the properties of a named architecture;
@@ -202,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refuse submissions past this backlog (backpressure)")
     serve.add_argument("--portfolio", action="store_true",
                        help="race SATMAP against heuristic baselines per job")
+    serve.add_argument("--trace-dir", type=Path, default=None,
+                       help="append finished-job traces as JSONL under this "
+                            "directory (size-rotated)")
 
     submit = subparsers.add_parser(
         "submit", help="submit a QASM file to a running gateway")
@@ -224,6 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the routed circuit here when solved")
     submit.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON record")
+
+    trace = subparsers.add_parser(
+        "trace", help="print a finished job's span tree from a gateway")
+    trace.add_argument("job_id", help="job id returned by submit")
+    trace.add_argument("--url", default="http://127.0.0.1:8037",
+                       help="gateway address")
+    trace.add_argument("--client-id", default=None,
+                       help="quota identity sent as X-Client-Id")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw span tree as JSON")
 
     info = subparsers.add_parser("info", help="describe a named architecture")
     info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
@@ -496,7 +511,8 @@ def command_serve(args: argparse.Namespace) -> int:
                                     max_pending=args.max_pending)
     gateway = RoutingGateway(service=service, host=args.host, port=args.port,
                              admission=admission,
-                             time_budget=args.time_budget)
+                             time_budget=args.time_budget,
+                             trace_dir=args.trace_dir)
 
     def announce(started: RoutingGateway) -> None:
         print(f"repro gateway listening on {started.url} "
@@ -565,6 +581,27 @@ def command_submit(args: argparse.Namespace) -> int:
         if output is not None:
             print(f"routed circuit written to {output}")
     return 0 if result.solved else 2
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    from repro.server import RoutingClient, ServerError
+
+    client = RoutingClient.from_url(args.url, client_id=args.client_id)
+    try:
+        payload = client.trace(args.job_id)
+    except (ServerError, ConnectionError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload.get("trace"), indent=2, sort_keys=True))
+        return 0
+    rendered = payload.get("rendered")
+    if rendered:
+        print(rendered)
+    else:
+        from repro.obs import render_trace
+        print(render_trace(payload["trace"]))
+    return 0
 
 
 def command_info(args: argparse.Namespace) -> int:
@@ -682,6 +719,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-service": command_bench_service,
         "serve": command_serve,
         "submit": command_submit,
+        "trace": command_trace,
         "info": command_info,
         "devices": command_devices,
         "routers": command_routers,

@@ -56,6 +56,14 @@ class RoutingResult:
     #: Learnt clauses still retained by the session(s) when the result was
     #: produced -- the visible payoff of incremental reuse.
     learnt_clauses_retained: int = 0
+    #: CDCL depth counters (conflicts / decisions / propagations / restarts /
+    #: learnt_clauses) accumulated by the session(s) behind this result,
+    #: summed across slices.  Heuristic routers leave it empty.
+    solver_stats: dict = field(default_factory=dict)
+    #: Serialised trace tree (a :meth:`repro.obs.Span.to_dict` payload) when
+    #: the job ran under a tracer; excluded from equality so cached results
+    #: compare by routing content only.
+    trace: dict | None = field(default=None, repr=False, compare=False)
 
     SWAP_CNOT_COST: int = 3
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.api.protocol import BaseRouter
 from repro.circuits.circuit import QuantumCircuit
+from repro.obs import trace as obs_trace
 from repro.core.encoder import EncodingOptions, QmrEncoder, QmrEncoding
 from repro.core.extraction import build_routed_circuit, extract_solution
 from repro.core.result import RoutingResult, RoutingStatus
@@ -222,28 +223,33 @@ class SatMapRouter(BaseRouter):
         instance_key = (_instance_key(circuit, architecture)
                         if self.incremental else ())
 
-        if (self.incremental and context is not None
-                and context.matches(instance_key,
-                                    leading_slots, swaps_per_gate,
-                                    cyclic, fixed_initial_mapping, excluded)):
-            encoding = context.encoding
-        else:
-            context = self._build_context(circuit, architecture, instance_key,
-                                          fixed_initial_mapping, cyclic,
-                                          leading_slots, swaps_per_gate)
-            encoding = context.encoding if context is not None else None
-            if encoding is None:  # non-incremental: plain encode
-                options = self.encoding_options(fixed_initial_mapping, cyclic,
-                                                leading_slots=leading_slots,
-                                                swaps_per_gate=swaps_per_gate)
-                encoding = QmrEncoder(architecture, options).encode(circuit)
-        for mapping in excluded[context.excluded_count if context else 0:]:
-            clause = encoding.final_mapping_exclusion(mapping)
-            if clause:
-                encoding.builder.add_hard(clause)
-            if context is not None:
-                context.excluded.append(dict(mapping))
-        timings["encode"] = time.monotonic() - encode_start
+        with obs_trace.span("encode") as encode_span:
+            if (self.incremental and context is not None
+                    and context.matches(instance_key,
+                                        leading_slots, swaps_per_gate,
+                                        cyclic, fixed_initial_mapping, excluded)):
+                encoding = context.encoding
+                encode_span.set(reused=True)
+            else:
+                context = self._build_context(circuit, architecture, instance_key,
+                                              fixed_initial_mapping, cyclic,
+                                              leading_slots, swaps_per_gate)
+                encoding = context.encoding if context is not None else None
+                if encoding is None:  # non-incremental: plain encode
+                    options = self.encoding_options(fixed_initial_mapping, cyclic,
+                                                    leading_slots=leading_slots,
+                                                    swaps_per_gate=swaps_per_gate)
+                    encoding = QmrEncoder(architecture, options).encode(circuit)
+            for mapping in excluded[context.excluded_count if context else 0:]:
+                clause = encoding.final_mapping_exclusion(mapping)
+                if clause:
+                    encoding.builder.add_hard(clause)
+                if context is not None:
+                    context.excluded.append(dict(mapping))
+            timings["encode"] = time.monotonic() - encode_start
+            encode_span.set(variables=encoding.num_variables,
+                            hard_clauses=encoding.num_hard_clauses,
+                            soft_clauses=encoding.num_soft_clauses)
 
         assumptions: list[int] | None = None
         if (fixed_initial_mapping
@@ -252,9 +258,14 @@ class SatMapRouter(BaseRouter):
 
         solver = context.maxsat if context is not None else MaxSatSolver(self.strategy)
         solve_start = time.monotonic()
-        maxsat_result = solver.solve(encoding.builder, time_budget=time_budget,
-                                     assumptions=assumptions)
-        timings["solve"] = time.monotonic() - solve_start
+        with obs_trace.span("solve", strategy=self.strategy) as solve_span:
+            maxsat_result = solver.solve(encoding.builder, time_budget=time_budget,
+                                         assumptions=assumptions)
+            timings["solve"] = time.monotonic() - solve_start
+            solve_span.set(status=maxsat_result.status.value,
+                           sat_calls=maxsat_result.sat_calls)
+            if context is not None:
+                solve_span.set(**context.session.solver_stats())
         if context is not None:
             context.solves += 1
 
@@ -271,6 +282,7 @@ class SatMapRouter(BaseRouter):
         if context is not None:
             base.clauses_streamed = context.session.stats.clauses_streamed
             base.learnt_clauses_retained = context.session.learnt_clauses_retained
+            base.solver_stats = context.session.solver_stats()
         if maxsat_result.status is MaxSatStatus.UNSATISFIABLE:
             base.status = RoutingStatus.UNSATISFIABLE
             return MonolithicOutcome(base, encoding, None, context)
@@ -278,9 +290,11 @@ class SatMapRouter(BaseRouter):
             return MonolithicOutcome(base, encoding, None, context)
 
         extract_start = time.monotonic()
-        solution = extract_solution(encoding, maxsat_result.model)
-        routed = build_routed_circuit(circuit, encoding, solution)
-        timings["extract"] = time.monotonic() - extract_start
+        with obs_trace.span("extract") as extract_span:
+            solution = extract_solution(encoding, maxsat_result.model)
+            routed = build_routed_circuit(circuit, encoding, solution)
+            timings["extract"] = time.monotonic() - extract_start
+            extract_span.set(swaps=solution.swap_count)
         base.status = (RoutingStatus.OPTIMAL if maxsat_result.is_optimal
                        else RoutingStatus.FEASIBLE)
         base.optimal = maxsat_result.is_optimal

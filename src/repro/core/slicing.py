@@ -21,6 +21,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult, RoutingStatus
 from repro.core.satmap import MonolithicOutcome, SliceContext
 from repro.hardware.architecture import Architecture
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.satmap import SatMapRouter
@@ -77,14 +78,18 @@ def route_sliced(circuit: QuantumCircuit, architecture: Architecture,
             previous = slices[index - 1].outcome
             assert previous is not None and previous.result.solved
             fixed = previous.result.final_mapping
-        outcome = router.solve_monolithic(
-            state.circuit, architecture, remaining,
-            fixed_initial_mapping=fixed,
-            excluded_final_mappings=state.excluded_final_mappings,
-            leading_slots=state.leading_slots if index > 0 else None,
-            swaps_per_gate=state.swaps_per_gate,
-            context=state.context,
-        )
+        with obs_trace.span("slice", slice=state.index,
+                            backtracks=backtracks) as slice_span:
+            outcome = router.solve_monolithic(
+                state.circuit, architecture, remaining,
+                fixed_initial_mapping=fixed,
+                excluded_final_mappings=state.excluded_final_mappings,
+                leading_slots=state.leading_slots if index > 0 else None,
+                swaps_per_gate=state.swaps_per_gate,
+                context=state.context,
+            )
+            slice_span.set(status=outcome.result.status.value,
+                           swaps=outcome.result.swap_count)
         state.context = outcome.context
         if outcome.result.solved:
             state.outcome = outcome
@@ -136,6 +141,7 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
     stage_timings: dict[str, float] = {}
     clauses_streamed = 0
     learnt_retained = 0
+    solver_stats: dict[str, int] = {}
     for state in slices:
         outcome = state.outcome
         assert outcome is not None and outcome.result.routed_circuit is not None
@@ -150,6 +156,8 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
             stage_timings[stage] = stage_timings.get(stage, 0.0) + seconds
         clauses_streamed += outcome.result.clauses_streamed
         learnt_retained += outcome.result.learnt_clauses_retained
+        for counter, value in outcome.result.solver_stats.items():
+            solver_stats[counter] = solver_stats.get(counter, 0) + int(value)
 
     first = slices[0].outcome
     last = slices[-1].outcome
@@ -180,6 +188,7 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
         stage_timings=stage_timings,
         clauses_streamed=clauses_streamed,
         learnt_clauses_retained=learnt_retained,
+        solver_stats=solver_stats,
     )
 
 

@@ -1,0 +1,66 @@
+"""Observability core: tracing, histogram metrics, and exposition tooling.
+
+``repro.obs`` is the dependency-free telemetry substrate the rest of the
+repository builds on:
+
+* :mod:`repro.obs.trace` -- nested spans with monotonic durations and a
+  context that crosses process boundaries (the worker pool serialises a span
+  context into the job payload and reattaches the finished subtree), plus a
+  tree renderer and a structural validator;
+* :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket histograms
+  behind a :class:`MetricsRegistry`, rendered as Prometheus text exposition;
+* :mod:`repro.obs.promcheck` -- a small text-format checker (HELP/TYPE
+  pairing, label escaping, monotone histogram buckets ending in ``+Inf``,
+  ``_sum``/``_count`` consistency) used by the tests and the CI smoke gate;
+* :mod:`repro.obs.export` -- size-rotated JSONL persistence for finished
+  traces (``repro serve --trace-dir``).
+
+The module deliberately imports nothing from the rest of ``repro`` so every
+layer -- the SAT core included -- can emit spans without import cycles.
+"""
+
+from repro.obs.export import JsonlTraceWriter, read_traces
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_families,
+)
+from repro.obs.promcheck import check_exposition, parse_exposition
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate,
+    add_attributes,
+    current_tracer,
+    find_span,
+    record,
+    render_trace,
+    span,
+    span_names,
+    validate_trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "add_attributes",
+    "current_tracer",
+    "find_span",
+    "record",
+    "render_trace",
+    "span",
+    "span_names",
+    "validate_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_families",
+    "check_exposition",
+    "parse_exposition",
+    "JsonlTraceWriter",
+    "read_traces",
+]

@@ -1,0 +1,107 @@
+"""Size-rotated JSONL persistence for finished traces.
+
+``repro serve --trace-dir DIR`` hands finished-job trace trees to a
+:class:`JsonlTraceWriter`.  Each trace is one JSON line appended to
+``traces.jsonl``; when the active file would exceed ``max_bytes`` it is
+rotated to ``traces-<n>.jsonl`` (monotonically increasing ``n``) so
+production traces survive process restarts without unbounded growth of any
+single file.  Writes are locked and flushed line-at-a-time -- a crash loses
+at most the trace being written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+__all__ = ["JsonlTraceWriter", "read_traces"]
+
+
+class JsonlTraceWriter:
+    """Append trace trees as JSON lines, rotating the file by size."""
+
+    def __init__(self, directory: str | Path, filename: str = "traces.jsonl",
+                 max_bytes: int = 16 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.filename = filename
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.written = 0
+        self.rotations = 0
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.filename
+
+    # ------------------------------------------------------------- rotation
+
+    def _next_rotation_index(self) -> int:
+        stem, suffix = os.path.splitext(self.filename)
+        best = 0
+        for existing in self.directory.glob(f"{stem}-*{suffix}"):
+            tail = existing.stem[len(stem) + 1:]
+            if tail.isdigit():
+                best = max(best, int(tail))
+        return best + 1
+
+    def _rotate(self) -> None:
+        stem, suffix = os.path.splitext(self.filename)
+        target = self.directory / f"{stem}-{self._next_rotation_index()}{suffix}"
+        self.path.rename(target)
+        self.rotations += 1
+
+    # --------------------------------------------------------------- writes
+
+    def write(self, tree) -> Path:
+        """Append one trace (a :class:`~repro.obs.trace.Span` or dict)."""
+        payload = tree.to_dict() if hasattr(tree, "to_dict") else tree
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        encoded = (line + "\n").encode("utf-8")
+        with self._lock:
+            try:
+                current = self.path.stat().st_size
+            except OSError:
+                current = 0
+            if current and current + len(encoded) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "ab") as handle:
+                handle.write(encoded)
+                handle.flush()
+            self.written += 1
+        return self.path
+
+    def files(self) -> list[Path]:
+        """Every trace file, rotated ones first, active file last."""
+        stem, suffix = os.path.splitext(self.filename)
+
+        def sort_key(path: Path) -> int:
+            tail = path.stem[len(stem) + 1:]
+            return int(tail) if tail.isdigit() else 0
+
+        rotated = sorted(self.directory.glob(f"{stem}-*{suffix}"),
+                         key=sort_key)
+        active = [self.path] if self.path.exists() else []
+        return rotated + active
+
+
+def read_traces(directory: str | Path,
+                filename: str = "traces.jsonl") -> list[dict]:
+    """Load every trace tree a writer left under ``directory``, in order."""
+    writer_view = JsonlTraceWriter.__new__(JsonlTraceWriter)
+    writer_view.directory = Path(directory)
+    writer_view.filename = filename
+    traces: list[dict] = []
+    if not writer_view.directory.exists():
+        return traces
+    for path in writer_view.files():
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    traces.append(json.loads(line))
+    return traces

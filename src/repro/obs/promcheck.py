@@ -1,0 +1,313 @@
+"""A small Prometheus text-exposition checker.
+
+:func:`parse_exposition` splits a ``/metrics`` document into families with
+their HELP/TYPE metadata and parsed samples; :func:`check_exposition`
+returns a list of human-readable problems (empty = clean):
+
+* every sample belongs to a family introduced by paired ``# HELP`` and
+  ``# TYPE`` lines (in that order, exactly once each);
+* sample names match the family (histograms may only append ``_bucket``,
+  ``_sum``, ``_count``);
+* label syntax is well formed and escaped values parse back;
+* histogram bucket counts are monotonically non-decreasing over increasing
+  ``le``, end with ``le="+Inf"``, and ``+Inf`` equals ``_count``;
+* counter and histogram sample values are finite and non-negative.
+
+This backs the exposition-correctness tests and the CI smoke gate; it is a
+format sanity checker, not a full scrape parser.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["MetricSample", "MetricFamily", "parse_exposition",
+           "check_exposition"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class MetricSample:
+    """One parsed sample line."""
+
+    __slots__ = ("name", "labels", "value", "line_no")
+
+    def __init__(self, name: str, labels: dict, value: float,
+                 line_no: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+        self.line_no = line_no
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class MetricFamily:
+    """A family: HELP/TYPE metadata plus its samples in document order."""
+
+    __slots__ = ("name", "help", "type", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.help: str | None = None
+        self.type: str | None = None
+        self.samples: list[MetricSample] = []
+
+
+def _unescape_label(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:  # unknown escape: keep both chars
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, line_no: int, problems: list[str]) -> dict:
+    """Parse ``name="value",...`` (the part between braces)."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = _LABEL_NAME_RE.match(text, i)
+        if match is None:
+            problems.append(f"line {line_no}: bad label name at {text[i:]!r}")
+            return labels
+        name = match.group(0)
+        i = match.end()
+        if not text.startswith('="', i):
+            problems.append(f"line {line_no}: label {name!r} missing ="
+                            f" quoted value")
+            return labels
+        i += 2
+        raw: list[str] = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                raw.append(text[i:i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            i += 1
+        else:
+            problems.append(f"line {line_no}: unterminated label value "
+                            f"for {name!r}")
+            return labels
+        i += 1  # closing quote
+        if name in labels:
+            problems.append(f"line {line_no}: duplicate label {name!r}")
+        labels[name] = _unescape_label("".join(raw))
+        if i < len(text):
+            if text[i] != ",":
+                problems.append(f"line {line_no}: expected ',' between "
+                                f"labels, got {text[i]!r}")
+                return labels
+            i += 1
+    return labels
+
+
+def _parse_value(token: str) -> float | None:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str, families: dict[str, MetricFamily],
+               ) -> MetricFamily | None:
+    """The family a sample belongs to, honouring histogram suffixes."""
+    if sample_name in families:
+        family = families[sample_name]
+        if family.type != "histogram":
+            return family
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family.type == "histogram":
+                return family
+    return families.get(sample_name)
+
+
+def parse_exposition(text: str,
+                     problems: list[str] | None = None,
+                     ) -> dict[str, MetricFamily]:
+    """Parse exposition text into families; syntax issues go to ``problems``."""
+    sink = problems if problems is not None else []
+    families: dict[str, MetricFamily] = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # a comment, not metadata
+            keyword, name = parts[1], parts[2]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.fullmatch(name):
+                sink.append(f"line {line_no}: invalid metric name {name!r}")
+                continue
+            family = families.setdefault(name, MetricFamily(name))
+            if keyword == "HELP":
+                if family.help is not None:
+                    sink.append(f"line {line_no}: duplicate HELP for {name}")
+                family.help = rest
+            else:
+                if family.type is not None:
+                    sink.append(f"line {line_no}: duplicate TYPE for {name}")
+                if family.help is None:
+                    sink.append(f"line {line_no}: TYPE for {name} precedes "
+                                f"its HELP line")
+                family.type = rest.strip()
+            continue
+
+        match = _NAME_RE.match(line)
+        if match is None:
+            sink.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group(0)
+        rest = line[match.end():]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            close = rest.rfind("}")
+            if close < 0:
+                sink.append(f"line {line_no}: unterminated label set")
+                continue
+            labels = _parse_labels(rest[1:close], line_no, sink)
+            rest = rest[close + 1:]
+        tokens = rest.split()
+        if not tokens:
+            sink.append(f"line {line_no}: sample {name} has no value")
+            continue
+        value = _parse_value(tokens[0])
+        if value is None:
+            sink.append(f"line {line_no}: bad sample value {tokens[0]!r}")
+            continue
+        family = _family_of(name, families)
+        if family is None:
+            sink.append(f"line {line_no}: sample {name} has no preceding "
+                        f"HELP/TYPE family")
+            family = families.setdefault(name, MetricFamily(name))
+        family.samples.append(MetricSample(name, labels, value, line_no))
+
+    return families
+
+
+def _check_histogram(family: MetricFamily, problems: list[str]) -> None:
+    # Group bucket samples by their non-"le" labels so labeled histograms
+    # are validated series by series.
+    series: dict[tuple, list[MetricSample]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+    for sample in family.samples:
+        if sample.name == family.name + "_bucket":
+            key = tuple(sorted((k, v) for k, v in sample.labels.items()
+                               if k != "le"))
+            series.setdefault(key, []).append(sample)
+        elif sample.name == family.name + "_sum":
+            sums[tuple(sorted(sample.labels.items()))] = sample.value
+        elif sample.name == family.name + "_count":
+            counts[tuple(sorted(sample.labels.items()))] = sample.value
+        else:
+            problems.append(f"{family.name}: unexpected histogram sample "
+                            f"{sample.name}")
+    if not series:
+        problems.append(f"{family.name}: histogram has no _bucket samples")
+    for key, buckets in series.items():
+        label_desc = dict(key) or "{}"
+        les: list[float] = []
+        last = -math.inf
+        prev_count = -1.0
+        for sample in buckets:
+            le_raw = sample.labels.get("le")
+            if le_raw is None:
+                problems.append(f"{family.name}{label_desc}: _bucket sample "
+                                f"missing 'le' label")
+                continue
+            le = _parse_value(le_raw)
+            if le is None or le != le:
+                problems.append(f"{family.name}{label_desc}: bad le value "
+                                f"{le_raw!r}")
+                continue
+            if le <= last:
+                problems.append(f"{family.name}{label_desc}: bucket bounds "
+                                f"not increasing at le={le_raw}")
+            last = le
+            if sample.value < prev_count:
+                problems.append(f"{family.name}{label_desc}: bucket counts "
+                                f"decrease at le={le_raw}")
+            prev_count = sample.value
+            les.append(le)
+        if not les or les[-1] != math.inf:
+            problems.append(f"{family.name}{label_desc}: buckets do not end "
+                            f'with le="+Inf"')
+        count = counts.get(key)
+        if count is None:
+            problems.append(f"{family.name}{label_desc}: missing _count")
+        elif les and les[-1] == math.inf and buckets and (
+                buckets[-1].value != count):
+            problems.append(
+                f"{family.name}{label_desc}: +Inf bucket "
+                f"({buckets[-1].value}) != _count ({count})")
+        total = sums.get(key)
+        if total is None:
+            problems.append(f"{family.name}{label_desc}: missing _sum")
+        elif count == 0 and total != 0:
+            problems.append(f"{family.name}{label_desc}: _sum nonzero with "
+                            f"_count 0")
+
+
+def check_exposition(text: str) -> list[str]:
+    """All problems found in an exposition document (empty list = clean)."""
+    problems: list[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("document does not end with a newline")
+    families = parse_exposition(text, problems)
+    for family in families.values():
+        if family.help is None:
+            problems.append(f"{family.name}: missing # HELP line")
+        if family.type is None:
+            problems.append(f"{family.name}: missing # TYPE line")
+            continue
+        if family.type not in ("counter", "gauge", "histogram", "summary",
+                               "untyped"):
+            problems.append(f"{family.name}: unknown type {family.type!r}")
+            continue
+        if family.type == "histogram":
+            _check_histogram(family, problems)
+            continue
+        if not family.samples:
+            problems.append(f"{family.name}: family has no samples")
+        for sample in family.samples:
+            if sample.name != family.name:
+                problems.append(f"{family.name}: sample name {sample.name} "
+                                f"does not match family")
+            if family.type == "counter":
+                if sample.value != sample.value or sample.value < 0:
+                    problems.append(f"{family.name}: counter value "
+                                    f"{sample.value} is negative or NaN")
+    return problems

@@ -130,6 +130,10 @@ class SatSession:
             "propagations": self.solver.stats.propagations,
         }
 
+    def solver_stats(self) -> dict:
+        """The underlying solver's cumulative depth counters, as a dict."""
+        return self.solver.stats.as_dict()
+
     def reset(self) -> None:
         """Discard all solver state and start an empty session.
 

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.obs import trace as obs_trace
 from repro.sat.assignment import Trail
 from repro.sat.clause import Clause, ClauseDatabase
 from repro.sat.literals import neg, var_of
@@ -82,6 +83,17 @@ class SolverStatistics:
     restarts: int = 0
     learnt_clauses: int = 0
     deleted_clauses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for telemetry details and span attributes."""
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learnt_clauses": self.learnt_clauses,
+            "deleted_clauses": self.deleted_clauses,
+        }
 
 
 def luby(index: int) -> int:
@@ -421,12 +433,14 @@ class SatSolver:
     ) -> SolveResult:
         """Solve the current formula under optional assumptions and budgets."""
         start = time.monotonic()
+        wall_start = time.time()
         start_conflicts = self.stats.conflicts
         start_decisions = self.stats.decisions
         start_propagations = self.stats.propagations
+        start_restarts = self.stats.restarts
 
         def make_result(status: SolverStatus, model=None, core=None) -> SolveResult:
-            return SolveResult(
+            result = SolveResult(
                 status=status,
                 model=model or {},
                 core=core or [],
@@ -435,6 +449,17 @@ class SatSolver:
                 propagations=self.stats.propagations - start_propagations,
                 solve_time=time.monotonic() - start,
             )
+            # Every exit funnels through here, so this one call gives a
+            # per-solve span (with its counter deltas) to any active tracer;
+            # when tracing is off it is a single context-variable read.
+            obs_trace.record(
+                "sat-solve", start=wall_start, duration=result.solve_time,
+                status=status.value, conflicts=result.conflicts,
+                decisions=result.decisions, propagations=result.propagations,
+                restarts=self.stats.restarts - start_restarts,
+                assumptions=len(assumptions) if assumptions else 0,
+            )
+            return result
 
         if not self._ok:
             return make_result(SolverStatus.UNSAT)

@@ -18,6 +18,7 @@ POST        ``/v1/jobs``               submit a routing job (dedups by content)
 GET         ``/v1/jobs``               list known jobs
 GET         ``/v1/jobs/<id>``          job status; ``?wait=SECS`` long-polls
 GET         ``/v1/jobs/<id>/result``   the full result (routed circuit as QASM)
+GET         ``/v1/jobs/<id>/trace``    the job's span tree + rendered form
 GET         ``/v1/routers``            registry listing (``?capability=`` filter)
 GET         ``/v1/devices``            device catalogue + addressable arch names
 GET         ``/v1/stats``              JSON counters (telemetry/cache/admission)
@@ -54,6 +55,8 @@ from dataclasses import dataclass, field
 from repro.api.registry import describe_routers
 from repro.core.result import RoutingResult
 from repro.hardware.devices import device_records, named_architectures
+from repro.obs import render_trace
+from repro.obs.export import JsonlTraceWriter
 from repro.server import protocol
 from repro.server.admission import AdmissionController
 from repro.service import BatchRoutingService
@@ -80,6 +83,8 @@ class JobRecord:
     result: RoutingResult | None = None
     error: str | None = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Root span id of this job's trace tree in the gateway's tracer.
+    trace_id: str | None = None
 
     def status_payload(self, include_result: bool = False) -> dict:
         payload = {
@@ -129,6 +134,10 @@ class RoutingGateway:
         finished ones are dropped (their results stay reachable through the
         service's result cache -- a resubmission is a fast cache hit, not a
         re-solve).  Queued/running jobs are never dropped.
+    trace_dir:
+        When set, every finished job's trace tree is appended as JSONL
+        under this directory (size-rotated files), so production traces
+        survive process restarts.
     """
 
     def __init__(self, service: BatchRoutingService | None = None,
@@ -138,7 +147,8 @@ class RoutingGateway:
                  max_batch: int = 32,
                  long_poll_cap: float = 30.0,
                  max_records: int = 4096,
-                 architectures: dict | None = None) -> None:
+                 architectures: dict | None = None,
+                 trace_dir=None) -> None:
         self.service = service if service is not None else BatchRoutingService()
         self._owns_service = service is None
         self.host = host
@@ -150,6 +160,18 @@ class RoutingGateway:
         self.max_records = max(1, max_records)
         self.architectures = (architectures if architectures is not None
                               else named_architectures())
+        #: Shared with the service so the worker-pool subtrees graft into
+        #: the same trees the gateway's root spans live in.  ``None`` when
+        #: the service was built with ``tracer=False``.
+        self.tracer = self.service.tracer
+        self._trace_writer = (JsonlTraceWriter(trace_dir)
+                              if trace_dir is not None else None)
+        #: One registry backs /metrics: the telemetry histograms are already
+        #: on it, and every gateway family is mirrored into it at scrape time.
+        self.metrics = self.service.telemetry.metrics
+        self._gateway_seconds = self.metrics.histogram(
+            "repro_gateway_job_seconds",
+            "Submission-to-finish seconds per gateway job")
         self.jobs: dict[str, JobRecord] = {}
         self.counters = {
             "requests": 0,
@@ -260,6 +282,20 @@ class RoutingGateway:
             self.counters["completed"] += 1
         else:
             self.counters["failed"] += 1
+        elapsed = record.finished_at - record.submitted_at
+        self._gateway_seconds.observe(elapsed)
+        if self.tracer is not None and record.trace_id is not None:
+            root = self.tracer.get(record.trace_id)
+            if root is not None:
+                attrs = {"submissions": record.submissions}
+                if result is not None:
+                    attrs["status"] = result.status.value
+                    attrs["swaps"] = result.swap_count
+                if error is not None:
+                    attrs["error"] = error
+                root.finish(**attrs)
+                if self._trace_writer is not None:
+                    self._trace_writer.write(root)
         record.done.set()
         self._prune_records()
 
@@ -281,6 +317,7 @@ class RoutingGateway:
     async def _submit(self, headers: dict, payload: dict,
                       peer: str) -> tuple[int, dict, dict]:
         client_id = headers.get("x-client-id") or peer
+        submit_started = time.time()
         if self._draining:
             self.counters["rejected_draining"] += 1
             return 503, protocol.error_payload("server is draining"), {}
@@ -319,6 +356,19 @@ class RoutingGateway:
             body["deduplicated"] = True
             return 200, body, {}
         record = JobRecord(job_id=job_id, job=job)
+        if self.tracer is not None:
+            # The gateway owns the job's root span; admission + parsing is
+            # its first (closed) child, and the job's trace context rides on
+            # the job so service and pool spans graft under the same root.
+            now = time.time()
+            root = self.tracer.start_trace(
+                "job", start=submit_started, job=job_id,
+                job_name=job.name, router=job.router)
+            self.tracer.record("admit", root, start=submit_started,
+                               duration=now - submit_started,
+                               client=client_id)
+            job.trace_context = dict(root.context(), enqueued_at=now)
+            record.trace_id = root.trace_id
         self.jobs[job_id] = record
         self._open_jobs += 1
         self.counters["submitted"] += 1
@@ -348,6 +398,23 @@ class RoutingGateway:
         # close before a follow-up fetch could connect.
         include_result = query.get("include_result", "") in ("1", "true", "yes")
         return 200, record.status_payload(include_result=include_result), {}
+
+    def _job_trace(self, job_id: str) -> tuple[int, dict, dict]:
+        """The job's span tree (finished or in flight) plus a rendered form."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            return 404, protocol.error_payload(f"unknown job {job_id!r}"), {}
+        if self.tracer is None or record.trace_id is None:
+            return 404, protocol.error_payload(
+                "tracing is disabled for this job"), {}
+        root = self.tracer.get(record.trace_id)
+        if root is None:
+            return 404, protocol.error_payload(
+                "trace evicted from the in-memory store"), {}
+        tree = root.to_dict()
+        return 200, protocol.envelope(job_id=job_id, status=record.status,
+                                      trace=tree,
+                                      rendered=render_trace(tree)), {}
 
     def _job_result(self, job_id: str) -> tuple[int, dict, dict]:
         record = self.jobs.get(job_id)
@@ -379,40 +446,77 @@ class RoutingGateway:
             stats["cache"] = self.service.cache.stats()
         return stats
 
+    _COUNTER_HELP = {
+        "requests": "HTTP requests handled",
+        "submitted": "Jobs accepted for solving",
+        "deduplicated": "Submissions answered by an existing job record",
+        "completed": "Jobs finished with a result",
+        "failed": "Jobs finished with an error",
+        "rejected_draining": "Submissions refused during drain",
+        "bad_requests": "Requests rejected as malformed",
+        "records_pruned": "Finished job records evicted from memory",
+    }
+
     def _metrics_text(self) -> str:
-        """The /metrics scrape: Prometheus text exposition, no dependencies."""
+        """The /metrics scrape: registry-driven Prometheus text exposition.
+
+        Gateway counters, admission stats, telemetry event counts, and cache
+        state are mirrored into the shared :class:`MetricsRegistry` at scrape
+        time, then the whole registry -- including the latency/queue/stage/
+        conflict histograms the telemetry log feeds -- renders as one
+        document through a single formatter.
+        """
         from repro import __version__
 
-        lines = [
-            "# HELP repro_server_info Build and wire-protocol identity.",
-            "# TYPE repro_server_info gauge",
-            f'repro_server_info{{version="{__version__}",'
-            f'wire_version="{protocol.WIRE_VERSION}"}} 1',
-            f"repro_server_uptime_seconds "
-            f"{time.monotonic() - self._started:.3f}",
-            f"repro_server_draining {int(self._draining)}",
-            f"repro_server_jobs_open {self._open_jobs}",
-            f"repro_server_jobs_known {len(self.jobs)}",
-        ]
+        registry = self.metrics
+        info = registry.gauge("repro_server_info",
+                              "Build and wire-protocol identity.")
+        info.set(1, version=__version__,
+                 wire_version=str(protocol.WIRE_VERSION))
+        registry.gauge("repro_server_uptime_seconds",
+                       "Seconds since the gateway started").set(
+            round(time.monotonic() - self._started, 3))
+        registry.gauge("repro_server_draining",
+                       "Whether a graceful drain is in progress").set(
+            int(self._draining))
+        registry.gauge("repro_server_jobs_open",
+                       "Jobs queued or running").set(self._open_jobs)
+        registry.gauge("repro_server_jobs_known",
+                       "Job records held in memory").set(len(self.jobs))
         for name, value in sorted(self.counters.items()):
-            lines.append(f"repro_server_{name}_total {value}")
+            registry.counter(f"repro_server_{name}_total",
+                             self._COUNTER_HELP.get(name, name)).set_total(value)
         admission = self.admission.stats()
-        lines.append(f"repro_server_admission_admitted_total "
-                     f"{admission['admitted']}")
+        registry.counter("repro_server_admission_admitted_total",
+                         "Submissions admitted by the controller").set_total(
+            admission["admitted"])
+        rejected = registry.counter(
+            "repro_server_admission_rejected_total",
+            "Submissions rejected by the controller, by reason")
         for reason in ("quota", "backpressure"):
-            lines.append(
-                f'repro_server_admission_rejected_total{{reason="{reason}"}} '
-                f"{admission[f'rejected_{reason}']}")
+            rejected.set_total(admission[f"rejected_{reason}"], reason=reason)
+        events = registry.counter("repro_telemetry_events_total",
+                                  "Service telemetry events, by kind")
         for kind, count in sorted(dict(self.service.telemetry.counters).items()):
-            lines.append(
-                f'repro_telemetry_events_total{{kind="{kind}"}} {count}')
+            events.set_total(count, kind=kind)
         if self.service.cache is not None:
             cache = self.service.cache.stats()
-            for key in ("hits", "misses", "stores", "rejected", "evictions"):
-                lines.append(f"repro_cache_{key}_total {int(cache[key])}")
-            lines.append(f"repro_cache_entries {int(cache['entries'])}")
-            lines.append(f"repro_cache_bytes {int(cache['total_bytes'])}")
-        return "\n".join(lines) + "\n"
+            cache_help = {
+                "hits": "Cache lookups answered",
+                "misses": "Cache lookups that missed",
+                "stores": "Results stored in the cache",
+                "rejected": "Results the verifier refused to cache",
+                "evictions": "Entries evicted by the size bound",
+            }
+            for key, help_text in cache_help.items():
+                registry.counter(f"repro_cache_{key}_total",
+                                 help_text).set_total(int(cache[key]))
+            registry.gauge("repro_cache_entries",
+                           "Entries currently cached").set(int(cache["entries"]))
+            registry.gauge("repro_cache_bytes",
+                           "Bytes currently cached").set(
+                int(cache["total_bytes"]))
+        return registry.render(first=("repro_server_info",))
 
     # ------------------------------------------------------------ HTTP layer
 
@@ -549,6 +653,8 @@ class RoutingGateway:
             job_id = path[len("/v1/jobs/"):]
             if job_id.endswith("/result"):
                 return self._job_result(job_id[:-len("/result")])
+            if job_id.endswith("/trace"):
+                return self._job_trace(job_id[:-len("/trace")])
             return await self._job_status(job_id, query)
         if path == "/v1/admin/drain" and method == "POST":
             self.initiate_drain()

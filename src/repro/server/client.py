@@ -202,6 +202,14 @@ class RoutingClient:
             raise ServerError(500, {"error": message})
         return protocol.result_from_wire(payload["result"])
 
+    def trace(self, job_id: str) -> dict:
+        """The job's span tree from ``/v1/jobs/{id}/trace``.
+
+        Returns the envelope payload: ``trace`` is the recursive span dict
+        and ``rendered`` the server's indented text form.
+        """
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
     def wait(self, job_id: str, timeout: float = 120.0,
              poll: float = 10.0) -> RoutingResult:
         """Long-poll until the job finishes; the result rides the last poll.

@@ -61,6 +61,11 @@ class RoutingJob:
     router: str = "satmap"
     options: dict = field(default_factory=dict)
     name: str = "job"
+    #: Span-propagation context (``trace_id`` / ``span_id`` / ``enqueued_at``)
+    #: set by the dispatching service so pool workers can graft their spans
+    #: under the submitter's trace.  Never hashed: tracing must not change a
+    #: job's cache identity.
+    trace_context: dict | None = field(default=None, repr=False, compare=False)
     _hash: str | None = field(default=None, repr=False, compare=False)
     _cost: float | None = field(default=None, repr=False, compare=False)
 
@@ -140,7 +145,7 @@ class RoutingJob:
         return RoutingJob(qasm=self.qasm, arch_num_qubits=self.arch_num_qubits,
                           arch_edges=self.arch_edges, arch_name=self.arch_name,
                           router=router, options=dict(options or {}),
-                          name=self.name)
+                          name=self.name, trace_context=self.trace_context)
 
     def with_spec(self, spec: str | dict | RouterSpec) -> "RoutingJob":
         """The same work item behind a different router spec."""

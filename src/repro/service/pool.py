@@ -33,6 +33,7 @@ from typing import Callable
 
 from repro.api.registry import display_name, get_router
 from repro.core.result import RoutingResult, RoutingStatus
+from repro.obs import trace as obs_trace
 from repro.service.cache import payload_to_result, result_to_payload
 from repro.service.jobs import RoutingJob
 from repro.service.registry import FALLBACK_ROUTER
@@ -63,22 +64,58 @@ def execute_job(job: RoutingJob, time_budget: float, fallback: bool = True) -> d
     When ``fallback`` is true and the primary router produced no solution,
     the fallback router's feasible answer is returned instead (annotated so
     callers can see the substitution).
+
+    When the job carries a ``trace_context`` (set by the dispatching
+    service), the worker builds its own span subtree -- ``queue-wait``
+    synthesised from the context's ``enqueued_at``, then the router's
+    encode/solve/extract/verify spans -- and ships it back serialised as
+    ``outcome["trace"]`` for the parent to graft under the submitter's span.
     """
+    context = job.trace_context
+    root = None
+    if context is not None:
+        tracer = obs_trace.Tracer(max_traces=1)
+        dispatched = time.time()
+        enqueued = context.get("enqueued_at")
+        # The root is anchored at enqueue time so the synthesised queue-wait
+        # child nests inside it; "route" therefore spans wait + work.
+        start = min(float(enqueued), dispatched) if enqueued is not None else None
+        root = tracer.start_trace("route", start=start,
+                                  job=job.key, router=job.router)
+        if enqueued is not None:
+            tracer.record("queue-wait", root, start=float(enqueued),
+                          duration=max(0.0, dispatched - float(enqueued)))
+        with obs_trace.activate(tracer, root):
+            result = _execute(job, time_budget, fallback)
+        root.finish(status=result.status.value,
+                    router=result.router_name,
+                    **result.solver_stats)
+    else:
+        result = _execute(job, time_budget, fallback)
+    outcome = _outcome_from_result(job, result)
+    if root is not None:
+        outcome["trace"] = root.to_dict()
+        outcome["trace_context"] = dict(context)
+    return outcome
+
+
+def _execute(job: RoutingJob, time_budget: float, fallback: bool) -> RoutingResult:
     circuit = job.circuit()
     architecture = job.architecture()
     router = get_router(job.spec(), time_budget=time_budget)
     result = router.route(circuit, architecture)
     if not result.solved and fallback and job.router != FALLBACK_ROUTER:
-        rescue = get_router(FALLBACK_ROUTER,
-                            time_budget=max(time_budget, 1.0)).route(
-            circuit, architecture)
+        with obs_trace.span("fallback", router=FALLBACK_ROUTER):
+            rescue = get_router(FALLBACK_ROUTER,
+                                time_budget=max(time_budget, 1.0)).route(
+                circuit, architecture)
         if rescue.solved:
             rescue.notes = (f"fallback={FALLBACK_ROUTER} after {job.router} "
                             f"{result.status.value}"
                             + (f"; {rescue.notes}" if rescue.notes else ""))
             rescue.solve_time += result.solve_time
             result = rescue
-    return _outcome_from_result(job, result)
+    return result
 
 
 def _outcome_from_result(job: RoutingJob, result: RoutingResult) -> dict:
@@ -99,14 +136,18 @@ def _outcome_from_result(job: RoutingJob, result: RoutingResult) -> dict:
 def outcome_to_result(job: RoutingJob, outcome: dict) -> RoutingResult:
     """Rebuild a :class:`RoutingResult` from a worker outcome dict."""
     if outcome.get("payload") is not None:
-        return payload_to_result(outcome["payload"])
-    return RoutingResult(
-        status=RoutingStatus(outcome.get("status", "error")),
-        router_name=outcome.get("router_name", job.router),
-        circuit_name=job.name,
-        solve_time=float(outcome.get("solve_time", 0.0)),
-        notes=outcome.get("notes", ""),
-    )
+        result = payload_to_result(outcome["payload"])
+    else:
+        result = RoutingResult(
+            status=RoutingStatus(outcome.get("status", "error")),
+            router_name=outcome.get("router_name", job.router),
+            circuit_name=job.name,
+            solve_time=float(outcome.get("solve_time", 0.0)),
+            notes=outcome.get("notes", ""),
+        )
+    if outcome.get("trace") is not None:
+        result.trace = outcome["trace"]
+    return result
 
 
 class _SerialExecutor:

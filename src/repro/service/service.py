@@ -22,12 +22,15 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 from repro.api.spec import RouterSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult
 from repro.hardware.architecture import Architecture
+from repro.obs import trace as obs_trace
+from repro.obs.export import JsonlTraceWriter
 from repro.service.cache import ResultCache
 from repro.service.jobs import RoutingJob
 from repro.service.pool import WorkerPool, is_fallback_result
@@ -63,6 +66,15 @@ class BatchRoutingService:
         Whether jobs whose router produces no solution are rescued with the
         fast fallback router (best-so-far semantics).  Disable for faithful
         per-router comparisons, where a timeout should stay a timeout.
+    tracer:
+        Span collector for per-job trace trees.  ``None`` (default) creates
+        one -- tracing is cheap next to SAT solving -- ``False`` disables
+        tracing, and an explicit :class:`~repro.obs.Tracer` shares the
+        caller's (the HTTP gateway passes its own so job spans, pool
+        subtrees, and admission spans land in one tree).
+    trace_dir:
+        When set, every finished trace tree the service owns is appended as
+        JSONL under this directory (size-rotated files).
     """
 
     def __init__(
@@ -76,6 +88,8 @@ class BatchRoutingService:
         portfolio: bool | tuple[str, ...] | None = None,
         telemetry: TelemetryLog | None = None,
         fallback: bool = True,
+        tracer: obs_trace.Tracer | bool | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if time_budget <= 0:
             raise ValueError("time_budget must be positive")
@@ -100,6 +114,14 @@ class BatchRoutingService:
             self.portfolio = None
         self.telemetry = telemetry if telemetry is not None else TelemetryLog()
         self.fallback = fallback
+        if tracer is False:
+            self.tracer: obs_trace.Tracer | None = None
+        elif tracer is None or tracer is True:
+            self.tracer = obs_trace.Tracer()
+        else:
+            self.tracer = tracer
+        self._trace_writer = (JsonlTraceWriter(trace_dir)
+                              if trace_dir is not None else None)
         self._max_workers = max_workers
         self._mode = mode
         self._pool: WorkerPool | None = None
@@ -166,13 +188,46 @@ class BatchRoutingService:
                 queue.push(job)
                 queued_indices.append(index)
 
-        # Phase 2: dispatch misses, costliest first.
+        # Phase 2: dispatch misses, costliest first.  Each dispatched job
+        # carries a span context (parent ids + enqueue time) so the worker
+        # can synthesise its queue-wait span and graft its subtree back.
         dispatch = queue.drain()
         ordered_jobs = [job for _, job in dispatch]
         original_index = [queued_indices[seq] for seq, _ in dispatch]
+        owned_roots: dict[int, obs_trace.Span] = {}
+        if self.tracer is not None:
+            enqueued_at = time.time()
+            for slot, job in enumerate(ordered_jobs):
+                context = job.trace_context
+                if context is None:
+                    # Standalone use: the service owns the job's root span.
+                    # Under the gateway the job arrives with the gateway
+                    # root's context already attached.
+                    root = self.tracer.start_trace(
+                        "job", job=job.key, job_name=job.name,
+                        router=job.router)
+                    owned_roots[slot] = root
+                    context = root.context()
+                merged = dict(context)
+                # An upstream enqueue time (the gateway's submission moment)
+                # wins: queue-wait then covers its queue and ours.
+                merged.setdefault("enqueued_at", enqueued_at)
+                job.trace_context = merged
 
         def finish(slot: int, job: RoutingJob, result: RoutingResult) -> None:
             index = original_index[slot]
+            if self.tracer is not None and result.trace is not None:
+                context = job.trace_context or {}
+                self.tracer.attach_tree(result.trace,
+                                        trace_id=context.get("trace_id"),
+                                        parent_span_id=context.get("span_id"))
+            root = owned_roots.get(slot)
+            if root is not None:
+                root.finish(status=result.status.value,
+                            swaps=result.swap_count)
+                result.trace = root.to_dict()
+                if self._trace_writer is not None:
+                    self._trace_writer.write(result.trace)
             self._record_outcome(job, key_jobs[index], result)
             results[index] = result
             report(index, result)
@@ -305,6 +360,16 @@ class BatchRoutingService:
             detail["clauses_streamed"] = result.clauses_streamed
         if result.learnt_clauses_retained:
             detail["learnt_retained"] = result.learnt_clauses_retained
+        # CDCL depth counters, so telemetry and /metrics see how hard the
+        # SAT core worked, not just how long.
+        for counter in ("conflicts", "propagations", "restarts",
+                        "learnt_clauses"):
+            if counter in result.solver_stats:
+                detail[counter] = int(result.solver_stats[counter])
+        if result.trace is not None:
+            waited = obs_trace.find_span(result.trace, "queue-wait")
+            if waited is not None and waited.get("duration") is not None:
+                detail["queue_wait"] = round(float(waited["duration"]), 6)
         self.telemetry.record("finished", job.key, job.name, **detail)
 
     def stats(self) -> dict:

@@ -1,18 +1,24 @@
-"""Structured service telemetry: per-job events and aggregate counters.
+"""Structured service telemetry: per-job events, counters, and histograms.
 
 Every stage of a job's life emits a :class:`ServiceEvent` -- ``queued``,
 ``started``, ``cache-hit``, ``cache-store``, ``fallback``, ``finished``,
 ``failed`` -- into a :class:`TelemetryLog`.  The log keeps the raw event
-stream (for inspection and tests), aggregate counters, and enough timing to
-report throughput.  Subscribers can attach a callback to observe events as
-they happen; the batch queue uses this for progress reporting.
+stream (for inspection and tests) in a bounded ring buffer, aggregate
+counters and latency histograms that stay exact regardless of event
+eviction, and enough timing to report throughput.  Subscribers can attach a
+callback to observe events as they happen; the batch queue uses this for
+progress reporting.  A raising subscriber is dropped (and counted under
+``subscriber-error``) rather than allowed to abort ``record()`` mid-job.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.obs.metrics import (DEFAULT_COUNT_BUCKETS, MetricsRegistry)
 
 EVENT_KINDS = (
     "queued", "started", "cache-hit", "cache-store", "cache-reject",
@@ -37,11 +43,29 @@ class ServiceEvent:
 
 
 class TelemetryLog:
-    """Collects events and derives the aggregate service counters."""
+    """Collects events and derives the aggregate service counters.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to register the latency
+        histograms on; one is created when omitted.  The server shares this
+        registry with its own instruments so ``/metrics`` is a single
+        document.
+    max_events:
+        Ring-buffer capacity for the raw event stream.  Older events are
+        evicted past the bound so a long-running gateway does not grow
+        without limit; counters, stage totals, and histograms are updated
+        at record time and stay exact regardless of eviction.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 max_events: int = 10_000) -> None:
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
         self._start = time.monotonic()
-        self.events: list[ServiceEvent] = []
+        self.max_events = max_events
+        self.events: deque[ServiceEvent] = deque(maxlen=max_events)
         self.counters: dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
         self._subscribers: list[Callable[[ServiceEvent], None]] = []
         self._solve_time_total = 0.0
@@ -51,11 +75,26 @@ class TelemetryLog:
         #: Session-reuse counters summed over finished jobs.
         self.clauses_streamed = 0
         self.learnt_retained = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._job_seconds = self.metrics.histogram(
+            "repro_job_seconds",
+            "End-to-end solve seconds per finished routing job")
+        self._stage_seconds = self.metrics.histogram(
+            "repro_stage_seconds",
+            "Solve-path seconds per stage (encode / solve / extract) "
+            "per finished job")
+        self._queue_wait = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Seconds a job waited between submission and dispatch")
+        self._solve_conflicts = self.metrics.histogram(
+            "repro_solve_conflicts",
+            "CDCL conflicts accumulated per finished job",
+            buckets=DEFAULT_COUNT_BUCKETS)
 
     # ------------------------------------------------------------ recording
 
     def record(self, kind: str, job_key: str, job_name: str = "", **detail) -> ServiceEvent:
-        """Append an event, update counters, and notify subscribers."""
+        """Append an event, update counters/histograms, notify subscribers."""
         if kind not in self.counters:
             self.counters[kind] = 0
         event = ServiceEvent(kind=kind, job_key=job_key, job_name=job_name,
@@ -65,16 +104,36 @@ class TelemetryLog:
         self.counters[kind] += 1
         if kind == "finished":
             self._solve_time_total += float(detail.get("solve_time", 0.0))
+            self._job_seconds.observe(float(detail.get("solve_time", 0.0)))
             for key, value in detail.items():
                 if key.startswith("stage_"):
                     stage = key[len("stage_"):]
                     self.stage_totals[stage] = (self.stage_totals.get(stage, 0.0)
                                                 + float(value))
+                    self._stage_seconds.observe(float(value), stage=stage)
             self.clauses_streamed += int(detail.get("clauses_streamed", 0))
             self.learnt_retained += int(detail.get("learnt_retained", 0))
+            if "conflicts" in detail:
+                self._solve_conflicts.observe(float(detail["conflicts"]))
+            if "queue_wait" in detail:
+                self._queue_wait.observe(float(detail["queue_wait"]))
         for subscriber in list(self._subscribers):
-            subscriber(event)
+            try:
+                subscriber(event)
+            except Exception:
+                # A broken observer must never abort record() mid-job: drop
+                # it so it cannot fail again, and make the drop visible.
+                try:
+                    self._subscribers.remove(subscriber)
+                except ValueError:
+                    pass
+                self.counters["subscriber-error"] = (
+                    self.counters.get("subscriber-error", 0) + 1)
         return event
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        """Feed the queue-wait histogram directly (the gateway's dispatch path)."""
+        self._queue_wait.observe(float(seconds))
 
     def subscribe(self, callback: Callable[[ServiceEvent], None]) -> None:
         """Attach a progress callback invoked for every subsequent event."""

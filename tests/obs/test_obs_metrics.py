@@ -1,0 +1,145 @@
+"""Counters, gauges, histograms, and registry rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, render_families
+from repro.obs.metrics import format_value
+
+
+class TestFormatValue:
+    def test_whole_numbers_render_without_decimal_point(self):
+        assert format_value(1.0) == "1"
+        assert format_value(0.0) == "0"
+        assert format_value(-3.0) == "-3"
+
+    def test_fractions_infinities_and_nan(self):
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("repro_things_total")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_labeled_series_render_separately(self):
+        counter = Counter("repro_rejected_total")
+        counter.inc(reason="quota")
+        counter.inc(2, reason="backlog")
+        lines = counter.render()
+        assert 'repro_rejected_total{reason="quota"} 1' in lines
+        assert 'repro_rejected_total{reason="backlog"} 2' in lines
+
+    def test_set_total_mirrors_an_external_count(self):
+        counter = Counter("c")
+        counter.set_total(42)
+        assert counter.render() == ["c 42"]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_jobs_open")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_callback_gauges_sample_at_render_time(self):
+        box = {"value": 1.0}
+        gauge = Gauge("repro_uptime_seconds")
+        gauge.set_function(lambda: box["value"])
+        assert gauge.render() == ["repro_uptime_seconds 1"]
+        box["value"] = 2.5
+        assert gauge.render() == ["repro_uptime_seconds 2.5"]
+
+
+class TestHistogram:
+    def test_observations_fill_cumulative_buckets(self):
+        histogram = Histogram("repro_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_render_ends_every_series_with_inf_and_totals(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        lines = histogram.render()
+        assert lines == ['h_bucket{le="1"} 1', 'h_bucket{le="+Inf"} 1',
+                         "h_sum 0.5", "h_count 1"]
+
+    def test_empty_histogram_still_renders_one_series(self):
+        lines = Histogram("h", buckets=(1.0,)).render()
+        assert 'h_bucket{le="+Inf"} 0' in lines
+        assert "h_count 0" in lines
+
+    def test_labeled_series_share_the_family_bounds(self):
+        histogram = Histogram("repro_stage_seconds", buckets=(1.0,))
+        histogram.observe(0.5, stage="encode")
+        histogram.observe(2.0, stage="solve")
+        text = "\n".join(histogram.render())
+        assert 'repro_stage_seconds_bucket{stage="encode",le="1"} 1' in text
+        assert 'repro_stage_seconds_bucket{stage="solve",le="1"} 0' in text
+        assert histogram.count == 2
+        assert histogram.snapshot(stage="solve")["count"] == 1
+
+    def test_le_is_a_reserved_label(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0,)).observe(0.5, le="oops")
+
+    def test_bucket_bounds_must_be_unique_and_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help text")
+        assert registry.counter("c") is first
+        assert registry.get("c") is first
+        assert registry.names() == ["c"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_render_emits_help_type_pairs_in_order(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a counter").inc()
+        registry.gauge("repro_b", "a gauge").set(2)
+        text = registry.render()
+        assert text.index("# HELP repro_a_total") < text.index("# HELP repro_b")
+        assert "# TYPE repro_a_total counter" in text
+        assert "# TYPE repro_b gauge" in text
+        assert text.endswith("\n")
+
+    def test_render_pins_named_families_first(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        registry.gauge("repro_server_info").set(1, version="1.6.0")
+        text = registry.render(first=("repro_server_info",))
+        assert text.startswith("# HELP repro_server_info")
+
+    def test_render_families_escapes_help_text(self):
+        counter = Counter("c", "line1\nline2 with \\ backslash")
+        text = render_families([counter])
+        assert r"line1\nline2 with \\ backslash" in text

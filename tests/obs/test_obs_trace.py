@@ -1,0 +1,205 @@
+"""Spans, tracers, propagation context, and trace-tree tools."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    activate,
+    add_attributes,
+    current_tracer,
+    find_span,
+    record,
+    render_trace,
+    span,
+    span_names,
+    validate_trace,
+)
+
+
+class TestSpan:
+    def test_finish_stamps_duration_once(self):
+        s = Span("work")
+        assert not s.finished
+        s.finish(swaps=3)
+        first = s.duration
+        assert s.finished and first >= 0.0
+        s.finish()
+        assert s.duration == first
+        assert s.attributes["swaps"] == 3
+
+    def test_explicit_earlier_start_measures_from_that_start(self):
+        # A gateway stamps its root with the request arrival time, which
+        # may be well before the Span object is constructed.
+        s = Span("job", start=time.time() - 1.0)
+        s.finish()
+        assert s.duration >= 0.9
+
+    def test_to_dict_from_dict_round_trip(self):
+        root = Span("root", attributes={"router": "satmap"})
+        child = Span("child", start=root.start)
+        child.finish(conflicts=7)
+        root.add_child(child)
+        root.finish()
+        payload = json.loads(json.dumps(root.to_dict()))
+        rebuilt = Span.from_dict(payload)
+        assert rebuilt.name == "root"
+        assert rebuilt.children[0].attributes == {"conflicts": 7}
+        assert rebuilt.children[0].trace_id == rebuilt.trace_id
+        assert rebuilt.to_dict() == payload
+
+    def test_add_child_adopts_the_parent_trace_id(self):
+        parent = Span("parent")
+        child = Span("child")
+        parent.add_child(child)
+        assert child.trace_id == parent.trace_id
+        assert [s.name for s in parent.walk()] == ["parent", "child"]
+
+
+class TestTracer:
+    def test_start_trace_registers_and_bounds_the_store(self):
+        tracer = Tracer(max_traces=2)
+        roots = [tracer.start_trace(f"job-{i}") for i in range(3)]
+        stored = tracer.traces()
+        assert roots[0] not in stored
+        assert roots[1] in stored and roots[2] in stored
+        assert tracer.get(roots[0].trace_id) is None
+
+    def test_latest_filters_by_name_and_attributes(self):
+        tracer = Tracer()
+        tracer.start_trace("job", job="a")
+        wanted = tracer.start_trace("job", job="b")
+        tracer.start_trace("other", job="c")
+        assert tracer.latest("job", job="b") is wanted
+        assert tracer.latest("job") is wanted
+
+    def test_record_attaches_a_closed_child(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        child = tracer.record("queue-wait", root, start=root.start,
+                              duration=0.25)
+        assert child.finished and child.duration == 0.25
+        assert root.children == [child]
+
+    def test_record_clamps_negative_durations(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        child = tracer.record("wait", root, start=root.start, duration=-1.0)
+        assert child.duration == 0.0
+
+    def test_attach_tree_grafts_under_the_named_parent(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        worker = Tracer(max_traces=1)
+        subtree = worker.start_trace("route")
+        worker.start_span("encode", subtree).finish()
+        subtree.finish()
+        attached = tracer.attach_tree(subtree.to_dict(),
+                                      trace_id=root.trace_id,
+                                      parent_span_id=root.span_id)
+        assert attached in root.children
+        assert attached.trace_id == root.trace_id
+        assert attached.children[0].name == "encode"
+
+    def test_attach_tree_to_unknown_trace_is_dropped(self):
+        tracer = Tracer()
+        orphan = Span("route")
+        orphan.finish()
+        assert tracer.attach_tree(orphan.to_dict(), trace_id="no-such") is None
+
+    def test_span_context_manager_nests_under_current(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert inner in outer.children
+        assert outer.finished and inner.finished
+
+    def test_thread_current_stacks_are_independent(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as s:
+                seen["thread"] = tracer.current_span() is s
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert tracer.current_span().name == "main-root"
+        assert seen["thread"]
+
+
+class TestModuleHelpers:
+    def test_helpers_are_noops_without_an_active_tracer(self):
+        assert current_tracer() is None
+        with span("anything") as s:
+            s.set(ignored=True)  # the noop span accepts attributes
+        record("closed", start=0.0, duration=0.1)
+        add_attributes(also_ignored=1)
+
+    def test_helpers_attach_to_the_active_root(self):
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        with activate(tracer, root):
+            assert current_tracer() is tracer
+            with span("encode") as s:
+                s.set(variables=10)
+            record("sat-solve", start=root.start, duration=0.01, conflicts=2)
+            add_attributes(router="satmap")
+        assert current_tracer() is None
+        assert [c.name for c in root.children] == ["encode", "sat-solve"]
+        assert root.attributes["router"] == "satmap"
+        assert root.children[0].attributes == {"variables": 10}
+
+
+class TestTreeTools:
+    def make_tree(self) -> dict:
+        tracer = Tracer()
+        root = tracer.start_trace("job")
+        route = tracer.start_span("route", root)
+        tracer.record("queue-wait", route, start=route.start, duration=0.0)
+        tracer.start_span("solve", route).finish(conflicts=5)
+        route.finish()
+        root.finish()
+        return root.to_dict()
+
+    def test_find_span_and_span_names(self):
+        tree = self.make_tree()
+        assert span_names(tree) == ["job", "route", "queue-wait", "solve"]
+        assert find_span(tree, "solve")["attributes"] == {"conflicts": 5}
+        assert find_span(tree, "missing") is None
+
+    def test_validate_trace_accepts_a_well_nested_tree(self):
+        assert validate_trace(self.make_tree()) == []
+
+    def test_validate_trace_flags_unfinished_and_escaping_children(self):
+        tree = self.make_tree()
+        tree["children"][0]["duration"] = None
+        child = tree["children"][0]["children"][0]
+        child["start"] = tree["start"] - 1.0
+        problems = validate_trace(tree)
+        assert any("not finished" in p for p in problems)
+        assert any("before its parent" in p for p in problems)
+
+    def test_validate_trace_flags_children_ending_after_parent(self):
+        tree = self.make_tree()
+        tree["children"][0]["children"][1]["duration"] = 60.0
+        assert any("after its parent" in p for p in validate_trace(tree))
+
+    def test_render_trace_shows_names_durations_and_attributes(self):
+        text = render_trace(self.make_tree())
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "job" in lines[0]
+        assert "queue-wait" in lines[2]
+        assert "conflicts=5" in lines[3]
+        assert "ms" in lines[3]

@@ -1,0 +1,107 @@
+"""The Prometheus exposition checker (and the instruments against it)."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, check_exposition, parse_exposition
+
+GOOD = """\
+# HELP repro_jobs_total Jobs accepted.
+# TYPE repro_jobs_total counter
+repro_jobs_total 4
+# HELP repro_seconds Job seconds.
+# TYPE repro_seconds histogram
+repro_seconds_bucket{le="0.1"} 1
+repro_seconds_bucket{le="1"} 3
+repro_seconds_bucket{le="+Inf"} 4
+repro_seconds_sum 2.5
+repro_seconds_count 4
+"""
+
+
+class TestParseExposition:
+    def test_parses_families_metadata_and_samples(self):
+        problems: list[str] = []
+        families = parse_exposition(GOOD, problems)
+        assert problems == []
+        assert families["repro_jobs_total"].type == "counter"
+        assert families["repro_jobs_total"].samples[0].value == 4
+        histogram = families["repro_seconds"]
+        assert len(histogram.samples) == 5
+        assert histogram.samples[2].labels == {"le": "+Inf"}
+        assert histogram.samples[2].value == 4
+        assert histogram.samples[3].value == 2.5
+
+    def test_label_escapes_round_trip(self):
+        text = ('# HELP m help\n# TYPE m gauge\n'
+                'm{path="a\\\\b",note="say \\"hi\\"\\nbye"} 1\n')
+        families = parse_exposition(text)
+        labels = families["m"].samples[0].labels
+        assert labels["path"] == "a\\b"
+        assert labels["note"] == 'say "hi"\nbye'
+
+    def test_syntax_problems_are_reported(self):
+        problems: list[str] = []
+        parse_exposition('# HELP m h\n# TYPE m gauge\nm{broken 1\n', problems)
+        assert any("unterminated" in p for p in problems)
+
+
+class TestCheckExposition:
+    def test_clean_document_has_no_problems(self):
+        assert check_exposition(GOOD) == []
+
+    def test_missing_trailing_newline(self):
+        assert any("newline" in p for p in check_exposition(GOOD.rstrip("\n")))
+
+    def test_samples_without_metadata_are_flagged(self):
+        problems = check_exposition("repro_orphans_total 1\n")
+        assert any("no preceding" in p for p in problems)
+        assert any("missing # HELP" in p for p in problems)
+        assert any("missing # TYPE" in p for p in problems)
+
+    def test_negative_counter_is_flagged(self):
+        text = "# HELP c h\n# TYPE c counter\nc -1\n"
+        assert any("negative" in p for p in check_exposition(text))
+
+    def test_unknown_type_is_flagged(self):
+        text = "# HELP c h\n# TYPE c widget\nc 1\n"
+        assert any("unknown type" in p for p in check_exposition(text))
+
+    def test_histogram_must_end_with_inf_bucket(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_sum 0.5\nh_count 1\n')
+        assert any('+Inf' in p for p in check_exposition(text))
+
+    def test_histogram_decreasing_buckets_are_flagged(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 3\nh_bucket{le="2"} 2\n'
+                'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 3\n')
+        assert any("decrease" in p for p in check_exposition(text))
+
+    def test_histogram_inf_must_match_count(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 4\n')
+        assert any("_count" in p for p in check_exposition(text))
+
+    def test_histogram_missing_sum_or_count_is_flagged(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 0\n')
+        problems = check_exposition(text)
+        assert any("missing _sum" in p for p in problems)
+        assert any("missing _count" in p for p in problems)
+
+    def test_labeled_histograms_validate_series_by_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_stage_seconds", "stages",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05, stage="encode")
+        histogram.observe(0.5, stage="solve")
+        histogram.observe(5.0, stage="solve")
+        assert check_exposition(registry.render()) == []
+
+    def test_registry_output_is_always_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a").inc(3)
+        registry.gauge("repro_b", "b").set(-2.5)
+        registry.histogram("repro_c_seconds", "c", buckets=(1.0, 2.0))
+        registry.histogram("repro_d_seconds", "d").observe(0.2)
+        assert check_exposition(registry.render()) == []

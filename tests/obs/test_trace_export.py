@@ -1,0 +1,47 @@
+"""JSONL trace persistence with size rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import JsonlTraceWriter, Span, Tracer
+from repro.obs.export import read_traces
+
+
+def finished_trace(name: str = "job") -> Span:
+    tracer = Tracer()
+    root = tracer.start_trace(name, job=name)
+    tracer.start_span("route", root).finish()
+    return root.finish()
+
+
+class TestJsonlTraceWriter:
+    def test_write_appends_one_line_per_trace(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path)
+        writer.write(finished_trace("a"))
+        writer.write(finished_trace("b").to_dict())
+        lines = writer.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert writer.written == 2
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["a", "b"]
+
+    def test_rotation_keeps_every_trace(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path, max_bytes=600)
+        for index in range(8):
+            writer.write(finished_trace(f"job-{index}"))
+        assert writer.rotations >= 1
+        files = writer.files()
+        assert files[-1] == writer.path
+        assert len(files) == writer.rotations + 1
+        names = [trace["attributes"]["job"] for trace in read_traces(tmp_path)]
+        assert names == [f"job-{index}" for index in range(8)]
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceWriter(tmp_path, max_bytes=0)
+
+    def test_read_traces_on_missing_directory_is_empty(self, tmp_path):
+        assert read_traces(tmp_path / "nowhere") == []

@@ -1,0 +1,94 @@
+"""Gateway observability: the trace endpoint, histograms, and trace files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.obs import check_exposition, find_span, span_names, validate_trace
+from repro.obs.export import read_traces
+from repro.server import RoutingClient, ServerError
+
+#: Histogram families the gateway's /metrics must always expose.
+HISTOGRAM_FAMILIES = (
+    "repro_job_seconds",
+    "repro_stage_seconds",
+    "repro_queue_wait_seconds",
+    "repro_solve_conflicts",
+    "repro_gateway_job_seconds",
+)
+
+
+@pytest.fixture
+def client(gateway):
+    return RoutingClient(port=gateway.port, client_id="tracer")
+
+
+@pytest.fixture
+def circuit():
+    return random_circuit(3, 5, seed=23, name="obs_test")
+
+
+class TestTraceEndpoint:
+    def test_routed_job_yields_a_complete_trace_tree(self, client, circuit):
+        ticket = client.submit(circuit, architecture="line8", router="satmap",
+                               time_budget=10.0)
+        client.wait(ticket["job_id"], timeout=60)
+        payload = client.trace(ticket["job_id"])
+        assert payload["job_id"] == ticket["job_id"]
+        tree = payload["trace"]
+        assert tree["name"] == "job"
+        names = span_names(tree)
+        for required in ("admit", "queue-wait", "encode", "solve", "extract",
+                         "verify"):
+            assert required in names, f"{required!r} missing from {names}"
+        assert validate_trace(tree) == []
+        solve = find_span(tree, "solve")
+        assert "conflicts" in solve["attributes"]
+        assert "propagations" in solve["attributes"]
+        # The rendered form is the same tree `repro trace` prints.
+        assert "queue-wait" in payload["rendered"]
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.trace("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_heuristic_job_still_traces_queue_and_verify(self, client, circuit):
+        ticket = client.submit(circuit, architecture="tokyo6", router="sabre")
+        client.wait(ticket["job_id"], timeout=30)
+        tree = client.trace(ticket["job_id"])["trace"]
+        names = span_names(tree)
+        assert "queue-wait" in names and "verify" in names
+        assert validate_trace(tree) == []
+
+
+class TestMetricsHistograms:
+    def test_metrics_exposes_checked_histogram_families(self, client, circuit):
+        ticket = client.submit(circuit, architecture="line8", router="satmap",
+                               time_budget=10.0)
+        client.wait(ticket["job_id"], timeout=60)
+        text = client.metrics_text()
+        assert check_exposition(text) == []
+        for family in HISTOGRAM_FAMILIES:
+            assert f"# TYPE {family} histogram" in text
+        # A finished solve populated the latency and depth histograms.
+        assert "repro_job_seconds_count 1" in text
+        assert 'repro_stage_seconds_bucket{stage="solve",le="+Inf"}' in text
+        assert "repro_queue_wait_seconds_count 1" in text
+        assert "repro_gateway_job_seconds_count 1" in text
+
+
+class TestTraceDir:
+    def test_gateway_appends_finished_traces_as_jsonl(
+            self, gateway_factory, circuit, tmp_path):
+        handle = gateway_factory(trace_dir=tmp_path)
+        client = RoutingClient(port=handle.port, client_id="tracer")
+        ticket = client.submit(circuit, architecture="line8", router="satmap",
+                               time_budget=10.0)
+        client.wait(ticket["job_id"], timeout=60)
+        traces = read_traces(tmp_path)
+        assert len(traces) == 1
+        assert traces[0]["name"] == "job"
+        assert traces[0]["attributes"]["job"] == ticket["job_id"]
+        assert validate_trace(traces[0]) == []

@@ -57,3 +57,53 @@ class TestTelemetryLog:
         log = TelemetryLog()
         log.record("finished", "a", "j", solve_time=0.1)
         assert log.throughput() > 0.0
+
+
+class TestSubscriberGuard:
+    def test_raising_subscriber_is_dropped_not_fatal(self):
+        log = TelemetryLog()
+        healthy = []
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        log.subscribe(broken)
+        log.subscribe(healthy.append)
+        event = log.record("queued", "a", "j")
+        assert event.kind == "queued"  # record() survived the raise
+        assert len(healthy) == 1
+        assert log.counters["subscriber-error"] == 1
+        # The broken subscriber is gone: no further errors accumulate.
+        log.record("started", "a", "j")
+        assert log.counters["subscriber-error"] == 1
+        assert len(healthy) == 2
+
+
+class TestRingBuffer:
+    def test_events_are_bounded_but_counters_stay_exact(self):
+        log = TelemetryLog(max_events=5)
+        for index in range(12):
+            log.record("finished", f"job-{index}", "j", solve_time=0.01)
+        assert len(log.events) == 5
+        assert log.events[0].job_key == "job-7"  # oldest events evicted
+        assert log.counters["finished"] == 12
+        assert log.jobs_finished == 12
+        assert log.metrics.get("repro_job_seconds").count == 12
+
+    def test_max_events_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TelemetryLog(max_events=0)
+
+    def test_finished_details_feed_the_histograms(self):
+        log = TelemetryLog()
+        log.record("finished", "a", "j", solve_time=0.5, stage_encode=0.1,
+                   stage_solve=0.3, conflicts=42, queue_wait=0.05)
+        assert log.metrics.get("repro_job_seconds").count == 1
+        stage = log.metrics.get("repro_stage_seconds")
+        assert stage.snapshot(stage="encode")["count"] == 1
+        assert stage.snapshot(stage="solve")["count"] == 1
+        assert log.metrics.get("repro_solve_conflicts").count == 1
+        assert log.metrics.get("repro_queue_wait_seconds").count == 1
+        assert log.stage_totals == {"encode": 0.1, "solve": 0.3}
