@@ -258,6 +258,11 @@ _SATMAP_OPTIONS = (
                 "merge adjacent repeats of the same interaction"),
     OptionField("incremental", "bool", True,
                 "solve through persistent SAT sessions"),
+    OptionField("cube_workers", "int", None, allow_none=True,
+                help="race this many cube-and-conquer workers over the "
+                     "initial-mapping space (default: serial)"),
+    OptionField("pipeline_slices", "bool", False,
+                "pre-encode slice k+1 in a worker while slice k solves"),
 )
 
 

@@ -66,64 +66,107 @@ def route_sliced(circuit: QuantumCircuit, architecture: Architecture,
                          swaps_per_gate=None)
               for index, sub
               in enumerate(circuit.sliced_by_two_qubit_gates(router.slice_size))]
-    backtracks = 0
-    index = 0
-    while index < len(slices):
-        remaining = router.time_budget - (time.monotonic() - start)
-        if remaining <= 0:
-            return _timeout_result(router, circuit, slices, backtracks)
-        state = slices[index]
-        fixed = None
-        if index > 0:
-            previous = slices[index - 1].outcome
-            assert previous is not None and previous.result.solved
-            fixed = previous.result.final_mapping
-        with obs_trace.span("slice", slice=state.index,
-                            backtracks=backtracks) as slice_span:
-            outcome = router.solve_monolithic(
-                state.circuit, architecture, remaining,
-                fixed_initial_mapping=fixed,
-                excluded_final_mappings=state.excluded_final_mappings,
-                leading_slots=state.leading_slots if index > 0 else None,
-                swaps_per_gate=state.swaps_per_gate,
-                context=state.context,
-            )
-            slice_span.set(status=outcome.result.status.value,
-                           swaps=outcome.result.swap_count)
-        state.context = outcome.context
-        if outcome.result.solved:
-            state.outcome = outcome
-            index += 1
-            continue
-        if outcome.result.status is RoutingStatus.TIMEOUT:
-            return _timeout_result(router, circuit, slices, backtracks)
+    pipeline = None
+    if router.pipeline_slices and router.incremental and len(slices) > 1:
+        from repro.parallel.pipeline import SlicePipeline
 
-        # UNSAT.  Prefer the paper's backtracking; escalate once it is spent.
-        if index > 0 and backtracks < router.backtrack_limit:
-            backtracks += 1
-            previous_state = slices[index - 1]
-            previous_outcome = previous_state.outcome
-            assert previous_outcome is not None
-            previous_state.excluded_final_mappings.append(
-                dict(previous_outcome.result.final_mapping))
-            previous_state.outcome = None
-            state.outcome = None
-            index -= 1
-            continue
-        if index > 0 and state.leading_slots < diameter:
-            state.leading_slots = min(diameter, state.leading_slots * 2)
-            continue
-        current_swaps = state.swaps_per_gate or router.swaps_per_gate
-        if current_swaps < diameter:
-            state.swaps_per_gate = min(diameter, current_swaps + 1)
-            continue
-        result = outcome.result
-        result.backtracks = backtracks
-        result.num_slices = len(slices)
+        pipeline = SlicePipeline(router, architecture)
+    try:
+        backtracks = 0
+        index = 0
+        while index < len(slices):
+            remaining = router.time_budget - (time.monotonic() - start)
+            if remaining <= 0:
+                return _timeout_result(router, circuit, slices, backtracks)
+            state = slices[index]
+            if pipeline is not None and index + 1 < len(slices):
+                # Overlap: the successor's encoding streams in a worker while
+                # this slice runs its SAT search.
+                pipeline.prefetch(slices[index + 1])
+            if pipeline is not None and index > 0 and state.context is None:
+                state.context = pipeline.take(
+                    state, timeout=min(remaining, SlicePipeline.TAKE_TIMEOUT))
+            fixed = None
+            if index > 0:
+                previous = slices[index - 1].outcome
+                assert previous is not None and previous.result.solved
+                fixed = previous.result.final_mapping
+            cubed = (index == 0 and router.cube_workers
+                     and state.circuit.num_two_qubit_gates > 0)
+            with obs_trace.span("slice", slice=state.index,
+                                backtracks=backtracks) as slice_span:
+                if cubed:
+                    from repro.parallel.cubes import solve_cubed
+
+                    outcome = solve_cubed(
+                        router, state.circuit, architecture, remaining,
+                        excluded_final_mappings=state.excluded_final_mappings,
+                        swaps_per_gate=state.swaps_per_gate,
+                    )
+                else:
+                    outcome = router.solve_monolithic(
+                        state.circuit, architecture, remaining,
+                        fixed_initial_mapping=fixed,
+                        excluded_final_mappings=state.excluded_final_mappings,
+                        leading_slots=state.leading_slots if index > 0 else None,
+                        swaps_per_gate=state.swaps_per_gate,
+                        context=state.context,
+                    )
+                slice_span.set(status=outcome.result.status.value,
+                               swaps=outcome.result.swap_count)
+            state.context = outcome.context
+            if outcome.result.solved:
+                state.outcome = outcome
+                index += 1
+                continue
+            if outcome.result.status is RoutingStatus.TIMEOUT:
+                return _timeout_result(router, circuit, slices, backtracks)
+
+            # UNSAT.  Prefer the paper's backtracking; escalate once spent.
+            # Backtracking leaves pre-built successor encodings valid (they
+            # are map-independent); only the escalations below change a
+            # slice's encoding shape and must invalidate its prefetch.
+            if index > 0 and backtracks < router.backtrack_limit:
+                backtracks += 1
+                previous_state = slices[index - 1]
+                previous_outcome = previous_state.outcome
+                assert previous_outcome is not None
+                previous_state.excluded_final_mappings.append(
+                    dict(previous_outcome.result.final_mapping))
+                previous_state.outcome = None
+                state.outcome = None
+                index -= 1
+                continue
+            if index > 0 and state.leading_slots < diameter:
+                state.leading_slots = min(diameter, state.leading_slots * 2)
+                if pipeline is not None:
+                    pipeline.invalidate(state.index)
+                continue
+            current_swaps = state.swaps_per_gate or router.swaps_per_gate
+            if current_swaps < diameter:
+                state.swaps_per_gate = min(diameter, current_swaps + 1)
+                if pipeline is not None:
+                    pipeline.invalidate(state.index)
+                continue
+            result = outcome.result
+            result.backtracks = backtracks
+            result.num_slices = len(slices)
+            return result
+
+        result = _stitch(router, circuit, architecture, slices, backtracks,
+                         time.monotonic() - start)
+        if pipeline is not None:
+            result.solver_stats = dict(result.solver_stats)
+            result.solver_stats["pipeline_prebuilt"] = pipeline.prebuilt_used
+            result.solver_stats["pipeline_invalidated"] = pipeline.invalidated
+            result.notes += (
+                f"; pipeline: {pipeline.prebuilt_used} slices pre-encoded, "
+                f"{pipeline.invalidated} invalidated"
+                if pipeline.enabled else "; pipeline unavailable (no process pool)")
         return result
-
-    return _stitch(router, circuit, architecture, slices, backtracks,
-                   time.monotonic() - start)
+    finally:
+        if pipeline is not None:
+            pipeline.close()
 
 
 def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,

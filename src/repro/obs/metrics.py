@@ -22,6 +22,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "default_registry",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
     "format_value",
@@ -358,3 +359,22 @@ class MetricsRegistry:
             ordered.extend(inst for name, inst in self._instruments.items()
                            if name not in first)
         return render_families(ordered)
+
+
+# ----------------------------------------------------------- default registry
+
+#: Process-wide registry for instrumentation that has no obvious owner (the
+#: intra-job parallel schemes increment their cube/pipeline counters here).
+#: Servers keep constructing their own registries; this one exists so library
+#: code can count without threading a registry through every call site.
+_DEFAULT_REGISTRY: MetricsRegistry | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The lazily created process-wide :class:`MetricsRegistry`."""
+    global _DEFAULT_REGISTRY
+    with _DEFAULT_LOCK:
+        if _DEFAULT_REGISTRY is None:
+            _DEFAULT_REGISTRY = MetricsRegistry()
+        return _DEFAULT_REGISTRY

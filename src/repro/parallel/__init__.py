@@ -1,0 +1,23 @@
+"""Intra-job parallelism: use every core on *one* routing job.
+
+The worker pool (:mod:`repro.service.pool`) parallelises *across* jobs; this
+package parallelises *inside* a job, the step the paper's Fig. 15/16
+scalability regime actually needs:
+
+* :mod:`repro.parallel.cubes` -- cube-and-conquer over the initial-mapping
+  space: the placement of the highest-interaction-degree logical qubits is
+  fixed per cube, cubes race in worker processes, and the best cost found so
+  far is shared so losing cubes prune themselves.
+* :mod:`repro.parallel.pipeline` -- pipeline-parallel slicing: while slice
+  ``k`` solves, slice ``k+1``'s encoding streams into its own
+  :class:`~repro.core.satmap.SliceContext` in a worker process.
+
+Both schemes are opt-in through :class:`~repro.core.satmap.SatMapRouter`
+options (``cube_workers=N``, ``pipeline_slices=True``) and keep the final
+swap cost identical to the serial path.
+"""
+
+from repro.parallel.cubes import CubePlan, plan_cubes, solve_cubed
+from repro.parallel.pipeline import SlicePipeline
+
+__all__ = ["CubePlan", "plan_cubes", "solve_cubed", "SlicePipeline"]

@@ -1,0 +1,475 @@
+"""Cube-and-conquer over the initial-mapping space.
+
+The monolithic SATMAP solve spends most of its time in the final UNSAT call
+that proves no cheaper model exists -- a proof over *every* initial mapping.
+Cube-and-conquer partitions that space: fix the placement of the ``k``
+highest-interaction-degree logical qubits (one placement per cube, every
+placement covered, so the cubes are disjoint and exhaustive), solve each cube
+as the *same* encoding restricted by assumption literals
+(:meth:`~repro.core.encoder.QmrEncoding.initial_mapping_assumptions`), and
+take the minimum over cube optima.  Because the encoding shape is untouched,
+the minimum over cubes is exactly the serial optimum -- same swap count,
+verifier-clean.
+
+Cubes race in worker processes around a shared incumbent cell: every model a
+cube finds publishes its cost, every SAT call a cube makes assumes "cost
+strictly below the incumbent" (via the linear search's ``bound_hook``), so a
+cube dominated by another's solution is refuted in one cheap UNSAT call
+instead of enumerating its own model ladder.  The first cube to prove its
+local optimum equal to the incumbent wins; the rest prune.  That pruning is
+what makes the scheme pay even on a single core: the sum of per-cube proofs
+under a tight bound is typically far smaller than one whole-space proof.
+
+Cubes are dealt round-robin into one *shard* per worker, and each worker
+solves its shard sequentially over a single incremental
+:class:`~repro.core.satmap.SliceContext`: the encoding is streamed once per
+worker (cube pins are per-call assumption literals, so every cube shares the
+exact same clause set) and learnt clauses accumulate across the shard's
+cubes, making each successive bounded proof cheaper.  Without the sharing, a
+20-cube plan would pay the encoding cost 20 times over -- typically more
+than the whole decomposition saves.
+
+When a process pool cannot be created (sandboxes, nested daemonic workers)
+the shard runs inline in the parent -- the decomposition, session sharing,
+and bound pruning still apply, only the overlap is lost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.result import RoutingResult, RoutingStatus
+from repro.hardware.architecture import Architecture
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import default_registry
+
+#: Sentinel stored in the shared incumbent cell while no model exists yet.
+NO_BOUND = 2 ** 62
+
+#: Hard ceiling on cubes per plan: fixing ``k`` qubits multiplies cube count
+#: by (physical - k), so deep plans explode combinatorially.
+MAX_CUBES = 4096
+
+#: Extra wall-clock (seconds) the collector waits past the job budget for
+#: workers that are already self-terminating at that same budget.
+COLLECT_SLACK = 5.0
+
+
+@dataclass(frozen=True)
+class CubePlan:
+    """A disjoint, exhaustive partition of the initial-mapping space."""
+
+    #: Logical qubits whose placement each cube fixes, in fixing order.
+    qubits: tuple[int, ...]
+    #: One partial initial map per cube (logical -> physical, injective).
+    cubes: tuple[dict, ...]
+
+
+def plan_cubes(circuit: QuantumCircuit, architecture: Architecture,
+               min_cubes: int = 2, max_fixed: int = 3) -> CubePlan:
+    """Partition initial mappings by placing high-degree logical qubits.
+
+    Qubits are fixed in decreasing interaction-graph degree (distinct
+    partners, then total interactions, then index); placements enumerate
+    every physical qubit, so the cubes of each level are disjoint and cover
+    the whole space.  More qubits are fixed until at least ``min_cubes``
+    cubes exist or ``max_fixed`` is reached.  Cubes are ordered
+    densest-placement-first: the optimum tends to put busy logical qubits on
+    high-degree physical ones, and finding it early makes the shared bound
+    prune everyone else.
+    """
+    interactions = circuit.interaction_sequence()
+    if not interactions:
+        return CubePlan((), ())
+    partners: dict[int, set] = {}
+    counts: dict[int, int] = {}
+    for a, b in interactions:
+        partners.setdefault(a, set()).add(b)
+        partners.setdefault(b, set()).add(a)
+        counts[a] = counts.get(a, 0) + 1
+        counts[b] = counts.get(b, 0) + 1
+    order = sorted(partners,
+                   key=lambda q: (-len(partners[q]), -counts[q], q))
+    physical = range(architecture.num_qubits)
+    fixed: list[int] = []
+    cubes: list[dict] = [{}]
+    for qubit in order[:max_fixed]:
+        if len(cubes) >= min_cubes:
+            break
+        grown = [{**cube, qubit: place}
+                 for cube in cubes
+                 for place in physical if place not in cube.values()]
+        if not grown or len(grown) > MAX_CUBES:
+            break
+        fixed.append(qubit)
+        cubes = grown
+    if not fixed:
+        return CubePlan((), ())
+
+    def density(cube: dict) -> tuple:
+        return (-sum(architecture.degree(place) for place in cube.values()),
+                tuple(sorted(cube.items())))
+
+    return CubePlan(tuple(fixed), tuple(sorted(cubes, key=density)))
+
+
+# ------------------------------------------------------------ incumbent cell
+
+class _LocalCell:
+    """Single-process stand-in for ``multiprocessing.Value`` ("q")."""
+
+    def __init__(self) -> None:
+        self.value = NO_BOUND
+        self._lock = threading.Lock()
+
+    def get_lock(self):
+        return self._lock
+
+
+def _bound_hook_for(cell):
+    """A :func:`LinearSearchSolver.solve` hook around an incumbent cell.
+
+    Publishes the caller's best true cost and returns the global incumbent
+    (or ``None`` while no cube has found a model).
+    """
+
+    def hook(local_best):
+        with cell.get_lock():
+            if local_best is not None and 0 <= local_best < cell.value:
+                cell.value = int(local_best)
+            current = cell.value
+        return current if current < NO_BOUND else None
+
+    return hook
+
+
+#: The shared incumbent cell a pool worker inherits at fork.
+_SHARED_CELL = None
+
+
+def _init_cube_worker(cell) -> None:
+    global _SHARED_CELL
+    _SHARED_CELL = cell
+
+
+# -------------------------------------------------------------- cube solving
+
+def _serial_twin_config(router, time_budget: float) -> dict:
+    """Constructor kwargs for a worker-side serial copy of ``router``."""
+    return dict(
+        slice_size=None,
+        swaps_per_gate=router.swaps_per_gate,
+        time_budget=time_budget,
+        strategy=router.strategy,
+        backtrack_limit=router.backtrack_limit,
+        collapse_repeated_pairs=router.collapse_repeated_pairs,
+        noise_model=router.noise_model,
+        verify=False,  # the parent's BaseRouter scaffolding verifies the winner
+        incremental=router.incremental,
+        name=router.name,
+    )
+
+
+def _run_cube(router, payload: dict, bound_hook, context=None):
+    """Solve one cube; returns its record plus the context for session reuse.
+
+    Builds its own ``cube-solve`` span tree (the router's encode/solve/
+    extract spans nest inside) and ships it back serialised so the parent can
+    graft it under the job root.
+    """
+    tracer = obs_trace.Tracer(max_traces=1)
+    root = tracer.start_trace("cube-solve", cube_id=payload["cube_id"],
+                              cube=_cube_label(payload["cube"]))
+    with obs_trace.activate(tracer, root):
+        outcome = router.solve_monolithic(
+            payload["circuit"], payload["architecture"], payload["budget"],
+            excluded_final_mappings=payload["excluded"],
+            swaps_per_gate=payload["swaps_per_gate"],
+            context=context,
+            cube=payload["cube"],
+            bound_hook=bound_hook,
+        )
+    root.finish(status=outcome.result.status.value,
+                swaps=outcome.result.swap_count,
+                pruned=outcome.pruned)
+    record = {
+        "cube_id": payload["cube_id"],
+        "result": outcome.result,
+        "maxsat_cost": outcome.maxsat_cost,
+        "pruned": outcome.pruned,
+        "trace": root.to_dict(),
+    }
+    return record, outcome.context
+
+
+def _run_shard(shard: list, hook) -> dict:
+    """Solve a shard's cubes sequentially over one shared session.
+
+    Incremental contexts are reused across the shard (the encoding is
+    identical for every cube -- the pins are assumptions), so the shard pays
+    one encode and each cube inherits the previous cubes' learnt clauses.
+    Session counters are cumulative; records carry per-cube deltas so the
+    parent can sum them as if every cube were independent.
+    """
+    from repro.core.satmap import SatMapRouter
+
+    router = SatMapRouter(**shard[0]["router"])
+    deadline = time.monotonic() + shard[0]["budget"]
+    records: list[dict] = []
+    context = None
+    baseline: dict = {}
+    streamed_seen = 0
+    retained_seen = 0
+    for payload in shard:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return {"records": records, "complete": False}
+        record, context = _run_cube(router, dict(payload, budget=remaining),
+                                    hook, context if router.incremental else None)
+        result = record["result"]
+        cumulative = dict(result.solver_stats)
+        result.solver_stats = {
+            counter: max(0, int(value) - int(baseline.get(counter, 0)))
+            for counter, value in cumulative.items()}
+        baseline = cumulative
+        result.clauses_streamed, streamed_seen = (
+            max(0, result.clauses_streamed - streamed_seen),
+            result.clauses_streamed)
+        result.learnt_clauses_retained, retained_seen = (
+            max(0, result.learnt_clauses_retained - retained_seen),
+            result.learnt_clauses_retained)
+        records.append(record)
+    return {"records": records, "complete": True}
+
+
+def _solve_shard_worker(shard: list) -> dict:
+    hook = _bound_hook_for(_SHARED_CELL) if _SHARED_CELL is not None else None
+    return _run_shard(shard, hook)
+
+
+def _cube_label(cube: dict) -> str:
+    return ",".join(f"q{l}@p{p}" for l, p in sorted(cube.items()))
+
+
+# ------------------------------------------------------------------ the race
+
+def solve_cubed(router, circuit: QuantumCircuit, architecture: Architecture,
+                time_budget: float,
+                excluded_final_mappings: list | None = None,
+                swaps_per_gate: int | None = None):
+    """Race disjoint cubes of the initial-mapping space; serial-cost result.
+
+    Returns a :class:`~repro.core.satmap.MonolithicOutcome` whose result has
+    the same swap cost the serial ``solve_monolithic`` would prove (and the
+    OPTIMAL status only when every cube finished: each either proved its
+    local optimum, was pruned by the shared bound, or was unsatisfiable).
+    Falls back to the serial path outright when the circuit yields fewer
+    than two cubes.
+    """
+    start = time.monotonic()
+    excluded = excluded_final_mappings or []
+    workers = max(1, int(router.cube_workers or 1))
+    plan = plan_cubes(circuit, architecture, min_cubes=max(2, workers))
+    if len(plan.cubes) < 2:
+        return router.solve_monolithic(
+            circuit, architecture, time_budget,
+            excluded_final_mappings=excluded,
+            swaps_per_gate=swaps_per_gate)
+
+    config = _serial_twin_config(router, time_budget)
+    payloads = [
+        {
+            "cube_id": cube_id,
+            "cube": cube,
+            "circuit": circuit,
+            "architecture": architecture,
+            "excluded": list(excluded),
+            "swaps_per_gate": swaps_per_gate,
+            "budget": time_budget,
+            "router": config,
+        }
+        for cube_id, cube in enumerate(plan.cubes)
+    ]
+
+    with obs_trace.span("cube-conquer", cubes=len(plan.cubes),
+                        workers=workers,
+                        fixed_qubits=len(plan.qubits)) as conquer_span:
+        records, complete, mode = _run_cubes(payloads, workers, time_budget)
+        _graft_cube_traces(records, conquer_span)
+        outcome = _combine(router, circuit, plan, records, complete, mode,
+                           workers, time.monotonic() - start)
+        conquer_span.set(status=outcome.result.status.value, mode=mode,
+                         pruned=sum(1 for r in records if r["pruned"]))
+
+    registry = default_registry()
+    registry.counter("repro_parallel_cubes_total",
+                     "cubes solved by cube-and-conquer").inc(len(records))
+    registry.counter("repro_parallel_cubes_pruned_total",
+                     "cubes pruned by the shared incumbent bound").inc(
+        sum(1 for r in records if r["pruned"]))
+    if mode == "inline":
+        registry.counter("repro_parallel_cube_inline_total",
+                         "cube batches run inline (no process pool)").inc()
+    return outcome
+
+
+def _run_cubes(payloads: list, workers: int, time_budget: float):
+    """Execute cube payloads; returns (records, complete, mode).
+
+    Payloads are dealt round-robin into one shard per worker -- the planner
+    orders cubes densest-first, so every worker opens with a promising cube
+    and the incumbent bound appears early no matter which worker finds it.
+    """
+    job_deadline = time.monotonic() + time_budget
+    executor = None
+    cell = None
+    if workers > 1:
+        try:
+            cell = mp.Value("q", NO_BOUND)
+            executor = ProcessPoolExecutor(max_workers=workers,
+                                           initializer=_init_cube_worker,
+                                           initargs=(cell,))
+            # Surface pool-creation failures (missing /dev/shm, daemonic
+            # parents) here rather than at first cube.
+            executor.submit(int, 0).result(timeout=60)
+        except Exception:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            executor = None
+
+    if executor is None:
+        shard_outcome = _run_shard(payloads, _bound_hook_for(_LocalCell()))
+        return shard_outcome["records"], shard_outcome["complete"], "inline"
+
+    # Incumbent warm-start: the parent solves the densest cube to its local
+    # optimum *before* the race, so every worker's very first SAT call is
+    # already bounded.  Without it the workers spend the race's opening
+    # phase enumerating model ladders the incumbent would have pruned.
+    hook = _bound_hook_for(cell)
+    warm = _run_shard(payloads[:1], hook)
+    race_budget = max(0.0, job_deadline - time.monotonic())
+    rest = [dict(payload, budget=race_budget) for payload in payloads[1:]]
+    shards = [rest[offset::workers] for offset in range(workers)
+              if rest[offset::workers]]
+    futures = {executor.submit(_solve_shard_worker, shard) for shard in shards}
+    deadline = time.monotonic() + race_budget + COLLECT_SLACK
+    records: list[dict] = list(warm["records"])
+    complete = warm["complete"]
+    pending = set(futures)
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            complete = False
+            break
+        done, pending = wait(pending, timeout=remaining,
+                             return_when=FIRST_COMPLETED)
+        if not done:
+            complete = False
+            break
+        for future in done:
+            try:
+                shard_outcome = future.result()
+                records.extend(shard_outcome["records"])
+                complete = complete and shard_outcome["complete"]
+            except Exception:
+                complete = False  # a crashed shard voids the optimality proof
+    # Pending shards keep their processes only until their own budget
+    # expires; nothing waits on them.
+    executor.shutdown(wait=False, cancel_futures=True)
+    records.sort(key=lambda record: record["cube_id"])
+    return records, complete and not pending, "process"
+
+
+def _graft_cube_traces(records: list, conquer_span) -> None:
+    tracer = obs_trace.current_tracer()
+    if tracer is None or not hasattr(conquer_span, "trace_id"):
+        return
+    for record in records:
+        tree = record.get("trace")
+        if tree:
+            tracer.attach_tree(tree, trace_id=conquer_span.trace_id,
+                               parent_span_id=conquer_span.span_id)
+
+
+def _combine(router, circuit, plan: CubePlan, records: list, complete: bool,
+             mode: str, workers: int, elapsed: float):
+    """Fold cube records into one outcome with serial-equivalent semantics."""
+    from repro.core.satmap import MonolithicOutcome
+
+    pruned_count = sum(1 for record in records if record["pruned"])
+    solved = [record for record in records if record["result"].solved]
+    note = (f"cube-and-conquer: {len(records)}/{len(plan.cubes)} cubes "
+            f"({mode}, workers={workers}), {pruned_count} pruned by bound")
+    if not complete:
+        note += ", incomplete"
+
+    if not solved:
+        truly_unsat = (complete and records
+                       and all(not record["pruned"]
+                               and record["result"].status
+                               is RoutingStatus.UNSATISFIABLE
+                               for record in records))
+        result = RoutingResult(
+            status=(RoutingStatus.UNSATISFIABLE if truly_unsat
+                    else RoutingStatus.TIMEOUT),
+            router_name=router.name,
+            circuit_name=circuit.name,
+            sat_calls=sum(record["result"].sat_calls for record in records),
+            solve_time=elapsed,
+            notes=note,
+        )
+        _fold_stats(result, records, pruned_count)
+        return MonolithicOutcome(result)
+
+    winner = min(solved, key=_winner_key)
+    result = winner["result"]
+    # A cube's own OPTIMAL only covers its cube (possibly just "nothing beats
+    # the incumbent"); the global claim additionally needs every other cube
+    # accounted for: pruned, unsatisfiable, or proven no better.
+    proven = (complete and result.optimal
+              and all(record["pruned"]
+                      or record["result"].optimal
+                      or record["result"].status is RoutingStatus.UNSATISFIABLE
+                      for record in records))
+    result.status = RoutingStatus.OPTIMAL if proven else RoutingStatus.FEASIBLE
+    result.optimal = proven
+    result.sat_calls = sum(record["result"].sat_calls for record in records)
+    result.solve_time = elapsed
+    result.notes = note + (f"; {result.notes}" if result.notes else "")
+    _fold_stats(result, records, pruned_count)
+    return MonolithicOutcome(result, maxsat_cost=winner["maxsat_cost"],
+                             pruned=False)
+
+
+def _winner_key(record: dict):
+    cost = record["maxsat_cost"]
+    if cost < 0:
+        cost = record["result"].swap_count
+    return (cost, record["cube_id"])
+
+
+def _fold_stats(result: RoutingResult, records: list, pruned_count: int) -> None:
+    """Sum per-cube work measures onto the combined result."""
+    timings: dict[str, float] = {}
+    stats: dict[str, int] = {}
+    streamed = 0
+    retained = 0
+    for record in records:
+        cube_result = record["result"]
+        for stage, seconds in cube_result.stage_timings.items():
+            timings[stage] = timings.get(stage, 0.0) + seconds
+        for counter, value in cube_result.solver_stats.items():
+            stats[counter] = stats.get(counter, 0) + int(value)
+        streamed += cube_result.clauses_streamed
+        retained += cube_result.learnt_clauses_retained
+    stats["cubes"] = len(records)
+    stats["cubes_pruned"] = pruned_count
+    result.stage_timings = timings
+    result.solver_stats = stats
+    result.clauses_streamed = streamed
+    result.learnt_clauses_retained = retained

@@ -1,0 +1,147 @@
+"""Pipeline-parallel slicing: pre-encode slice ``k+1`` while ``k`` solves.
+
+A sliced solve is a strict chain -- slice ``k+1``'s *solution* needs slice
+``k``'s final map -- but its *encoding* does not: incremental slice contexts
+pin the inherited initial map via per-call assumptions
+(:attr:`~repro.core.encoder.EncodingOptions.pin_initial_via_assumptions`), so
+the clauses streamed into a slice's :class:`~repro.core.satmap.SliceContext`
+are identical whatever map the predecessor ends up producing.  That makes the
+encoding safe to build ahead of time in a worker process, overlapping it with
+the predecessor's SAT search.
+
+One successor is in flight at a time.  Backtracking never invalidates a
+pre-built context (the encoding is map-independent); only *escalation* does
+(more leading slots or swaps per gate change the encoding shape), and it
+invalidates at most the one in-flight successor.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import default_registry
+
+
+def _prebuild_worker(config: dict, circuit, architecture,
+                     leading_slots: int | None, swaps_per_gate: int | None):
+    """Build (and pickle back) one slice's ready-to-solve context.
+
+    The placeholder initial map only flips the encoder into
+    pin-via-assumptions shape (leading swap slot + assumption pinning); the
+    map itself never enters the clauses, so the caller can solve under any
+    inherited map.
+    """
+    from repro.core.satmap import SatMapRouter, _instance_key
+
+    started = time.time()
+    clock = time.monotonic()
+    router = SatMapRouter(**config)
+    placeholder = {qubit: qubit for qubit in range(circuit.num_qubits)}
+    context = router._build_context(
+        circuit, architecture, _instance_key(circuit, architecture),
+        placeholder, False, leading_slots, swaps_per_gate)
+    return context, started, time.monotonic() - clock
+
+
+class SlicePipeline:
+    """Prefetches successor slice contexts through a one-worker process pool.
+
+    Degrades to a no-op (``enabled=False``) when a process pool cannot be
+    created; the sliced solve then simply encodes inline as before.
+    """
+
+    #: Longest the consumer blocks on a prefetch that is still encoding
+    #: before giving up and encoding inline (seconds).
+    TAKE_TIMEOUT = 10.0
+
+    def __init__(self, router, architecture) -> None:
+        self.architecture = architecture
+        self.prebuilt_used = 0
+        self.invalidated = 0
+        self.misses = 0
+        self._inflight: dict[int, tuple] = {}
+        self._config = dict(
+            slice_size=None,
+            swaps_per_gate=router.swaps_per_gate,
+            time_budget=router.time_budget,
+            strategy=router.strategy,
+            backtrack_limit=router.backtrack_limit,
+            collapse_repeated_pairs=router.collapse_repeated_pairs,
+            noise_model=router.noise_model,
+            verify=False,
+            incremental=True,
+            name=router.name,
+        )
+        self._executor = None
+        try:
+            executor = ProcessPoolExecutor(max_workers=1)
+            executor.submit(int, 0).result(timeout=60)
+            self._executor = executor
+        except Exception:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    @property
+    def enabled(self) -> bool:
+        return self._executor is not None
+
+    def prefetch(self, state) -> None:
+        """Start encoding ``state``'s slice in the worker (idempotent)."""
+        if (not self.enabled or state.context is not None
+                or state.index in self._inflight):
+            return
+        shape = (state.leading_slots, state.swaps_per_gate)
+        future = self._executor.submit(
+            _prebuild_worker, self._config, state.circuit, self.architecture,
+            state.leading_slots, state.swaps_per_gate)
+        self._inflight[state.index] = (future, shape)
+
+    def take(self, state, timeout: float | None = None):
+        """The pre-built context for ``state``, or ``None`` on any mismatch."""
+        entry = self._inflight.pop(state.index, None)
+        if entry is None:
+            return None
+        future, shape = entry
+        if shape != (state.leading_slots, state.swaps_per_gate):
+            # The slice escalated while its encoding was in flight.
+            future.cancel()
+            self._count_invalidated()
+            return None
+        try:
+            context, started, seconds = future.result(
+                timeout=self.TAKE_TIMEOUT if timeout is None else timeout)
+        except Exception:
+            self.misses += 1
+            return None
+        self.prebuilt_used += 1
+        default_registry().counter(
+            "repro_parallel_pipeline_prebuilt_total",
+            "slice encodings pre-built by the pipeline").inc()
+        # Recorded at the route level (not inside the current slice span):
+        # the encode ran during the *predecessor's* solve, so nesting it
+        # under the successor's span would break span containment.
+        obs_trace.record("pipeline-encode", start=started, duration=seconds,
+                         slice=state.index)
+        return context
+
+    def invalidate(self, index: int) -> None:
+        """Drop the in-flight encoding for ``index`` (shape changed)."""
+        entry = self._inflight.pop(index, None)
+        if entry is not None:
+            entry[0].cancel()
+            self._count_invalidated()
+
+    def _count_invalidated(self) -> None:
+        self.invalidated += 1
+        default_registry().counter(
+            "repro_parallel_pipeline_invalidated_total",
+            "pre-built slice encodings discarded after escalation").inc()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._inflight.clear()

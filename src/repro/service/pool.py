@@ -38,10 +38,27 @@ from repro.service.cache import payload_to_result, result_to_payload
 from repro.service.jobs import RoutingJob
 from repro.service.registry import FALLBACK_ROUTER
 
-#: Extra wall-clock slack (seconds) granted on top of a job's budget before
-#: the pool declares a hard timeout.  Routers self-terminate at their budget;
-#: the slack covers process startup, QASM parsing, and verification.
+#: Default extra wall-clock slack (seconds) granted on top of a job's budget
+#: before the pool declares a hard timeout.  Routers self-terminate at their
+#: budget; the slack covers process startup, QASM parsing, and verification.
+#: Per-pool override: ``WorkerPool(slack=...)``; process-wide override: the
+#: ``REPRO_POOL_SLACK`` environment variable.
 HARD_TIMEOUT_SLACK = 30.0
+
+
+def _default_slack() -> float:
+    """The effective default slack, honouring ``REPRO_POOL_SLACK``."""
+    raw = os.environ.get("REPRO_POOL_SLACK")
+    if raw is None:
+        return HARD_TIMEOUT_SLACK
+    try:
+        slack = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_POOL_SLACK must be a number, got {raw!r}") from None
+    if slack < 0:
+        raise ValueError(f"REPRO_POOL_SLACK must be >= 0, got {slack}")
+    return slack
 
 #: Notes markers stamped on results that were produced by the fallback
 #: router instead of the one the job asked for.  The service uses
@@ -176,12 +193,22 @@ class WorkerPool:
         ``"auto"``, ``"process"``, ``"thread"``, or ``"serial"``.
     fallback:
         Whether unsolved jobs are rescued with the fallback router.
+    slack:
+        Extra wall-clock seconds on top of each job's budget before a hard
+        timeout; defaults to ``REPRO_POOL_SLACK`` or ``HARD_TIMEOUT_SLACK``.
     """
 
     def __init__(self, max_workers: int | None = None, mode: str = "auto",
-                 fallback: bool = True) -> None:
+                 fallback: bool = True, slack: float | None = None) -> None:
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown pool mode {mode!r}")
+        if slack is None:
+            slack = _default_slack()
+        elif not isinstance(slack, (int, float)) or isinstance(slack, bool):
+            raise ValueError(f"slack must be a number, got {slack!r}")
+        elif slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        self.slack = float(slack)
         cpus = os.cpu_count() or 1
         self.max_workers = max(1, max_workers if max_workers is not None else cpus)
         self.fallback = fallback
@@ -226,7 +253,7 @@ class WorkerPool:
         one-to-one with ``jobs``.
         """
         futures = [self.submit(job, time_budget) for job in jobs]
-        deadline = time.monotonic() + (time_budget + HARD_TIMEOUT_SLACK) * max(
+        deadline = time.monotonic() + (time_budget + self.slack) * max(
             1, len(jobs) // self.max_workers + 1)
         results: list[RoutingResult] = []
         for index, (job, future) in enumerate(zip(jobs, futures)):

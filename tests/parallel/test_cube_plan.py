@@ -1,0 +1,60 @@
+"""The cube planner: a disjoint, exhaustive initial-mapping partition."""
+
+from math import perm
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx
+from repro.hardware.topologies import line_architecture, ring_architecture
+from repro.parallel import CubePlan, plan_cubes
+
+
+def star_circuit(num_qubits: int) -> QuantumCircuit:
+    """Qubit 0 talks to everyone: an unambiguous highest-degree qubit."""
+    return QuantumCircuit(num_qubits,
+                          [cx(0, other) for other in range(1, num_qubits)],
+                          name=f"star_{num_qubits}")
+
+
+class TestPlanCubes:
+    def test_empty_circuit_yields_no_cubes(self):
+        plan = plan_cubes(QuantumCircuit(3), ring_architecture(4))
+        assert plan == CubePlan((), ())
+
+    def test_cubes_are_disjoint(self):
+        plan = plan_cubes(star_circuit(4), ring_architecture(5))
+        placements = [tuple(sorted(cube.items())) for cube in plan.cubes]
+        assert len(placements) == len(set(placements))
+
+    def test_cubes_are_exhaustive(self):
+        """Fixing k qubits enumerates every injective placement of them."""
+        arch = ring_architecture(5)
+        plan = plan_cubes(star_circuit(4), arch, min_cubes=2)
+        k = len(plan.qubits)
+        assert len(plan.cubes) == perm(arch.num_qubits, k)
+        assert all(tuple(sorted(cube)) == tuple(sorted(plan.qubits))
+                   for cube in plan.cubes)
+
+    def test_highest_degree_qubit_fixed_first(self):
+        plan = plan_cubes(star_circuit(4), ring_architecture(5))
+        assert plan.qubits[0] == 0  # the star centre
+
+    def test_min_cubes_grows_the_fixed_set(self):
+        arch = ring_architecture(4)
+        shallow = plan_cubes(star_circuit(3), arch, min_cubes=2)
+        deep = plan_cubes(star_circuit(3), arch, min_cubes=8)
+        assert len(shallow.qubits) < len(deep.qubits)
+        assert len(deep.cubes) >= 8
+
+    def test_cubes_ordered_densest_placement_first(self):
+        # On a line the endpoints have degree 1 and the middle degree 2, so
+        # the first cube must place the fixed qubit on an interior vertex.
+        arch = line_architecture(5)
+        plan = plan_cubes(star_circuit(3), arch, min_cubes=2)
+        degrees = [sum(arch.degree(place) for place in cube.values())
+                   for cube in plan.cubes]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_max_fixed_caps_plan_depth(self):
+        plan = plan_cubes(star_circuit(5), ring_architecture(6),
+                          min_cubes=10 ** 6, max_fixed=2)
+        assert len(plan.qubits) <= 2

@@ -1,0 +1,58 @@
+"""Observability of the cube race: spans, grafting, rendering."""
+
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter
+from repro.hardware.topologies import ring_architecture
+from repro.obs import trace as obs_trace
+
+
+def _spans_named(tree: dict, name: str) -> list[dict]:
+    found = []
+    if tree.get("name") == name:
+        found.append(tree)
+    for child in tree.get("children", ()):
+        found.extend(_spans_named(child, name))
+    return found
+
+
+def _routed_trace(cube_workers: int) -> dict:
+    circuit = random_circuit(4, 6, seed=2)
+    arch = ring_architecture(4)
+    tracer = obs_trace.Tracer(max_traces=1)
+    root = tracer.start_trace("job")
+    with obs_trace.activate(tracer, root):
+        result = SatMapRouter(time_budget=120,
+                              cube_workers=cube_workers).route(circuit, arch)
+    root.finish()
+    assert result.solved
+    return root.to_dict()
+
+
+class TestCubeSpans:
+    def test_cube_solve_spans_graft_under_the_job_root(self):
+        tree = _routed_trace(cube_workers=1)
+        conquer = _spans_named(tree, "cube-conquer")
+        assert len(conquer) == 1
+        solves = _spans_named(conquer[0], "cube-solve")
+        assert len(solves) == conquer[0]["attributes"]["cubes"]
+
+    def test_cube_solve_spans_carry_cube_ids(self):
+        tree = _routed_trace(cube_workers=1)
+        solves = _spans_named(tree, "cube-solve")
+        ids = sorted(span["attributes"]["cube_id"] for span in solves)
+        assert ids == list(range(len(solves)))
+        assert all("pruned" in span["attributes"] for span in solves)
+
+    def test_process_mode_spans_survive_the_pickle_round_trip(self):
+        tree = _routed_trace(cube_workers=2)
+        solves = _spans_named(tree, "cube-solve")
+        assert solves, "worker traces must graft back under the parent"
+        # Worker-side child spans (encode/solve) ride along.
+        assert any(span.get("children") for span in solves)
+
+    def test_render_shows_the_race(self):
+        tree = _routed_trace(cube_workers=1)
+        rendered = obs_trace.render_trace(tree)
+        assert "cube-conquer" in rendered
+        assert "cube-solve" in rendered
+        assert "cube_id=" in rendered

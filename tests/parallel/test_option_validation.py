@@ -1,0 +1,64 @@
+"""RouterSpec / constructor validation for the parallel options."""
+
+import pytest
+
+from repro.api.registry import get_router
+from repro.api.spec import RouterSpec
+from repro.core import SatMapRouter
+
+
+class TestConstructorValidation:
+    def test_cube_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="cube_workers"):
+            SatMapRouter(cube_workers=0)
+        with pytest.raises(ValueError, match="cube_workers"):
+            SatMapRouter(cube_workers=-2)
+
+    def test_cube_workers_rejects_bool_and_non_int(self):
+        with pytest.raises(ValueError, match="cube_workers"):
+            SatMapRouter(cube_workers=True)
+        with pytest.raises(ValueError, match="cube_workers"):
+            SatMapRouter(cube_workers="four")
+
+    def test_cube_workers_requires_linear_strategy(self):
+        with pytest.raises(ValueError, match="linear"):
+            SatMapRouter(cube_workers=2, strategy="rc2")
+        with pytest.raises(ValueError, match="linear"):
+            SatMapRouter(cube_workers=2, strategy="core-guided")
+
+    def test_pipeline_slices_must_be_bool(self):
+        with pytest.raises(ValueError, match="pipeline_slices"):
+            SatMapRouter(pipeline_slices="yes", slice_size=4)
+
+    def test_pipeline_slices_requires_slicing(self):
+        with pytest.raises(ValueError, match="slice_size"):
+            SatMapRouter(pipeline_slices=True, slice_size=None)
+
+    def test_pipeline_slices_requires_incremental_sessions(self):
+        with pytest.raises(ValueError, match="incremental"):
+            SatMapRouter(pipeline_slices=True, slice_size=4, incremental=False)
+
+    def test_defaults_stay_serial(self):
+        router = SatMapRouter()
+        assert router.cube_workers is None
+        assert router.pipeline_slices is False
+
+
+class TestSpecWiring:
+    def test_cube_workers_flows_through_spec(self):
+        router = get_router(RouterSpec.from_string("satmap:cube_workers=3"))
+        assert router.cube_workers == 3
+
+    def test_pipeline_slices_flows_through_spec(self):
+        router = get_router(
+            RouterSpec.from_string("satmap:pipeline_slices=true,slice_size=4"))
+        assert router.pipeline_slices is True
+
+    def test_invalid_spec_value_is_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="cube_workers"):
+            get_router(RouterSpec.from_string("satmap:cube_workers=0"))
+
+    def test_noise_aware_variant_accepts_the_options(self):
+        router = get_router(
+            RouterSpec.from_string("noise-satmap:cube_workers=2"))
+        assert router.cube_workers == 2

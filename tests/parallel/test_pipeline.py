@@ -1,0 +1,119 @@
+"""Pipeline-parallel slicing: serial-equivalent results, invalidation rules."""
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.core import SatMapRouter, verify_routing
+from repro.core.slicing import SliceState
+from repro.hardware.topologies import ring_architecture
+from repro.parallel.pipeline import SlicePipeline
+
+
+@pytest.fixture()
+def instance():
+    return random_circuit(4, 12, seed=7), ring_architecture(4)
+
+
+class TestPipelinedRoute:
+    def test_results_equal_the_serial_sliced_route(self, instance):
+        circuit, arch = instance
+        serial = SatMapRouter(slice_size=4, time_budget=120).route(circuit, arch)
+        piped = SatMapRouter(slice_size=4, time_budget=120,
+                             pipeline_slices=True).route(circuit, arch)
+        assert serial.solved and piped.solved
+        assert piped.swap_count == serial.swap_count
+        assert piped.num_slices == serial.num_slices
+        verify_routing(circuit, piped.routed_circuit, piped.initial_mapping, arch)
+
+    def test_stats_record_prebuilt_slices(self, instance):
+        circuit, arch = instance
+        result = SatMapRouter(slice_size=4, time_budget=120,
+                              pipeline_slices=True).route(circuit, arch)
+        assert "pipeline" in result.notes
+        if "pipeline_prebuilt" in result.solver_stats:
+            # Successors (never slice 0) are eligible for pre-encoding.
+            assert 0 <= result.solver_stats["pipeline_prebuilt"] < result.num_slices
+
+    def test_single_slice_circuit_skips_the_pipeline(self):
+        circuit = random_circuit(3, 3, seed=1)
+        arch = ring_architecture(4)
+        result = SatMapRouter(slice_size=50, time_budget=60,
+                              pipeline_slices=True).route(circuit, arch)
+        assert result.solved
+        assert "pipeline" not in result.notes
+
+
+class TestSlicePipelineUnit:
+    def _pipeline(self, instance):
+        circuit, arch = instance
+        router = SatMapRouter(slice_size=4, time_budget=60,
+                              pipeline_slices=True)
+        slices = circuit.sliced_by_two_qubit_gates(4)
+        states = [SliceState(i, sub, leading_slots=router.swaps_per_gate)
+                  for i, sub in enumerate(slices)]
+        return SlicePipeline(router, arch), states
+
+    def test_take_without_prefetch_is_a_miss(self, instance):
+        pipeline, states = self._pipeline(instance)
+        try:
+            assert pipeline.take(states[1]) is None
+        finally:
+            pipeline.close()
+
+    def test_escalation_invalidates_the_inflight_encoding(self, instance):
+        pipeline, states = self._pipeline(instance)
+        try:
+            if not pipeline.enabled:
+                pytest.skip("no process pool available")
+            pipeline.prefetch(states[1])
+            states[1].leading_slots *= 2  # shape changed while in flight
+            assert pipeline.take(states[1]) is None
+            assert pipeline.invalidated == 1
+        finally:
+            pipeline.close()
+
+    def test_explicit_invalidate_drops_the_prefetch(self, instance):
+        pipeline, states = self._pipeline(instance)
+        try:
+            if not pipeline.enabled:
+                pytest.skip("no process pool available")
+            pipeline.prefetch(states[1])
+            pipeline.invalidate(states[1].index)
+            assert pipeline.invalidated == 1
+            assert pipeline.take(states[1]) is None  # nothing left in flight
+        finally:
+            pipeline.close()
+
+    def test_prefetched_context_solves_the_slice(self, instance):
+        circuit, arch = instance
+        pipeline, states = self._pipeline(instance)
+        try:
+            if not pipeline.enabled:
+                pytest.skip("no process pool available")
+            pipeline.prefetch(states[1])
+            context = pipeline.take(states[1], timeout=60)
+            assert context is not None
+            assert pipeline.prebuilt_used == 1
+            router = SatMapRouter(slice_size=None, time_budget=60)
+            identity = {q: q for q in range(states[1].circuit.num_qubits)}
+            outcome = router.solve_monolithic(
+                states[1].circuit, arch, 60, fixed_initial_mapping=identity,
+                leading_slots=1, context=context)
+            assert outcome.result.solved
+        finally:
+            pipeline.close()
+
+    def test_degrades_to_noop_without_a_process_pool(self, instance, monkeypatch):
+        from repro.parallel import pipeline as pipeline_module
+
+        def broken(*args, **kwargs):
+            raise OSError("no processes here")
+
+        monkeypatch.setattr(pipeline_module, "ProcessPoolExecutor", broken)
+        pipeline, states = self._pipeline(instance)
+        try:
+            assert not pipeline.enabled
+            pipeline.prefetch(states[1])  # no-op, no crash
+            assert pipeline.take(states[1]) is None
+        finally:
+            pipeline.close()

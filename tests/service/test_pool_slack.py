@@ -1,0 +1,36 @@
+"""Configurable hard-timeout slack on the worker pool."""
+
+import pytest
+
+from repro.service.pool import HARD_TIMEOUT_SLACK, WorkerPool
+
+
+class TestPoolSlack:
+    def test_default_matches_module_constant(self):
+        assert WorkerPool(mode="serial").slack == HARD_TIMEOUT_SLACK
+
+    def test_constructor_override(self):
+        assert WorkerPool(mode="serial", slack=5).slack == 5.0
+        assert WorkerPool(mode="serial", slack=0).slack == 0.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_SLACK", "2.5")
+        assert WorkerPool(mode="serial").slack == 2.5
+
+    def test_constructor_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_SLACK", "2.5")
+        assert WorkerPool(mode="serial", slack=7).slack == 7.0
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_SLACK", "plenty")
+        with pytest.raises(ValueError, match="REPRO_POOL_SLACK"):
+            WorkerPool(mode="serial")
+        monkeypatch.setenv("REPRO_POOL_SLACK", "-1")
+        with pytest.raises(ValueError, match="REPRO_POOL_SLACK"):
+            WorkerPool(mode="serial")
+
+    def test_invalid_constructor_value_rejected(self):
+        with pytest.raises(ValueError, match="slack"):
+            WorkerPool(mode="serial", slack=-3)
+        with pytest.raises(ValueError, match="slack"):
+            WorkerPool(mode="serial", slack=True)
