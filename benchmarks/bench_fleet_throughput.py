@@ -1,0 +1,256 @@
+"""Fleet throughput: 1 vs 4 shard workers behind one dispatcher.
+
+Measures the ``repro.cluster`` serving fleet end to end: a real
+:class:`~repro.cluster.ClusterDispatcher` with N worker *processes* (full
+gateways on loopback ports), hit by 8 client threads doing complete
+submit -> long-poll -> result round trips.  Per-worker configuration is
+held constant across fleet sizes, so the comparison isolates the sharding
+axis: more workers = more processes solving concurrently.
+
+Three phases per fleet size:
+
+* **cold** -- distinct circuits, every one a real SATMAP solve;
+* **warm** -- the identical payloads again: served by fleet-wide dedup and
+  the shared disk cache, isolating dispatch + proxy overhead;
+* **dedup** -- one shared circuit from all 8 clients simultaneously.
+
+Hard claims (enforced in both modes, they are correctness not timing):
+
+* every request completes and every result verifies as solved;
+* the warm phase performs **zero** new solves across all shards;
+* the dedup phase performs exactly **one** solve fleet-wide -- consistent
+  hashing routed all 8 copies to one worker, which deduplicated them;
+* no worker crashed or was restarted during the run.
+
+The throughput claim -- 4 workers sustain >= 2.5x the cold-cache
+throughput of 1 worker -- needs real parallel hardware: it is enforced in
+full mode and only warns in ``--smoke`` (CI runners may expose a single
+core, where four processes cannot beat one).  ``cpus`` is recorded in the
+JSON so readers can interpret the numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:  # direct invocation from any cwd
+    sys.path.insert(0, str(_HERE))
+_SRC = _HERE.parent / "src"
+try:  # fall back to the in-repo tree when repro is not installed
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+from _harness import RESULTS_DIR  # noqa: E402
+
+from repro.analysis.reporting import render_table  # noqa: E402
+from repro.circuits.random_circuits import random_circuit  # noqa: E402
+from repro.cluster import FleetConfig, FleetThread  # noqa: E402
+from repro.server import RoutingClient  # noqa: E402
+
+FLEET_SIZES = (1, 4)
+CLIENTS = 8
+ROUTER = "satmap"  # CPU-bound per job, so extra workers genuinely help
+ARCH = "tokyo6"
+BUDGET = 4.0
+SPEEDUP_TARGET = 2.5
+
+
+def make_workload(jobs: int) -> list:
+    return [random_circuit(4, 8 + (index % 3), seed=20_000 + index,
+                           name=f"fleet_bench_{index}")
+            for index in range(jobs)]
+
+
+def run_phase(port: int, circuits: list, timeout: float) -> dict:
+    """8 client threads split the circuits round-robin; full round trips."""
+    errors: list[BaseException] = []
+    solved = [0] * CLIENTS
+
+    def client_loop(client_index: int) -> None:
+        client = RoutingClient(port=port, timeout=timeout, retry_quota=4,
+                               client_id=f"fleet-bench-{client_index}")
+        try:
+            for circuit in circuits[client_index::CLIENTS]:
+                result = client.route(circuit, architecture=ARCH,
+                                      router=ROUTER, time_budget=BUDGET,
+                                      timeout=timeout)
+                if result.solved:
+                    solved[client_index] += 1
+        except BaseException as error:
+            errors.append(error)
+
+    threads = [threading.Thread(target=client_loop, args=(index,))
+               for index in range(CLIENTS)]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout + 60)
+    elapsed = time.monotonic() - start
+    if errors:
+        raise errors[0]
+    return {
+        "requests": len(circuits),
+        "solved": sum(solved),
+        "time": round(elapsed, 4),
+        "jobs_per_sec": round(len(circuits) / max(elapsed, 1e-9), 3),
+    }
+
+
+def fleet_totals(port: int) -> dict:
+    stats = RoutingClient(port=port).stats()
+    return {
+        "submitted": stats["totals"]["gateway"]["submitted"],
+        "deduplicated": stats["totals"]["gateway"]["deduplicated"],
+        "completed": stats["totals"]["gateway"]["completed"],
+        "worker_restarts": stats["fleet"]["dispatcher"]["worker_restarts"],
+        "workers_alive": stats["fleet"]["workers_alive"],
+    }
+
+
+def run_fleet(workers: int, jobs: int, timeout: float) -> dict:
+    """One fleet per size: fresh cache directory, clean counters."""
+    with tempfile.TemporaryDirectory(prefix=f"fleet-bench-{workers}w-") as tmp:
+        config = FleetConfig(workers=workers, cache_dir=tmp,
+                             time_budget=BUDGET,
+                             pool_mode="thread", pool_workers=2,
+                             rate=1e6, burst=1e6, max_pending=10_000)
+        with FleetThread(config) as fleet:
+            workload = make_workload(jobs)
+            cold = run_phase(fleet.port, workload, timeout)
+            after_cold = fleet_totals(fleet.port)
+            warm = run_phase(fleet.port, workload, timeout)
+            after_warm = fleet_totals(fleet.port)
+            shared = [random_circuit(4, 10, seed=30_000 + workers,
+                                     name=f"fleet_shared_{workers}")] * CLIENTS
+            dedup = run_phase(fleet.port, shared, timeout)
+            after_dedup = fleet_totals(fleet.port)
+    return {
+        "workers": workers,
+        "jobs": jobs,
+        "cold": cold,
+        "warm": warm,
+        "dedup": dedup,
+        "solves_cold": after_cold["submitted"],
+        "new_solves_warm": after_warm["submitted"] - after_cold["submitted"],
+        "new_solves_dedup": after_dedup["submitted"] - after_warm["submitted"],
+        "deduplicated": after_dedup["deduplicated"],
+        "worker_restarts": after_dedup["worker_restarts"],
+        "workers_alive": after_dedup["workers_alive"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI configuration; timing claims only warn")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="distinct circuits per fleet (default: 8 smoke, "
+                             "24 full)")
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else (8 if args.smoke else 24)
+    timeout = 300.0
+
+    records = []
+    report_rows = []
+    failures = []
+    warnings = []
+    for workers in FLEET_SIZES:
+        record = run_fleet(workers, jobs, timeout)
+        records.append(record)
+        report_rows.append([
+            workers, record["cold"]["requests"],
+            record["cold"]["time"], record["cold"]["jobs_per_sec"],
+            record["warm"]["time"], record["warm"]["jobs_per_sec"],
+            record["new_solves_warm"],
+        ])
+
+        label = f"{workers} worker(s)"
+        if record["cold"]["solved"] != jobs:
+            failures.append(f"{label}: cold phase solved "
+                            f"{record['cold']['solved']}/{jobs}")
+        if record["warm"]["solved"] != jobs:
+            failures.append(f"{label}: warm phase solved "
+                            f"{record['warm']['solved']}/{jobs}")
+        if record["dedup"]["solved"] != CLIENTS:
+            failures.append(f"{label}: dedup phase returned "
+                            f"{record['dedup']['solved']}/{CLIENTS} results")
+        if record["new_solves_warm"] != 0:
+            failures.append(f"{label}: warm phase re-solved "
+                            f"{record['new_solves_warm']} jobs (fleet dedup/"
+                            f"cache must serve all repeats)")
+        if record["new_solves_dedup"] != 1:
+            failures.append(f"{label}: {CLIENTS} identical submissions "
+                            f"triggered {record['new_solves_dedup']} solves "
+                            f"(fleet-wide dedup must make it exactly 1)")
+        if record["worker_restarts"] != 0:
+            failures.append(f"{label}: {record['worker_restarts']} worker "
+                            f"crashes during the benchmark")
+        if record["workers_alive"] != workers:
+            failures.append(f"{label}: only {record['workers_alive']} of "
+                            f"{workers} workers alive at the end")
+
+    speedup = (records[-1]["cold"]["jobs_per_sec"]
+               / max(records[0]["cold"]["jobs_per_sec"], 1e-9))
+    if speedup < SPEEDUP_TARGET:
+        warnings.append(
+            f"cold-cache speedup {speedup:.2f}x below the {SPEEDUP_TARGET}x "
+            f"target for {FLEET_SIZES[-1]} workers (host exposes "
+            f"{os.cpu_count()} CPUs)")
+
+    table = render_table(
+        ["workers", "jobs", "cold (s)", "cold jobs/s", "warm (s)",
+         "warm jobs/s", "warm re-solves"],
+        report_rows,
+        title=f"Fleet throughput ({CLIENTS} clients, router {ROUTER}, "
+              f"budget {BUDGET:g}s)")
+    print()
+    print(table)
+    print(f"\ncold-cache speedup {FLEET_SIZES[-1]} vs {FLEET_SIZES[0]} "
+          f"workers: {speedup:.2f}x")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_fleet.json"
+    out_path.write_text(json.dumps({
+        "smoke": args.smoke,
+        "router": ROUTER,
+        "architecture": ARCH,
+        "time_budget": BUDGET,
+        "clients": CLIENTS,
+        "cpus": os.cpu_count(),
+        "speedup_cold": round(speedup, 3),
+        "speedup_target": SPEEDUP_TARGET,
+        "fleets": records,
+        "failures": failures,
+        "warnings": warnings,
+    }, indent=2, sort_keys=True))
+    print(f"results written to {out_path}")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    if not args.smoke and warnings:
+        failures.extend(warnings)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: all jobs served, warm phase solver-free, fleet-wide dedup "
+          "single-solve, no worker crashes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""A sharded serving fleet in one script: dispatch, dedup, crash, recover.
+
+Starts a :class:`~repro.cluster.ClusterDispatcher` with three real worker
+processes (the same fleet ``repro serve --workers 3`` runs), then
+demonstrates what the dispatcher adds on top of a single gateway:
+
+1. topology: ``/v1/cluster`` shows the consistent-hash ring and every
+   worker's shard, port, and pid;
+2. shard routing: each submission's ticket reports the shard that owns
+   its job key, and the client predicts the same shard ring-side;
+3. fleet-wide dedup: the same circuit from two "different clients" lands
+   on the same shard and solves exactly once;
+4. a dispatch span re-rooted above the worker's own trace;
+5. chaos: SIGKILL one worker, watch the health sweep restart it on the
+   same shard, and re-fetch the dead shard's result from the shared disk
+   cache;
+6. fleet-aggregated ``/v1/stats`` and ``/metrics``, then graceful drain.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_demo.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+
+from repro.circuits.random_circuits import random_circuit
+from repro.cluster import FleetConfig, FleetThread
+from repro.server import RoutingClient
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="fleet-demo-") as cache_dir:
+        config = FleetConfig(workers=3, cache_dir=cache_dir,
+                             time_budget=5.0, pool_mode="thread",
+                             pool_workers=2, health_interval=0.2)
+        with FleetThread(config) as fleet:
+            print(f"dispatcher listening on {fleet.url}\n")
+            alice = RoutingClient(port=fleet.port, client_id="alice")
+            bob = RoutingClient(port=fleet.port, client_id="bob")
+
+            topology = alice.cluster()
+            print("fleet topology:")
+            for worker in topology["fleet"]["worker_detail"]:
+                print(f"  shard {worker['shard']}: pid {worker['pid']} "
+                      f"on 127.0.0.1:{worker['port']}")
+            print(f"  ring: {topology['ring']['replicas']} virtual nodes "
+                  f"per shard over shards {topology['ring']['shards']}\n")
+
+            # Distinct circuits spread over the ring; identical ones collide.
+            circuits = [random_circuit(4, 8, seed=seed, name=f"demo_{seed}")
+                        for seed in range(5)]
+            tickets = [alice.submit(circuit, architecture="tokyo6",
+                                    router="sabre:seed=0")
+                       for circuit in circuits]
+            for circuit, ticket in zip(circuits, tickets):
+                predicted = alice.shard_for(ticket["job_id"])
+                print(f"  {circuit.name} -> shard {ticket['shard']} "
+                      f"(client-side ring predicts {predicted})")
+
+            # Bob submits a byte-identical copy of the first circuit: the
+            # ring sends it to the same shard, whose gateway dedups it.
+            duplicate = bob.submit(circuits[0], architecture="tokyo6",
+                                   router="sabre:seed=0")
+            print(f"\nbob's duplicate of {circuits[0].name}: shard "
+                  f"{duplicate['shard']}, deduplicated="
+                  f"{duplicate['deduplicated']}")
+
+            results = [alice.wait(ticket["job_id"], timeout=60)
+                       for ticket in tickets]
+            print("all solved:", all(result.solved for result in results))
+
+            trace = alice.trace(tickets[0]["job_id"])
+            print(f"\ntrace of {circuits[0].name} (dispatch span on top):")
+            print("  " + trace["rendered"].replace("\n", "\n  "))
+
+            # Chaos: kill the shard that solved circuit 0, then watch the
+            # dispatcher's health sweep bring it back on the SAME shard.
+            victim_shard = tickets[0]["shard"]
+            victim = next(worker for worker
+                          in alice.cluster()["fleet"]["worker_detail"]
+                          if worker["shard"] == victim_shard)
+            print(f"killing shard {victim_shard} (pid {victim['pid']})...")
+            os.kill(victim["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                worker = next(entry for entry
+                              in alice.cluster()["fleet"]["worker_detail"]
+                              if entry["shard"] == victim_shard)
+                if worker["alive"] and worker["restarts"] > 0:
+                    print(f"shard {victim_shard} reborn as pid "
+                          f"{worker['pid']} after "
+                          f"{worker['restarts']} restart(s)")
+                    break
+                time.sleep(0.2)
+
+            # The reborn worker's memory is empty, but the shared disk cache
+            # still has the answer -- same shard, same key, cache hit.
+            again = alice.submit(circuits[0], architecture="tokyo6",
+                                 router="sabre:seed=0")
+            result = alice.wait(again["job_id"], timeout=60)
+            print(f"resubmitted {circuits[0].name}: shard {again['shard']}, "
+                  f"notes: {result.notes}\n")
+
+            stats = alice.stats()
+            totals = stats["totals"]["gateway"]
+            print(f"fleet totals: {totals['submitted']} solves for "
+                  f"{totals['submitted'] + totals['deduplicated']} "
+                  f"submissions across {stats['fleet']['workers']} shards; "
+                  f"{stats['fleet']['dispatcher']['worker_restarts']} "
+                  f"worker restart(s)")
+            scrape = alice.metrics_text()
+            cluster_lines = [line for line in scrape.splitlines()
+                             if line.startswith("repro_cluster_dispatched")]
+            print("dispatch counters:")
+            for line in cluster_lines:
+                print(f"  {line}")
+
+            print("\ndraining the fleet...")
+            alice.drain()
+        print("fleet drained; all workers exited")
+
+
+if __name__ == "__main__":
+    main()

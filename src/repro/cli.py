@@ -192,8 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 picks a free one)")
     serve.add_argument("--time-budget", type=float, default=10.0,
                        help="default per-job budget in seconds")
-    serve.add_argument("--workers", type=int, default=None,
-                       help="worker processes (default: CPU count)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard worker processes behind one dispatcher; "
+                            "1 runs today's single in-process gateway")
+    serve.add_argument("--pool-workers", type=int, default=None,
+                       help="solver pool size inside each worker "
+                            "(default: CPU count)")
     serve.add_argument("--mode", default="auto",
                        choices=["auto", "process", "thread", "serial"])
     serve.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
@@ -506,10 +510,15 @@ def command_serve(args: argparse.Namespace) -> int:
     if args.time_budget <= 0:
         print("error: --time-budget must be positive", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     max_bytes = (int(args.cache_max_mb * 1024 * 1024)
                  if args.cache_max_mb else None)
+    if args.workers > 1:
+        return _serve_fleet(args, max_bytes)
     service = BatchRoutingService(
-        max_workers=args.workers,
+        max_workers=args.pool_workers,
         mode=args.mode,
         time_budget=args.time_budget,
         cache=False if args.no_cache else None,
@@ -535,6 +544,47 @@ def command_serve(args: argparse.Namespace) -> int:
     finally:
         service.close()
     print(service.telemetry.summary())
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, max_bytes: int | None) -> int:
+    """``repro serve --workers N`` for N > 1: the sharded dispatcher fleet."""
+    import asyncio
+
+    from repro.cluster import ClusterDispatcher, FleetConfig, serve_fleet
+
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        time_budget=args.time_budget,
+        pool_workers=args.pool_workers,
+        pool_mode=args.mode,
+        cache_dir=None if args.no_cache else str(args.cache_dir),
+        cache_max_bytes=max_bytes,
+        portfolio=args.portfolio or None,
+        rate=args.rate,
+        burst=args.burst,
+        max_pending=args.max_pending,
+        trace_dir=str(args.trace_dir) if args.trace_dir else None,
+    )
+    dispatcher = ClusterDispatcher(config)
+
+    def announce(started: ClusterDispatcher) -> None:
+        shards = ", ".join(
+            f"{worker['shard']}:{worker['port']}"
+            for worker in started._fleet_section()["worker_detail"])
+        print(f"repro fleet dispatcher listening on {started.url} "
+              f"({config.workers} shard workers: {shards})")
+        print(f"budget {config.time_budget}s, rate {config.rate}/s, "
+              f"burst {config.burst:g}, backlog {config.max_pending}")
+        print("SIGTERM or ^C drains every worker before exiting")
+
+    asyncio.run(serve_fleet(dispatcher, on_started=announce))
+    counters = dispatcher.counters
+    print(f"fleet served {counters['requests']} requests, dispatched "
+          f"{counters['dispatched']} submissions, restarted "
+          f"{counters['worker_restarts']} workers")
     return 0
 
 

@@ -1,0 +1,833 @@
+"""The fleet front-end: one listening socket, N shard workers behind it.
+
+:class:`ClusterDispatcher` owns the public address of a sharded serving
+fleet.  Every submission is parsed and keyed (the same
+:meth:`~repro.service.BatchRoutingService.job_key` content hash the
+single-process gateway deduplicates by), consistent-hashed onto one of N
+:class:`~repro.cluster.worker.WorkerHandle` gateway processes, and proxied
+there over loopback HTTP.  Because equal jobs always map to the same shard,
+the per-gateway cross-client dedup of PR 4 holds *fleet-wide*: duplicate
+submissions from any number of clients trigger exactly one solve.
+
+Beyond routing, the dispatcher is the fleet's control plane:
+
+* **Admission** -- the PR-4 token-bucket controller runs here, in front of
+  the whole fleet (workers keep only a pending-bound safety valve), so 429
+  ``Retry-After`` hints reflect fleet capacity.
+* **Health** -- a sweep task watches worker processes and restarts crashed
+  ones *on the same shard id*; the ring never moves, so a reborn worker
+  resumes its key range and re-serves finished work from the shared disk
+  cache.  A worker that keeps dying past ``max_restarts`` is cut from the
+  ring and its range flows to the survivors.
+* **Aggregation** -- ``/v1/stats`` and ``/metrics`` merge every shard's
+  view into fleet totals plus per-shard ``{shard="k"}`` labelled series,
+  alongside the dispatcher's own ``repro_cluster_*`` instruments.
+* **Drain** -- ``/v1/admin/drain`` (or SIGTERM via :func:`serve_fleet`)
+  fans out to every worker, waits for them to finish their queues
+  best-so-far, then closes the listener.
+* **Traces** -- ``/v1/jobs/<id>/trace`` is proxied to the owning shard and
+  the returned tree is re-rooted under a ``dispatch`` span carrying the
+  shard id and proxy latency, so ``repro trace <job>`` shows the full
+  fleet path: dispatch -> job -> route -> sat-solve.
+
+Endpoints mirror the gateway's (clients cannot tell a dispatcher from a
+single gateway, except for the extra ``/v1/cluster`` topology view and the
+``shard`` field stamped into job payloads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.api.registry import describe_routers
+from repro.cluster.config import FleetConfig
+from repro.cluster.hashring import HashRing
+from repro.cluster.worker import WorkerHandle
+from repro.hardware.devices import device_records, named_architectures
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import render_trace
+from repro.server import http, protocol
+from repro.server.admission import AdmissionController
+from repro.service import BatchRoutingService
+
+#: Most recent job -> shard dispatch records kept for trace re-rooting.
+MAX_DISPATCH_RECORDS = 4096
+#: Attempts to reach a shard before surfacing 503 (submits are idempotent
+#: by content hash, so a blind retry after a connection failure is safe).
+PROXY_ATTEMPTS = 3
+#: Health sweeps between open-job resyncs feeding admission backpressure.
+STATS_SWEEP_EVERY = 4
+
+
+@dataclass
+class DispatchRecord:
+    """Where one job went and how long the submit proxy took."""
+
+    shard: int
+    start: float  # wall-clock submit arrival, epoch seconds
+    duration: float  # submit proxy round trip, seconds
+    retries: int = 0
+
+
+class ClusterDispatcher:
+    """Front-end dispatcher for a sharded gateway fleet (see module doc)."""
+
+    def __init__(self, config: FleetConfig,
+                 admission: AdmissionController | None = None,
+                 architectures: dict | None = None) -> None:
+        self.config = config
+        self.host = config.host
+        self.port = config.port
+        self.ring = HashRing(config.shard_ids(),
+                             replicas=config.ring_replicas)
+        self.workers: dict[int, WorkerHandle] = {
+            shard: WorkerHandle(config, shard)
+            for shard in config.shard_ids()}
+        self.admission = admission if admission is not None else \
+            AdmissionController(rate=config.rate, burst=config.burst,
+                                max_pending=config.max_pending)
+        self.architectures = (architectures if architectures is not None
+                              else named_architectures())
+        # Computes job keys exactly as the workers do (same budget default,
+        # same portfolio namespace); never solves -- its pool is lazy and
+        # route_batch is never called on it.
+        self._keyer = BatchRoutingService(
+            time_budget=config.time_budget, portfolio=config.portfolio,
+            cache=False, tracer=False)
+        self.metrics = MetricsRegistry()
+        self._dispatched = self.metrics.counter(
+            "repro_cluster_dispatched_total",
+            "Submissions routed to a shard worker, by shard")
+        self._retried = self.metrics.counter(
+            "repro_cluster_retried_total",
+            "Proxy attempts repeated after a shard connection failure")
+        self._restarts_counter = self.metrics.counter(
+            "repro_cluster_worker_restarts_total",
+            "Crashed shard workers restarted by the health sweep")
+        self.counters = {
+            "requests": 0,
+            "dispatched": 0,
+            "retried": 0,
+            "rejected": 0,
+            "rejected_draining": 0,
+            "bad_requests": 0,
+            "proxy_failures": 0,
+            "worker_restarts": 0,
+        }
+        self._dispatch_log: OrderedDict[str, DispatchRecord] = OrderedDict()
+        self._open_jobs = 0  # fleet-wide estimate, resynced by the sweep
+        self._draining = False
+        self._started = time.monotonic()
+        self._server: asyncio.AbstractServer | None = None
+        self._health_task: asyncio.Task | None = None
+        self._restarting: set[int] = set()
+        self._disabled: set[int] = set()
+        self._connections: set[asyncio.Task] = set()
+        self._closed = asyncio.Event()
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Spawn the worker fleet, bind the listener, start the health sweep."""
+        loop = asyncio.get_running_loop()
+        started: list[WorkerHandle] = []
+        try:
+            for handle in self.workers.values():
+                await loop.run_in_executor(None, handle.start)
+                started.append(handle)
+        except BaseException:
+            for handle in started:
+                handle.terminate()
+            raise
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.create_task(self._health_loop())
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def initiate_drain(self) -> None:
+        """Begin graceful fleet shutdown (idempotent, loop thread only)."""
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.ensure_future(self._shutdown())
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def _shutdown(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._health_task is not None:
+            self._health_task.cancel()
+        # Fan out the drain; workers finish their queues best-so-far.
+        await asyncio.gather(
+            *(self._fetch_worker(handle, "POST", "/v1/admin/drain",
+                                 body=b"{}", timeout=10.0)
+              for handle in self.workers.values() if handle.alive()),
+            return_exceptions=True)
+        # A drained gateway exits once its queue empties; give each worker
+        # its full budget plus slack before escalating to SIGTERM/SIGKILL.
+        join_budget = self.config.time_budget + 30.0
+
+        def _reap() -> None:
+            deadline = time.monotonic() + join_budget
+            for handle in self.workers.values():
+                if handle.process is None:
+                    continue
+                handle.process.join(
+                    timeout=max(0.1, deadline - time.monotonic()))
+                handle.terminate(join_timeout=5.0)
+
+        await loop.run_in_executor(None, _reap)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.wait(self._connections, timeout=35.0)
+        self._keyer.close()
+        self._closed.set()
+
+    # ------------------------------------------------------------ health sweep
+
+    async def _health_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        sweep = 0
+        while not self._draining:
+            await asyncio.sleep(self.config.health_interval)
+            sweep += 1
+            for shard, handle in self.workers.items():
+                if self._draining:
+                    return
+                if (handle.alive() or shard in self._restarting
+                        or shard in self._disabled):
+                    continue
+                self._restarting.add(shard)
+                try:
+                    if handle.restarts >= self.config.max_restarts:
+                        self._disable_shard(shard)
+                        continue
+                    await loop.run_in_executor(None, handle.restart)
+                    self.counters["worker_restarts"] += 1
+                    self._restarts_counter.inc(shard=str(shard))
+                except Exception:
+                    # Startup itself failed; count the attempt and let the
+                    # next sweep retry (or give up past max_restarts).
+                    self.counters["worker_restarts"] += 1
+                    self._restarts_counter.inc(shard=str(shard))
+                finally:
+                    self._restarting.discard(shard)
+            if sweep % STATS_SWEEP_EVERY == 0:
+                await self._resync_open_jobs()
+
+    def _disable_shard(self, shard: int) -> None:
+        """Give up on a flapping worker; its range flows to ring successors."""
+        if shard in self._disabled or len(self.ring) <= 1:
+            return
+        self.ring.remove(shard)
+        self._disabled.add(shard)
+
+    async def _resync_open_jobs(self) -> None:
+        """Refresh the fleet-wide open-job estimate feeding backpressure."""
+        total = 0
+        for handle in self.workers.values():
+            response = await self._fetch_worker(handle, "GET", "/v1/stats",
+                                                timeout=5.0)
+            if response is None:
+                continue
+            status, _, body = response
+            if status != 200:
+                continue
+            try:
+                total += int(json.loads(body).get("jobs_open", 0))
+            except (ValueError, TypeError):  # pragma: no cover - defensive
+                continue
+        self._open_jobs = total
+
+    # ----------------------------------------------------------------- proxying
+
+    async def _fetch_worker(self, handle: WorkerHandle, method: str,
+                            path: str, body: bytes = b"",
+                            headers: dict | None = None,
+                            timeout: float = http.READ_TIMEOUT):
+        """One attempt against one worker; ``None`` on any transport failure."""
+        port = handle.port
+        if port is None or not handle.alive():
+            return None
+        try:
+            return await http.fetch(handle.host, port, method, path,
+                                    body=body, headers=headers,
+                                    timeout=timeout)
+        except (OSError, ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            return None
+
+    async def _proxy(self, shard: int, method: str, path: str,
+                     body: bytes = b"", headers: dict | None = None,
+                     timeout: float = http.READ_TIMEOUT):
+        """Proxy with bounded retry; returns ``(status, headers, body, tries)``.
+
+        Safe for submissions too: they are idempotent by content hash, so
+        replaying one after a connection failure cannot double-solve.
+        Returns ``None`` when the shard stays unreachable -- the caller maps
+        that to 503 + ``Retry-After`` and the health sweep brings the worker
+        back.
+        """
+        handle = self.workers.get(shard)
+        if handle is None:  # pragma: no cover - defensive
+            return None
+        for attempt in range(PROXY_ATTEMPTS):
+            if attempt:
+                self.counters["retried"] += 1
+                self._retried.inc()
+                # Give the health sweep a chance to respawn the worker.
+                await asyncio.sleep(
+                    min(1.0, self.config.health_interval * (attempt + 0.5)))
+            response = await self._fetch_worker(handle, method, path,
+                                                body=body, headers=headers,
+                                                timeout=timeout)
+            if response is not None:
+                return (*response, attempt)
+        self.counters["proxy_failures"] += 1
+        return None
+
+    @staticmethod
+    def _forward_headers(headers: dict) -> dict:
+        forwarded = {"Content-Type": "application/json"}
+        if "x-client-id" in headers:
+            forwarded["X-Client-Id"] = headers["x-client-id"]
+        return forwarded
+
+    @staticmethod
+    def _decode_proxied(status: int, response_headers: dict, body: bytes):
+        """A proxied response as the local dispatch convention expects."""
+        content_type = response_headers.get("content-type", "")
+        extra = {}
+        if "retry-after" in response_headers:
+            extra["Retry-After"] = response_headers["retry-after"]
+        if content_type.startswith("application/json"):
+            try:
+                return status, json.loads(body.decode("utf-8")), extra
+            except ValueError:  # pragma: no cover - worker never sends this
+                pass
+        return status, body.decode("utf-8", errors="replace"), extra
+
+    def _unavailable(self, shard: int) -> tuple[int, dict, dict]:
+        retry_after = max(1.0, self.config.health_interval * 2)
+        return 503, protocol.error_payload(
+            f"shard {shard} is restarting", shard=shard,
+            retry_after=retry_after), {"Retry-After": f"{retry_after:.3f}"}
+
+    def _record_dispatch(self, job_id: str, record: DispatchRecord) -> None:
+        log = self._dispatch_log
+        existing = log.get(job_id)
+        if existing is not None:
+            existing.shard = record.shard
+            existing.duration = record.duration
+            existing.retries += record.retries
+            log.move_to_end(job_id)
+            return
+        log[job_id] = record
+        while len(log) > MAX_DISPATCH_RECORDS:
+            log.popitem(last=False)
+
+    # ---------------------------------------------------------------- endpoints
+
+    async def _submit(self, headers: dict, body: bytes,
+                      peer: str) -> tuple[int, object, dict]:
+        client_id = headers.get("x-client-id") or peer
+        arrived = time.time()
+        if self._draining:
+            self.counters["rejected_draining"] += 1
+            return 503, protocol.error_payload("fleet is draining"), {}
+        decision = self.admission.admit(client_id, pending=self._open_jobs)
+        if not decision:
+            self.counters["rejected"] += 1
+            payload = protocol.error_payload(
+                f"over quota ({decision.reason})", reason=decision.reason,
+                retry_after=decision.retry_after)
+            return 429, payload, {"Retry-After": f"{decision.retry_after:.3f}"}
+        payload = self._json_body(body)
+
+        def parse_and_key() -> str:
+            job = protocol.parse_submit(payload, self.architectures)
+            return self._keyer.job_key(job)
+
+        loop = asyncio.get_running_loop()
+        job_key = await loop.run_in_executor(None, parse_and_key)
+        shard = self.ring.shard_for(job_key)
+        response = await self._proxy(shard, "POST", "/v1/jobs", body=body,
+                                     headers=self._forward_headers(headers))
+        if response is None:
+            return self._unavailable(shard)
+        status, response_headers, raw, tries = response
+        self._record_dispatch(job_key, DispatchRecord(
+            shard=shard, start=arrived, duration=time.time() - arrived,
+            retries=tries))
+        self.counters["dispatched"] += 1
+        self._open_jobs += 1
+        self._dispatched.inc(shard=str(shard))
+        status, decoded, extra = self._decode_proxied(status,
+                                                      response_headers, raw)
+        if isinstance(decoded, dict):
+            decoded["shard"] = shard
+        return status, decoded, extra
+
+    async def _job_request(self, job_id: str, suffix: str,
+                           query: dict) -> tuple[int, object, dict]:
+        """Status/result/trace lookups, proxied to the owning shard."""
+        shard = self.ring.shard_for(job_id)
+        path = f"/v1/jobs/{job_id}{suffix}"
+        timeout = http.READ_TIMEOUT
+        if query:
+            path += "?" + urllib.parse.urlencode(query)
+            try:
+                timeout += min(float(query.get("wait", 0.0)), 60.0)
+            except ValueError:
+                pass  # the worker rejects it with a proper 400
+        response = await self._proxy(shard, "GET", path, timeout=timeout)
+        if response is None:
+            return self._unavailable(shard)
+        status, response_headers, raw, _ = response
+        status, decoded, extra = self._decode_proxied(status,
+                                                      response_headers, raw)
+        if isinstance(decoded, dict):
+            decoded["shard"] = shard
+            if suffix == "/trace" and status == 200:
+                self._reroot_trace(job_id, shard, decoded)
+        return status, decoded, extra
+
+    def _reroot_trace(self, job_id: str, shard: int, payload: dict) -> None:
+        """Wrap the worker's span tree under the dispatcher's dispatch span.
+
+        The worker's gateway owns the ``job`` root in its own process; the
+        dispatcher cannot graft into that tracer, so the fleet view is
+        synthesised at read time from the dispatch record taken when the
+        submission was proxied.  ``repro trace <job>`` then shows
+        dispatch -> job -> route -> ... in one tree.
+        """
+        tree = payload.get("trace")
+        record = self._dispatch_log.get(job_id)
+        if not isinstance(tree, dict) or record is None:
+            return
+        tree_end = float(tree.get("start", record.start)) + float(
+            tree.get("duration") or 0.0)
+        duration = max(record.duration, tree_end - record.start)
+        dispatch_span = {
+            "name": "dispatch",
+            "trace_id": tree.get("trace_id", job_id[:16]),
+            "span_id": f"dispatch-{job_id[:16]}",
+            "start": record.start,
+            "duration": duration,
+            "attributes": {"shard": record.shard, "job": job_id,
+                           "proxy_seconds": round(record.duration, 6),
+                           "retries": record.retries},
+            "children": [tree],
+        }
+        payload["trace"] = dispatch_span
+        payload["rendered"] = render_trace(dispatch_span)
+
+    async def _list_jobs(self) -> tuple[int, dict, dict]:
+        """Fan out ``GET /v1/jobs`` and merge, tagging each job's shard."""
+        merged: list[dict] = []
+        for shard, handle in sorted(self.workers.items()):
+            response = await self._fetch_worker(handle, "GET", "/v1/jobs",
+                                                timeout=10.0)
+            if response is None:
+                continue
+            status, _, body = response
+            if status != 200:
+                continue
+            try:
+                jobs = json.loads(body).get("jobs", [])
+            except ValueError:  # pragma: no cover - defensive
+                continue
+            for job in jobs:
+                job["shard"] = shard
+                merged.append(job)
+        return 200, protocol.envelope(jobs=merged), {}
+
+    # -------------------------------------------------------------- aggregation
+
+    async def _gather_worker_stats(self) -> dict[int, dict | None]:
+        async def one(shard: int, handle: WorkerHandle):
+            response = await self._fetch_worker(handle, "GET", "/v1/stats",
+                                                timeout=5.0)
+            if response is None:
+                return shard, None
+            status, _, body = response
+            if status != 200:
+                return shard, None
+            try:
+                return shard, json.loads(body)
+            except ValueError:  # pragma: no cover - defensive
+                return shard, None
+
+        pairs = await asyncio.gather(*(one(shard, handle) for shard, handle
+                                       in sorted(self.workers.items())))
+        return dict(pairs)
+
+    def _fleet_section(self) -> dict:
+        workers = [handle.describe() for _, handle
+                   in sorted(self.workers.items())]
+        return {
+            "uptime": round(time.monotonic() - self._started, 3),
+            "draining": self._draining,
+            "workers": len(self.workers),
+            "workers_alive": sum(1 for worker in workers if worker["alive"]),
+            "shards_serving": self.ring.shards,
+            "dispatcher": dict(self.counters),
+            "admission": self.admission.stats(),
+            "worker_detail": workers,
+        }
+
+    async def _stats_payload(self) -> dict:
+        per_shard = await self._gather_worker_stats()
+        totals = {"jobs_open": 0, "jobs_known": 0, "throughput": 0.0,
+                  "gateway": {}, "telemetry": {}, "cache": {}}
+        cache_totals: dict[str, float] = {}
+        cache_shared_max: dict[str, float] = {}
+        for stats in per_shard.values():
+            if stats is None:
+                continue
+            totals["jobs_open"] += int(stats.get("jobs_open", 0))
+            totals["jobs_known"] += int(stats.get("jobs_known", 0))
+            totals["throughput"] += float(stats.get("throughput", 0.0))
+            for name, value in stats.get("gateway", {}).items():
+                totals["gateway"][name] = totals["gateway"].get(name, 0) + value
+            for kind, count in stats.get("telemetry", {}).items():
+                totals["telemetry"][kind] = (totals["telemetry"].get(kind, 0)
+                                             + count)
+            for name, value in stats.get("cache", {}).items():
+                cache_totals[name] = cache_totals.get(name, 0) + value
+                cache_shared_max[name] = max(cache_shared_max.get(name, 0),
+                                             value)
+        if cache_totals:
+            # Counters (hits/stores/...) sum across shards; entries and
+            # bytes describe the one shared directory, so take the freshest
+            # (max) view instead of multiply counting it.
+            totals["cache"] = {
+                name: (cache_shared_max[name]
+                       if name in ("entries", "total_bytes", "max_bytes")
+                       else value)
+                for name, value in cache_totals.items() if name != "hit_rate"}
+        totals["throughput"] = round(totals["throughput"], 4)
+        return {
+            "fleet": self._fleet_section(),
+            "totals": totals,
+            "shards": {str(shard): stats
+                       for shard, stats in per_shard.items()},
+        }
+
+    _FLEET_COUNTER_HELP = {
+        "requests": "HTTP requests handled by this shard",
+        "submitted": "Jobs accepted for solving on this shard",
+        "deduplicated": "Submissions answered by an existing job record",
+        "completed": "Jobs finished with a result",
+        "failed": "Jobs finished with an error",
+        "rejected_draining": "Submissions refused during drain",
+        "bad_requests": "Requests rejected as malformed",
+        "records_pruned": "Finished job records evicted from memory",
+    }
+
+    async def _metrics_text(self) -> str:
+        """The fleet ``/metrics``: dispatcher instruments + per-shard mirrors."""
+        from repro import __version__
+
+        registry = self.metrics
+        registry.gauge("repro_cluster_info",
+                       "Fleet identity and topology.").set(
+            1, version=__version__,
+            wire_version=str(protocol.WIRE_VERSION),
+            workers=str(len(self.workers)))
+        registry.gauge("repro_cluster_uptime_seconds",
+                       "Seconds since the dispatcher started").set(
+            round(time.monotonic() - self._started, 3))
+        registry.gauge("repro_cluster_draining",
+                       "Whether a fleet drain is in progress").set(
+            int(self._draining))
+        registry.gauge("repro_cluster_workers",
+                       "Configured shard workers").set(len(self.workers))
+        registry.gauge("repro_cluster_workers_alive",
+                       "Shard worker processes currently alive").set(
+            sum(1 for handle in self.workers.values() if handle.alive()))
+        registry.gauge("repro_cluster_jobs_open",
+                       "Fleet-wide open jobs (health-sweep estimate)").set(
+            self._open_jobs)
+        for name in ("requests", "rejected", "rejected_draining",
+                     "bad_requests", "proxy_failures"):
+            registry.counter(f"repro_cluster_{name}_total",
+                             f"Dispatcher {name.replace('_', ' ')}"
+                             ).set_total(self.counters[name])
+        admission = self.admission.stats()
+        registry.counter("repro_cluster_admission_admitted_total",
+                         "Submissions admitted by the fleet controller"
+                         ).set_total(admission["admitted"])
+        rejected = registry.counter(
+            "repro_cluster_admission_rejected_total",
+            "Submissions rejected by the fleet controller, by reason")
+        for reason in ("quota", "backpressure"):
+            rejected.set_total(admission[f"rejected_{reason}"], reason=reason)
+        per_shard = await self._gather_worker_stats()
+        alive_gauge = registry.gauge("repro_fleet_worker_up",
+                                     "Whether each shard answered /v1/stats")
+        open_gauge = registry.gauge("repro_fleet_jobs_open",
+                                    "Open jobs per shard")
+        for shard, stats in per_shard.items():
+            label = str(shard)
+            alive_gauge.set(int(stats is not None), shard=label)
+            if stats is None:
+                continue
+            open_gauge.set(int(stats.get("jobs_open", 0)), shard=label)
+            for name, value in stats.get("gateway", {}).items():
+                registry.counter(
+                    f"repro_fleet_{name}_total",
+                    self._FLEET_COUNTER_HELP.get(name, name)).set_total(
+                    value, shard=label)
+            cache = stats.get("cache")
+            if cache:
+                for key in ("hits", "misses", "stores", "rejected",
+                            "evictions"):
+                    registry.counter(
+                        f"repro_fleet_cache_{key}_total",
+                        f"Shared-cache {key} observed by each shard"
+                        ).set_total(int(cache[key]), shard=label)
+        return registry.render(first=("repro_cluster_info",))
+
+    # --------------------------------------------------------------- HTTP layer
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "unknown"
+        try:
+            try:
+                request = await asyncio.wait_for(http.read_request(reader),
+                                                 http.READ_TIMEOUT)
+            except protocol.ProtocolError as error:
+                self.counters["bad_requests"] += 1
+                request = None
+                status = error.http_status
+                payload, extra = protocol.error_payload(str(error)), {}
+            else:
+                if request is None:
+                    return
+            if request is not None:
+                method, path, query, headers, body = request
+                self.counters["requests"] += 1
+                try:
+                    status, payload, extra = await self._dispatch(
+                        method, path, query, headers, body, peer)
+                except protocol.ProtocolError as error:
+                    self.counters["bad_requests"] += 1
+                    status = error.http_status
+                    payload, extra = protocol.error_payload(str(error)), {}
+                except Exception as error:  # never leak a traceback
+                    status, extra = 500, {}
+                    payload = protocol.error_payload(
+                        f"internal error: {error!r}")
+            if isinstance(payload, str):
+                await http.write_response(writer, status, payload.encode(),
+                                          "text/plain; charset=utf-8", extra)
+            else:
+                body_bytes = json.dumps(payload, sort_keys=True).encode()
+                await http.write_response(writer, status, body_bytes,
+                                          "application/json", extra)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise protocol.ProtocolError(
+                "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise protocol.ProtocolError("request body must be a JSON object")
+        return payload
+
+    async def _dispatch(self, method: str, path: str, query: dict,
+                        headers: dict, body: bytes, peer: str):
+        if path == "/healthz" and method == "GET":
+            from repro import __version__
+            return 200, protocol.envelope(
+                status="draining" if self._draining else "ok",
+                role="dispatcher", version=__version__,
+                workers=len(self.workers),
+                workers_alive=sum(1 for handle in self.workers.values()
+                                  if handle.alive()),
+                uptime=round(time.monotonic() - self._started, 3)), {}
+        if path == "/v1/cluster" and method == "GET":
+            return 200, protocol.envelope(
+                fleet=self._fleet_section(),
+                ring={"replicas": self.config.ring_replicas,
+                      "shards": self.ring.shards}), {}
+        if path == "/metrics" and method == "GET":
+            return 200, await self._metrics_text(), {}
+        if path == "/v1/routers" and method == "GET":
+            return 200, protocol.envelope(
+                routers=describe_routers(query.get("capability"))), {}
+        if path == "/v1/devices" and method == "GET":
+            return 200, protocol.envelope(
+                devices=device_records(),
+                architectures=sorted(self.architectures)), {}
+        if path == "/v1/stats" and method == "GET":
+            return 200, protocol.envelope(await self._stats_payload()), {}
+        if path == "/v1/jobs" and method == "POST":
+            return await self._submit(headers, body, peer)
+        if path == "/v1/jobs" and method == "GET":
+            return await self._list_jobs()
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job_id = path[len("/v1/jobs/"):]
+            suffix = ""
+            for candidate in ("/result", "/trace"):
+                if job_id.endswith(candidate):
+                    suffix = candidate
+                    job_id = job_id[:-len(candidate)]
+                    break
+            return await self._job_request(job_id, suffix, query)
+        if path == "/v1/admin/drain" and method == "POST":
+            self.initiate_drain()
+            return 200, protocol.envelope(draining=True,
+                                          workers=len(self.workers)), {}
+        return 404, protocol.error_payload(
+            f"no such endpoint: {method} {path}"), {}
+
+
+async def serve_fleet(dispatcher: ClusterDispatcher,
+                      install_signal_handlers: bool = True,
+                      on_started=None) -> None:
+    """Start the fleet and block until it has drained and closed.
+
+    The fleet analogue of :func:`repro.server.app.serve`: SIGTERM/SIGINT
+    trigger a fleet-wide drain (every worker finishes its queue best-so-far
+    before the dispatcher closes).  ``on_started`` is called with the
+    dispatcher once the public port is bound.
+    """
+    await dispatcher.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, dispatcher.initiate_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX platforms / non-main threads
+    if on_started is not None:
+        on_started(dispatcher)
+    await dispatcher.wait_closed()
+
+
+class FleetThread:
+    """Run a dispatcher fleet on a daemon thread: tests, examples, benches.
+
+    Usage::
+
+        with FleetThread(FleetConfig(workers=4, cache_dir=...)) as fleet:
+            client = RoutingClient(port=fleet.port)
+            ...
+
+    Exiting the context drains the fleet (workers finish their queues) and
+    joins the thread.
+    """
+
+    def __init__(self, config: FleetConfig, **dispatcher_kwargs) -> None:
+        self._config = config
+        self._kwargs = dispatcher_kwargs
+        self.dispatcher: ClusterDispatcher | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        try:
+            self.dispatcher = ClusterDispatcher(self._config, **self._kwargs)
+            await self.dispatcher.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.dispatcher.wait_closed()
+
+    def start(self) -> "FleetThread":
+        self._thread.start()
+        self._ready.wait(timeout=STARTUP_JOIN_TIMEOUT)
+        if self._startup_error is not None:
+            raise RuntimeError("fleet failed to start") from self._startup_error
+        if self.dispatcher is None:
+            raise RuntimeError(
+                f"fleet did not start within {STARTUP_JOIN_TIMEOUT:.0f}s")
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self.dispatcher is not None
+        return self.dispatcher.host
+
+    @property
+    def port(self) -> int:
+        assert self.dispatcher is not None
+        return self.dispatcher.port
+
+    @property
+    def url(self) -> str:
+        assert self.dispatcher is not None
+        return self.dispatcher.url
+
+    def stop(self, timeout: float = 120.0) -> None:
+        if self._loop is not None and self.dispatcher is not None \
+                and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.dispatcher.initiate_drain)
+            except RuntimeError:
+                pass  # the loop closed between is_alive() and the call
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "FleetThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+#: Seconds FleetThread.start waits for the whole fleet (N worker
+#: handshakes) before giving up.
+STARTUP_JOIN_TIMEOUT = 120.0

@@ -1,0 +1,124 @@
+"""Consistent hashing of job content hashes onto shard ids.
+
+The fleet's correctness rests on one property: *identical jobs always land
+on the same shard*, so the cross-client single-solve dedup that the gateway
+enforces per process (keyed by
+:meth:`repro.service.BatchRoutingService.job_key`) keeps holding fleet-wide
+-- the dispatcher never has to coordinate two workers solving the same job,
+because two equal submissions can only ever reach one worker.
+
+:class:`HashRing` is the classic construction: each shard id is hashed onto
+the ring at ``replicas`` pseudo-random points (SHA-256, the same family as
+the job content hash), and a key is owned by the first shard point at or
+after the key's own ring position.  Properties the dispatcher relies on:
+
+* **Deterministic.**  The ring is a pure function of the shard-id set and
+  ``replicas`` -- a restarted dispatcher, a client-side ring built from
+  ``/v1/cluster``, and the dispatcher's own all agree.
+* **Stable under restart.**  Ring points are derived from *shard ids*, not
+  worker PIDs or ports, so a crashed-and-restarted worker resumes exactly
+  the key range it owned before (its state is recoverable from the shared
+  disk cache).
+* **Minimal movement.**  Removing one shard from an N-shard ring reassigns
+  only ~1/N of the key space (to the surviving shards); the rest of the
+  fleet's dedup mapping is untouched.
+
+Keys are expected to be hex content hashes but any string works.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _ring_position(token: str) -> int:
+    """A stable 64-bit ring position for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent mapping of string keys onto a set of shard ids.
+
+    Parameters
+    ----------
+    shards:
+        The shard ids (any hashable, stringable values; the fleet uses
+        ``0..N-1``).  Order does not matter -- the ring is a set.
+    replicas:
+        Virtual nodes per shard.  More replicas smooth the key distribution
+        (64 keeps the max/min shard load within ~2x for random keys while
+        the ring stays tiny).
+    """
+
+    def __init__(self, shards, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, object] = {}
+        self._shards: set = set()
+        for shard in shards:
+            self.add(shard)
+        if not self._shards:
+            raise ValueError("a hash ring needs at least one shard")
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def shards(self) -> list:
+        """The current shard ids, sorted."""
+        return sorted(self._shards)
+
+    def add(self, shard) -> None:
+        """Add a shard (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            point = _ring_position(f"shard:{shard}:{replica}")
+            # SHA-256 collisions across distinct tokens are not a practical
+            # concern; keep the first owner deterministically if one occurs.
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+                self._owners[point] = shard
+
+    def remove(self, shard) -> None:
+        """Remove a shard; its key range flows to the ring successors."""
+        if shard not in self._shards:
+            return
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard)
+        for point, owner in list(self._owners.items()):
+            if owner == shard:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    self._points.pop(index)
+
+    # --------------------------------------------------------------- lookup
+
+    def shard_for(self, key: str):
+        """The shard owning ``key``: first ring point at or after its hash."""
+        position = _ring_position(f"key:{key}")
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._owners[self._points[index]]
+
+    def distribution(self, keys) -> dict:
+        """Shard id -> number of ``keys`` it owns (diagnostics)."""
+        counts: dict = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard) -> bool:
+        return shard in self._shards

@@ -49,7 +49,6 @@ import json
 import signal
 import threading
 import time
-import urllib.parse
 from dataclasses import dataclass, field
 
 from repro.api.registry import describe_routers
@@ -57,17 +56,15 @@ from repro.core.result import RoutingResult
 from repro.hardware.devices import device_records, named_architectures
 from repro.obs import render_trace
 from repro.obs.export import JsonlTraceWriter
-from repro.server import protocol
+from repro.server import http, protocol
 from repro.server.admission import AdmissionController
 from repro.service import BatchRoutingService
 from repro.service.jobs import RoutingJob
 
-#: Hard cap on request body size (canonical QASM for big circuits is ~1 MB).
-MAX_BODY_BYTES = 8 * 1024 * 1024
-#: Seconds a request may take to arrive before the connection is dropped.
-READ_TIMEOUT = 30.0
-#: Most header lines accepted per request.
-MAX_HEADERS = 100
+# Shared with the cluster dispatcher; re-exported for compatibility.
+MAX_BODY_BYTES = http.MAX_BODY_BYTES
+READ_TIMEOUT = http.READ_TIMEOUT
+MAX_HEADERS = http.MAX_HEADERS
 
 
 @dataclass
@@ -575,42 +572,7 @@ class RoutingGateway:
                 pass
 
     async def _read_request(self, reader: asyncio.StreamReader):
-        try:
-            request_line = await reader.readline()
-        except ValueError:  # line over the StreamReader limit
-            raise protocol.ProtocolError("request line too long") from None
-        if not request_line.strip():
-            return None
-        try:
-            method, target, _ = request_line.decode("latin-1").split(None, 2)
-        except ValueError:
-            raise protocol.ProtocolError("malformed request line") from None
-        headers: dict[str, str] = {}
-        while True:
-            try:
-                line = await reader.readline()
-            except ValueError:
-                raise protocol.ProtocolError("header line too long") from None
-            if line in (b"\r\n", b"\n", b""):
-                break
-            if len(headers) >= MAX_HEADERS:
-                raise protocol.ProtocolError("too many headers")
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise protocol.ProtocolError("bad Content-Length") from None
-        if length < 0:
-            raise protocol.ProtocolError("bad Content-Length")
-        if length > MAX_BODY_BYTES:
-            raise protocol.ProtocolError("request body too large",
-                                         http_status=413)
-        body = await reader.readexactly(length) if length else b""
-        parsed = urllib.parse.urlsplit(target)
-        query = {key: values[-1] for key, values
-                 in urllib.parse.parse_qs(parsed.query).items()}
-        return method.upper(), parsed.path, query, headers, body
+        return await http.read_request(reader)
 
     @staticmethod
     def _json_body(body: bytes) -> dict:
@@ -666,18 +628,8 @@ class RoutingGateway:
     async def _write_response(self, writer: asyncio.StreamWriter, status: int,
                               body: bytes, content_type: str,
                               extra_headers: dict) -> None:
-        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                  404: "Not Found", 409: "Conflict", 413: "Payload Too Large",
-                  429: "Too Many Requests", 500: "Internal Server Error",
-                  503: "Service Unavailable"}.get(status, "OK")
-        head = [f"HTTP/1.1 {status} {reason}",
-                f"Content-Type: {content_type}",
-                f"Content-Length: {len(body)}",
-                "Connection: close"]
-        for name, value in extra_headers.items():
-            head.append(f"{name}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
-        await writer.drain()
+        await http.write_response(writer, status, body, content_type,
+                                  extra_headers)
 
 
 async def serve(gateway: RoutingGateway,

@@ -17,15 +17,27 @@ Typical round trip::
     result = client.wait(ticket["job_id"], timeout=60)
     print(result.summary())
 
-Overload surfaces as :class:`QuotaExceededError` carrying the server's
-``Retry-After`` hint; every other non-2xx response raises
-:class:`ServerError` with the decoded error payload.
+Overload is retried, not surfaced: a 429 (and a 503 carrying a
+``Retry-After`` hint, which is how the fleet dispatcher answers while a
+crashed shard worker restarts) is re-attempted up to ``retry_quota`` times
+with capped exponential backoff seeded by the server's own hint, plus
+jitter so a burst of clients does not re-stampede in lockstep.  Connection
+failures get the same treatment, which makes the client ride out a worker
+restart transparently.  Once the quota is exhausted,
+:class:`QuotaExceededError` (or :class:`ServerError`) surfaces as before;
+``retry_quota=0`` restores fail-fast behaviour.
+
+Against a fleet dispatcher (:class:`repro.cluster.ClusterDispatcher`) the
+client is shard-aware: :meth:`cluster` fetches the topology and
+:meth:`shard_for` predicts the worker shard a job id lives on from the same
+consistent-hash ring the dispatcher uses.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 from typing import Any
@@ -36,13 +48,20 @@ from repro.server import protocol
 
 
 class ServerError(RuntimeError):
-    """A non-2xx response from the gateway."""
+    """A non-2xx response from the gateway.
 
-    def __init__(self, status: int, payload: Any) -> None:
+    ``retry_after`` carries the response's ``Retry-After`` hint in seconds
+    when one was sent (a fleet dispatcher answers 503 + ``Retry-After``
+    while a crashed shard worker restarts), else ``None``.
+    """
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after: float | None = None) -> None:
         message = payload.get("error") if isinstance(payload, dict) else str(payload)
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 class QuotaExceededError(ServerError):
@@ -69,24 +88,45 @@ class RoutingClient:
     timeout:
         Socket timeout per request, seconds.  Long polls add their wait on
         top of this.
+    retry_quota:
+        How many times one request may be retried after a retryable refusal
+        (429, 503 with a ``Retry-After``, or a connection failure) before
+        the error surfaces.  ``0`` fails fast, as the client always did.
+    backoff_base / backoff_cap:
+        Exponential backoff schedule, seconds: attempt *k* sleeps roughly
+        ``max(server_hint, backoff_base * 2**k)`` capped at ``backoff_cap``,
+        plus up to 25% random jitter so synchronised clients desynchronise.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8037,
-                 client_id: str | None = None, timeout: float = 60.0) -> None:
+                 client_id: str | None = None, timeout: float = 60.0,
+                 retry_quota: int = 2, backoff_base: float = 0.2,
+                 backoff_cap: float = 10.0,
+                 _rng: random.Random | None = None) -> None:
+        if retry_quota < 0:
+            raise ValueError("retry_quota must be >= 0")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff parameters must be positive")
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.retry_quota = retry_quota
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retries = 0  # total retry sleeps performed, for tests/telemetry
+        self._rng = _rng if _rng is not None else random.Random()
+        self._ring = None  # lazily built from /v1/cluster topology
 
     @classmethod
     def from_url(cls, url: str, client_id: str | None = None,
-                 timeout: float = 60.0) -> "RoutingClient":
+                 timeout: float = 60.0, **kwargs: Any) -> "RoutingClient":
         """Build a client from ``http://host:port`` (path/scheme extras ignored)."""
         parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}")
         if not parsed.hostname:
             raise ValueError(f"cannot parse gateway URL {url!r}")
         return cls(host=parsed.hostname, port=parsed.port or 8037,
-                   client_id=client_id, timeout=timeout)
+                   client_id=client_id, timeout=timeout, **kwargs)
 
     @property
     def url(self) -> str:
@@ -94,8 +134,54 @@ class RoutingClient:
 
     # -------------------------------------------------------------- plumbing
 
+    def _backoff_delay(self, attempt: int, hint: float | None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based).
+
+        The server's ``Retry-After`` hint is a floor (it knows when a token
+        refills or a worker respawns); the exponential schedule takes over
+        when the hint is absent or optimistic, the cap bounds the total
+        stall, and the jitter spreads a synchronised burst of clients back
+        out over time.
+        """
+        delay = max(hint or 0.0, self.backoff_base * (2.0 ** attempt))
+        delay = min(self.backoff_cap, delay)
+        return delay * (1.0 + 0.25 * self._rng.random())
+
     def _request(self, method: str, path: str, payload: dict | None = None,
                  timeout: float | None = None) -> Any:
+        """One logical request, with retry on 429/503-Retry-After/conn-reset."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload=payload,
+                                          timeout=timeout)
+            except QuotaExceededError as error:
+                if attempt >= self.retry_quota:
+                    raise
+                hint = error.retry_after
+            except ServerError as error:
+                # Only a 503 that carries a Retry-After hint is a promise
+                # the condition is transient (shard restarting); a plain
+                # 503 (e.g. "draining") is final.
+                if (error.status != 503 or error.retry_after is None
+                        or attempt >= self.retry_quota):
+                    raise
+                hint = error.retry_after
+            except (ConnectionError, TimeoutError, OSError,
+                    http.client.HTTPException):
+                # The listener vanished mid-request -- e.g. the exact moment
+                # a worker is being restarted.  Submissions are idempotent
+                # (content-addressed job ids) and reads are safe to repeat.
+                if attempt >= self.retry_quota:
+                    raise
+                hint = None
+            self.retries += 1
+            time.sleep(self._backoff_delay(attempt, hint))
+            attempt += 1
+
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None,
+                      timeout: float | None = None) -> Any:
         connection = http.client.HTTPConnection(
             self.host, self.port,
             timeout=timeout if timeout is not None else self.timeout)
@@ -123,7 +209,11 @@ class RoutingClient:
             raise QuotaExceededError(status, decoded,
                                      retry_after=float(retry_after or 1.0))
         if status >= 400:
-            raise ServerError(status, decoded)
+            try:
+                hint = float(retry_after) if retry_after is not None else None
+            except ValueError:  # pragma: no cover - malformed header
+                hint = None
+            raise ServerError(status, decoded, retry_after=hint)
         if isinstance(decoded, dict):
             version = decoded.get("wire_version")
             if version != protocol.WIRE_VERSION:
@@ -159,6 +249,38 @@ class RoutingClient:
 
     def jobs(self) -> list[dict]:
         return self._request("GET", "/v1/jobs")["jobs"]
+
+    # --------------------------------------------------------- fleet topology
+
+    def cluster(self) -> dict:
+        """Fleet topology from a dispatcher's ``/v1/cluster``.
+
+        Raises :class:`ServerError` (404) against a plain single-process
+        gateway, which has no fleet behind it.
+        """
+        return self._request("GET", "/v1/cluster")
+
+    def shard_for(self, job_id: str) -> Any:
+        """Predict which shard owns ``job_id``, from the dispatcher's ring.
+
+        Builds a client-side replica of the dispatcher's consistent-hash
+        ring (same shard ids, same replica count -- the construction is
+        deterministic) on first use and caches it.  Call
+        :meth:`refresh_cluster` after fleet topology changes.
+        """
+        if self._ring is None:
+            self.refresh_cluster()
+        return self._ring.shard_for(job_id)
+
+    def refresh_cluster(self) -> dict:
+        """Re-fetch ``/v1/cluster`` and rebuild the client-side ring."""
+        from repro.cluster.hashring import HashRing
+
+        topology = self.cluster()
+        ring = topology.get("ring", {})
+        shards = ring.get("shards") or [0]
+        self._ring = HashRing(shards, replicas=int(ring.get("replicas", 64)))
+        return topology
 
     # ------------------------------------------------------------- job flow
 

@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 plumbing shared by the gateway and the cluster dispatcher.
+
+One request per connection, ``Connection: close``, bodies framed by
+``Content-Length`` -- all a JSON API needs, and all stdlib.  Three pieces:
+
+* :func:`read_request` -- parse one request off an ``asyncio.StreamReader``
+  (request line, headers, body, split query string).
+* :func:`write_response` -- serialise one response onto a StreamWriter.
+* :func:`fetch` -- a tiny *client*: open a connection, send one request,
+  read the full response.  This is how the cluster dispatcher
+  (:mod:`repro.cluster.dispatcher`) proxies submissions to its shard
+  workers without leaving the event loop.
+
+Extracted from :mod:`repro.server.app` so the dispatcher front-end speaks
+byte-identical HTTP to the single-process gateway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.parse
+
+from repro.server import protocol
+
+#: Hard cap on request body size (canonical QASM for big circuits is ~1 MB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Seconds a request may take to arrive before the connection is dropped.
+READ_TIMEOUT = 30.0
+#: Most header lines accepted per request.
+MAX_HEADERS = 100
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            502: "Bad Gateway", 503: "Service Unavailable"}
+
+
+async def read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, path, query, headers, body)``.
+
+    Returns ``None`` on an empty request line (client connected and went
+    away); raises :class:`~repro.server.protocol.ProtocolError` on anything
+    malformed.  Header names are lower-cased; the query dict keeps the last
+    value of each repeated key.
+    """
+    try:
+        request_line = await reader.readline()
+    except ValueError:  # line over the StreamReader limit
+        raise protocol.ProtocolError("request line too long") from None
+    if not request_line.strip():
+        return None
+    try:
+        method, target, _ = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise protocol.ProtocolError("malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise protocol.ProtocolError("header line too long") from None
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise protocol.ProtocolError("too many headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise protocol.ProtocolError("bad Content-Length") from None
+    if length < 0:
+        raise protocol.ProtocolError("bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise protocol.ProtocolError("request body too large",
+                                     http_status=413)
+    body = await reader.readexactly(length) if length else b""
+    parsed = urllib.parse.urlsplit(target)
+    query = {key: values[-1] for key, values
+             in urllib.parse.parse_qs(parsed.query).items()}
+    return method.upper(), parsed.path, query, headers, body
+
+
+async def write_response(writer: asyncio.StreamWriter, status: int,
+                         body: bytes, content_type: str,
+                         extra_headers: dict) -> None:
+    """Send one ``Connection: close`` response and flush it."""
+    head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    for name, value in extra_headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+async def fetch(host: str, port: int, method: str, path: str,
+                body: bytes = b"", headers: dict | None = None,
+                timeout: float = 30.0):
+    """One client-side request: returns ``(status, headers, body)``.
+
+    Raises ``OSError``/``ConnectionError`` when the peer is unreachable and
+    ``asyncio.TimeoutError`` when it stalls -- the dispatcher maps both onto
+    a worker-health event.  The response body is framed by Content-Length
+    when present, else read to EOF (the gateway always sends a length).
+    """
+
+    async def _roundtrip():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = [f"{method} {path} HTTP/1.1",
+                    f"Host: {host}:{port}",
+                    f"Content-Length: {len(body)}",
+                    "Connection: close"]
+            for name, value in (headers or {}).items():
+                head.append(f"{name}: {value}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                         + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            response_headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+            length_text = response_headers.get("content-length")
+            if length_text is not None:
+                payload = await reader.readexactly(int(length_text))
+            else:
+                payload = await reader.read()
+            return status, response_headers, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    return await asyncio.wait_for(_roundtrip(), timeout)

@@ -20,8 +20,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
+
+try:  # POSIX file locking; absent on some platforms -- degrade to no-op
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.circuits.qasm import circuit_to_qasm, parse_qasm
 from repro.core.result import RoutingResult, RoutingStatus
@@ -30,6 +36,44 @@ from repro.service.jobs import RoutingJob
 
 #: Bump when the serialisation layout changes; mismatched entries are misses.
 CACHE_FORMAT_VERSION = 1
+
+
+class _DirectoryLock:
+    """An exclusive inter-process lock on a cache directory.
+
+    Serialises the eviction scan and disk writes across the fleet's shard
+    workers, which all share one cache directory.  Backed by ``flock`` on a
+    ``.lock`` sentinel file; a fresh handle is opened per acquisition so the
+    lock is also safe to take from multiple threads of one process (POSIX
+    ``flock`` is per-open-file-description).  Degrades to a no-op when the
+    cache is memory-only or the platform has no ``fcntl`` -- single-process
+    behaviour is then unchanged.
+    """
+
+    def __init__(self, directory: Path | None) -> None:
+        self.path = directory / ".lock" if directory is not None else None
+        self._local = threading.local()
+
+    def __enter__(self) -> "_DirectoryLock":
+        self._local.handle = None
+        if self.path is not None and fcntl is not None:
+            try:
+                handle = open(self.path, "a")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                self._local.handle = handle
+            except OSError:  # pragma: no cover - unwritable directory
+                pass  # proceed unlocked; atomic renames still keep files whole
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        handle = getattr(self._local, "handle", None)
+        if handle is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            handle.close()
+            self._local.handle = None
 
 
 def result_to_payload(result: RoutingResult) -> dict:
@@ -126,11 +170,21 @@ class ResultCache:
         last hit or store; for disk entries written by other processes it
         falls back to the file's mtime, which ``get`` refreshes on a hit, so
         the LRU order also holds across server restarts.
+    owner:
+        Optional writer identity (the fleet uses ``"shard-<k>"``) stamped
+        into every stored payload as ``stored_by`` -- provenance for a disk
+        directory shared by many processes.  Readers ignore the stamp.
+
+    The disk layer is safe to share between processes: entries are written
+    to a unique temp file and atomically renamed into place, and writers
+    (including the LRU eviction scan) serialise through an exclusive
+    ``flock`` on the directory's ``.lock`` file.
     """
 
     def __init__(self, directory: str | Path | None = None,
                  verify_on_load: bool = True,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None,
+                 owner: str | None = None) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.directory = Path(directory) if directory is not None else None
@@ -138,6 +192,8 @@ class ResultCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.verify_on_load = verify_on_load
         self.max_bytes = max_bytes
+        self.owner = owner
+        self._lock = _DirectoryLock(self.directory)
         self._memory: dict[str, dict] = {}
         self._recency: dict[str, float] = {}  # key -> last hit/store timestamp
         self._sizes: dict[str, int] = {}  # serialised bytes per memory entry
@@ -298,6 +354,8 @@ class ResultCache:
             return False
         key = job.content_hash()
         payload = result_to_payload(result)
+        if self.owner is not None:
+            payload["stored_by"] = self.owner
         self._memory[key] = payload
         serialised = json.dumps(payload, sort_keys=True, indent=1)
         old_size = self._sizes.get(key)
@@ -312,18 +370,29 @@ class ResultCache:
         self._sizes[key] = len(serialised)
         self._total_bytes += len(serialised) - (old_size or 0)
         path = self._path_for(key)
-        if path is not None:
-            try:
-                tmp = path.with_suffix(".tmp")
-                tmp.write_text(serialised)
-                tmp.replace(path)
-            except OSError:
-                # a full disk or vanished cache dir must not fail the batch;
-                # the entry still lives in the memory layer
-                pass
-        self.stores += 1
-        self._touch(key)
-        self._enforce_budget()
+        with self._lock:
+            if path is not None:
+                # Unique temp name per writer: two processes storing the same
+                # key must never truncate each other's half-written file, and
+                # os.replace makes the final entry appear atomically.
+                tmp = path.parent / (f".{key}.{os.getpid()}."
+                                     f"{threading.get_ident()}.tmp")
+                try:
+                    tmp.write_text(serialised)
+                    os.replace(tmp, path)
+                except OSError:
+                    # a full disk or vanished cache dir must not fail the
+                    # batch; the entry still lives in the memory layer
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+            self.stores += 1
+            self._touch(key)
+            # Inside the directory lock: two shards over budget at once must
+            # not scan-and-evict concurrently, or both could delete the other
+            # writer's freshest entries mid-rename.
+            self._enforce_budget()
         return True
 
     def __contains__(self, job: RoutingJob) -> bool:

@@ -1,0 +1,33 @@
+"""Shared fixtures: a real multi-process fleet on a background thread."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import FleetConfig, FleetThread
+
+
+@pytest.fixture
+def fleet_factory(tmp_path):
+    """Start dispatcher fleets on free ports; drain them all afterwards.
+
+    Workers default to thread pools (each worker is already its own
+    process; nesting process pools inside them would just burn startup
+    time in tests) and a short health interval so restart tests are quick.
+    """
+    handles: list[FleetThread] = []
+
+    def make(**kwargs) -> FleetThread:
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("cache_dir", str(tmp_path / "fleet-cache"))
+        kwargs.setdefault("time_budget", 5.0)
+        kwargs.setdefault("pool_mode", "thread")
+        kwargs.setdefault("pool_workers", 2)
+        kwargs.setdefault("health_interval", 0.2)
+        handle = FleetThread(FleetConfig(**kwargs)).start()
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.stop()

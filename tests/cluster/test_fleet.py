@@ -1,0 +1,274 @@
+"""The sharded fleet end to end: real dispatcher, real worker processes.
+
+Everything here runs against a genuine multi-process fleet (via the
+``fleet_factory`` fixture): submissions cross two process boundaries
+(client -> dispatcher -> shard worker) exactly as in production.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.cluster import HashRing
+from repro.hardware.devices import named_architectures
+from repro.server import RoutingClient, ServerError
+from repro.service import BatchRoutingService
+from repro.service.jobs import RoutingJob
+
+ARCH = "tokyo6"
+ROUTER = "sabre:seed=0"
+BUDGET = 5.0
+
+
+def make_keyer() -> BatchRoutingService:
+    """A local replica of the dispatcher's job keyer (same fleet config)."""
+    return BatchRoutingService(cache=False, tracer=False, time_budget=BUDGET)
+
+
+def circuit_for_shard(target: int, shards: int, keyer: BatchRoutingService,
+                      router: str = ROUTER):
+    """A circuit whose job key consistent-hashes onto ``target``."""
+    ring = HashRing(range(shards))
+    architecture = named_architectures()[ARCH]
+    for seed in range(500):
+        circuit = random_circuit(4, 6, seed=seed, name=f"pick_{seed}")
+        job = RoutingJob.from_circuit(circuit, architecture, router=router)
+        if ring.shard_for(keyer.job_key(job)) == target:
+            return circuit
+    raise AssertionError(f"no circuit found for shard {target}")  # pragma: no cover
+
+
+class TestFleetDedup:
+    def test_same_job_from_eight_threads_solves_once(self, fleet_factory):
+        """Eight clients x four shards, one circuit -> exactly one solve."""
+        fleet = fleet_factory(workers=4)
+        circuit = random_circuit(4, 10, seed=42, name="fleet_shared")
+
+        def submit_and_wait(index: int):
+            client = RoutingClient(port=fleet.port, client_id=f"client-{index}")
+            ticket = client.submit(circuit, architecture=ARCH, router=ROUTER)
+            result = client.wait(ticket["job_id"], timeout=60)
+            return ticket, result
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(submit_and_wait, range(8)))
+
+        tickets = [ticket for ticket, _ in outcomes]
+        assert len({ticket["job_id"] for ticket in tickets}) == 1
+        assert len({ticket["shard"] for ticket in tickets}) == 1
+        assert all(result.solved for _, result in outcomes)
+        swaps = {result.swap_count for _, result in outcomes}
+        assert len(swaps) == 1  # everyone saw the one canonical answer
+
+        # Fleet-wide single solve: across ALL shards, exactly one submission
+        # was accepted for solving; the other seven were answered by dedup.
+        stats = RoutingClient(port=fleet.port).stats()
+        gateway_totals = stats["totals"]["gateway"]
+        assert gateway_totals["submitted"] == 1
+        assert gateway_totals["deduplicated"] == 7
+
+    def test_duplicate_after_completion_is_a_cache_hit(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="first")
+        circuit = random_circuit(4, 8, seed=7, name="warm_me")
+        ticket = client.submit(circuit, architecture=ARCH, router=ROUTER)
+        client.wait(ticket["job_id"], timeout=60)
+
+        again = RoutingClient(port=fleet.port, client_id="second").submit(
+            circuit, architecture=ARCH, router=ROUTER)
+        assert again["job_id"] == ticket["job_id"]
+        assert again["shard"] == ticket["shard"]
+        assert again["deduplicated"] is True
+
+
+class TestShardRouting:
+    def test_tickets_report_the_ring_owner(self, fleet_factory):
+        """The dispatcher, the worker, and a client-side ring all agree."""
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="router")
+        keyer = make_keyer()
+        architecture = named_architectures()[ARCH]
+        ring = HashRing(range(2))
+        seen_shards = set()
+        for seed in (11, 12, 13, 14, 15, 16):
+            circuit = random_circuit(4, 6, seed=seed, name=f"spread_{seed}")
+            ticket = client.submit(circuit, architecture=ARCH, router=ROUTER)
+            job = RoutingJob.from_circuit(circuit, architecture, router=ROUTER)
+            # The returned job id IS the locally computed job key...
+            assert ticket["job_id"] == keyer.job_key(job)
+            # ...and the reported shard is the ring owner of that key, both
+            # by the client's mirror ring and by a from-scratch local one.
+            assert ticket["shard"] == ring.shard_for(ticket["job_id"])
+            assert ticket["shard"] == client.shard_for(ticket["job_id"])
+            seen_shards.add(ticket["shard"])
+        assert seen_shards == {0, 1}  # six seeds spread over both shards
+
+    def test_job_listing_merges_shards(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="lister")
+        tickets = [client.submit(random_circuit(4, 6, seed=seed),
+                                 architecture=ARCH, router=ROUTER)
+                   for seed in (21, 22, 23, 24)]
+        for ticket in tickets:
+            client.wait(ticket["job_id"], timeout=60)
+        jobs = client.jobs()
+        listed = {job["job_id"]: job["shard"] for job in jobs}
+        for ticket in tickets:
+            assert listed[ticket["job_id"]] == ticket["shard"]
+
+
+class TestWorkerRestart:
+    def test_killed_worker_restarts_on_same_shard(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="chaos",
+                               retry_quota=4)
+        keyer = make_keyer()
+
+        # Solve one job on the shard we are about to kill.
+        victim_circuit = circuit_for_shard(1, 2, keyer)
+        ticket = client.submit(victim_circuit, architecture=ARCH, router=ROUTER)
+        assert ticket["shard"] == 1
+        client.wait(ticket["job_id"], timeout=60)
+
+        # SIGKILL the shard-1 worker process out from under the fleet.
+        topology = client.cluster()
+        victim = next(worker for worker
+                      in topology["fleet"]["worker_detail"]
+                      if worker["shard"] == 1)
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        # The health sweep must bring a fresh process up on the SAME shard.
+        deadline = time.monotonic() + 30.0
+        reborn = None
+        while time.monotonic() < deadline:
+            workers = {worker["shard"]: worker for worker
+                       in client.cluster()["fleet"]["worker_detail"]}
+            candidate = workers[1]
+            if candidate["alive"] and candidate["restarts"] == 1 \
+                    and candidate["pid"] != victim["pid"]:
+                reborn = candidate
+                break
+            time.sleep(0.2)
+        assert reborn is not None, "worker was not restarted"
+
+        # Stable assignment: the same circuit still routes to shard 1, and
+        # the reborn worker answers it from the shared disk cache instead of
+        # re-solving (the old in-memory job record died with the process).
+        again = client.submit(victim_circuit, architecture=ARCH, router=ROUTER)
+        assert again["shard"] == 1
+        assert again["job_id"] == ticket["job_id"]
+        result = client.wait(again["job_id"], timeout=60)
+        assert result.solved
+        assert "cache-hit" in result.notes
+
+        stats = RoutingClient(port=fleet.port).stats()
+        assert stats["fleet"]["dispatcher"]["worker_restarts"] == 1
+
+    def test_kill_does_not_fail_other_shards_inflight_jobs(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="survivor",
+                               retry_quota=4)
+        keyer = make_keyer()
+
+        # A genuinely in-flight job on shard 0: satmap with a real budget.
+        slow_router = "satmap"
+        slow_circuit = circuit_for_shard(0, 2, keyer, router=slow_router)
+        ticket = client.submit(slow_circuit, architecture=ARCH,
+                               router=slow_router, time_budget=4.0)
+        assert ticket["shard"] == 0
+
+        # Kill shard 1 while shard 0 is still solving.
+        victim = next(worker for worker
+                      in client.cluster()["fleet"]["worker_detail"]
+                      if worker["shard"] == 1)
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        # The shard-0 job must complete untouched by its neighbour's death.
+        result = client.wait(ticket["job_id"], timeout=60)
+        assert result.solved
+
+
+class TestAggregation:
+    def test_stats_and_metrics_merge_all_shards(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="scraper")
+        for seed in (31, 32, 33):
+            ticket = client.submit(random_circuit(4, 6, seed=seed),
+                                   architecture=ARCH, router=ROUTER)
+            client.wait(ticket["job_id"], timeout=60)
+
+        stats = client.stats()
+        assert stats["fleet"]["workers"] == 2
+        assert stats["fleet"]["workers_alive"] == 2
+        assert stats["totals"]["gateway"]["submitted"] == 3
+        assert stats["totals"]["gateway"]["completed"] == 3
+        assert set(stats["shards"]) == {"0", "1"}
+        assert stats["fleet"]["dispatcher"]["dispatched"] == 3
+
+        text = client.metrics_text()
+        assert "repro_cluster_info{" in text
+        assert "repro_cluster_dispatched_total{" in text
+        assert 'repro_fleet_submitted_total{shard="0"}' in text
+        assert 'repro_fleet_submitted_total{shard="1"}' in text
+        assert "repro_cluster_worker_restarts_total 0" in text
+        # Prometheus exposition sanity: every sample line parses.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert " " in line
+                float(line.rsplit(" ", 1)[1])
+
+    def test_trace_is_rerooted_under_dispatch(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="tracer")
+        ticket = client.submit(random_circuit(4, 8, seed=51),
+                               architecture=ARCH, router=ROUTER)
+        client.wait(ticket["job_id"], timeout=60)
+        payload = client.trace(ticket["job_id"])
+        tree = payload["trace"]
+        assert tree["name"] == "dispatch"
+        assert tree["attributes"]["shard"] == ticket["shard"]
+        assert tree["attributes"]["job"] == ticket["job_id"]
+        (job_span,) = tree["children"]
+        assert job_span["name"] == "job"
+        # The dispatch span must envelop the worker's whole tree.
+        assert tree["start"] <= job_span["start"] + 1e-6
+        assert (tree["start"] + tree["duration"]
+                >= job_span["start"] + job_span["duration"] - 0.05)
+        assert "dispatch" in payload["rendered"]
+
+
+class TestDrainAndErrors:
+    def test_drain_fans_out_and_refuses_new_work(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="drainer",
+                               retry_quota=0)
+        ticket = client.submit(random_circuit(4, 6, seed=61),
+                               architecture=ARCH, router=ROUTER)
+        client.wait(ticket["job_id"], timeout=60)
+        response = client.drain()
+        assert response["draining"] is True
+        with pytest.raises((ServerError, ConnectionError, OSError)):
+            client.submit(random_circuit(4, 6, seed=62),
+                          architecture=ARCH, router=ROUTER)
+        fleet.stop(timeout=60.0)
+
+    def test_bad_submissions_rejected_at_the_front_door(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="fumbler",
+                               retry_quota=0)
+        with pytest.raises(ServerError) as excinfo:
+            client.submit("OPENQASM 2.0; nonsense", architecture=ARCH)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client.submit(random_circuit(4, 6, seed=71),
+                          architecture="no-such-arch")
+        assert excinfo.value.status == 400
+        # Nothing malformed ever reached a worker.
+        stats = client.stats()
+        assert stats["totals"]["gateway"]["bad_requests"] == 0

@@ -1,0 +1,78 @@
+"""The consistent-hash ring: determinism, stability, balance, movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+def keys(count: int) -> list[str]:
+    # Shaped like real job ids: hex content hashes.
+    import hashlib
+    return [hashlib.sha256(f"job-{index}".encode()).hexdigest()
+            for index in range(count)]
+
+
+class TestDeterminism:
+    def test_same_shards_same_ring(self):
+        first = HashRing(range(4))
+        second = HashRing([3, 1, 0, 2])  # order must not matter
+        for key in keys(200):
+            assert first.shard_for(key) == second.shard_for(key)
+
+    def test_assignment_is_stable_across_instances(self):
+        ring = HashRing(range(4))
+        expected = {key: ring.shard_for(key) for key in keys(100)}
+        rebuilt = HashRing(range(4))
+        assert {key: rebuilt.shard_for(key) for key in expected} == expected
+
+    def test_replica_count_changes_the_ring(self):
+        coarse = HashRing(range(4), replicas=4)
+        fine = HashRing(range(4), replicas=256)
+        sample = keys(500)
+        assert any(coarse.shard_for(key) != fine.shard_for(key)
+                   for key in sample)
+
+
+class TestBalance:
+    def test_every_shard_owns_a_fair_share(self):
+        ring = HashRing(range(4), replicas=64)
+        counts = ring.distribution(keys(4000))
+        assert set(counts) == {0, 1, 2, 3}
+        for shard, count in counts.items():
+            # Fairness within a factor of ~2 of the ideal 1000 per shard.
+            assert 400 < count < 2200, (shard, counts)
+
+
+class TestMembership:
+    def test_remove_moves_only_the_lost_shards_keys(self):
+        ring = HashRing(range(4))
+        sample = keys(1000)
+        before = {key: ring.shard_for(key) for key in sample}
+        ring.remove(2)
+        after = {key: ring.shard_for(key) for key in sample}
+        moved = [key for key in sample if before[key] != after[key]]
+        # Every moved key belonged to the removed shard; nothing else moved.
+        assert all(before[key] == 2 for key in moved)
+        assert all(after[key] != 2 for key in sample)
+        # ...and roughly 1/4 of the space moved, not half the ring.
+        assert len(moved) == sum(1 for key in sample if before[key] == 2)
+
+    def test_add_is_idempotent_and_remove_unknown_is_noop(self):
+        ring = HashRing(range(2))
+        ring.add(1)
+        ring.remove(99)
+        assert ring.shards == [0, 1]
+        assert len(ring) == 2 and 1 in ring and 99 not in ring
+
+    def test_cannot_empty_the_ring(self):
+        ring = HashRing([7])
+        with pytest.raises(ValueError):
+            ring.remove(7)
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing([0])
+        assert all(ring.shard_for(key) == 0 for key in keys(50))

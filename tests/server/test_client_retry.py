@@ -1,0 +1,160 @@
+"""RoutingClient retry behaviour: backoff, jitter, Retry-After, failover.
+
+Satellite of the fleet PR: a burst past the admission bucket used to
+surface immediately as :class:`QuotaExceededError`; now the client sleeps
+out the server's ``Retry-After`` hint (with capped exponential backoff and
+jitter) and the burst succeeds.  A 503 carrying ``Retry-After`` -- the
+dispatcher's "shard restarting" answer -- gets the same treatment, while a
+plain 503 stays fatal.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.server import (AdmissionController, QuotaExceededError,
+                          RoutingClient, ServerError)
+
+
+class TestBackoffSchedule:
+    def make(self, **kwargs) -> RoutingClient:
+        kwargs.setdefault("_rng", random.Random(0))
+        return RoutingClient(**kwargs)
+
+    def test_server_hint_is_the_floor(self):
+        client = self.make(backoff_base=0.1, backoff_cap=60.0)
+        delay = client._backoff_delay(0, hint=2.0)
+        assert 2.0 <= delay <= 2.5  # hint, plus at most 25% jitter
+
+    def test_exponential_when_hint_is_optimistic(self):
+        client = self.make(backoff_base=0.5, backoff_cap=60.0)
+        # attempt 3: base * 2**3 = 4.0 dominates a 0.1s hint
+        delay = client._backoff_delay(3, hint=0.1)
+        assert 4.0 <= delay <= 5.0
+
+    def test_cap_bounds_the_stall(self):
+        client = self.make(backoff_base=1.0, backoff_cap=3.0)
+        delay = client._backoff_delay(10, hint=100.0)
+        assert delay <= 3.0 * 1.25
+
+    def test_jitter_desynchronises_clients(self):
+        delays = {RoutingClient(_rng=random.Random(seed))._backoff_delay(
+            0, hint=1.0) for seed in range(8)}
+        assert len(delays) == 8  # every client picks a different sleep
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RoutingClient(retry_quota=-1)
+        with pytest.raises(ValueError):
+            RoutingClient(backoff_base=0.0)
+
+
+class TestRetryDecision:
+    """Which failures are retried, driven through a scripted transport."""
+
+    def scripted(self, monkeypatch, outcomes, **kwargs):
+        kwargs.setdefault("backoff_base", 0.001)
+        kwargs.setdefault("backoff_cap", 0.002)
+        kwargs.setdefault("_rng", random.Random(1))
+        client = RoutingClient(**kwargs)
+        calls = []
+
+        def fake_once(method, path, payload=None, timeout=None):
+            calls.append(path)
+            outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_request_once", fake_once)
+        return client, calls
+
+    def test_429_retried_until_success(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            QuotaExceededError(429, {"error": "over quota"}, retry_after=0.001),
+            QuotaExceededError(429, {"error": "over quota"}, retry_after=0.001),
+            {"ok": True},
+        ], retry_quota=2)
+        assert client._request("POST", "/v1/jobs") == {"ok": True}
+        assert len(calls) == 3
+        assert client.retries == 2
+
+    def test_429_exhausts_quota_and_surfaces(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            QuotaExceededError(429, {"error": "over quota"}, retry_after=0.001),
+        ], retry_quota=2)
+        with pytest.raises(QuotaExceededError):
+            client._request("POST", "/v1/jobs")
+        assert len(calls) == 3  # initial try + 2 retries
+
+    def test_503_with_retry_after_is_transient(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            ServerError(503, {"error": "shard 1 is restarting"},
+                        retry_after=0.001),
+            {"ok": True},
+        ], retry_quota=2)
+        assert client._request("GET", "/v1/jobs/abc") == {"ok": True}
+        assert len(calls) == 2
+
+    def test_plain_503_is_final(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            ServerError(503, {"error": "gateway is draining"}),
+        ], retry_quota=5)
+        with pytest.raises(ServerError):
+            client._request("POST", "/v1/jobs")
+        assert len(calls) == 1  # no retry without a Retry-After promise
+
+    def test_400_is_never_retried(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            ServerError(400, {"error": "bad qasm"}),
+        ], retry_quota=5)
+        with pytest.raises(ServerError):
+            client._request("POST", "/v1/jobs")
+        assert len(calls) == 1
+
+    def test_connection_failure_retried(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            ConnectionRefusedError("worker restarting"),
+            {"ok": True},
+        ], retry_quota=1)
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert len(calls) == 2
+
+    def test_zero_quota_fails_fast(self, monkeypatch):
+        client, calls = self.scripted(monkeypatch, [
+            QuotaExceededError(429, {"error": "over quota"}, retry_after=0.001),
+        ], retry_quota=0)
+        with pytest.raises(QuotaExceededError):
+            client._request("POST", "/v1/jobs")
+        assert len(calls) == 1
+
+
+class TestBurstAgainstRealGateway:
+    def test_burst_past_bucket_succeeds_with_retries(self, gateway_factory):
+        """Eight rapid submissions through a 3-token bucket all land.
+
+        The bucket refills at 20 tokens/s, so the server's Retry-After
+        hints are tiny; the retrying client absorbs them instead of
+        surfacing five 429s (which is what ``retry_quota=0`` sees -- the
+        companion assertions in test_concurrent_clients.py).
+        """
+        admission = AdmissionController(rate=20.0, burst=3.0,
+                                        max_pending=1000)
+        gateway = gateway_factory(admission=admission)
+        client = RoutingClient(port=gateway.port, client_id="bursty",
+                               retry_quota=4, backoff_base=0.05,
+                               _rng=random.Random(2))
+        tickets = []
+        for index in range(8):
+            circuit = random_circuit(4, 6, seed=800 + index)
+            tickets.append(client.submit(circuit, architecture="tokyo6",
+                                         router="sabre:seed=1"))
+        assert len(tickets) == 8
+        assert len({ticket["job_id"] for ticket in tickets}) == 8
+        assert client.retries > 0  # the bucket really did push back
+        stats = gateway.gateway.admission.stats()
+        assert stats["rejected_quota"] > 0
+        assert stats["admitted"] == 8

@@ -112,7 +112,8 @@ class TestQuotaUnderBurst:
     def test_burst_past_bucket_gets_429_with_retry_after(self, gateway_factory):
         admission = AdmissionController(rate=0.5, burst=3.0, max_pending=1000)
         gateway = gateway_factory(admission=admission)
-        client = RoutingClient(port=gateway.port, client_id="greedy")
+        client = RoutingClient(port=gateway.port, client_id="greedy",
+                               retry_quota=0)
         accepted = 0
         refusals: list[QuotaExceededError] = []
         for index in range(8):
@@ -138,7 +139,8 @@ class TestQuotaUnderBurst:
         gateway = gateway_factory(admission=admission)
 
         def submit(index: int):
-            client = RoutingClient(port=gateway.port, client_id="swarm")
+            client = RoutingClient(port=gateway.port, client_id="swarm",
+                                   retry_quota=0)
             circuit = random_circuit(4, 6, seed=500 + index)
             try:
                 return ("ok", client.submit(circuit, architecture="tokyo6",
@@ -156,7 +158,8 @@ class TestQuotaUnderBurst:
         admission = AdmissionController(rate=1000.0, burst=1000.0,
                                         max_pending=1)
         gateway = gateway_factory(admission=admission)
-        client = RoutingClient(port=gateway.port, client_id="pusher")
+        client = RoutingClient(port=gateway.port, client_id="pusher",
+                               retry_quota=0)
         # First submission occupies the only pending slot (satmap is slow
         # enough on a real circuit that the dispatcher is still busy).
         client.submit(random_circuit(4, 12, seed=600),

@@ -1,0 +1,160 @@
+"""The shared disk cache under concurrent multi-process writers.
+
+The fleet points every shard worker at one cache directory, so ``put``
+must survive two processes storing -- and LRU-evicting -- at the same
+time: unique temp files + atomic rename keep every ``<hash>.json`` whole,
+the ``.lock`` flock serialises eviction scans, and ``stored_by`` stamps
+record which shard wrote what.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.api.routing import route
+from repro.circuits.random_circuits import random_circuit
+from repro.hardware.topologies import line_architecture
+from repro.service import ResultCache, RoutingJob
+from repro.service.cache import payload_to_result
+
+
+def solved_pair(seed: int, architecture):
+    circuit = random_circuit(4, 6, seed=seed, name=f"contend_{seed}")
+    job = RoutingJob.from_circuit(circuit, architecture, router="sabre",
+                                  options={"seed": 0})
+    result = route(circuit, architecture, spec="sabre:seed=0")
+    assert result.solved
+    return job, result
+
+
+def hammer(directory: str, owner: str, seeds: list[int], rounds: int,
+           max_bytes: int | None, queue) -> None:
+    """Child-process target: repeatedly store a working set of entries."""
+    try:
+        architecture = line_architecture(4)
+        pairs = [solved_pair(seed, architecture) for seed in seeds]
+        cache = ResultCache(directory=directory, owner=owner,
+                            max_bytes=max_bytes)
+        stored = 0
+        for _ in range(rounds):
+            for job, result in pairs:
+                if cache.put(job, result):
+                    stored += 1
+        queue.put(("ok", owner, stored))
+    except BaseException as error:  # pragma: no cover - failure reporting
+        queue.put(("error", owner, repr(error)))
+
+
+def run_writers(tmp_path, seed_sets, rounds: int = 10,
+                max_bytes: int | None = None) -> str:
+    """Race one writer process per seed set against a shared directory."""
+    context = multiprocessing.get_context("fork" if "fork"
+                                          in multiprocessing.get_all_start_methods()
+                                          else "spawn")
+    queue = context.Queue()
+    directory = str(tmp_path / "shared-cache")
+    processes = [
+        context.Process(target=hammer,
+                        args=(directory, f"shard-{index}", seeds, rounds,
+                              max_bytes, queue))
+        for index, seeds in enumerate(seed_sets)]
+    for process in processes:
+        process.start()
+    outcomes = [queue.get(timeout=120) for _ in processes]
+    for process in processes:
+        process.join(timeout=30)
+        assert process.exitcode == 0
+    for kind, owner, detail in outcomes:
+        assert kind == "ok", f"{owner} failed: {detail}"
+    return directory
+
+
+class TestConcurrentPut:
+    def test_two_processes_same_keys_never_corrupt(self, tmp_path):
+        """Both writers hammer the SAME entries; every file stays whole."""
+        directory = run_writers(tmp_path, [[0, 1, 2], [0, 1, 2]], rounds=15)
+        architecture = line_architecture(4)
+        reader = ResultCache(directory=directory)
+        for seed in (0, 1, 2):
+            job, _ = solved_pair(seed, architecture)
+            result = reader.get(job)
+            assert result is not None and result.solved
+        assert reader.rejected == 0  # nothing half-written survived
+
+        # Every disk entry parses, verifies, and names its last writer.
+        from pathlib import Path
+        entries = list(Path(directory).glob("*.json"))
+        assert len(entries) == 3
+        for path in entries:
+            payload = json.loads(path.read_text())
+            assert payload["stored_by"] in ("shard-0", "shard-1")
+            assert payload_to_result(payload).solved
+
+    def test_disjoint_writers_all_land(self, tmp_path):
+        directory = run_writers(tmp_path, [[10, 11], [12, 13]], rounds=5)
+        architecture = line_architecture(4)
+        reader = ResultCache(directory=directory)
+        for seed in (10, 11, 12, 13):
+            job, _ = solved_pair(seed, architecture)
+            assert reader.get(job) is not None
+        assert reader.hits == 4
+
+    def test_concurrent_eviction_under_tight_budget(self, tmp_path):
+        """Two over-budget writers evicting at once must not corrupt state."""
+        architecture = line_architecture(4)
+        probe = ResultCache(directory=tmp_path / "probe")
+        job, result = solved_pair(0, architecture)
+        assert probe.put(job, result)
+        entry = probe.total_bytes()
+
+        # Budget holds ~2 entries; each writer cycles 3, forcing eviction
+        # on nearly every put in both processes simultaneously.
+        directory = run_writers(tmp_path, [[0, 1, 2], [3, 4, 5]],
+                                rounds=8, max_bytes=int(entry * 2.5))
+        reader = ResultCache(directory=directory)
+        stats = reader.stats()
+        assert 1 <= stats["entries"] <= 6
+        # Whatever survived the eviction storm is intact and verified.
+        served = 0
+        for seed in range(6):
+            job, _ = solved_pair(seed, architecture)
+            found = reader.get(job)
+            if found is not None:
+                assert found.solved
+                served += 1
+        assert served == stats["entries"]
+        assert reader.rejected == 0
+
+
+class TestOwnerStamp:
+    def test_put_stamps_and_get_ignores(self, tmp_path):
+        architecture = line_architecture(4)
+        job, result = solved_pair(99, architecture)
+        writer = ResultCache(directory=tmp_path / "cache", owner="shard-7")
+        assert writer.put(job, result)
+        (path,) = (tmp_path / "cache").glob("*.json")
+        assert json.loads(path.read_text())["stored_by"] == "shard-7"
+        # A reader with no owner (or another owner) still verifies + serves.
+        reader = ResultCache(directory=tmp_path / "cache")
+        found = reader.get(job)
+        assert found is not None and found.swap_count == result.swap_count
+
+    def test_unowned_cache_payloads_unchanged(self, tmp_path):
+        architecture = line_architecture(4)
+        job, result = solved_pair(98, architecture)
+        cache = ResultCache(directory=tmp_path / "cache")
+        assert cache.put(job, result)
+        (path,) = (tmp_path / "cache").glob("*.json")
+        assert "stored_by" not in json.loads(path.read_text())
+
+    def test_lock_file_not_counted_as_entry(self, tmp_path):
+        architecture = line_architecture(4)
+        job, result = solved_pair(97, architecture)
+        cache = ResultCache(directory=tmp_path / "cache", owner="shard-0")
+        assert cache.put(job, result)
+        assert (tmp_path / "cache" / ".lock").exists()
+        assert len(cache) == 1
+        assert cache.stats()["entries"] == 1
