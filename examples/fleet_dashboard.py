@@ -1,0 +1,142 @@
+"""Operating a fleet: SLOs, events, tail sampling, `repro top`, profiling.
+
+Starts the same sharded fleet as ``examples/fleet_demo.py`` but with the
+full operational stack switched on, then walks the endpoints an operator
+would actually use during an incident:
+
+1. declare an SLO on the command line the fleet evaluates per shard and
+   the dispatcher merges into one fleet-wide verdict (``/v1/slo``);
+2. route a batch, then render one ``repro top`` dashboard frame -- the
+   same plain-text screen ``repro top --url ...`` repaints live;
+3. kill a worker and read the dispatcher's structured event log
+   (``/v1/events``) to see the restart recorded with its shard and pid;
+4. attach the sampling profiler to every shard at once
+   (``POST /v1/admin/profile``) and print the hottest collapsed stacks;
+5. show the tail sampler's verdicts: errors/deadline/slow traces are
+   always kept, fast ones are sampled at the configured rate.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_dashboard.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import tempfile
+import time
+
+from repro.circuits.random_circuits import random_circuit
+from repro.cluster import FleetConfig, FleetThread
+from repro.obs import read_events, read_traces, run_top
+from repro.server import RoutingClient
+
+
+def wait_for_restart(client: RoutingClient, shard: int, old_pid: int) -> dict:
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        worker = next(entry for entry
+                      in client.cluster()["fleet"]["worker_detail"]
+                      if entry["shard"] == shard)
+        if worker["alive"] and worker["pid"] != old_pid:
+            return worker
+        time.sleep(0.2)
+    raise RuntimeError(f"shard {shard} did not restart")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="fleet-dash-") as scratch:
+        config = FleetConfig(
+            workers=2, cache_dir=os.path.join(scratch, "cache"),
+            time_budget=5.0, pool_mode="thread", pool_workers=2,
+            health_interval=0.2,
+            # The operational stack: a p95<2s / 99% availability objective
+            # evaluated over a rolling window, structured events persisted
+            # as JSONL, and tail sampling that keeps every error/deadline/
+            # slow trace but only 30% of the fast ones.
+            slos=({"route": "*", "quantile": 0.95, "latency_target": 2.0,
+                   "availability_target": 0.99},),
+            events_dir=os.path.join(scratch, "events"),
+            trace_dir=os.path.join(scratch, "traces"),
+            trace_sample_rate=0.3, slow_trace_seconds=1.0)
+        with FleetThread(config) as fleet:
+            print(f"dispatcher listening on {fleet.url}\n")
+            client = RoutingClient(port=fleet.port, client_id="operator",
+                                   retry_quota=4)
+
+            # Feed the SLO windows with a small batch.
+            circuits = [random_circuit(4, 8, seed=seed, name=f"dash_{seed}")
+                        for seed in range(6)]
+            tickets = [client.submit(circuit, architecture="tokyo6",
+                                     router="sabre:seed=0")
+                       for circuit in circuits]
+            for ticket in tickets:
+                client.wait(ticket["job_id"], timeout=60)
+
+            # One `repro top` frame: header, SLO verdict, a row per shard.
+            print("one dashboard frame (what `repro top` repaints live):\n")
+            run_top(client, iterations=1, clear=False, stream=sys.stdout)
+
+            # The merged fleet SLO verdict behind that header.
+            slo = client.slo()
+            objective = slo["fleet"]["objectives"][0]
+            print(f"\nfleet SLO: {objective['quantile_label']} = "
+                  f"{objective['latency']:.3f}s against a "
+                  f"{objective['latency_target']:.0f}s target, availability "
+                  f"{objective['availability'] * 100.0:.1f}%, "
+                  f"burn rate {objective['error_budget_burn_rate']}, "
+                  f"ok={objective['ok']}")
+
+            # Chaos: kill shard 0 and read the incident off the event log.
+            victim = next(worker for worker
+                          in client.cluster()["fleet"]["worker_detail"]
+                          if worker["shard"] == 0)
+            print(f"\nkilling shard 0 (pid {victim['pid']})...")
+            os.kill(victim["pid"], signal.SIGKILL)
+            reborn = wait_for_restart(client, 0, victim["pid"])
+            print(f"shard 0 reborn as pid {reborn['pid']}")
+            deadline = time.monotonic() + 10.0
+            restart_events = []
+            while time.monotonic() < deadline and not restart_events:
+                events = client.events(level="warning")["events"]
+                restart_events = [event for event in events
+                                  if event["event"] == "worker-restart"]
+                time.sleep(0.1)
+            for event in restart_events:
+                print(f"event log: {event['level']} {event['event']} "
+                      f"shard={event['shard']} pid={event['pid']} "
+                      f"restarts={event['restarts']}")
+
+            # Profile the whole fleet for half a second while it solves.
+            busy = client.submit(random_circuit(6, 30, seed=99, name="hot"),
+                                 architecture="tokyo6", router="sabre:seed=1")
+            profile = client.profile(seconds=0.5)
+            client.wait(busy["job_id"], timeout=60)
+            print(f"\nprofiled dispatcher + {len(profile['shards'])} shards "
+                  f"for 0.5s ({profile['dispatcher']['samples']} dispatcher "
+                  "samples); hottest shard-0 stacks:")
+            report = profile["shards"]["0"]
+            for entry in (report or {}).get("top", [])[:3]:
+                print(f"  {entry['self']:3d} self  {entry['total']:3d} total"
+                      f"  {entry['frame']}")
+
+            # What the tail sampler decided: the shared trace directory
+            # holds only the traces each shard's sampler chose to keep.
+            kept = read_traces(os.path.join(scratch, "traces"))
+            print(f"\ntail sampling kept {len(kept)} of "
+                  f"{len(tickets) + 1} traces at rate 0.3 "
+                  "(errors/deadline/slow would always survive)")
+            persisted = read_events(os.path.join(scratch, "events"))
+            owners = sorted({record["owner"] for record in persisted})
+            print(f"{len(persisted)} events persisted as JSONL by "
+                  f"{owners}")
+
+            print("\ndraining the fleet...")
+            client.drain()
+        print("fleet drained; all workers exited")
+
+
+if __name__ == "__main__":
+    main()

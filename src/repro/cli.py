@@ -19,7 +19,11 @@ The subcommands cover the common workflows:
 * ``submit``   -- submit a QASM file to a running gateway and wait for the
   routed result;
 * ``trace``    -- fetch a finished job's span tree from a running gateway
-  and print it as an indented timing tree (``--json`` for the raw spans);
+  and print it as an indented timing tree (``--json`` for the raw spans,
+  ``--slow-ms`` to flag spans past a wall-clock threshold);
+* ``top``      -- live terminal dashboard over a running gateway or fleet:
+  per-shard throughput, queue depth, cache hit rate, tail latencies, and
+  SLO error-budget status, repainted every ``--interval`` seconds;
 * ``routers``  -- list every registered router: capabilities and option
   schemas, straight from the :mod:`repro.api` registry;
 * ``info``     -- print the properties of a named architecture;
@@ -102,6 +106,36 @@ def _router_spec(text: str) -> str:
     except Exception as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return text
+
+
+def _slo_objective(text: str) -> dict:
+    """argparse type for ``serve --slo``: ``[route:]pQQ<SECONDS[@AVAIL]``.
+
+    Examples: ``p95<2`` (all traffic, p95 within 2s, 99% availability),
+    ``satmap:p99<5@0.995`` (one route, explicit availability floor).
+    Returned as a plain dict so the objective pickles into worker processes
+    (:class:`repro.obs.slo.SloObjective` normalises it on the other side).
+    """
+    from repro.obs.slo import SloObjective
+
+    spec = text.strip()
+    route, _, rest = spec.rpartition(":")
+    route = route or "*"
+    rest, _, avail = rest.partition("@")
+    quantile_text, sep, latency_text = rest.partition("<")
+    try:
+        if not sep or not quantile_text.startswith("p"):
+            raise ValueError("expected [route:]p<quantile><<seconds>[@avail]")
+        objective = SloObjective(
+            route=route,
+            quantile=float(quantile_text[1:]) / 100.0,
+            latency_target=float(latency_text),
+            availability_target=float(avail) if avail else 0.99,
+        )
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad SLO spec {text!r}: {error}") from None
+    return objective.to_dict()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-dir", type=Path, default=None,
                        help="append finished-job traces as JSONL under this "
                             "directory (size-rotated)")
+    serve.add_argument("--events-dir", type=Path, default=None,
+                       help="append structured operational events as JSONL "
+                            "under this directory (size-rotated; events stay "
+                            "in memory and at /v1/events either way)")
+    serve.add_argument("--trace-sample", type=float, default=None,
+                       metavar="RATE",
+                       help="tail-sampling keep probability for fast, "
+                            "successful traces in [0, 1]; errors, timeouts "
+                            "and slow traces are always kept "
+                            "(default: keep everything)")
+    serve.add_argument("--slow-trace-ms", type=float, default=None,
+                       help="always keep traces whose root span lasts at "
+                            "least this many milliseconds")
+    serve.add_argument("--slo", action="append", type=_slo_objective,
+                       default=None, metavar="SPEC",
+                       help="SLO objective as [route:]pQQ<SECONDS[@AVAIL], "
+                            "e.g. p95<2 or satmap:p99<5@0.995; repeatable "
+                            "(default: p95<2@0.99 over all traffic)")
 
     submit = subparsers.add_parser(
         "submit", help="submit a QASM file to a running gateway")
@@ -247,8 +299,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gateway address")
     trace.add_argument("--client-id", default=None,
                        help="quota identity sent as X-Client-Id")
+    trace.add_argument("--slow-ms", type=float, default=None,
+                       help="flag spans lasting at least this many "
+                            "milliseconds with !slow (renders locally)")
     trace.add_argument("--json", action="store_true",
                        help="print the raw span tree as JSON")
+
+    top = subparsers.add_parser(
+        "top", help="live dashboard over a running gateway or fleet")
+    top.add_argument("--url", default="http://127.0.0.1:8037",
+                     help="gateway or dispatcher address")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between repaints")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (no screen clear)")
+    top.add_argument("--client-id", default=None,
+                     help="quota identity sent as X-Client-Id")
 
     info = subparsers.add_parser("info", help="describe a named architecture")
     info.add_argument("--arch", default="tokyo", choices=sorted(available_architectures()))
@@ -513,6 +579,9 @@ def command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        print("error: --trace-sample must be in [0, 1]", file=sys.stderr)
+        return 2
     max_bytes = (int(args.cache_max_mb * 1024 * 1024)
                  if args.cache_max_mb else None)
     if args.workers > 1:
@@ -528,10 +597,21 @@ def command_serve(args: argparse.Namespace) -> int:
     )
     admission = AdmissionController(rate=args.rate, burst=args.burst,
                                     max_pending=args.max_pending)
+    sampler = None
+    if args.trace_sample is not None or args.slow_trace_ms is not None:
+        from repro.obs.sampling import TailSampler
+
+        sampler = TailSampler(
+            rate=args.trace_sample if args.trace_sample is not None else 1.0,
+            slow_threshold=(args.slow_trace_ms / 1000.0
+                            if args.slow_trace_ms is not None else None))
     gateway = RoutingGateway(service=service, host=args.host, port=args.port,
                              admission=admission,
                              time_budget=args.time_budget,
-                             trace_dir=args.trace_dir)
+                             trace_dir=args.trace_dir,
+                             events_dir=args.events_dir,
+                             slo=tuple(args.slo or ()),
+                             sampler=sampler)
 
     def announce(started: RoutingGateway) -> None:
         print(f"repro gateway listening on {started.url} "
@@ -567,6 +647,11 @@ def _serve_fleet(args: argparse.Namespace, max_bytes: int | None) -> int:
         burst=args.burst,
         max_pending=args.max_pending,
         trace_dir=str(args.trace_dir) if args.trace_dir else None,
+        events_dir=str(args.events_dir) if args.events_dir else None,
+        slos=tuple(args.slo or ()),
+        trace_sample_rate=args.trace_sample,
+        slow_trace_seconds=(args.slow_trace_ms / 1000.0
+                            if args.slow_trace_ms is not None else None),
     )
     dispatcher = ClusterDispatcher(config)
 
@@ -656,12 +741,28 @@ def command_trace(args: argparse.Namespace) -> int:
         print(json.dumps(payload.get("trace"), indent=2, sort_keys=True))
         return 0
     rendered = payload.get("rendered")
-    if rendered:
+    if rendered and args.slow_ms is None:
         print(rendered)
     else:
         from repro.obs import render_trace
-        print(render_trace(payload["trace"]))
+        threshold = args.slow_ms / 1000.0 if args.slow_ms is not None else None
+        print(render_trace(payload["trace"], slow_threshold=threshold))
     return 0
+
+
+def command_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import run_top
+    from repro.server import RoutingClient
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    client = RoutingClient.from_url(args.url, client_id=args.client_id)
+    frames = run_top(client,
+                     interval=args.interval,
+                     iterations=1 if args.once else None,
+                     clear=not args.once)
+    return 0 if frames else 2
 
 
 def command_info(args: argparse.Namespace) -> int:
@@ -780,6 +881,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": command_serve,
         "submit": command_submit,
         "trace": command_trace,
+        "top": command_top,
         "info": command_info,
         "devices": command_devices,
         "routers": command_routers,

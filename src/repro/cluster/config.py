@@ -54,7 +54,20 @@ class FleetConfig:
     #: Dispatcher-level backpressure bound on open jobs across the fleet.
     max_pending: int = 256
     #: Per-worker trace JSONL directory (``None`` disables persistence).
+    #: Shared across the fleet: each worker writes ``traces.shard-N.jsonl``.
     trace_dir: str | None = None
+    #: Structured-event JSONL directory, shared like ``trace_dir`` (``None``
+    #: keeps events in memory only, still served at ``/v1/events``).
+    events_dir: str | None = None
+    #: SLO objectives, as plain dicts so the config pickles across the
+    #: spawn boundary (see :meth:`repro.obs.slo.SloObjective.to_dict`).
+    #: Empty uses the default objective on every worker.
+    slos: tuple = ()
+    #: Tail-sampling keep probability for fast, successful traces
+    #: (``None`` disables sampling: every trace is retained).
+    trace_sample_rate: float | None = None
+    #: Root duration (seconds) at or past which a trace is always kept.
+    slow_trace_seconds: float | None = None
     #: Seconds between dispatcher health sweeps over the worker processes.
     health_interval: float = 0.5
     #: Virtual nodes per shard on the consistent-hash ring.

@@ -22,6 +22,13 @@ Beyond routing, the dispatcher is the fleet's control plane:
 * **Aggregation** -- ``/v1/stats`` and ``/metrics`` merge every shard's
   view into fleet totals plus per-shard ``{shard="k"}`` labelled series,
   alongside the dispatcher's own ``repro_cluster_*`` instruments.
+  Mirrored per-shard counters go through a monotone fold so a worker
+  restart (which resets its in-process counters) never makes a scraped
+  counter regress.  ``/v1/slo`` merges every shard's windowed CDFs into
+  true fleet quantiles, ``/v1/events`` serves the dispatcher's own
+  control-plane event stream (restarts, disables, drains), and
+  ``POST /v1/admin/profile`` profiles one shard (``?shard=K``) or the
+  dispatcher plus every live worker concurrently.
 * **Drain** -- ``/v1/admin/drain`` (or SIGTERM via :func:`serve_fleet`)
   fans out to every worker, waits for them to finish their queues
   best-so-far, then closes the listener.
@@ -51,7 +58,10 @@ from repro.cluster.config import FleetConfig
 from repro.cluster.hashring import HashRing
 from repro.cluster.worker import WorkerHandle
 from repro.hardware.devices import device_records, named_architectures
+from repro.obs import profiler as obs_profiler
+from repro.obs.events import LEVELS, EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import merge_slo_statuses, mirror_slo
 from repro.obs.trace import render_trace
 from repro.server import http, protocol
 from repro.server.admission import AdmissionController
@@ -122,6 +132,17 @@ class ClusterDispatcher:
             "worker_restarts": 0,
         }
         self._dispatch_log: OrderedDict[str, DispatchRecord] = OrderedDict()
+        #: The dispatcher's own operational narrative: restarts, disables,
+        #: drains.  Shares the fleet's events directory when one is set.
+        self.event_log = EventLog(directory=config.events_dir,
+                                  owner="dispatcher")
+        #: Monotone floors for mirrored per-shard counters: (metric, shard)
+        #: -> (carried base, last raw reading).  A restarted worker resets
+        #: its in-process counters to zero; re-exporting the raw reading
+        #: would make a *counter* go backwards, which breaks every
+        #: rate()-style consumer.  Instead the pre-restart total is folded
+        #: into the base, so the mirrored series never regresses.
+        self._monotone: dict[tuple[str, str], tuple[float, float]] = {}
         self._open_jobs = 0  # fleet-wide estimate, resynced by the sweep
         self._draining = False
         self._started = time.monotonic()
@@ -164,6 +185,9 @@ class ClusterDispatcher:
         if self._draining:
             return
         self._draining = True
+        self.event_log.emit("drain-initiated", level="warning",
+                            workers=len(self.workers),
+                            jobs_open=self._open_jobs)
         asyncio.ensure_future(self._shutdown())
 
     async def wait_closed(self) -> None:
@@ -223,11 +247,17 @@ class ClusterDispatcher:
                     await loop.run_in_executor(None, handle.restart)
                     self.counters["worker_restarts"] += 1
                     self._restarts_counter.inc(shard=str(shard))
-                except Exception:
+                    self.event_log.emit("worker-restart", level="warning",
+                                        shard=shard, pid=handle.pid,
+                                        restarts=handle.restarts)
+                except Exception as error:
                     # Startup itself failed; count the attempt and let the
                     # next sweep retry (or give up past max_restarts).
                     self.counters["worker_restarts"] += 1
                     self._restarts_counter.inc(shard=str(shard))
+                    self.event_log.emit("worker-restart-failed",
+                                        level="error", shard=shard,
+                                        error=repr(error))
                 finally:
                     self._restarting.discard(shard)
             if sweep % STATS_SWEEP_EVERY == 0:
@@ -239,6 +269,9 @@ class ClusterDispatcher:
             return
         self.ring.remove(shard)
         self._disabled.add(shard)
+        self.event_log.emit("shard-disabled", level="error", shard=shard,
+                            restarts=self.workers[shard].restarts,
+                            shards_serving=len(self.ring))
 
     async def _resync_open_jobs(self) -> None:
         """Refresh the fleet-wide open-job estimate feeding backpressure."""
@@ -356,6 +389,9 @@ class ClusterDispatcher:
         decision = self.admission.admit(client_id, pending=self._open_jobs)
         if not decision:
             self.counters["rejected"] += 1
+            self.event_log.emit("admission-rejected", level="warning",
+                                client=client_id, reason=decision.reason,
+                                pending=self._open_jobs)
             payload = protocol.error_payload(
                 f"over quota ({decision.reason})", reason=decision.reason,
                 retry_after=decision.retry_after)
@@ -462,10 +498,13 @@ class ClusterDispatcher:
 
     # -------------------------------------------------------------- aggregation
 
-    async def _gather_worker_stats(self) -> dict[int, dict | None]:
+    async def _gather_worker_json(self, method: str, path: str,
+                                  timeout: float = 5.0,
+                                  ) -> dict[int, dict | None]:
+        """Fan ``method path`` out to every worker; ``None`` per failure."""
         async def one(shard: int, handle: WorkerHandle):
-            response = await self._fetch_worker(handle, "GET", "/v1/stats",
-                                                timeout=5.0)
+            response = await self._fetch_worker(handle, method, path,
+                                                timeout=timeout)
             if response is None:
                 return shard, None
             status, _, body = response
@@ -480,6 +519,98 @@ class ClusterDispatcher:
                                        in sorted(self.workers.items())))
         return dict(pairs)
 
+    async def _gather_worker_stats(self) -> dict[int, dict | None]:
+        return await self._gather_worker_json("GET", "/v1/stats")
+
+    async def _slo_payload(self) -> tuple[int, dict, dict]:
+        """``/v1/slo``: per-shard statuses plus the true fleet merge.
+
+        Shard trackers ship their raw windowed bucket counts, so the fleet
+        quantiles come from summed CDFs -- not averaged shard quantiles.
+        """
+        per_shard = await self._gather_worker_json("GET", "/v1/slo")
+        merged = merge_slo_statuses(
+            [status for status in per_shard.values() if status is not None])
+        return 200, protocol.envelope(
+            fleet=merged,
+            shards={str(shard): status
+                    for shard, status in per_shard.items()}), {}
+
+    def _events_payload(self, query: dict) -> tuple[int, dict, dict]:
+        """``/v1/events``: the dispatcher's own control-plane narrative.
+
+        Worker-side job events live on each shard (``/v1/events`` against
+        the worker, or the shared ``events_dir`` files); this stream is the
+        fleet-level story -- restarts, disables, drains, rejections.
+        """
+        limit = int(protocol.numeric_param(query, "limit", 50,
+                                           minimum=1, maximum=1000))
+        level = query.get("level") or None
+        if level is not None and level not in LEVELS:
+            raise protocol.ProtocolError(
+                f"unknown level {level!r}; pick one of {sorted(LEVELS)}")
+        events = self.event_log.tail(limit=limit, level=level,
+                                     event=query.get("event") or None)
+        return 200, protocol.envelope(
+            events=events, counts=self.event_log.counts_by_level(),
+            dropped=self.event_log.dropped), {}
+
+    async def _profile(self, query: dict) -> tuple[int, object, dict]:
+        """``POST /v1/admin/profile``: one shard (``?shard=K``) or the fleet.
+
+        The fleet form profiles every live worker *and* the dispatcher
+        process concurrently for the same window, so one call answers
+        "where is the whole deployment spending its seconds?".
+        """
+        seconds = protocol.numeric_param(
+            query, "seconds", 1.0, minimum=0.05,
+            maximum=obs_profiler.MAX_PROFILE_SECONDS)
+        qs = urllib.parse.urlencode(
+            {key: query[key] for key in ("seconds", "interval")
+             if key in query})
+        path = "/v1/admin/profile" + (f"?{qs}" if qs else "")
+        fetch_timeout = seconds + 30.0
+        if "shard" in query:
+            try:
+                shard = int(query["shard"])
+            except ValueError:
+                raise protocol.ProtocolError("shard must be an integer") \
+                    from None
+            if shard not in self.workers:
+                return 404, protocol.error_payload(
+                    f"unknown shard {shard}"), {}
+            response = await self._proxy(shard, "POST", path,
+                                         timeout=fetch_timeout)
+            if response is None:
+                return self._unavailable(shard)
+            status, response_headers, raw, _ = response
+            status, decoded, extra = self._decode_proxied(
+                status, response_headers, raw)
+            if isinstance(decoded, dict):
+                decoded["shard"] = shard
+            return status, decoded, extra
+        loop = asyncio.get_running_loop()
+        self.event_log.emit("profile-start", seconds=seconds, shard="*")
+        own, per_shard = await asyncio.gather(
+            loop.run_in_executor(
+                None, lambda: obs_profiler.profile(seconds)),
+            self._gather_worker_json("POST", path, timeout=fetch_timeout))
+        return 200, protocol.envelope(
+            seconds=seconds, dispatcher=own,
+            shards={str(shard): report
+                    for shard, report in per_shard.items()}), {}
+
+    def _monotone_total(self, metric: str, shard: str,
+                        reported: float) -> float:
+        """Fold per-shard counter readings into a never-regressing total."""
+        base, last = self._monotone.get((metric, shard), (0.0, 0.0))
+        if reported < last:
+            # The worker restarted and its in-process counter reset; carry
+            # everything it had reported before the reset as a base.
+            base += last
+        self._monotone[(metric, shard)] = (base, reported)
+        return base + reported
+
     def _fleet_section(self) -> dict:
         workers = [handle.describe() for _, handle
                    in sorted(self.workers.items())]
@@ -491,6 +622,7 @@ class ClusterDispatcher:
             "shards_serving": self.ring.shards,
             "dispatcher": dict(self.counters),
             "admission": self.admission.stats(),
+            "events": self.event_log.counts_by_level(),
             "worker_detail": workers,
         }
 
@@ -581,7 +713,9 @@ class ClusterDispatcher:
             "Submissions rejected by the fleet controller, by reason")
         for reason in ("quota", "backpressure"):
             rejected.set_total(admission[f"rejected_{reason}"], reason=reason)
-        per_shard = await self._gather_worker_stats()
+        per_shard, slo_statuses = await asyncio.gather(
+            self._gather_worker_stats(),
+            self._gather_worker_json("GET", "/v1/slo"))
         alive_gauge = registry.gauge("repro_fleet_worker_up",
                                      "Whether each shard answered /v1/stats")
         open_gauge = registry.gauge("repro_fleet_jobs_open",
@@ -592,11 +726,15 @@ class ClusterDispatcher:
             if stats is None:
                 continue
             open_gauge.set(int(stats.get("jobs_open", 0)), shard=label)
+            # Counters are mirrored through a monotone fold: a restarted
+            # worker reports from zero again, and a scrape must never see a
+            # counter regress (promcheck and rate() both assume it).
             for name, value in stats.get("gateway", {}).items():
                 registry.counter(
                     f"repro_fleet_{name}_total",
                     self._FLEET_COUNTER_HELP.get(name, name)).set_total(
-                    value, shard=label)
+                    self._monotone_total(f"gateway.{name}", label,
+                                         float(value)), shard=label)
             cache = stats.get("cache")
             if cache:
                 for key in ("hits", "misses", "stores", "rejected",
@@ -604,7 +742,18 @@ class ClusterDispatcher:
                     registry.counter(
                         f"repro_fleet_cache_{key}_total",
                         f"Shared-cache {key} observed by each shard"
-                        ).set_total(int(cache[key]), shard=label)
+                        ).set_total(self._monotone_total(
+                            f"cache.{key}", label, float(cache[key])),
+                            shard=label)
+        merged = merge_slo_statuses(
+            [status for status in slo_statuses.values() if status is not None])
+        if merged is not None:
+            mirror_slo(registry, merged)
+        emitted = registry.counter(
+            "repro_events_total",
+            "Dispatcher operational events emitted, by level")
+        for level, count in sorted(self.event_log.counts_by_level().items()):
+            emitted.set_total(count, level=level)
         return registry.render(first=("repro_cluster_info",))
 
     # --------------------------------------------------------------- HTTP layer
@@ -702,6 +851,12 @@ class ClusterDispatcher:
                 architectures=sorted(self.architectures)), {}
         if path == "/v1/stats" and method == "GET":
             return 200, protocol.envelope(await self._stats_payload()), {}
+        if path == "/v1/slo" and method == "GET":
+            return await self._slo_payload()
+        if path == "/v1/events" and method == "GET":
+            return self._events_payload(query)
+        if path == "/v1/admin/profile" and method == "POST":
+            return await self._profile(query)
         if path == "/v1/jobs" and method == "POST":
             return await self._submit(headers, body, peer)
         if path == "/v1/jobs" and method == "GET":

@@ -73,16 +73,31 @@ def build_worker_gateway(config: FleetConfig, shard_id: int, port: int = 0):
     carefully computed ``Retry-After`` hints into lies.  The worker keeps
     only the global pending bound as a local safety valve.
     """
+    from repro.obs.sampling import TailSampler
+    from repro.obs.slo import SloTracker
     from repro.server import AdmissionController, RoutingGateway
 
     service = build_worker_service(config, shard_id)
     admission = AdmissionController(rate=1e9, burst=1e9,
                                     max_pending=config.max_pending)
+    options = dict(config.gateway_options)
+    # Observability wiring: every worker tracks the same objectives (the
+    # dispatcher merges the raw CDFs into fleet quantiles), tags its trace
+    # and event files with its shard id so the shared directories stay
+    # multi-process safe, and applies the fleet's tail-sampling policy.
+    options.setdefault("slo", SloTracker(objectives=config.slos))
+    options.setdefault("trace_owner", f"shard-{shard_id}")
+    options.setdefault("events_dir", config.events_dir)
+    if config.trace_sample_rate is not None or config.slow_trace_seconds is not None:
+        options.setdefault("sampler", TailSampler(
+            rate=(config.trace_sample_rate
+                  if config.trace_sample_rate is not None else 1.0),
+            slow_threshold=config.slow_trace_seconds))
     return RoutingGateway(service=service, host="127.0.0.1", port=port,
                           admission=admission,
                           time_budget=config.time_budget,
                           trace_dir=config.trace_dir,
-                          **dict(config.gateway_options))
+                          **options)
 
 
 def worker_main(config: FleetConfig, shard_id: int, conn) -> None:

@@ -1,4 +1,4 @@
-"""Observability core: tracing, histogram metrics, and exposition tooling.
+"""Observability core: tracing, metrics, SLOs, events, and profiling.
 
 ``repro.obs`` is the dependency-free telemetry substrate the rest of the
 repository builds on:
@@ -12,27 +12,48 @@ repository builds on:
 * :mod:`repro.obs.promcheck` -- a small text-format checker (HELP/TYPE
   pairing, label escaping, monotone histogram buckets ending in ``+Inf``,
   ``_sum``/``_count`` consistency) used by the tests and the CI smoke gate;
-* :mod:`repro.obs.export` -- size-rotated JSONL persistence for finished
-  traces (``repro serve --trace-dir``).
+* :mod:`repro.obs.export` -- size-rotated, multi-writer-safe JSONL
+  persistence for traces and other record streams;
+* :mod:`repro.obs.slo` -- rolling-window SLO tracking: streaming latency
+  quantiles over fixed-bucket CDFs, availability, error-budget burn rate;
+* :mod:`repro.obs.events` -- leveled, field-typed structured event logs
+  correlated to the active trace;
+* :mod:`repro.obs.sampling` -- tail-based trace sampling that keeps every
+  error/deadline/slow trace and probabilistically samples the fast ones;
+* :mod:`repro.obs.profiler` -- an on-demand wall-clock sampling profiler
+  producing collapsed stacks (flamegraph input);
+* :mod:`repro.obs.dashboard` -- the ``repro top`` live fleet dashboard.
 
 The module deliberately imports nothing from the rest of ``repro`` so every
 layer -- the SAT core included -- can emit spans without import cycles.
 """
 
-from repro.obs.export import JsonlTraceWriter, read_traces
+from repro.obs.dashboard import normalize_snapshot, render_dashboard, run_top
+from repro.obs.events import EventLog, read_events
+from repro.obs.export import JsonlTraceWriter, JsonlWriter, read_jsonl, read_traces
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_counts,
     render_families,
 )
+from repro.obs.profiler import SamplingProfiler, profile
 from repro.obs.promcheck import check_exposition, parse_exposition
+from repro.obs.sampling import SamplingDecision, TailSampler
+from repro.obs.slo import (
+    SloObjective,
+    SloTracker,
+    merge_slo_statuses,
+    mirror_slo,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
     activate,
     add_attributes,
+    current_span,
     current_tracer,
     find_span,
     record,
@@ -47,6 +68,7 @@ __all__ = [
     "Tracer",
     "activate",
     "add_attributes",
+    "current_span",
     "current_tracer",
     "find_span",
     "record",
@@ -58,9 +80,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_counts",
     "render_families",
     "check_exposition",
     "parse_exposition",
     "JsonlTraceWriter",
+    "JsonlWriter",
+    "read_jsonl",
     "read_traces",
+    "SloObjective",
+    "SloTracker",
+    "merge_slo_statuses",
+    "mirror_slo",
+    "EventLog",
+    "read_events",
+    "SamplingDecision",
+    "TailSampler",
+    "SamplingProfiler",
+    "profile",
+    "normalize_snapshot",
+    "render_dashboard",
+    "run_top",
 ]

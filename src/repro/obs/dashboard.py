@@ -1,0 +1,231 @@
+"""``repro top``: a live terminal dashboard over the serving endpoints.
+
+The dashboard is deliberately curses-free: each refresh polls
+``/v1/stats`` and ``/v1/slo``, normalises whichever payload shape answered
+(a single :class:`~repro.server.app.RoutingGateway` or a
+:class:`~repro.cluster.dispatcher.ClusterDispatcher` fleet), renders one
+plain-text frame, and repaints the terminal with an ANSI clear.  Plain
+text keeps the renderer a pure function of the snapshot -- trivially
+testable, pipeable to a file, and usable over the dumbest of terminals.
+
+Per shard it shows liveness, restart count, queue depth (open jobs),
+throughput, cache hit rate, and the windowed p50/p95/p99 straight from the
+SLO tracker's CDFs; the header summarises fleet totals and every declared
+objective's error-budget status.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["normalize_snapshot", "render_dashboard", "run_top"]
+
+#: ANSI: clear screen, home cursor.  Repainting beats scrolling for a top.
+CLEAR = "\x1b[2J\x1b[H"
+
+_ROW_COLUMNS = ("shard", "alive", "restarts", "open", "qps", "hit%",
+                "p50", "p95", "p99", "requests", "errors")
+
+
+def _fmt_latency(value) -> str:
+    """Seconds -> compact human units (``850ms``, ``2.41s``)."""
+    if value is None:
+        return "-"
+    if value < 1.0:
+        return f"{value * 1000.0:.0f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_percent(value) -> str:
+    return "-" if value is None else f"{value * 100.0:.1f}"
+
+
+def _fmt_count(value) -> str:
+    return "-" if value is None else str(int(value))
+
+
+def _slo_view(slo_status: dict | None) -> dict | None:
+    """Quantile/objective summary from one SLO status payload (or ``None``)."""
+    if not isinstance(slo_status, dict):
+        return None
+    star = (slo_status.get("routes") or {}).get("*") or {}
+    return {
+        "ok": slo_status.get("ok"),
+        "objectives": slo_status.get("objectives") or [],
+        "p50": star.get("p50"),
+        "p95": star.get("p95"),
+        "p99": star.get("p99"),
+        "requests": star.get("requests"),
+        "errors": star.get("errors"),
+    }
+
+
+def _shard_row(label: str, stats: dict | None, slo_status: dict | None,
+               alive: bool = True, restarts: int = 0) -> dict:
+    """One normalised per-shard table row."""
+    stats = stats if isinstance(stats, dict) else {}
+    cache = stats.get("cache") or {}
+    view = _slo_view(slo_status) or {}
+    return {
+        "shard": label,
+        "alive": alive,
+        "restarts": restarts,
+        "open": stats.get("jobs_open"),
+        "qps": stats.get("throughput"),
+        "hit_rate": cache.get("hit_rate"),
+        "p50": view.get("p50"),
+        "p95": view.get("p95"),
+        "p99": view.get("p99"),
+        "requests": view.get("requests"),
+        "errors": view.get("errors"),
+    }
+
+
+def normalize_snapshot(stats: dict, slo: dict | None = None) -> dict:
+    """Fold either payload shape (gateway or fleet) into one dashboard model.
+
+    A gateway answers ``/v1/stats`` with a flat dict; a dispatcher nests
+    ``{"fleet": ..., "totals": ..., "shards": {...}}`` and its ``/v1/slo``
+    nests ``{"fleet": merged, "shards": {...}}`` likewise.
+    """
+    stats = stats if isinstance(stats, dict) else {}
+    fleet = "shards" in stats and "fleet" in stats
+    if not fleet:
+        return {
+            "fleet": False,
+            "uptime": stats.get("uptime"),
+            "draining": bool(stats.get("draining")),
+            "workers": 1,
+            "workers_alive": 1,
+            "totals": {
+                "jobs_open": stats.get("jobs_open"),
+                "jobs_known": stats.get("jobs_known"),
+                "throughput": stats.get("throughput"),
+            },
+            "slo": _slo_view(slo),
+            "rows": [_shard_row("-", stats, slo)],
+        }
+
+    section = stats.get("fleet") or {}
+    totals = stats.get("totals") or {}
+    detail = {str(worker.get("shard")): worker
+              for worker in section.get("worker_detail") or []}
+    shard_slo = (slo or {}).get("shards") or {}
+    rows = []
+    for label in sorted(stats.get("shards") or {}, key=lambda k: (len(k), k)):
+        worker = detail.get(label, {})
+        rows.append(_shard_row(
+            label, (stats.get("shards") or {}).get(label),
+            shard_slo.get(label),
+            alive=bool(worker.get("alive", True)),
+            restarts=int(worker.get("restarts", 0))))
+    return {
+        "fleet": True,
+        "uptime": section.get("uptime"),
+        "draining": bool(section.get("draining")),
+        "workers": section.get("workers"),
+        "workers_alive": section.get("workers_alive"),
+        "totals": {
+            "jobs_open": totals.get("jobs_open"),
+            "jobs_known": totals.get("jobs_known"),
+            "throughput": totals.get("throughput"),
+        },
+        "slo": _slo_view((slo or {}).get("fleet")),
+        "rows": rows,
+    }
+
+
+def _format_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(cell.rjust(width) if index else cell.ljust(width)
+                     for index, (cell, width) in enumerate(zip(cells, widths)))
+
+
+def render_dashboard(snapshot: dict, title: str = "repro top") -> str:
+    """One dashboard frame as plain text (pure function of the snapshot)."""
+    totals = snapshot.get("totals") or {}
+    state = "DRAINING" if snapshot.get("draining") else "serving"
+    uptime = snapshot.get("uptime")
+    lines = [
+        f"{title} -- {state}"
+        + (f", up {uptime:.0f}s" if isinstance(uptime, (int, float)) else "")
+        + (f", workers {snapshot.get('workers_alive')}/"
+           f"{snapshot.get('workers')}" if snapshot.get("fleet") else ""),
+        f"jobs open {_fmt_count(totals.get('jobs_open'))}"
+        f"  known {_fmt_count(totals.get('jobs_known'))}"
+        f"  throughput {totals.get('throughput') if totals.get('throughput') is not None else '-'}/s",
+    ]
+
+    slo = snapshot.get("slo")
+    if slo is not None:
+        for entry in slo["objectives"]:
+            verdict = "OK" if entry.get("ok") else "BREACH"
+            latency = _fmt_latency(entry.get("latency"))
+            target = _fmt_latency(entry.get("latency_target"))
+            lines.append(
+                f"slo [{entry.get('route', '*')}] "
+                f"{entry.get('quantile_label', '?')} {latency}"
+                f" (target {target})"
+                f"  avail {_fmt_percent(entry.get('availability'))}%"
+                f" (floor {_fmt_percent(entry.get('availability_target'))}%)"
+                f"  burn {entry.get('error_budget_burn_rate', '-')}"
+                f"  {verdict}")
+    lines.append("")
+
+    table = [list(_ROW_COLUMNS)]
+    for row in snapshot.get("rows") or []:
+        table.append([
+            str(row["shard"]),
+            "up" if row["alive"] else "DOWN",
+            str(row["restarts"]),
+            _fmt_count(row["open"]),
+            "-" if row["qps"] is None else f"{row['qps']:.2f}",
+            _fmt_percent(row["hit_rate"]),
+            _fmt_latency(row["p50"]),
+            _fmt_latency(row["p95"]),
+            _fmt_latency(row["p99"]),
+            _fmt_count(row["requests"]),
+            _fmt_count(row["errors"]),
+        ])
+    widths = [max(len(line[index]) for line in table)
+              for index in range(len(_ROW_COLUMNS))]
+    lines.extend(_format_row(cells, widths) for cells in table)
+    return "\n".join(lines) + "\n"
+
+
+def run_top(client, interval: float = 2.0, iterations: int | None = None,
+            stream=None, clear: bool = True, clock=time.sleep) -> int:
+    """Poll ``client`` and repaint until interrupted; returns frames drawn.
+
+    ``client`` is anything with ``stats()`` and ``slo()`` methods (a
+    :class:`~repro.server.client.RoutingClient`).  ``iterations`` bounds
+    the loop for tests and one-shot captures (``repro top --once``); a
+    polling error renders as a banner and the loop keeps trying, so a
+    restarting fleet does not kill the dashboard.
+    """
+    stream = stream if stream is not None else sys.stdout
+    frames = 0
+    while iterations is None or frames < iterations:
+        try:
+            stats = client.stats()
+            try:
+                slo = client.slo()
+            except Exception:
+                slo = None
+            frame = render_dashboard(normalize_snapshot(stats, slo))
+        except KeyboardInterrupt:
+            break
+        except Exception as exc:
+            frame = f"repro top -- unreachable: {exc}\n"
+        if clear:
+            stream.write(CLEAR)
+        stream.write(frame)
+        stream.flush()
+        frames += 1
+        if iterations is not None and frames >= iterations:
+            break
+        try:
+            clock(interval)
+        except KeyboardInterrupt:
+            break
+    return frames

@@ -1,12 +1,20 @@
-"""Size-rotated JSONL persistence for finished traces.
+"""Size-rotated JSONL persistence for traces (and other record streams).
 
 ``repro serve --trace-dir DIR`` hands finished-job trace trees to a
 :class:`JsonlTraceWriter`.  Each trace is one JSON line appended to
 ``traces.jsonl``; when the active file would exceed ``max_bytes`` it is
-rotated to ``traces-<n>.jsonl`` (monotonically increasing ``n``) so
+rotated to ``traces.r<n>.jsonl`` (monotonically increasing ``n``) so
 production traces survive process restarts without unbounded growth of any
 single file.  Writes are locked and flushed line-at-a-time -- a crash loses
 at most the trace being written.
+
+Multi-process sharing mirrors :class:`repro.service.ResultCache`: a fleet of
+shard workers can point at *one* directory as long as each writer is
+constructed with a unique ``owner`` tag.  The tag becomes part of the
+active filename (``traces.shard-0.jsonl``) so concurrent writers never
+append to -- or rotate -- each other's files, and rotation goes through
+``os.replace`` so a half-rotated file can never be observed.
+:func:`read_traces` collects every writer's files, whoever wrote them.
 """
 
 from __future__ import annotations
@@ -16,50 +24,87 @@ import os
 import threading
 from pathlib import Path
 
-__all__ = ["JsonlTraceWriter", "read_traces"]
+__all__ = ["JsonlWriter", "JsonlTraceWriter", "read_jsonl", "read_traces"]
 
 
-class JsonlTraceWriter:
-    """Append trace trees as JSON lines, rotating the file by size."""
+def _split_rotation(name: str) -> tuple[str, int | None]:
+    """Split a suffix-less filename into (writer stem, rotation index)."""
+    base, dot, tail = name.rpartition(".")
+    if dot and tail.startswith("r") and tail[1:].isdigit():
+        return base, int(tail[1:])
+    return name, None
 
-    def __init__(self, directory: str | Path, filename: str = "traces.jsonl",
-                 max_bytes: int = 16 * 1024 * 1024) -> None:
+
+class JsonlWriter:
+    """Append JSON records to a size-rotated file, one line per record.
+
+    Parameters
+    ----------
+    directory:
+        Where the files live; created on demand.
+    filename:
+        Base filename.  The rotation and ownership decorations derive from
+        its stem/suffix split.
+    max_bytes:
+        Rotate the active file before a write would push it past this size.
+    owner:
+        Unique per-writer tag for shared directories (fleet workers pass
+        their shard id).  Without it the writer owns the bare ``filename``,
+        which is only safe when one process writes the directory.
+    """
+
+    def __init__(self, directory: str | Path, filename: str = "records.jsonl",
+                 max_bytes: int = 16 * 1024 * 1024,
+                 owner: str | None = None) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.filename = filename
         self.max_bytes = max_bytes
+        self.owner = str(owner) if owner is not None else None
+        if self.owner is not None and ("/" in self.owner or os.sep in self.owner):
+            raise ValueError("owner must not contain path separators")
         self._lock = threading.Lock()
         self.written = 0
         self.rotations = 0
 
     @property
+    def _stem_suffix(self) -> tuple[str, str]:
+        stem, suffix = os.path.splitext(self.filename)
+        if self.owner is not None:
+            stem = f"{stem}.{self.owner}"
+        return stem, suffix
+
+    @property
     def path(self) -> Path:
-        return self.directory / self.filename
+        stem, suffix = self._stem_suffix
+        return self.directory / f"{stem}{suffix}"
 
     # ------------------------------------------------------------- rotation
 
     def _next_rotation_index(self) -> int:
-        stem, suffix = os.path.splitext(self.filename)
+        stem, suffix = self._stem_suffix
         best = 0
-        for existing in self.directory.glob(f"{stem}-*{suffix}"):
-            tail = existing.stem[len(stem) + 1:]
-            if tail.isdigit():
-                best = max(best, int(tail))
+        for existing in self.directory.glob(f"{stem}.r*{suffix}"):
+            _, index = _split_rotation(existing.stem)
+            if index is not None:
+                best = max(best, index)
         return best + 1
 
     def _rotate(self) -> None:
-        stem, suffix = os.path.splitext(self.filename)
-        target = self.directory / f"{stem}-{self._next_rotation_index()}{suffix}"
-        self.path.rename(target)
+        stem, suffix = self._stem_suffix
+        target = (self.directory
+                  / f"{stem}.r{self._next_rotation_index()}{suffix}")
+        # os.replace is atomic on POSIX: readers either see the old name or
+        # the new one, never a vanished or half-moved file.
+        os.replace(self.path, target)
         self.rotations += 1
 
     # --------------------------------------------------------------- writes
 
-    def write(self, tree) -> Path:
-        """Append one trace (a :class:`~repro.obs.trace.Span` or dict)."""
-        payload = tree.to_dict() if hasattr(tree, "to_dict") else tree
+    def write_record(self, payload: dict) -> Path:
+        """Append one JSON-serialisable record as a single line."""
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         encoded = (line + "\n").encode("utf-8")
         with self._lock:
@@ -76,32 +121,66 @@ class JsonlTraceWriter:
         return self.path
 
     def files(self) -> list[Path]:
-        """Every trace file, rotated ones first, active file last."""
-        stem, suffix = os.path.splitext(self.filename)
-
-        def sort_key(path: Path) -> int:
-            tail = path.stem[len(stem) + 1:]
-            return int(tail) if tail.isdigit() else 0
-
-        rotated = sorted(self.directory.glob(f"{stem}-*{suffix}"),
-                         key=sort_key)
+        """This writer's files, rotated ones first, active file last."""
+        stem, suffix = self._stem_suffix
+        rotated: list[tuple[int, Path]] = []
+        for path in self.directory.glob(f"{stem}.r*{suffix}"):
+            base, index = _split_rotation(path.stem)
+            if base == stem and index is not None:
+                rotated.append((index, path))
         active = [self.path] if self.path.exists() else []
-        return rotated + active
+        return [path for _, path in sorted(rotated)] + active
+
+    @classmethod
+    def all_files(cls, directory: str | Path,
+                  filename: str = "records.jsonl") -> list[Path]:
+        """Every file any writer (any owner) left under ``directory``.
+
+        Files are grouped by writer (owner tag), each group ordered rotated
+        first, active last -- the same per-writer ordering :meth:`files`
+        reports.
+        """
+        directory = Path(directory)
+        if not directory.exists():
+            return []
+        stem, suffix = os.path.splitext(filename)
+        keyed: list[tuple[tuple, Path]] = []
+        for path in sorted(directory.glob(f"{stem}*{suffix}")):
+            group, index = _split_rotation(path.stem)
+            active = 1 if index is None else 0
+            keyed.append(((group, active, index or 0), path))
+        return [path for _, path in sorted(keyed)]
 
 
-def read_traces(directory: str | Path,
-                filename: str = "traces.jsonl") -> list[dict]:
-    """Load every trace tree a writer left under ``directory``, in order."""
-    writer_view = JsonlTraceWriter.__new__(JsonlTraceWriter)
-    writer_view.directory = Path(directory)
-    writer_view.filename = filename
-    traces: list[dict] = []
-    if not writer_view.directory.exists():
-        return traces
-    for path in writer_view.files():
+class JsonlTraceWriter(JsonlWriter):
+    """Append trace trees as JSON lines, rotating the file by size."""
+
+    def __init__(self, directory: str | Path, filename: str = "traces.jsonl",
+                 max_bytes: int = 16 * 1024 * 1024,
+                 owner: str | None = None) -> None:
+        super().__init__(directory, filename=filename, max_bytes=max_bytes,
+                         owner=owner)
+
+    def write(self, tree) -> Path:
+        """Append one trace (a :class:`~repro.obs.trace.Span` or dict)."""
+        payload = tree.to_dict() if hasattr(tree, "to_dict") else tree
+        return self.write_record(payload)
+
+
+def read_jsonl(directory: str | Path,
+               filename: str = "records.jsonl") -> list[dict]:
+    """Load every record every writer left under ``directory``."""
+    records: list[dict] = []
+    for path in JsonlWriter.all_files(directory, filename):
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if line:
-                    traces.append(json.loads(line))
-    return traces
+                    records.append(json.loads(line))
+    return records
+
+
+def read_traces(directory: str | Path,
+                filename: str = "traces.jsonl") -> list[dict]:
+    """Load every trace tree any writer left under ``directory``, in order."""
+    return read_jsonl(directory, filename)

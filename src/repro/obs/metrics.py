@@ -26,6 +26,7 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
     "format_value",
+    "quantile_from_counts",
     "render_families",
 ]
 
@@ -55,6 +56,39 @@ def format_value(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def quantile_from_counts(bounds: tuple[float, ...], counts: list[int],
+                         q: float) -> float | None:
+    """Estimate quantile ``q`` from per-bucket counts over fixed ``bounds``.
+
+    ``counts`` has ``len(bounds) + 1`` slots: one per finite bound plus the
+    overflow bucket.  The estimate interpolates linearly within the bucket
+    the target rank lands in (the Prometheus ``histogram_quantile``
+    convention), with the first bucket anchored at ``min(0, bounds[0])``.
+    Ranks landing in the overflow bucket clamp to the highest finite bound
+    -- there is no upper edge to interpolate toward.  Returns ``None`` when
+    the histogram is empty.
+
+    Shared by :meth:`Histogram.quantile`, the SLO tracker, and the ``repro
+    top`` dashboard, so every layer reports the same numbers for the same
+    buckets.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    running = 0.0
+    for index, bound in enumerate(bounds):
+        count = counts[index]
+        if count and running + count >= rank:
+            lower = bounds[index - 1] if index > 0 else min(0.0, bound)
+            fraction = (rank - running) / count
+            return lower + (bound - lower) * max(0.0, fraction)
+        running += count
+    return bounds[-1]
 
 
 def escape_label_value(value: str) -> str:
@@ -251,6 +285,25 @@ class Histogram(_Instrument):
         """Total observed value across every series."""
         with self._lock:
             return sum(series.sum for series in self._series.values())
+
+    def quantile(self, q: float, **labels) -> float | None:
+        """Estimate quantile ``q`` by interpolating within bucket bounds.
+
+        With labels, only that series is consulted; without, every series in
+        the family is merged first (the family shares one set of bounds, so
+        counts sum directly).  Returns ``None`` for an empty histogram.
+        """
+        with self._lock:
+            if labels:
+                series = self._series.get(_labels_key(labels))
+                counts = (list(series.counts) if series
+                          else [0] * (len(self.bounds) + 1))
+            else:
+                counts = [0] * (len(self.bounds) + 1)
+                for series in self._series.values():
+                    for index, count in enumerate(series.counts):
+                        counts[index] += count
+        return quantile_from_counts(self.bounds, counts, q)
 
     def snapshot(self, **labels) -> dict:
         """Cumulative bucket counts (keyed by ``le``) for one series."""

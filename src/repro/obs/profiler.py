@@ -1,0 +1,167 @@
+"""On-demand wall-clock sampling profiler over ``sys._current_frames``.
+
+A :class:`SamplingProfiler` runs a daemon thread that snapshots every other
+thread's Python stack at a fixed interval and aggregates the snapshots into
+collapsed stacks -- the ``outer;middle;leaf count`` text format flamegraph
+tooling consumes -- plus a self/total top-function table.  Attaching costs
+one thread and a few stack walks per interval, nothing when idle, and no
+interpreter instrumentation: it is safe to point at a *live, loaded*
+worker, which is exactly what ``POST /v1/admin/profile?seconds=N`` does.
+
+The profiler sees wall-clock time, not CPU time: a thread blocked in a
+lock or a ``select`` shows up in proportion to how long it sat there.  For
+this repository that is the right lens -- the question "where do my
+seconds go?" includes the time the pure-Python CDCL loops spend, and the
+answer names SAT-core frames like ``solver.propagate`` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["SamplingProfiler", "profile"]
+
+#: Hard ceiling on one profiling run, seconds (the admin endpoint clamps).
+MAX_PROFILE_SECONDS = 60.0
+#: Stack frames kept per sample (innermost); deeper stacks are truncated.
+MAX_DEPTH = 64
+
+
+def _frame_label(frame) -> str:
+    """``module.function`` for one frame (file stem, not the full path)."""
+    code = frame.f_code
+    return f"{Path(code.co_filename).stem}.{code.co_name}"
+
+
+class SamplingProfiler:
+    """Sample all thread stacks on an interval; aggregate collapsed stacks.
+
+    Use as a context manager or via :meth:`start` / :meth:`stop`::
+
+        with SamplingProfiler(interval=0.005) as profiler:
+            do_expensive_work()
+        print(profiler.collapsed_text())
+    """
+
+    def __init__(self, interval: float = 0.005) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+        self.samples = 0  # snapshot rounds taken
+        self.stacks_sampled = 0  # thread stacks aggregated
+        self._collapsed: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Thread idents never sampled: the sampler itself plus whoever
+        #: started it (their stacks would just show this module waiting).
+        self._excluded: set[int] = set()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        caller = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-profiler")
+        self._excluded = {caller}
+        self._thread.start()
+        self._excluded.add(self._thread.ident)
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- sampling
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            self.samples += 1
+            for ident, frame in frames.items():
+                if ident in self._excluded:
+                    continue
+                labels: list[str] = []
+                while frame is not None and len(labels) < MAX_DEPTH:
+                    labels.append(_frame_label(frame))
+                    frame = frame.f_back
+                if not labels:
+                    continue
+                stack = ";".join(reversed(labels))  # outermost first
+                self._collapsed[stack] = self._collapsed.get(stack, 0) + 1
+                self.stacks_sampled += 1
+
+    # --------------------------------------------------------------- queries
+
+    def collapsed(self) -> dict[str, int]:
+        """``outer;...;leaf`` -> sample count."""
+        with self._lock:
+            return dict(self._collapsed)
+
+    def collapsed_text(self) -> str:
+        """The ``flamegraph.pl`` input format, hottest stacks first."""
+        collapsed = self.collapsed()
+        return "\n".join(f"{stack} {count}" for stack, count
+                         in sorted(collapsed.items(),
+                                   key=lambda item: (-item[1], item[0])))
+
+    def top(self, limit: int = 15) -> list[dict]:
+        """Per-function sample counts: ``self`` (on top) and ``total``."""
+        self_counts: dict[str, int] = {}
+        total_counts: dict[str, int] = {}
+        for stack, count in self.collapsed().items():
+            labels = stack.split(";")
+            self_counts[labels[-1]] = self_counts.get(labels[-1], 0) + count
+            for label in set(labels):
+                total_counts[label] = total_counts.get(label, 0) + count
+        ranked = sorted(total_counts,
+                        key=lambda label: (-self_counts.get(label, 0),
+                                           -total_counts[label], label))
+        return [{"frame": label, "self": self_counts.get(label, 0),
+                 "total": total_counts[label]}
+                for label in ranked[:max(0, limit)]]
+
+    def report(self, seconds: float | None = None) -> dict:
+        """The JSON payload the profile endpoint returns."""
+        return {
+            "interval": self.interval,
+            "seconds": seconds,
+            "samples": self.samples,
+            "stacks_sampled": self.stacks_sampled,
+            "collapsed": self.collapsed(),
+            "collapsed_text": self.collapsed_text(),
+            "top": self.top(),
+        }
+
+
+def profile(seconds: float, interval: float = 0.005) -> dict:
+    """Profile every other thread for ``seconds``; returns the report dict.
+
+    Blocks the calling thread for the duration (run it in an executor when
+    serving), and never samples the calling thread itself.
+    """
+    seconds = min(max(0.05, float(seconds)), MAX_PROFILE_SECONDS)
+    profiler = SamplingProfiler(interval=interval)
+    with profiler:
+        time.sleep(seconds)
+    return profiler.report(seconds=seconds)

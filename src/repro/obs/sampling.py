@@ -1,0 +1,101 @@
+"""Tail-based trace sampling: keep every interesting trace, sample the rest.
+
+Head sampling (decide at trace start) throws away the traces an operator
+actually wants -- the 1-in-10k request that errored or blew its deadline.
+:class:`TailSampler` decides *after* the root span finishes, when the
+outcome is known:
+
+* traces whose root records an error, or whose status is ``error`` /
+  ``timeout``, are always kept (``error`` / ``deadline``);
+* traces at or over ``slow_threshold`` seconds are always kept (``slow``);
+* everything else -- the fast, boring majority -- is kept with probability
+  ``rate``, decided by hashing the trace id, so the choice is deterministic
+  per trace (both the in-memory store and the JSONL writer agree) and
+  reproducible in tests.
+
+This is what makes tracing safe at fleet request rates: the bounded trace
+store and the trace files fill with signal instead of being churned by
+identical sub-millisecond cache hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+__all__ = ["SamplingDecision", "TailSampler"]
+
+#: Root statuses that mark a trace as always-keep.
+_ERROR_STATUSES = {"error": "error", "timeout": "deadline"}
+
+
+@dataclass(frozen=True)
+class SamplingDecision:
+    """Keep/drop verdict for one finished trace, with the deciding reason."""
+
+    keep: bool
+    reason: str  # error | deadline | slow | sampled | unsampled
+
+    def __bool__(self) -> bool:
+        return self.keep
+
+
+class TailSampler:
+    """Decide which finished traces to retain (see module doc).
+
+    Parameters
+    ----------
+    rate:
+        Probability a fast, successful trace is kept (0 keeps none of them,
+        1 keeps all).  Errors, deadline overruns, and slow outliers are
+        kept regardless.
+    slow_threshold:
+        Root duration (seconds) at or over which a trace is an outlier
+        worth keeping unconditionally; ``None`` disables the slow rule.
+    """
+
+    def __init__(self, rate: float = 0.1,
+                 slow_threshold: float | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if slow_threshold is not None and slow_threshold < 0:
+            raise ValueError("slow_threshold must be non-negative")
+        self.rate = float(rate)
+        self.slow_threshold = slow_threshold
+        self._lock = threading.Lock()
+        #: Decisions by reason, for /metrics (repro_trace_sampled_total).
+        self.counts: dict[str, int] = {}
+
+    @staticmethod
+    def _hash_fraction(trace_id: str) -> float:
+        digest = hashlib.sha256(str(trace_id).encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def _classify(self, payload: dict) -> SamplingDecision:
+        attributes = payload.get("attributes") or {}
+        if attributes.get("error") is not None:
+            return SamplingDecision(True, "error")
+        status = attributes.get("status")
+        if status in _ERROR_STATUSES:
+            return SamplingDecision(True, _ERROR_STATUSES[status])
+        duration = payload.get("duration")
+        if duration is None:
+            # An unfinished root reaching the sampler is itself anomalous.
+            return SamplingDecision(True, "error")
+        if (self.slow_threshold is not None
+                and duration >= self.slow_threshold):
+            return SamplingDecision(True, "slow")
+        trace_id = payload.get("trace_id") or ""
+        if self._hash_fraction(trace_id) < self.rate:
+            return SamplingDecision(True, "sampled")
+        return SamplingDecision(False, "unsampled")
+
+    def decide(self, root) -> SamplingDecision:
+        """Classify a finished root span (a :class:`Span` or its dict form)."""
+        payload = root.to_dict() if hasattr(root, "to_dict") else root
+        decision = self._classify(payload)
+        with self._lock:
+            self.counts[decision.reason] = (
+                self.counts.get(decision.reason, 0) + 1)
+        return decision

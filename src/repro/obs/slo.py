@@ -1,0 +1,364 @@
+"""Rolling-window SLO tracking: latency quantiles, availability, burn rate.
+
+An :class:`SloObjective` declares what "healthy" means for a route (a router
+name, or ``"*"`` for all traffic): a latency quantile target (``p95 <=
+2s``) and an availability floor (``99%`` of requests succeed), evaluated
+over a rolling window.  An :class:`SloTracker` ingests one observation per
+finished request -- ``observe(route, seconds, ok)`` -- into fixed-bucket
+CDFs (the same bucket bounds as the metrics histograms, so every layer
+reports identical numbers), windowed as a ring of sub-window slots so old
+traffic ages out in O(1) without storing samples.
+
+The tracker answers three operator questions:
+
+* **latency** -- streaming quantiles via linear interpolation within
+  buckets (:func:`repro.obs.metrics.quantile_from_counts`);
+* **availability** -- the windowed success fraction;
+* **error-budget burn rate** -- the observed error rate divided by the
+  budgeted error rate ``1 - availability_target``.  Burn 1.0 spends the
+  budget exactly at the sustainable pace; 10.0 exhausts a 30-day budget in
+  3 days and should page someone.
+
+Snapshots (:meth:`SloTracker.status`) carry the raw windowed bucket counts,
+so a fleet dispatcher can :func:`merge_slo_statuses` across shards and
+report true fleet-wide quantiles rather than averaging shard averages.
+:func:`mirror_slo` projects any status payload onto ``repro_slo_*`` gauges
+for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from collections import deque
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    quantile_from_counts,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "SloObjective",
+    "SloTracker",
+    "merge_slo_statuses",
+    "mirror_slo",
+]
+
+#: Quantiles every status payload reports per route, besides each
+#: objective's own target quantile.
+_REPORTED_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective: latency quantile + availability for a route."""
+
+    #: Route the objective applies to: a router name, or ``"*"`` for all.
+    route: str = "*"
+    #: Latency quantile the target bounds (0 < q < 1).
+    quantile: float = 0.95
+    #: Seconds the quantile must stay at or under.
+    latency_target: float = 2.0
+    #: Fraction of requests that must succeed (0 < a < 1).
+    availability_target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.latency_target <= 0:
+            raise ValueError("latency_target must be positive")
+        if not 0.0 < self.availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+
+    @property
+    def quantile_label(self) -> str:
+        return f"p{self.quantile * 100:g}"
+
+    def to_dict(self) -> dict:
+        return {
+            "route": self.route,
+            "quantile": self.quantile,
+            "latency_target": self.latency_target,
+            "availability_target": self.availability_target,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "SloObjective":
+        if isinstance(payload, cls):
+            return payload
+        return cls(
+            route=str(payload.get("route", "*")),
+            quantile=float(payload.get("quantile", 0.95)),
+            latency_target=float(payload.get("latency_target", 2.0)),
+            availability_target=float(
+                payload.get("availability_target", 0.99)),
+        )
+
+
+#: The objective a tracker enforces when none are declared: p95 latency of
+#: all traffic within 2s, 99% availability.
+DEFAULT_OBJECTIVES = (SloObjective(),)
+
+
+@dataclass
+class _Slot:
+    """One sub-window of a route's rolling CDF."""
+
+    epoch: int
+    counts: list[int]
+    count: int = 0
+    errors: int = 0
+    sum: float = 0.0
+
+
+class _RouteWindow:
+    """Ring of sub-window slots holding one route's windowed CDF."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: deque[_Slot] = deque()
+
+    def expire(self, epoch: int, keep: int) -> None:
+        while self.slots and self.slots[0].epoch <= epoch - keep:
+            self.slots.popleft()
+
+    def slot(self, epoch: int, num_bounds: int) -> _Slot:
+        if not self.slots or self.slots[-1].epoch != epoch:
+            self.slots.append(_Slot(epoch, [0] * (num_bounds + 1)))
+        return self.slots[-1]
+
+
+class SloTracker:
+    """Windowed per-route latency CDFs + availability, evaluated vs objectives.
+
+    Parameters
+    ----------
+    objectives:
+        :class:`SloObjective` instances (or their dict form, as carried by a
+        picklable :class:`~repro.cluster.config.FleetConfig`).  Empty means
+        :data:`DEFAULT_OBJECTIVES`.
+    window:
+        Rolling window length, seconds.
+    slots:
+        Sub-windows the ring is divided into; expiry granularity is
+        ``window / slots``.
+    bounds:
+        CDF bucket bounds (seconds).  Keep the default so shard snapshots
+        merge and dashboards agree with the latency histograms.
+    """
+
+    def __init__(self, objectives=(), window: float = 300.0, slots: int = 12,
+                 bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+                 clock=time.monotonic) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if slots < 1:
+            raise ValueError("slots must be at least 1")
+        parsed = tuple(SloObjective.from_dict(obj) for obj in objectives)
+        self.objectives = parsed or DEFAULT_OBJECTIVES
+        self.window = float(window)
+        self.slots = int(slots)
+        self.bounds = tuple(float(b) for b in bounds)
+        self._slot_seconds = self.window / self.slots
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._routes: dict[str, _RouteWindow] = {}
+        self.observed = 0  # lifetime observations, for tests/telemetry
+
+    # ------------------------------------------------------------- recording
+
+    def observe(self, route: str, seconds: float, ok: bool = True) -> None:
+        """Record one finished request on ``route``."""
+        seconds = max(0.0, float(seconds))
+        epoch = int(self._clock() // self._slot_seconds)
+        with self._lock:
+            window = self._routes.get(route)
+            if window is None:
+                window = self._routes[route] = _RouteWindow()
+            window.expire(epoch, self.slots)
+            slot = window.slot(epoch, len(self.bounds))
+            slot.count += 1
+            slot.sum += seconds
+            if not ok:
+                slot.errors += 1
+            for index, bound in enumerate(self.bounds):
+                if seconds <= bound:
+                    slot.counts[index] += 1
+                    break
+            else:
+                slot.counts[-1] += 1
+            self.observed += 1
+
+    # --------------------------------------------------------------- queries
+
+    def _merged(self, route: str) -> tuple[list[int], int, int, float]:
+        """Windowed (counts, count, errors, sum) for a route; ``*`` = all."""
+        epoch = int(self._clock() // self._slot_seconds)
+        counts = [0] * (len(self.bounds) + 1)
+        count = errors = 0
+        total = 0.0
+        windows = (self._routes.values() if route == "*"
+                   else filter(None, [self._routes.get(route)]))
+        for window in windows:
+            window.expire(epoch, self.slots)
+            for slot in window.slots:
+                count += slot.count
+                errors += slot.errors
+                total += slot.sum
+                for index, value in enumerate(slot.counts):
+                    counts[index] += value
+        return counts, count, errors, total
+
+    def quantile(self, route: str, q: float) -> float | None:
+        with self._lock:
+            counts, _, _, _ = self._merged(route)
+        return quantile_from_counts(self.bounds, counts, q)
+
+    def availability(self, route: str = "*") -> float:
+        with self._lock:
+            _, count, errors, _ = self._merged(route)
+        return 1.0 if count == 0 else 1.0 - errors / count
+
+    def status(self) -> dict:
+        """The full evaluation payload served at ``/v1/slo``.
+
+        ``routes`` carries the raw windowed bucket counts so fleet
+        dispatchers can merge shard statuses into true fleet quantiles
+        (:func:`merge_slo_statuses`).
+        """
+        with self._lock:
+            routes: dict[str, dict] = {}
+            names = set(self._routes) | {"*"}
+            for name in names:
+                counts, count, errors, total = self._merged(name)
+                routes[name] = {"counts": counts, "count": count,
+                                "errors": errors, "sum": total}
+        return _evaluate(routes, self.bounds, self.window,
+                         [obj.to_dict() for obj in self.objectives])
+
+
+def _route_view(route_data: dict, bounds: tuple[float, ...]) -> dict:
+    """Per-route summary: quantiles + availability from windowed counts."""
+    counts = route_data["counts"]
+    count = int(route_data["count"])
+    errors = int(route_data["errors"])
+    view = {
+        "requests": count,
+        "errors": errors,
+        "availability": 1.0 if count == 0 else round(1.0 - errors / count, 6),
+        "mean": (round(route_data["sum"] / count, 6) if count else None),
+    }
+    for q in _REPORTED_QUANTILES:
+        value = quantile_from_counts(bounds, counts, q)
+        view[f"p{q * 100:g}"] = None if value is None else round(value, 6)
+    return view
+
+
+def _evaluate(routes: dict[str, dict], bounds: tuple[float, ...],
+              window: float, objectives: list[dict]) -> dict:
+    """Evaluate objective dicts against per-route windowed counts."""
+    empty = {"counts": [0] * (len(bounds) + 1), "count": 0, "errors": 0,
+             "sum": 0.0}
+    evaluated = []
+    for payload in objectives:
+        objective = SloObjective.from_dict(payload)
+        data = routes.get(objective.route, empty)
+        count = int(data["count"])
+        errors = int(data["errors"])
+        latency = quantile_from_counts(bounds, data["counts"],
+                                       objective.quantile)
+        availability = 1.0 if count == 0 else 1.0 - errors / count
+        error_rate = 0.0 if count == 0 else errors / count
+        burn_rate = error_rate / (1.0 - objective.availability_target)
+        latency_ok = latency is None or latency <= objective.latency_target
+        availability_ok = availability >= objective.availability_target
+        evaluated.append({
+            **objective.to_dict(),
+            "quantile_label": objective.quantile_label,
+            "latency": None if latency is None else round(latency, 6),
+            "latency_ok": latency_ok,
+            "availability": round(availability, 6),
+            "availability_ok": availability_ok,
+            "error_budget_burn_rate": round(burn_rate, 6),
+            "requests": count,
+            "errors": errors,
+            "ok": latency_ok and availability_ok,
+        })
+    return {
+        "window": window,
+        "bounds": list(bounds),
+        "objectives": evaluated,
+        "routes": {name: dict(data, **_route_view(data, bounds))
+                   for name, data in sorted(routes.items())},
+        "ok": all(entry["ok"] for entry in evaluated),
+    }
+
+
+def merge_slo_statuses(statuses: list[dict]) -> dict | None:
+    """Merge per-shard :meth:`SloTracker.status` payloads into a fleet view.
+
+    Bucket counts sum route-by-route (every tracker uses the same fixed
+    bounds), so the merged quantiles are the *true* fleet quantiles -- not
+    an average of shard quantiles, which would be meaningless.  Objectives
+    are taken from the first status (every shard is built from the same
+    :class:`FleetConfig`, so they agree).  Returns ``None`` when no status
+    is usable.
+    """
+    usable = [status for status in statuses
+              if isinstance(status, dict) and "routes" in status]
+    if not usable:
+        return None
+    bounds = tuple(usable[0].get("bounds", DEFAULT_SECONDS_BUCKETS))
+    window = float(usable[0].get("window", 300.0))
+    objectives = [dict(entry) for entry in usable[0].get("objectives", [])]
+    merged: dict[str, dict] = {}
+    for status in usable:
+        for name, data in status.get("routes", {}).items():
+            counts = data.get("counts")
+            if counts is None or len(counts) != len(bounds) + 1:
+                continue
+            into = merged.setdefault(
+                name, {"counts": [0] * (len(bounds) + 1), "count": 0,
+                       "errors": 0, "sum": 0.0})
+            into["count"] += int(data.get("count", 0))
+            into["errors"] += int(data.get("errors", 0))
+            into["sum"] += float(data.get("sum", 0.0))
+            for index, value in enumerate(counts):
+                into["counts"][index] += int(value)
+    return _evaluate(merged, bounds, window, objectives)
+
+
+def mirror_slo(registry: MetricsRegistry, status: dict,
+               prefix: str = "repro_slo") -> None:
+    """Project a status payload onto ``<prefix>_*`` gauges at scrape time."""
+    latency = registry.gauge(
+        f"{prefix}_latency_seconds",
+        "Windowed latency quantile observed per route")
+    target = registry.gauge(
+        f"{prefix}_latency_target_seconds",
+        "Declared latency objective per route")
+    availability = registry.gauge(
+        f"{prefix}_availability",
+        "Windowed success fraction per route")
+    burn = registry.gauge(
+        f"{prefix}_error_budget_burn_rate",
+        "Observed error rate over the budgeted error rate; >1 overspends")
+    ok = registry.gauge(
+        f"{prefix}_ok",
+        "Whether each declared objective currently holds")
+    requests = registry.gauge(
+        f"{prefix}_window_requests",
+        "Requests observed in the rolling window per route")
+    for entry in status.get("objectives", []):
+        labels = {"route": entry["route"], "quantile": entry["quantile_label"]}
+        if entry.get("latency") is not None:
+            latency.set(entry["latency"], **labels)
+        target.set(entry["latency_target"], **labels)
+        availability.set(entry["availability"], route=entry["route"])
+        burn.set(entry["error_budget_burn_rate"], route=entry["route"])
+        ok.set(int(entry["ok"]), route=entry["route"])
+        requests.set(entry["requests"], route=entry["route"])

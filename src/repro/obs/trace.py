@@ -204,6 +204,18 @@ class Tracer:
         with self._lock:
             return self._traces.get(trace_id)
 
+    def discard(self, trace_id: str) -> bool:
+        """Drop a stored root (tail sampling evicts unsampled traces)."""
+        with self._lock:
+            if trace_id not in self._traces:
+                return False
+            del self._traces[trace_id]
+            try:
+                self._order.remove(trace_id)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            return True
+
     def traces(self) -> list[Span]:
         """Stored roots, oldest first."""
         with self._lock:
@@ -475,13 +487,28 @@ def _format_value(value) -> str:
     return str(value)
 
 
-def render_trace(tree: "Span | dict", indent: str = "  ") -> str:
-    """Human-readable indented tree with durations and key attributes."""
+def render_trace(tree: "Span | dict", indent: str = "  ",
+                 slow_threshold: float | None = None) -> str:
+    """Human-readable indented tree with durations and key attributes.
+
+    Each finished span also shows its share of the root's duration, so the
+    bottleneck stage is visible without manual division.  With a
+    ``slow_threshold`` (seconds), spans at or over it are flagged ``!slow``
+    -- ``repro trace --slow-ms`` drives this.
+    """
+    root = _as_dict(tree)
+    root_duration = root.get("duration") or 0.0
     lines: list[str] = []
 
     def visit(payload: dict, depth: int) -> None:
         duration = payload.get("duration")
-        timing = f"{duration * 1000.0:10.3f} ms" if duration is not None else "      open"
+        if duration is not None:
+            timing = f"{duration * 1000.0:10.3f} ms"
+            share = (f"{100.0 * duration / root_duration:5.1f}%"
+                     if root_duration > 0 else "     -")
+        else:
+            timing = "      open"
+            share = "     -"
         attrs = payload.get("attributes") or {}
         shown = [f"{key}={_format_value(attrs[key])}"
                  for key in _RENDER_ATTRS if key in attrs]
@@ -489,12 +516,16 @@ def render_trace(tree: "Span | dict", indent: str = "  ") -> str:
                  for key, value in sorted(attrs.items())
                  if key not in _RENDER_ATTRS]
         detail = " ".join(shown + extra)
-        lines.append(f"{timing}  {indent * depth}{payload.get('name', '?')}"
-                     + (f"  [{detail}]" if detail else ""))
+        line = (f"{timing} {share}  {indent * depth}{payload.get('name', '?')}"
+                + (f"  [{detail}]" if detail else ""))
+        if (slow_threshold is not None and duration is not None
+                and duration >= slow_threshold):
+            line += "  !slow"
+        lines.append(line)
         for child in payload.get("children", []):
             visit(child, depth + 1)
 
-    visit(_as_dict(tree), 0)
+    visit(root, 0)
     return "\n".join(lines)
 
 

@@ -22,8 +22,11 @@ GET         ``/v1/jobs/<id>/trace``    the job's span tree + rendered form
 GET         ``/v1/routers``            registry listing (``?capability=`` filter)
 GET         ``/v1/devices``            device catalogue + addressable arch names
 GET         ``/v1/stats``              JSON counters (telemetry/cache/admission)
+GET         ``/v1/slo``                rolling-window SLO evaluation + burn rate
+GET         ``/v1/events``             structured event tail (``?level=&limit=``)
 GET         ``/metrics``               Prometheus-style text metrics
 POST        ``/v1/admin/drain``        begin graceful shutdown
+POST        ``/v1/admin/profile``      sample all stacks for ``?seconds=N``
 ==========  =========================  ==========================================
 
 Execution model: submissions land in an asyncio queue; a single dispatcher
@@ -55,7 +58,11 @@ from repro.api.registry import describe_routers
 from repro.core.result import RoutingResult
 from repro.hardware.devices import device_records, named_architectures
 from repro.obs import render_trace
+from repro.obs import profiler as obs_profiler
+from repro.obs.events import EventLog, LEVELS
 from repro.obs.export import JsonlTraceWriter
+from repro.obs.sampling import TailSampler
+from repro.obs.slo import SloTracker, mirror_slo
 from repro.server import http, protocol
 from repro.server.admission import AdmissionController
 from repro.service import BatchRoutingService
@@ -135,6 +142,27 @@ class RoutingGateway:
         When set, every finished job's trace tree is appended as JSONL
         under this directory (size-rotated files), so production traces
         survive process restarts.
+    trace_owner:
+        Per-writer tag for shared ``trace_dir``/``events_dir`` directories
+        (fleet workers pass ``shard-N``); also stamps this gateway's
+        events.  ``None`` is fine for a single process.
+    slo:
+        SLO tracking: an :class:`~repro.obs.slo.SloTracker`, a sequence of
+        :class:`~repro.obs.slo.SloObjective` (or their dict form) to build
+        one from, ``None`` for a tracker with the default objective, or
+        ``False`` to disable ``/v1/slo``.
+    sampler:
+        A :class:`~repro.obs.sampling.TailSampler` deciding which finished
+        traces are retained (store + JSONL).  ``None`` keeps every trace.
+    event_log:
+        The structured :class:`~repro.obs.events.EventLog`; created from
+        ``events_dir``/``trace_owner`` when omitted.  The gateway attaches
+        it to the service so telemetry-level events (failures, fallbacks,
+        cache churn) land in the same stream as admission and lifecycle
+        events.
+    events_dir:
+        Directory for the event log's rotating JSONL sink (``None`` keeps
+        events in memory only); ignored when ``event_log`` is supplied.
     """
 
     def __init__(self, service: BatchRoutingService | None = None,
@@ -145,7 +173,10 @@ class RoutingGateway:
                  long_poll_cap: float = 30.0,
                  max_records: int = 4096,
                  architectures: dict | None = None,
-                 trace_dir=None) -> None:
+                 trace_dir=None, trace_owner: str | None = None,
+                 slo=None, sampler: TailSampler | None = None,
+                 event_log: EventLog | None = None,
+                 events_dir=None) -> None:
         self.service = service if service is not None else BatchRoutingService()
         self._owns_service = service is None
         self.host = host
@@ -161,8 +192,19 @@ class RoutingGateway:
         #: the same trees the gateway's root spans live in.  ``None`` when
         #: the service was built with ``tracer=False``.
         self.tracer = self.service.tracer
-        self._trace_writer = (JsonlTraceWriter(trace_dir)
+        self._trace_writer = (JsonlTraceWriter(trace_dir, owner=trace_owner)
                               if trace_dir is not None else None)
+        if isinstance(slo, SloTracker):
+            self.slo: SloTracker | None = slo
+        elif slo is False:
+            self.slo = None
+        else:
+            self.slo = SloTracker(objectives=slo or ())
+        self.sampler = sampler
+        self.event_log = (event_log if event_log is not None
+                          else EventLog(directory=events_dir,
+                                        owner=trace_owner))
+        self.service.attach_event_log(self.event_log)
         #: One registry backs /metrics: the telemetry histograms are already
         #: on it, and every gateway family is mirrored into it at scrape time.
         self.metrics = self.service.telemetry.metrics
@@ -216,6 +258,8 @@ class RoutingGateway:
         if self._draining:
             return
         self._draining = True
+        self.event_log.emit("drain-initiated", level="warning",
+                            jobs_open=self._open_jobs)
         self._queue.put_nowait(None)  # wake the dispatcher
 
     async def wait_closed(self) -> None:
@@ -281,6 +325,16 @@ class RoutingGateway:
             self.counters["failed"] += 1
         elapsed = record.finished_at - record.submitted_at
         self._gateway_seconds.observe(elapsed)
+        ok = error is None and result is not None and result.solved
+        if self.slo is not None:
+            self.slo.observe(record.job.router, elapsed, ok=ok)
+        if error is not None:
+            # Service-level failures already flow through telemetry into the
+            # event log; a batch-level crash never reaches telemetry, so the
+            # gateway narrates it itself.
+            self.event_log.emit("job-error", level="error",
+                                job_id=record.job_id,
+                                job_name=record.job.name, error=error)
         if self.tracer is not None and record.trace_id is not None:
             root = self.tracer.get(record.trace_id)
             if root is not None:
@@ -291,7 +345,11 @@ class RoutingGateway:
                 if error is not None:
                     attrs["error"] = error
                 root.finish(**attrs)
-                if self._trace_writer is not None:
+                keep = (self.sampler is None
+                        or self.sampler.decide(root).keep)
+                if not keep:
+                    self.tracer.discard(root.trace_id)
+                if keep and self._trace_writer is not None:
                     self._trace_writer.write(root)
         record.done.set()
         self._prune_records()
@@ -320,6 +378,10 @@ class RoutingGateway:
             return 503, protocol.error_payload("server is draining"), {}
         decision = self.admission.admit(client_id, pending=self._open_jobs)
         if not decision:
+            self.event_log.emit("admission-rejected", level="warning",
+                                client=client_id, reason=decision.reason,
+                                retry_after=round(decision.retry_after, 3),
+                                pending=self._open_jobs)
             body = protocol.error_payload(
                 f"over quota ({decision.reason})", reason=decision.reason,
                 retry_after=decision.retry_after)
@@ -441,7 +503,47 @@ class RoutingGateway:
         }
         if self.service.cache is not None:
             stats["cache"] = self.service.cache.stats()
+        stats["events"] = self.event_log.counts_by_level()
         return stats
+
+    def _slo_payload(self) -> tuple[int, dict, dict]:
+        if self.slo is None:
+            return 404, protocol.error_payload(
+                "SLO tracking is disabled on this server"), {}
+        return 200, protocol.envelope(self.slo.status()), {}
+
+    def _events_payload(self, query: dict) -> tuple[int, dict, dict]:
+        limit = int(protocol.numeric_param(query, "limit", 50,
+                                           minimum=1, maximum=1000))
+        level = query.get("level") or None
+        if level is not None and level not in LEVELS:
+            raise protocol.ProtocolError(
+                f"unknown level {level!r}; pick one of {sorted(LEVELS)}")
+        events = self.event_log.tail(limit=limit, level=level,
+                                     event=query.get("event") or None)
+        return 200, protocol.envelope(
+            events=events, counts=self.event_log.counts_by_level(),
+            dropped=self.event_log.dropped), {}
+
+    async def _profile(self, query: dict) -> tuple[int, dict, dict]:
+        """``POST /v1/admin/profile?seconds=N``: sample every thread's stack.
+
+        The profiler blocks for the sampling window, so it runs on an
+        executor thread; the event loop keeps serving.  The loaded worker
+        threads it observes are exactly the ones solving, so the collapsed
+        stacks name SAT-core frames directly.
+        """
+        seconds = protocol.numeric_param(
+            query, "seconds", 1.0, minimum=0.05,
+            maximum=obs_profiler.MAX_PROFILE_SECONDS)
+        interval = protocol.numeric_param(query, "interval", 0.005,
+                                          minimum=0.001, maximum=0.1)
+        self.event_log.emit("profile-start", seconds=seconds,
+                            interval=interval)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: obs_profiler.profile(seconds, interval=interval))
+        return 200, protocol.envelope(report), {}
 
     _COUNTER_HELP = {
         "requests": "HTTP requests handled",
@@ -513,6 +615,19 @@ class RoutingGateway:
             registry.gauge("repro_cache_bytes",
                            "Bytes currently cached").set(
                 int(cache["total_bytes"]))
+        if self.slo is not None:
+            mirror_slo(registry, self.slo.status())
+        if self.sampler is not None:
+            sampled = registry.counter(
+                "repro_trace_sampled_total",
+                "Tail-sampling decisions on finished traces, by reason")
+            for reason, count in sorted(dict(self.sampler.counts).items()):
+                sampled.set_total(count, reason=reason)
+        emitted = registry.counter(
+            "repro_events_total",
+            "Structured operational events emitted, by level")
+        for level, count in sorted(self.event_log.counts_by_level().items()):
+            emitted.set_total(count, level=level)
         return registry.render(first=("repro_server_info",))
 
     # ------------------------------------------------------------ HTTP layer
@@ -605,6 +720,12 @@ class RoutingGateway:
                 architectures=sorted(self.architectures)), {}
         if path == "/v1/stats" and method == "GET":
             return 200, protocol.envelope(self._stats_payload()), {}
+        if path == "/v1/slo" and method == "GET":
+            return self._slo_payload()
+        if path == "/v1/events" and method == "GET":
+            return self._events_payload(query)
+        if path == "/v1/admin/profile" and method == "POST":
+            return await self._profile(query)
         if path == "/v1/jobs" and method == "POST":
             return await self._submit(headers, self._json_body(body), peer)
         if path == "/v1/jobs" and method == "GET":

@@ -230,6 +230,42 @@ class RoutingClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def slo(self) -> dict:
+        """The rolling-window SLO evaluation from ``/v1/slo``.
+
+        A gateway answers its own status; a dispatcher answers
+        ``{"fleet": <merged>, "shards": {...}}``.
+        """
+        return self._request("GET", "/v1/slo")
+
+    def events(self, limit: int = 50, level: str | None = None,
+               event: str | None = None) -> dict:
+        """Tail the structured event log (``events`` + per-level counts)."""
+        params = {"limit": str(int(limit))}
+        if level is not None:
+            params["level"] = level
+        if event is not None:
+            params["event"] = event
+        return self._request(
+            "GET", "/v1/events?" + urllib.parse.urlencode(params))
+
+    def profile(self, seconds: float = 1.0, shard: int | None = None,
+                interval: float | None = None) -> dict:
+        """Run the sampling profiler for ``seconds``; returns the report.
+
+        Against a dispatcher, ``shard`` profiles one worker; ``None``
+        profiles the whole fleet (dispatcher plus every live shard).
+        The call blocks for the sampling window plus transit.
+        """
+        params = {"seconds": f"{float(seconds):g}"}
+        if interval is not None:
+            params["interval"] = f"{float(interval):g}"
+        if shard is not None:
+            params["shard"] = str(int(shard))
+        return self._request(
+            "POST", "/v1/admin/profile?" + urllib.parse.urlencode(params),
+            timeout=max(self.timeout, float(seconds) + 30.0))
+
     def metrics_text(self) -> str:
         """The raw Prometheus text of ``/metrics``."""
         return self._request("GET", "/metrics")

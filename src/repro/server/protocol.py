@@ -91,6 +91,32 @@ def error_payload(message: str, **extra: Any) -> dict:
     return envelope(error=message, **extra)
 
 
+def numeric_param(query: Mapping, name: str, default: float,
+                  minimum: float | None = None,
+                  maximum: float | None = None) -> float:
+    """Parse an optional numeric query parameter, clamping to the bounds.
+
+    Shared by the admin/introspection endpoints (``?seconds=``,
+    ``?limit=``, ``?wait=``-style knobs): a missing value yields
+    ``default``, a non-numeric one is a :class:`ProtocolError`, and values
+    outside ``[minimum, maximum]`` are clamped rather than rejected so
+    operators cannot request an unbounded profile or event dump.
+    """
+    raw = query.get(name)
+    if raw is None or raw == "":
+        value = float(default)
+    else:
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"{name} must be a number") from None
+    if minimum is not None:
+        value = max(minimum, value)
+    if maximum is not None:
+        value = min(maximum, value)
+    return value
+
+
 # --------------------------------------------------------------- submissions
 
 

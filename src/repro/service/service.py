@@ -30,6 +30,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.core.result import RoutingResult
 from repro.hardware.architecture import Architecture
 from repro.obs import trace as obs_trace
+from repro.obs.events import EventLog
 from repro.obs.export import JsonlTraceWriter
 from repro.service.cache import ResultCache
 from repro.service.jobs import RoutingJob
@@ -75,7 +76,21 @@ class BatchRoutingService:
     trace_dir:
         When set, every finished trace tree the service owns is appended as
         JSONL under this directory (size-rotated files).
+    event_log:
+        An :class:`~repro.obs.events.EventLog` that receives structured
+        operational events (job failures, fallbacks, cache evictions and
+        rejections) forwarded from telemetry.  ``None`` disables
+        forwarding; the gateway passes its own log so service-level events
+        land next to admission and lifecycle events.
     """
+
+    #: Telemetry kinds that become operational events, with their severity.
+    _EVENT_SEVERITY = {
+        "failed": ("job-failed", "error"),
+        "fallback": ("solver-fallback", "warning"),
+        "cache-evict": ("cache-evict", "warning"),
+        "cache-reject": ("cache-reject", "warning"),
+    }
 
     def __init__(
         self,
@@ -90,6 +105,7 @@ class BatchRoutingService:
         fallback: bool = True,
         tracer: obs_trace.Tracer | bool | None = None,
         trace_dir: str | Path | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         if time_budget <= 0:
             raise ValueError("time_budget must be positive")
@@ -122,9 +138,33 @@ class BatchRoutingService:
             self.tracer = tracer
         self._trace_writer = (JsonlTraceWriter(trace_dir)
                               if trace_dir is not None else None)
+        self.event_log: EventLog | None = None
+        self.attach_event_log(event_log)
         self._max_workers = max_workers
         self._mode = mode
         self._pool: WorkerPool | None = None
+
+    def attach_event_log(self, event_log: EventLog | None) -> None:
+        """Start forwarding notable telemetry kinds into ``event_log``.
+
+        Idempotent-by-intent: the first attached log wins (the gateway
+        attaches its own log to a service built without one).
+        """
+        if event_log is None or self.event_log is not None:
+            return
+        self.event_log = event_log
+        self.telemetry.subscribe(self._forward_event)
+
+    def _forward_event(self, event) -> None:
+        """Telemetry subscriber: project notable kinds into the event log."""
+        mapped = self._EVENT_SEVERITY.get(event.kind)
+        if mapped is None or self.event_log is None:
+            return
+        name, level = mapped
+        fields = {key: value for key, value in event.detail.items()
+                  if key not in ("event", "level")}
+        self.event_log.emit(name, level=level, job_key=event.job_key,
+                            job_name=event.job_name, **fields)
 
     # ----------------------------------------------------------- lifecycle
 

@@ -1,0 +1,176 @@
+"""Observability under churn: scrapes stay clean while workers die and
+restart, fleet counters never regress, and /v1/slo keeps answering."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.obs import check_exposition, parse_exposition
+from repro.server import RoutingClient
+
+ARCH = "tokyo6"
+ROUTER = "sabre:seed=0"
+
+
+def counter_samples(text: str) -> dict[tuple, float]:
+    """Every ``repro_fleet_*_total`` sample keyed by (name, labels)."""
+    samples: dict[tuple, float] = {}
+    for family in parse_exposition(text).values():
+        for sample in family.samples:
+            if (sample.name.startswith("repro_fleet_")
+                    and sample.name.endswith("_total")):
+                key = (sample.name, tuple(sorted(sample.labels.items())))
+                samples[key] = sample.value
+    return samples
+
+
+def kill_shard(client: RoutingClient, shard: int) -> dict:
+    victim = next(worker for worker
+                  in client.cluster()["fleet"]["worker_detail"]
+                  if worker["shard"] == shard)
+    os.kill(victim["pid"], signal.SIGKILL)
+    return victim
+
+
+def wait_for_restart(client: RoutingClient, shard: int, old_pid: int,
+                     timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        workers = {worker["shard"]: worker for worker
+                   in client.cluster()["fleet"]["worker_detail"]}
+        candidate = workers[shard]
+        if candidate["alive"] and candidate["pid"] != old_pid:
+            return
+        time.sleep(0.2)
+    raise AssertionError(f"shard {shard} was not restarted")  # pragma: no cover
+
+
+class TestChurnMetrics:
+    def test_scrapes_stay_clean_and_counters_monotone_across_a_kill(
+            self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="churn",
+                               retry_quota=4)
+        ticket = client.submit(random_circuit(4, 6, seed=11, name="churn"),
+                               architecture=ARCH, router=ROUTER)
+        client.wait(ticket["job_id"], timeout=60)
+
+        text = client.metrics_text()
+        assert check_exposition(text) == []
+        seen = counter_samples(text)
+        assert any(key[0] == "repro_fleet_requests_total" for key in seen)
+
+        victim = kill_shard(client, 1)
+
+        # Scrape straight through the death/restart window: every exposition
+        # must stay well-formed, and no mirrored counter may ever regress --
+        # the dispatcher folds the reborn worker's reset counters onto the
+        # old totals instead of letting Prometheus see a reset.
+        deadline = time.monotonic() + 30.0
+        restarted = False
+        while time.monotonic() < deadline:
+            text = client.metrics_text()
+            assert check_exposition(text) == []
+            now = counter_samples(text)
+            for key, value in now.items():
+                if key in seen:
+                    assert value >= seen[key], \
+                        f"{key} regressed {seen[key]} -> {value}"
+            seen.update(now)
+            workers = {worker["shard"]: worker for worker
+                       in client.cluster()["fleet"]["worker_detail"]}
+            if workers[1]["alive"] and workers[1]["pid"] != victim["pid"]:
+                restarted = True
+                break
+            time.sleep(0.2)
+        assert restarted, "worker was not restarted"
+
+        # Work after the restart keeps counting upward from the fold.
+        again = client.submit(random_circuit(4, 6, seed=12, name="churn2"),
+                              architecture=ARCH, router=ROUTER)
+        client.wait(again["job_id"], timeout=60)
+        final = counter_samples(client.metrics_text())
+        for key, value in final.items():
+            if key in seen:
+                assert value >= seen[key]
+
+    def test_fleet_slo_merges_shards_and_survives_churn(self, fleet_factory):
+        fleet = fleet_factory(
+            workers=2,
+            slos=({"route": "*", "quantile": 0.95, "latency_target": 30.0,
+                   "availability_target": 0.9},))
+        client = RoutingClient(port=fleet.port, client_id="slo",
+                               retry_quota=4)
+        for seed in (21, 22):
+            ticket = client.submit(random_circuit(4, 6, seed=seed,
+                                                  name=f"slo-{seed}"),
+                                   architecture=ARCH, router=ROUTER)
+            client.wait(ticket["job_id"], timeout=60)
+
+        payload = client.slo()
+        assert set(payload["shards"]) == {"0", "1"}
+        fleet_status = payload["fleet"]
+        assert fleet_status["routes"]["*"]["requests"] == 2
+        assert fleet_status["objectives"][0]["latency_target"] == 30.0
+        text = client.metrics_text()
+        assert 'repro_slo_latency_target_seconds{route="*",quantile="p95"} 30' \
+            in text
+        assert check_exposition(text) == []
+
+        victim = kill_shard(client, 1)
+        # Mid-churn the endpoint still answers: the dead shard reports None
+        # and the merged view is built from whoever responded.
+        payload = client.slo()
+        assert "fleet" in payload
+        wait_for_restart(client, 1, victim["pid"])
+        assert client.slo()["fleet"] is not None
+
+    def test_restart_is_recorded_in_dispatcher_events(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="events",
+                               retry_quota=4)
+        victim = kill_shard(client, 0)
+        wait_for_restart(client, 0, victim["pid"])
+        # The event lands just after the restart completes; poll briefly.
+        deadline = time.monotonic() + 10.0
+        restart_events: list[dict] = []
+        while time.monotonic() < deadline and not restart_events:
+            events = client.events(level="warning")["events"]
+            restart_events = [e for e in events
+                              if e["event"] == "worker-restart"]
+            if not restart_events:
+                time.sleep(0.1)
+        assert restart_events and restart_events[0]["shard"] == 0
+        assert client.stats()["fleet"]["events"]["warning"] >= 1
+
+
+class TestFleetProfile:
+    def test_profile_fans_out_to_every_shard(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="prof")
+        payload = client.profile(seconds=0.1)
+        assert payload["dispatcher"]["samples"] >= 0
+        assert set(payload["shards"]) == {"0", "1"}
+        for report in payload["shards"].values():
+            assert report is not None and "collapsed" in report
+
+    def test_profile_proxies_to_one_shard(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="prof")
+        payload = client.profile(seconds=0.1, shard=1)
+        assert payload["shard"] == 1
+        assert "collapsed_text" in payload
+
+    def test_unknown_shard_404s(self, fleet_factory):
+        from repro.server import ServerError
+
+        fleet = fleet_factory(workers=2)
+        client = RoutingClient(port=fleet.port, client_id="prof")
+        with pytest.raises(ServerError) as excinfo:
+            client.profile(seconds=0.1, shard=9)
+        assert excinfo.value.status == 404

@@ -1,0 +1,135 @@
+"""The ``repro top`` dashboard: snapshot folding, rendering, the poll loop."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import SloTracker, normalize_snapshot, render_dashboard, run_top
+from repro.obs.dashboard import CLEAR
+
+
+def gateway_stats(**overrides) -> dict:
+    stats = {"uptime": 12.0, "draining": False, "jobs_open": 2,
+             "jobs_known": 9, "throughput": 1.5,
+             "cache": {"hit_rate": 0.5}}
+    stats.update(overrides)
+    return stats
+
+
+def slo_status(seconds: float = 0.1, ok: bool = True) -> dict:
+    tracker = SloTracker(clock=lambda: 0.0)
+    tracker.observe("satmap", seconds, ok=ok)
+    return tracker.status()
+
+
+def fleet_stats() -> dict:
+    return {
+        "fleet": {"uptime": 30.0, "draining": False, "workers": 2,
+                  "workers_alive": 1,
+                  "worker_detail": [
+                      {"shard": 0, "alive": True, "restarts": 0},
+                      {"shard": 1, "alive": False, "restarts": 3}]},
+        "totals": {"jobs_open": 4, "jobs_known": 11, "throughput": 2.5},
+        "shards": {"0": gateway_stats(), "1": None},
+    }
+
+
+class TestNormalizeSnapshot:
+    def test_gateway_shape_becomes_one_row(self):
+        snapshot = normalize_snapshot(gateway_stats(), slo_status())
+        assert snapshot["fleet"] is False
+        assert snapshot["workers"] == snapshot["workers_alive"] == 1
+        assert snapshot["totals"]["jobs_open"] == 2
+        (row,) = snapshot["rows"]
+        assert row["shard"] == "-"
+        assert row["hit_rate"] == 0.5
+        assert row["requests"] == 1
+
+    def test_fleet_shape_yields_a_row_per_shard(self):
+        slo = {"fleet": slo_status(), "shards": {"0": slo_status(),
+                                                 "1": None}}
+        snapshot = normalize_snapshot(fleet_stats(), slo)
+        assert snapshot["fleet"] is True
+        assert snapshot["workers_alive"] == 1
+        assert [row["shard"] for row in snapshot["rows"]] == ["0", "1"]
+        dead = snapshot["rows"][1]
+        assert dead["alive"] is False and dead["restarts"] == 3
+        assert dead["p95"] is None  # unreachable shard: dashes, not a crash
+
+    def test_missing_slo_payload_is_tolerated(self):
+        snapshot = normalize_snapshot(gateway_stats(), None)
+        assert snapshot["slo"] is None
+        assert snapshot["rows"][0]["p95"] is None
+
+
+class TestRenderDashboard:
+    def test_frame_shows_state_totals_slo_and_table(self):
+        frame = render_dashboard(
+            normalize_snapshot(gateway_stats(), slo_status()))
+        assert frame.startswith("repro top -- serving, up 12s")
+        assert "jobs open 2  known 9  throughput 1.5/s" in frame
+        assert "slo [*] p95" in frame and "OK" in frame
+        assert "shard" in frame and "hit%" in frame
+
+    def test_breaching_objective_renders_breach(self):
+        frame = render_dashboard(
+            normalize_snapshot(gateway_stats(), slo_status(ok=False)))
+        assert "BREACH" in frame
+
+    def test_draining_fleet_renders_worker_counts_and_down_rows(self):
+        frame = render_dashboard(normalize_snapshot(
+            dict(fleet_stats(), fleet=dict(fleet_stats()["fleet"],
+                                           draining=True)), None))
+        assert "DRAINING" in frame
+        assert "workers 1/2" in frame
+        assert "DOWN" in frame
+
+
+class FakeClient:
+    def __init__(self, stats, slo=None, fail=False):
+        self._stats = stats
+        self._slo = slo
+        self.fail = fail
+
+    def stats(self):
+        if self.fail:
+            raise ConnectionError("gateway down")
+        return self._stats
+
+    def slo(self):
+        if self._slo is None:
+            raise ConnectionError("no slo endpoint")
+        return self._slo
+
+
+class TestRunTop:
+    def test_draws_the_requested_frames_and_sleeps_between(self):
+        stream = io.StringIO()
+        sleeps = []
+        frames = run_top(FakeClient(gateway_stats(), slo_status()),
+                         interval=0.5, iterations=3, stream=stream,
+                         clock=sleeps.append)
+        assert frames == 3
+        assert sleeps == [0.5, 0.5]  # no sleep after the final frame
+        assert stream.getvalue().count(CLEAR) == 3
+
+    def test_clear_false_appends_instead_of_repainting(self):
+        stream = io.StringIO()
+        run_top(FakeClient(gateway_stats()), iterations=1, stream=stream,
+                clear=False, clock=lambda _: None)
+        assert CLEAR not in stream.getvalue()
+
+    def test_unreachable_target_renders_a_banner_and_keeps_going(self):
+        stream = io.StringIO()
+        frames = run_top(FakeClient({}, fail=True), iterations=2,
+                         stream=stream, clear=False, clock=lambda _: None)
+        assert frames == 2
+        assert "unreachable: gateway down" in stream.getvalue()
+
+    def test_slo_endpoint_failure_degrades_to_stats_only(self):
+        stream = io.StringIO()
+        run_top(FakeClient(gateway_stats()), iterations=1, stream=stream,
+                clear=False, clock=lambda _: None)
+        text = stream.getvalue()
+        assert "repro top -- serving" in text
+        assert "slo [" not in text

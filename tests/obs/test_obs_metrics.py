@@ -108,6 +108,43 @@ class TestHistogram:
             Histogram("h", buckets=(1.0, 1.0))
 
 
+class TestHistogramQuantile:
+    def test_interpolates_linearly_within_a_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(4):
+            histogram.observe(1.5)
+        # All mass in (1, 2]: the median interpolates halfway through it.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_anchors_at_zero(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+
+    def test_overflow_ranks_clamp_to_the_highest_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        assert Histogram("h", buckets=(1.0,)).quantile(0.5) is None
+
+    def test_labels_select_one_series_and_default_merges_all(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5, stage="encode")
+        histogram.observe(5.0, stage="solve")
+        assert histogram.quantile(0.5, stage="encode") <= 1.0
+        assert histogram.quantile(0.5, stage="solve") > 1.0
+        assert histogram.quantile(0.99) > 1.0  # merged family view
+        assert histogram.quantile(0.5, stage="missing") is None
+
+    def test_quantile_argument_is_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0,)).quantile(1.5)
+
+
 class TestMetricsRegistry:
     def test_get_or_create_is_idempotent(self):
         registry = MetricsRegistry()

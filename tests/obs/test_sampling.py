@@ -1,0 +1,94 @@
+"""Tail-based trace sampling: keep the interesting, sample the boring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TailSampler, Tracer
+
+
+def finished_root(tracer: Tracer, trace_id: str | None = None, **attrs):
+    root = tracer.start_trace("request", trace_id=trace_id)
+    root.finish(**attrs)
+    return root
+
+
+class TestAlwaysKeepRules:
+    def test_errors_are_always_kept(self):
+        sampler = TailSampler(rate=0.0)
+        root = finished_root(Tracer(), error="BrokenError('x')")
+        decision = sampler.decide(root)
+        assert decision.keep and decision.reason == "error"
+
+    def test_timeout_status_is_kept_as_deadline(self):
+        sampler = TailSampler(rate=0.0)
+        root = finished_root(Tracer(), status="timeout")
+        assert sampler.decide(root).reason == "deadline"
+
+    def test_error_status_is_kept(self):
+        sampler = TailSampler(rate=0.0)
+        assert sampler.decide(finished_root(Tracer(), status="error")).keep
+
+    def test_slow_traces_beat_the_sampling_rate(self):
+        sampler = TailSampler(rate=0.0, slow_threshold=0.0)
+        decision = sampler.decide(finished_root(Tracer(), status="optimal"))
+        assert decision.keep and decision.reason == "slow"
+
+    def test_unfinished_roots_are_anomalies_and_kept(self):
+        sampler = TailSampler(rate=0.0)
+        root = Tracer().start_trace("request")  # never finished
+        assert sampler.decide(root).reason == "error"
+
+
+class TestProbabilisticRule:
+    def test_rate_one_keeps_everything_rate_zero_drops_everything(self):
+        keep_all = TailSampler(rate=1.0)
+        keep_none = TailSampler(rate=0.0)
+        for index in range(20):
+            root = finished_root(Tracer(), status="optimal")
+            assert keep_all.decide(root).reason == "sampled"
+            assert keep_none.decide(root).reason == "unsampled"
+
+    def test_decisions_are_deterministic_per_trace_id(self):
+        first = TailSampler(rate=0.5)
+        second = TailSampler(rate=0.5)
+        for index in range(50):
+            root = finished_root(Tracer(), trace_id=f"trace-{index}",
+                                 status="optimal")
+            assert first.decide(root).keep == second.decide(root).keep
+
+    def test_intermediate_rate_keeps_roughly_that_fraction(self):
+        sampler = TailSampler(rate=0.5)
+        kept = sum(
+            sampler.decide(finished_root(Tracer(), trace_id=f"t-{i}",
+                                         status="optimal")).keep
+            for i in range(400))
+        assert 120 < kept < 280  # hash-uniform, not exact
+
+    def test_dict_payloads_work_like_spans(self):
+        sampler = TailSampler(rate=0.0)
+        payload = {"trace_id": "abc", "duration": 0.01,
+                   "attributes": {"status": "optimal"}}
+        assert not sampler.decide(payload).keep
+
+
+class TestCountsAndValidation:
+    def test_counts_tally_by_reason(self):
+        sampler = TailSampler(rate=1.0, slow_threshold=1e9)
+        tracer = Tracer()
+        sampler.decide(finished_root(tracer, error="boom"))
+        sampler.decide(finished_root(tracer, status="optimal"))
+        sampler.decide(finished_root(tracer, status="optimal"))
+        assert sampler.counts == {"error": 1, "sampled": 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailSampler(rate=1.5)
+        with pytest.raises(ValueError):
+            TailSampler(slow_threshold=-1.0)
+
+    def test_decision_is_truthy_iff_kept(self):
+        sampler = TailSampler(rate=0.0)
+        assert bool(sampler.decide(finished_root(Tracer(), error="x")))
+        assert not bool(sampler.decide(
+            finished_root(Tracer(), status="optimal")))

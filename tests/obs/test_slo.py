@@ -1,0 +1,144 @@
+"""Rolling-window SLO tracking: objectives, quantiles, merging, gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SloObjective, SloTracker, merge_slo_statuses, mirror_slo
+from repro.obs.promcheck import check_exposition
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSloObjective:
+    def test_defaults_and_label(self):
+        objective = SloObjective()
+        assert objective.route == "*"
+        assert objective.quantile_label == "p95"
+        assert objective.latency_target == 2.0
+
+    def test_round_trips_through_dicts(self):
+        objective = SloObjective(route="satmap", quantile=0.99,
+                                 latency_target=5.0,
+                                 availability_target=0.995)
+        assert SloObjective.from_dict(objective.to_dict()) == objective
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective(quantile=1.0)
+        with pytest.raises(ValueError):
+            SloObjective(latency_target=0.0)
+        with pytest.raises(ValueError):
+            SloObjective(availability_target=1.5)
+
+
+class TestSloTracker:
+    def test_quantiles_come_from_windowed_bucket_counts(self):
+        tracker = SloTracker(bounds=(0.1, 1.0, 10.0), clock=FakeClock())
+        for _ in range(95):
+            tracker.observe("satmap", 0.05)
+        for _ in range(5):
+            tracker.observe("satmap", 5.0)
+        # p50 lands in the first bucket, p99 interpolates inside (1, 10].
+        assert tracker.quantile("satmap", 0.5) == pytest.approx(0.0526, abs=1e-3)
+        assert 1.0 < tracker.quantile("satmap", 0.99) <= 10.0
+
+    def test_star_route_aggregates_all_routes(self):
+        tracker = SloTracker(clock=FakeClock())
+        tracker.observe("satmap", 0.5)
+        tracker.observe("sabre", 0.5, ok=False)
+        assert tracker.availability("*") == pytest.approx(0.5)
+        assert tracker.availability("satmap") == pytest.approx(1.0)
+
+    def test_old_traffic_ages_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SloTracker(window=60.0, slots=6, clock=clock)
+        tracker.observe("satmap", 0.5, ok=False)
+        assert tracker.status()["routes"]["*"]["requests"] == 1
+        clock.advance(120.0)  # two full windows later
+        status = tracker.status()
+        assert status["routes"]["*"]["requests"] == 0
+        assert status["ok"] is True  # empty window: nothing is breaching
+
+    def test_status_evaluates_burn_rate_and_breach(self):
+        tracker = SloTracker(
+            objectives=[{"route": "*", "quantile": 0.95,
+                         "latency_target": 2.0, "availability_target": 0.9}],
+            clock=FakeClock())
+        for index in range(10):
+            tracker.observe("satmap", 0.1, ok=index >= 8)  # 8 of 10 fail
+        entry = tracker.status()["objectives"][0]
+        assert entry["availability"] == pytest.approx(0.2)
+        assert entry["availability_ok"] is False
+        # error rate 0.8 against a 0.1 budget: burning 8x too fast.
+        assert entry["error_budget_burn_rate"] == pytest.approx(8.0)
+        assert entry["ok"] is False
+
+    def test_empty_tracker_reports_star_route_and_passes(self):
+        status = SloTracker(clock=FakeClock()).status()
+        assert set(status["routes"]) == {"*"}
+        assert status["objectives"][0]["latency"] is None
+        assert status["ok"] is True
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(window=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(slots=0)
+
+
+class TestMergeSloStatuses:
+    def test_merged_quantiles_sum_bucket_counts(self):
+        # One shard all-fast, one all-slow: the merged p50 must sit between
+        # them, which averaging per-shard quantiles would also get right --
+        # but the merged p95 must come from the *slow* shard's buckets.
+        fast = SloTracker(clock=FakeClock())
+        slow = SloTracker(clock=FakeClock())
+        for _ in range(50):
+            fast.observe("satmap", 0.05)
+            slow.observe("satmap", 8.0)
+        merged = merge_slo_statuses([fast.status(), slow.status()])
+        star = merged["routes"]["*"]
+        assert star["requests"] == 100
+        assert star["p95"] > 5.0
+        assert merged["routes"]["satmap"]["requests"] == 100
+
+    def test_unusable_statuses_are_skipped(self):
+        tracker = SloTracker(clock=FakeClock())
+        tracker.observe("satmap", 0.5)
+        merged = merge_slo_statuses([None, {"error": "down"},
+                                     tracker.status()])
+        assert merged["routes"]["*"]["requests"] == 1
+
+    def test_nothing_usable_returns_none(self):
+        assert merge_slo_statuses([None, {}]) is None
+
+
+class TestMirrorSlo:
+    def test_gauges_render_promcheck_clean(self):
+        tracker = SloTracker(clock=FakeClock())
+        tracker.observe("satmap", 0.2)
+        tracker.observe("satmap", 0.4, ok=False)
+        registry = MetricsRegistry()
+        mirror_slo(registry, tracker.status())
+        text = registry.render()
+        assert 'repro_slo_latency_seconds{route="*",quantile="p95"}' in text
+        assert 'repro_slo_error_budget_burn_rate{route="*"}' in text
+        assert 'repro_slo_ok{route="*"}' in text
+        assert check_exposition(text) == []
+
+    def test_empty_window_skips_latency_but_keeps_target(self):
+        registry = MetricsRegistry()
+        mirror_slo(registry, SloTracker(clock=FakeClock()).status())
+        text = registry.render()
+        assert "repro_slo_latency_seconds{" not in text
+        assert 'repro_slo_latency_target_seconds{route="*",quantile="p95"} 2' in text

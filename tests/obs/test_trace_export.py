@@ -45,3 +45,38 @@ class TestJsonlTraceWriter:
 
     def test_read_traces_on_missing_directory_is_empty(self, tmp_path):
         assert read_traces(tmp_path / "nowhere") == []
+
+
+class TestSharedDirectoryOwners:
+    def test_owner_tag_lands_in_the_active_filename(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path, owner="shard-0")
+        writer.write(finished_trace("a"))
+        assert writer.path.name == "traces.shard-0.jsonl"
+
+    def test_owners_never_touch_each_others_files(self, tmp_path):
+        first = JsonlTraceWriter(tmp_path, owner="shard-0", max_bytes=600)
+        second = JsonlTraceWriter(tmp_path, owner="shard-1", max_bytes=600)
+        for index in range(8):
+            first.write(finished_trace(f"a-{index}"))
+            second.write(finished_trace(f"b-{index}"))
+        assert first.rotations >= 1 and second.rotations >= 1
+        assert not set(first.files()) & set(second.files())
+        # Rotated names disambiguate owner digits: shard-0's rotations are
+        # traces.shard-0.r<n>.jsonl, never confusable with a shard-10 owner.
+        assert all(".r" in path.stem for path in first.files()[:-1])
+
+    def test_read_traces_collects_every_owner_in_order(self, tmp_path):
+        for owner in ("shard-0", "shard-1"):
+            writer = JsonlTraceWriter(tmp_path, owner=owner, max_bytes=600)
+            for index in range(6):
+                writer.write(finished_trace(f"{owner}-{index}"))
+        names = [trace["attributes"]["job"] for trace in read_traces(tmp_path)]
+        assert len(names) == 12
+        # Per-owner write order survives rotation (rotated files first).
+        for owner in ("shard-0", "shard-1"):
+            mine = [name for name in names if name.startswith(owner)]
+            assert mine == [f"{owner}-{index}" for index in range(6)]
+
+    def test_owner_must_not_smuggle_path_separators(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceWriter(tmp_path, owner="../escape")

@@ -1,0 +1,218 @@
+"""The operational endpoints: /v1/slo, /v1/events, /v1/admin/profile, and
+tail-based trace sampling on the gateway."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random_circuits import random_circuit
+from repro.obs import TailSampler, check_exposition
+from repro.obs.export import read_traces
+from repro.server import RoutingClient, ServerError
+from repro.service import BatchRoutingService
+
+
+@pytest.fixture
+def circuit():
+    return random_circuit(3, 5, seed=23, name="ops_test")
+
+
+def solve_one(client: RoutingClient, circuit, router: str = "sabre",
+              **kwargs) -> dict:
+    ticket = client.submit(circuit, architecture="line8", router=router,
+                           **kwargs)
+    client.wait(ticket["job_id"], timeout=60)
+    return ticket
+
+
+class TestSloEndpoint:
+    def test_finished_jobs_feed_the_slo_window(self, gateway_factory, circuit):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="slo")
+        solve_one(client, circuit)
+        status = client.slo()
+        assert set(status["routes"]) >= {"*", "sabre"}
+        assert status["routes"]["*"]["requests"] == 1
+        entry = status["objectives"][0]
+        assert entry["quantile_label"] == "p95"
+        assert entry["requests"] == 1
+        assert entry["latency"] is not None
+        assert status["ok"] is True
+
+    def test_custom_objectives_are_evaluated(self, gateway_factory, circuit):
+        handle = gateway_factory(slo=({"route": "sabre", "quantile": 0.5,
+                                       "latency_target": 900.0,
+                                       "availability_target": 0.5},))
+        client = RoutingClient(port=handle.port, client_id="slo")
+        solve_one(client, circuit)
+        entry = client.slo()["objectives"][0]
+        assert entry["route"] == "sabre"
+        assert entry["quantile_label"] == "p50"
+        assert entry["ok"] is True
+
+    def test_disabled_tracker_404s(self, gateway_factory):
+        handle = gateway_factory(slo=False)
+        client = RoutingClient(port=handle.port, client_id="slo")
+        with pytest.raises(ServerError) as excinfo:
+            client.slo()
+        assert excinfo.value.status == 404
+
+    def test_metrics_mirror_slo_gauges(self, gateway_factory, circuit):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="slo")
+        solve_one(client, circuit)
+        text = client.metrics_text()
+        assert check_exposition(text) == []
+        assert 'repro_slo_latency_seconds{route="*",quantile="p95"}' in text
+        assert 'repro_slo_ok{route="*"} 1' in text
+        assert 'repro_slo_window_requests{route="*"} 1' in text
+
+
+class TestEventsEndpoint:
+    def test_served_events_match_what_the_log_recorded(self, gateway_factory):
+        handle = gateway_factory()
+        handle.gateway.event_log.emit("worker-restart", level="warning",
+                                      shard=3)
+        client = RoutingClient(port=handle.port, client_id="events")
+        payload = client.events()
+        assert payload["counts"] == {"warning": 1}
+        (event,) = payload["events"]
+        assert event["event"] == "worker-restart"
+        assert event["shard"] == 3
+
+    def test_level_and_limit_filters(self, gateway_factory):
+        handle = gateway_factory()
+        log = handle.gateway.event_log
+        for index in range(5):
+            log.emit("tick", index=index)
+        log.emit("trouble", level="error")
+        client = RoutingClient(port=handle.port, client_id="events")
+        assert [e["event"] for e in client.events(level="error")["events"]] \
+            == ["trouble"]
+        assert len(client.events(limit=2)["events"]) == 2
+
+    def test_bad_level_is_a_400(self, gateway_factory):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="events")
+        with pytest.raises(ServerError) as excinfo:
+            client.events(level="severe")
+        assert excinfo.value.status == 400
+
+    def test_stats_carry_event_counts_by_level(self, gateway_factory):
+        handle = gateway_factory()
+        handle.gateway.event_log.emit("trouble", level="error")
+        client = RoutingClient(port=handle.port, client_id="events")
+        assert client.stats()["events"] == {"error": 1}
+
+    def test_events_persist_to_the_shared_directory(self, gateway_factory,
+                                                    tmp_path):
+        handle = gateway_factory(events_dir=tmp_path, trace_owner="shard-7")
+        handle.gateway.event_log.emit("drain-initiated", level="warning")
+        from repro.obs import read_events
+        (record,) = read_events(tmp_path)
+        assert record["event"] == "drain-initiated"
+        assert record["owner"] == "shard-7"
+
+
+class TestProfileEndpoint:
+    def test_profile_returns_collapsed_stacks_of_live_threads(
+            self, gateway_factory):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="prof")
+        report = client.profile(seconds=0.2, interval=0.002)
+        assert report["seconds"] == pytest.approx(0.2)
+        assert report["samples"] > 0
+        assert isinstance(report["collapsed"], dict)
+        assert "collapsed_text" in report
+        # The gateway's own event loop is a live thread: it must show up.
+        assert report["stacks_sampled"] > 0
+
+    def test_profile_names_sat_core_frames_under_load(
+            self, gateway_factory):
+        handle = gateway_factory(
+            service=BatchRoutingService(mode="thread", max_workers=1,
+                                        time_budget=5.0, cache=False))
+        client = RoutingClient(port=handle.port, client_id="prof")
+        ticket = client.submit(random_circuit(6, 30, seed=7, name="hot"),
+                               architecture="tokyo8", router="satmap",
+                               time_budget=8.0)
+        report = client.profile(seconds=1.0, interval=0.002)
+        client.wait(ticket["job_id"], timeout=60)
+        stacks = report["collapsed_text"]
+        assert any(marker in stacks
+                   for marker in ("solver.", "encoder.", "maxsat",
+                                  "satmap")), stacks[:2000]
+
+    def test_seconds_must_be_numeric(self, gateway_factory):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="prof")
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/admin/profile?seconds=lots")
+        assert excinfo.value.status == 400
+
+    def test_profile_start_is_evented(self, gateway_factory):
+        handle = gateway_factory()
+        client = RoutingClient(port=handle.port, client_id="prof")
+        client.profile(seconds=0.1)
+        assert handle.gateway.event_log.tail(event="profile-start")
+
+
+class TestTailSampling:
+    def test_fast_traces_are_dropped_at_rate_zero(self, gateway_factory,
+                                                  circuit, tmp_path):
+        handle = gateway_factory(sampler=TailSampler(rate=0.0),
+                                 trace_dir=tmp_path)
+        client = RoutingClient(port=handle.port, client_id="sampler")
+        # Distinct circuits: identical submissions would dedup to one job.
+        tickets = [solve_one(client, random_circuit(3, 5, seed=30 + index,
+                                                    name=f"fast-{index}"))
+                   for index in range(3)]
+        assert read_traces(tmp_path) == []
+        for ticket in tickets:
+            with pytest.raises(ServerError) as excinfo:
+                client.trace(ticket["job_id"])
+            assert excinfo.value.status == 404
+        assert handle.gateway.sampler.counts == {"unsampled": 3}
+        text = client.metrics_text()
+        assert 'repro_trace_sampled_total{reason="unsampled"} 3' in text
+        assert check_exposition(text) == []
+
+    def test_slow_traces_are_always_kept(self, gateway_factory, circuit,
+                                         tmp_path):
+        handle = gateway_factory(
+            sampler=TailSampler(rate=0.0, slow_threshold=0.0),
+            trace_dir=tmp_path)
+        client = RoutingClient(port=handle.port, client_id="sampler")
+        ticket = solve_one(client, circuit)
+        (trace,) = read_traces(tmp_path)
+        assert trace["attributes"]["job"] == ticket["job_id"]
+        assert client.trace(ticket["job_id"])["trace"]["name"] == "job"
+        assert handle.gateway.sampler.counts == {"slow": 1}
+
+    def test_deadline_overruns_are_always_kept(self, gateway_factory,
+                                               tmp_path):
+        # fallback=False keeps faithful timeout semantics: an exhausted
+        # budget reports status "timeout" instead of rescuing the job.
+        handle = gateway_factory(
+            service=BatchRoutingService(mode="serial", time_budget=5.0,
+                                        fallback=False, cache=False),
+            sampler=TailSampler(rate=0.0),
+            trace_dir=tmp_path)
+        client = RoutingClient(port=handle.port, client_id="sampler")
+        big = random_circuit(8, 40, seed=3, name="too_big")
+        ticket = client.submit(big, architecture="tokyo8", router="satmap",
+                               time_budget=0.05)
+        client.wait(ticket["job_id"], timeout=60)
+        (trace,) = read_traces(tmp_path)
+        assert trace["attributes"]["status"] == "timeout"
+        assert handle.gateway.sampler.counts == {"deadline": 1}
+        # The failed window also dents availability in the SLO tracker.
+        status = client.slo()
+        assert status["routes"]["*"]["errors"] == 1
+
+    def test_no_sampler_keeps_every_trace(self, gateway_factory, circuit,
+                                          tmp_path):
+        handle = gateway_factory(trace_dir=tmp_path)
+        client = RoutingClient(port=handle.port, client_id="sampler")
+        solve_one(client, circuit)
+        assert len(read_traces(tmp_path)) == 1
