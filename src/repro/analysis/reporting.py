@@ -82,15 +82,19 @@ def render_solver_depth_table(comparison: SuiteComparison,
     rows = []
     for router in comparison.routers():
         records = comparison.records[router]
+        backends = sorted({record.solver_backend for record in records
+                           if record.solver_backend})
         rows.append([
             router,
+            ",".join(backends) or "-",
             sum(record.conflicts for record in records),
             sum(record.propagations for record in records),
             sum(record.restarts for record in records),
             round(sum(record.solve_time for record in records), 3),
         ])
     return render_table(
-        ["tool", "conflicts", "propagations", "restarts", "time (s)"],
+        ["tool", "backend", "conflicts", "propagations", "restarts",
+         "time (s)"],
         rows, title=title)
 
 

@@ -263,6 +263,9 @@ _SATMAP_OPTIONS = (
                      "initial-mapping space (default: serial)"),
     OptionField("pipeline_slices", "bool", False,
                 "pre-encode slice k+1 in a worker while slice k solves"),
+    OptionField("solver_backend", "str", None, allow_none=True,
+                help="SAT solve core: 'python', 'native', or 'auto' "
+                     "(default: $REPRO_SAT_BACKEND, then auto)"),
 )
 
 
@@ -353,6 +356,8 @@ def _register_builtins() -> None:
                         "MaxSAT strategy: 'linear' or 'core-guided'"),
             OptionField("incremental", "bool", True,
                         "solve through persistent SAT sessions"),
+            OptionField("solver_backend", "str", None, allow_none=True,
+                        help="SAT solve core: 'python', 'native', or 'auto'"),
         ),
     )
     register_router(
@@ -364,6 +369,8 @@ def _register_builtins() -> None:
                         "fraction of the budget spent on MaxSAT placement"),
             OptionField("strategy", "str", "linear",
                         "MaxSAT strategy of the placement solve"),
+            OptionField("solver_backend", "str", None, allow_none=True,
+                        help="SAT solve core: 'python', 'native', or 'auto'"),
         ),
     )
     register_router(

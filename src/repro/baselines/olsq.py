@@ -28,7 +28,8 @@ from repro.core.result import RoutingResult, RoutingStatus
 from repro.core.variables import NOOP
 from repro.hardware.architecture import Architecture
 from repro.maxsat.cardinality import Totalizer
-from repro.sat.solver import SatSolver, SolverStatus
+from repro.sat.backends import create_solver
+from repro.sat.solver import SolverStatus
 
 
 class OlsqStyleRouter(Router):
@@ -54,7 +55,7 @@ class OlsqStyleRouter(Router):
         swap_indicator = [-encoding.registry.swap_var(NOOP, step, slot)
                           for step, slot in encoding.swap_slots]
 
-        sat = SatSolver()
+        sat = create_solver()
         sat.ensure_vars(encoding.builder.num_vars)
         for clause in encoding.builder.hard:
             sat.add_clause(clause)

@@ -166,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--cube-workers", type=int, default=None,
                        help="race N cube-and-conquer workers over the "
                             "initial-mapping space (satmap only; default: serial)")
+    route.add_argument("--solver-backend", default=None,
+                       choices=["python", "native", "auto"],
+                       help="SAT solve core (default: $REPRO_SAT_BACKEND, "
+                            "then auto: native when built, else python)")
     route.add_argument("--pipeline-slices", action="store_true",
                        help="pre-encode slice k+1 in a worker process while "
                             "slice k solves (satmap only)")
@@ -204,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk result cache directory")
     batch.add_argument("--no-cache", action="store_true",
                        help="disable the result cache entirely")
+    batch.add_argument("--solver-backend", default=None,
+                       choices=["python", "native", "auto"],
+                       help="SAT solve core for every job (default: "
+                            "$REPRO_SAT_BACKEND, then auto)")
     batch.add_argument("--portfolio", action="store_true",
                        help="race SATMAP against heuristic baselines per job")
     batch.add_argument("--quiet", action="store_true",
@@ -218,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--jobs", type=int, default=12)
     bench_service.add_argument("--time-budget", type=float, default=5.0)
     bench_service.add_argument("--workers", type=int, default=None)
+    bench_service.add_argument("--solver-backend", default=None,
+                               choices=["python", "native", "auto"],
+                               help="SAT solve core (default: "
+                                    "$REPRO_SAT_BACKEND, then auto)")
 
     serve = subparsers.add_parser(
         "serve", help="run the JSON-over-HTTP routing gateway")
@@ -264,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-trace-ms", type=float, default=None,
                        help="always keep traces whose root span lasts at "
                             "least this many milliseconds")
+    serve.add_argument("--solver-backend", default=None,
+                       choices=["python", "native", "auto"],
+                       help="SAT solve core on every fleet worker (default: "
+                            "$REPRO_SAT_BACKEND, then auto)")
     serve.add_argument("--slo", action="append", type=_slo_objective,
                        default=None, metavar="SPEC",
                        help="SLO objective as [route:]pQQ<SECONDS[@AVAIL], "
@@ -399,7 +415,19 @@ def _result_json(result, spec: RouterSpec, architecture: Architecture,
     return payload
 
 
+def _apply_solver_backend(args: argparse.Namespace) -> None:
+    """Export ``--solver-backend`` so every layer (including spawned pool
+    and fleet workers, which inherit the environment) resolves the same
+    SAT solve core."""
+    backend = getattr(args, "solver_backend", None)
+    if backend:
+        import os
+
+        os.environ["REPRO_SAT_BACKEND"] = backend
+
+
 def command_route(args: argparse.Namespace) -> int:
+    _apply_solver_backend(args)
     architecture = available_architectures()[args.arch]
     circuit = load_qasm(args.qasm)
     spec = _route_spec(args)
@@ -473,6 +501,7 @@ def _batch_jobs(args: argparse.Namespace) -> list[RoutingJob]:
 def command_batch(args: argparse.Namespace) -> int:
     import time as _time
 
+    _apply_solver_backend(args)
     if args.time_budget <= 0:
         print("error: --time-budget must be positive", file=sys.stderr)
         return 2
@@ -525,6 +554,7 @@ def command_batch(args: argparse.Namespace) -> int:
 def command_bench_service(args: argparse.Namespace) -> int:
     import time as _time
 
+    _apply_solver_backend(args)
     if args.time_budget <= 0:
         print("error: --time-budget must be positive", file=sys.stderr)
         return 2
@@ -573,6 +603,7 @@ def command_serve(args: argparse.Namespace) -> int:
     from repro.server import AdmissionController, RoutingGateway
     from repro.server.app import serve as serve_gateway
 
+    _apply_solver_backend(args)
     if args.time_budget <= 0:
         print("error: --time-budget must be positive", file=sys.stderr)
         return 2
@@ -652,6 +683,7 @@ def _serve_fleet(args: argparse.Namespace, max_bytes: int | None) -> int:
         trace_sample_rate=args.trace_sample,
         slow_trace_seconds=(args.slow_trace_ms / 1000.0
                             if args.slow_trace_ms is not None else None),
+        solver_backend=args.solver_backend,
     )
     dispatcher = ClusterDispatcher(config)
 
@@ -766,9 +798,13 @@ def command_top(args: argparse.Namespace) -> int:
 
 
 def command_info(args: argparse.Namespace) -> int:
+    from repro.sat.backends import describe_backends
+
     architecture = available_architectures()[args.arch]
     record = architecture_record(architecture, key=args.arch, include_edges=True)
+    backends = describe_backends()
     if args.json:
+        record = dict(record, solver_backends=backends)
         print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     rows = [
@@ -778,6 +814,8 @@ def command_info(args: argparse.Namespace) -> int:
         ["average degree", record["average_degree"]],
         ["diameter", record["diameter"]],
         ["connected", record["connected"]],
+        ["solver backends", ", ".join(backends["available"])],
+        ["solver default", backends["default"]],
     ]
     print(render_table(["property", "value"], rows))
     return 0
@@ -834,7 +872,13 @@ def command_routers(args: argparse.Namespace) -> int:
             for entry in entries]
     print(render_table(["router", "capabilities", "options (defaults)", "summary"],
                        rows, title="Registered routers"))
-    print("\nselect with --router NAME[:key=value,...]; "
+    from repro.sat.backends import describe_backends
+
+    backends = describe_backends()
+    print(f"\nsolver backends: {', '.join(backends['available'])} "
+          f"(default: {backends['default']}; select with "
+          "solver_backend=... or --solver-backend)")
+    print("select with --router NAME[:key=value,...]; "
           "details: repro routers NAME")
     return 0
 

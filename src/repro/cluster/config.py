@@ -68,6 +68,10 @@ class FleetConfig:
     trace_sample_rate: float | None = None
     #: Root duration (seconds) at or past which a trace is always kept.
     slow_trace_seconds: float | None = None
+    #: SAT solve core on every shard worker ("python" | "native" | "auto";
+    #: ``None`` defers to each worker's ``$REPRO_SAT_BACKEND`` / auto).
+    #: Fleet-wide so shards make identical backend choices.
+    solver_backend: str | None = None
     #: Seconds between dispatcher health sweeps over the worker processes.
     health_interval: float = 0.5
     #: Virtual nodes per shard on the consistent-hash ring.

@@ -109,8 +109,15 @@ def worker_main(config: FleetConfig, shard_id: int, conn) -> None:
     in-flight jobs best-so-far.
     """
     import asyncio
+    import os
 
     from repro.server.app import serve
+
+    # Fleet-wide backend choice: exported before any session is built so the
+    # worker's whole solve stack (including its own pool workers, which
+    # inherit the environment) resolves the same SAT core.
+    if config.solver_backend:
+        os.environ["REPRO_SAT_BACKEND"] = config.solver_backend
 
     try:
         gateway = build_worker_gateway(config, shard_id)

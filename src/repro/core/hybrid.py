@@ -42,12 +42,14 @@ class HybridSatMapRouter(BaseRouter):
 
     def __init__(self, time_budget: float = 60.0, placement_share: float = 0.5,
                  strategy: str = "linear", verify: bool = True,
+                 solver_backend: str | None = None,
                  name: str = "HYBRID-SATMAP") -> None:
         if not 0.0 < placement_share < 1.0:
             raise ValueError("placement_share must be strictly between 0 and 1")
         super().__init__(time_budget=time_budget, verify=verify)
         self.placement_share = placement_share
         self.strategy = strategy
+        self.solver_backend = solver_backend
         self.name = name
 
     # ------------------------------------------------------------------ API
@@ -93,7 +95,7 @@ class HybridSatMapRouter(BaseRouter):
         # The placement instance streams straight into a live session while it
         # is built, so the MaxSAT call below starts from a loaded solver
         # instead of replaying the clause list.
-        session = SatSession()
+        session = SatSession(backend=self.solver_backend)
         builder = WcnfBuilder()
         builder.attach_sink(session)
         num_logical = circuit.num_qubits

@@ -164,6 +164,7 @@ class SatMapRouter(BaseRouter):
         incremental: bool = True,
         cube_workers: int | None = None,
         pipeline_slices: bool = False,
+        solver_backend: str | None = None,
         name: str | None = None,
     ) -> None:
         if slice_size is not None and slice_size <= 0:
@@ -187,6 +188,14 @@ class SatMapRouter(BaseRouter):
             raise ValueError("pipeline_slices pre-builds persistent "
                              "SliceContexts and therefore requires "
                              "incremental=True")
+        if solver_backend is not None:
+            from repro.sat.backends import BACKEND_CHOICES
+
+            if solver_backend not in BACKEND_CHOICES:
+                raise ValueError(
+                    "solver_backend must be one of "
+                    f"{', '.join(BACKEND_CHOICES)} or None, "
+                    f"got {solver_backend!r}")
         super().__init__(time_budget=time_budget, verify=verify)
         self.slice_size = slice_size
         self.swaps_per_gate = swaps_per_gate
@@ -197,6 +206,9 @@ class SatMapRouter(BaseRouter):
         self.incremental = incremental
         self.cube_workers = cube_workers
         self.pipeline_slices = pipeline_slices
+        #: Requested solve core (python | native | auto); ``None`` defers to
+        #: ``$REPRO_SAT_BACKEND`` / auto at session-construction time.
+        self.solver_backend = solver_backend
         self.name = name or ("SATMAP" if slice_size is not None else "NL-SATMAP")
 
     # ------------------------------------------------------------------ API
@@ -312,7 +324,9 @@ class SatMapRouter(BaseRouter):
         if cube:
             assumptions = (assumptions or []) + encoding.initial_mapping_assumptions(cube)
 
-        solver = context.maxsat if context is not None else MaxSatSolver(self.strategy)
+        solver = (context.maxsat if context is not None
+                  else MaxSatSolver(self.strategy,
+                                    solver_backend=self.solver_backend))
         solve_start = time.monotonic()
         with obs_trace.span("solve", strategy=self.strategy) as solve_span:
             maxsat_result = solver.solve(encoding.builder, time_budget=time_budget,
@@ -386,7 +400,7 @@ class SatMapRouter(BaseRouter):
             swaps_per_gate=swaps_per_gate,
             pin_initial_via_assumptions=fixed_initial_mapping is not None,
         )
-        session = SatSession()
+        session = SatSession(backend=self.solver_backend)
         encoding = QmrEncoder(architecture, options).encode(circuit, sink=session)
         return SliceContext(
             session=session,

@@ -200,7 +200,12 @@ def _stitch(router: "SatMapRouter", circuit: QuantumCircuit,
         clauses_streamed += outcome.result.clauses_streamed
         learnt_retained += outcome.result.learnt_clauses_retained
         for counter, value in outcome.result.solver_stats.items():
-            solver_stats[counter] = solver_stats.get(counter, 0) + int(value)
+            if counter == "backend":
+                previous = solver_stats.get("backend")
+                solver_stats["backend"] = (value if previous in (None, value)
+                                           else "mixed")
+            else:
+                solver_stats[counter] = solver_stats.get(counter, 0) + int(value)
 
     first = slices[0].outcome
     last = slices[-1].outcome

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.maxsat.cardinality import exactly_one
 from repro.maxsat.wcnf import WcnfBuilder, clause_satisfied
 from repro.sat.session import SatSession
+from repro.sat.backends import create_solver
 from repro.sat.solver import SatSolver, SolverStatus
 
 
@@ -48,11 +49,13 @@ class FuMalikSolver:
     """
 
     def __init__(self, builder: WcnfBuilder,
-                 session: SatSession | None = None) -> None:
+                 session: SatSession | None = None,
+                 solver_backend: str | None = None) -> None:
         if builder.is_weighted():
             raise ValueError("FuMalikSolver only supports unweighted soft clauses")
         self.builder = builder
         self.session = session
+        self.solver_backend = solver_backend
 
     def solve(self, time_budget: float | None = None,
               assumptions: list[int] | None = None) -> CoreGuidedOutcome:
@@ -65,7 +68,7 @@ class FuMalikSolver:
             builder.attach_sink(self.session)
             sat = self.session.solver
         else:
-            sat = SatSolver()
+            sat = create_solver(self.solver_backend)
             sat.ensure_vars(builder.num_vars)
             for clause in builder.hard:
                 sat.add_clause(clause)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.maxsat.cardinality import GeneralizedTotalizer, Totalizer
 from repro.maxsat.wcnf import WcnfBuilder, clause_satisfied
 from repro.sat.session import SatSession
+from repro.sat.backends import create_solver
 from repro.sat.solver import SatSolver, SolverStatus
 
 #: How many soft clauses are relaxed between wall-clock budget checks.
@@ -68,12 +69,16 @@ class LinearSearchSolver:
     """
 
     def __init__(self, builder: WcnfBuilder, max_bound_weight: int = 32,
-                 session: SatSession | None = None) -> None:
+                 session: SatSession | None = None,
+                 solver_backend: str | None = None) -> None:
         if max_bound_weight < 1:
             raise ValueError("max_bound_weight must be at least 1")
         self.builder = builder
         self.max_bound_weight = max_bound_weight
         self.session = session
+        #: Solve core for the session-less path (None: env / auto); when a
+        #: session is present its own backend wins.
+        self.solver_backend = solver_backend
         self._reset_state()
 
     def _reset_state(self) -> None:
@@ -275,7 +280,7 @@ class LinearSearchSolver:
             self._loaded_hard = len(self.builder.hard)
             return self._sat
         if self._sat is None:
-            sat = SatSolver()
+            sat = create_solver(self.solver_backend)
             sat.ensure_vars(self.builder.num_vars)
             for clause in self.builder.hard:
                 sat.add_clause(clause)

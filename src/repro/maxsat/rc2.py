@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.maxsat.cardinality import Totalizer
 from repro.maxsat.wcnf import WcnfBuilder
 from repro.sat.session import SatSession
+from repro.sat.backends import create_solver
 from repro.sat.solver import SatSolver, SolverStatus
 
 
@@ -58,9 +59,11 @@ class OllSolver:
     """
 
     def __init__(self, builder: WcnfBuilder,
-                 session: SatSession | None = None) -> None:
+                 session: SatSession | None = None,
+                 solver_backend: str | None = None) -> None:
         self.builder = builder
         self.session = session
+        self.solver_backend = solver_backend
 
     def solve(self, time_budget: float | None = None,
               assumptions: list[int] | None = None) -> OllOutcome:
@@ -73,7 +76,7 @@ class OllSolver:
             builder.attach_sink(self.session)
             sat = self.session.solver
         else:
-            sat = SatSolver()
+            sat = create_solver(self.solver_backend)
             sat.ensure_vars(builder.num_vars)
             for clause in builder.hard:
                 sat.add_clause(clause)

@@ -76,11 +76,16 @@ class MaxSatSolver:
     STRATEGIES = ("linear", "core-guided", "rc2")
 
     def __init__(self, strategy: str = "linear",
-                 session: SatSession | None = None) -> None:
+                 session: SatSession | None = None,
+                 solver_backend: str | None = None) -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; expected one of {self.STRATEGIES}")
         self.strategy = strategy
         self.session = session
+        #: Solve core used by session-less strategies (python | native |
+        #: auto | None).  A session brings its own solver, so this only
+        #: matters for the non-incremental path.
+        self.solver_backend = solver_backend
         #: Per-builder linear-search state (selectors + bound structure) kept
         #: alive between calls when a session is present.
         self._linear: LinearSearchSolver | None = None
@@ -121,7 +126,8 @@ class MaxSatSolver:
             strategy = "linear"
 
         if strategy == "rc2":
-            outcome = OllSolver(builder, session=self.session).solve(
+            outcome = OllSolver(builder, session=self.session,
+                                solver_backend=self.solver_backend).solve(
                 time_budget=time_budget, assumptions=assumptions)
             if outcome.found_model:
                 return MaxSatResult(MaxSatStatus.OPTIMAL, outcome.cost, outcome.model,
@@ -133,7 +139,8 @@ class MaxSatSolver:
                                 outcome.sat_calls, outcome.elapsed)
 
         if strategy == "core-guided":
-            outcome = FuMalikSolver(builder, session=self.session).solve(
+            outcome = FuMalikSolver(builder, session=self.session,
+                                    solver_backend=self.solver_backend).solve(
                 time_budget=time_budget, assumptions=assumptions)
             if outcome.found_model:
                 return MaxSatResult(MaxSatStatus.OPTIMAL, outcome.cost, outcome.model,
@@ -163,7 +170,8 @@ class MaxSatSolver:
     def _linear_solver(self, builder: WcnfBuilder) -> LinearSearchSolver:
         """The (cached, when incremental) linear-search state for ``builder``."""
         if self.session is None:
-            return LinearSearchSolver(builder)
+            return LinearSearchSolver(builder,
+                                      solver_backend=self.solver_backend)
         if self._linear is None or self._linear.builder is not builder:
             self._linear = LinearSearchSolver(builder, session=self.session)
         return self._linear

@@ -234,7 +234,8 @@ def _run_shard(shard: list, hook) -> dict:
         result = record["result"]
         cumulative = dict(result.solver_stats)
         result.solver_stats = {
-            counter: max(0, int(value) - int(baseline.get(counter, 0)))
+            counter: (value if counter == "backend"
+                      else max(0, int(value) - int(baseline.get(counter, 0))))
             for counter, value in cumulative.items()}
         baseline = cumulative
         result.clauses_streamed, streamed_seen = (
@@ -464,7 +465,14 @@ def _fold_stats(result: RoutingResult, records: list, pruned_count: int) -> None
         for stage, seconds in cube_result.stage_timings.items():
             timings[stage] = timings.get(stage, 0.0) + seconds
         for counter, value in cube_result.solver_stats.items():
-            stats[counter] = stats.get(counter, 0) + int(value)
+            if counter == "backend":
+                # Carry the solve core through aggregation; shards running
+                # different cores (should not happen) surface as "mixed".
+                previous = stats.get("backend")
+                stats["backend"] = (value if previous in (None, value)
+                                    else "mixed")
+            else:
+                stats[counter] = stats.get(counter, 0) + int(value)
         streamed += cube_result.clauses_streamed
         retained += cube_result.learnt_clauses_retained
     stats["cubes"] = len(records)

@@ -72,6 +72,7 @@ class SlicePipeline:
             noise_model=router.noise_model,
             verify=False,
             incremental=True,
+            solver_backend=router.solver_backend,
             name=router.name,
         )
         self._executor = None

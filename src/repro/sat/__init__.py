@@ -17,10 +17,21 @@ The public entry points are:
 * :mod:`repro.sat.dimacs` -- reading and writing DIMACS CNF / WCNF files.
 * :mod:`repro.sat.preprocessing` -- clause-level simplification.
 * :mod:`repro.sat.enumeration` -- blocking-clause model enumeration.
+* :mod:`repro.sat.backends` -- the solve-core registry: the pure-Python
+  reference solver above, or :class:`repro.sat.native.NativeSatSolver`
+  driving the optional C extension :mod:`repro.sat._native.core`
+  (``resolve_backend`` / ``create_solver`` / ``native_available``).
 """
 
 from repro.sat.literals import lit, neg, var_of, sign_of
 from repro.sat.solver import SatSolver, SolveResult, SolverStatus
+from repro.sat.backends import (
+    available_backends,
+    create_solver,
+    describe_backends,
+    native_available,
+    resolve_backend,
+)
 from repro.sat.session import ClauseSink, SatSession, SessionStats
 from repro.sat.preprocessing import Preprocessor, PreprocessResult, simplify_clauses
 from repro.sat.enumeration import ModelEnumerator, all_models, count_models
@@ -32,6 +43,11 @@ __all__ = [
     "SatSession",
     "SessionStats",
     "ClauseSink",
+    "available_backends",
+    "create_solver",
+    "describe_backends",
+    "native_available",
+    "resolve_backend",
     "lit",
     "neg",
     "var_of",

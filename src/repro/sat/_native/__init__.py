@@ -1,0 +1,40 @@
+"""Optional compiled CDCL core.
+
+The single-file C extension :mod:`repro.sat._native.core` holds the solver
+inner loops (propagate / analyze / backjump / VSIDS-decide) over a clause
+arena and a flat literal-indexed watch table.  It is built by ``setup.py``
+on a best-effort basis: when no C toolchain is available the build step
+warns and skips, and everything in :mod:`repro.sat` falls back to the pure
+Python reference solver.
+
+:func:`load_core` is the only supported way in — it returns the extension
+module or ``None``, and never raises on a missing/unbuildable extension.
+Set ``REPRO_SAT_DISABLE_NATIVE=1`` to pretend the extension is absent
+(used by the CI python lane and the fallback tests).
+"""
+
+from __future__ import annotations
+
+import os
+
+_CORE = None
+_CORE_CHECKED = False
+
+
+def load_core():
+    """Return the compiled ``core`` module, or ``None`` if unavailable."""
+    global _CORE, _CORE_CHECKED
+    if os.environ.get("REPRO_SAT_DISABLE_NATIVE"):
+        return None
+    if not _CORE_CHECKED:
+        _CORE_CHECKED = True
+        try:
+            from repro.sat._native import core as _core_module
+        except ImportError:
+            _CORE = None
+        else:
+            _CORE = _core_module
+    return _CORE
+
+
+__all__ = ["load_core"]

@@ -59,7 +59,9 @@ class ModelEnumerator:
                   time_budget: float | None = None) -> Iterator[dict[int, bool]]:
         """Yield models until exhaustion, ``limit`` models, or the budget expires."""
         start = time.monotonic()
-        solver = SatSolver()
+        from repro.sat.backends import create_solver
+
+        solver = create_solver()
         max_var = 0
         for clause in self.clauses:
             max_var = max(max_var, *(abs(literal) for literal in clause))

@@ -22,7 +22,9 @@ import time
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-from repro.sat.solver import SatSolver, SolveResult
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, default_registry
+from repro.sat.backends import create_solver, resolve_backend
+from repro.sat.solver import SolveResult
 
 
 @runtime_checkable
@@ -59,9 +61,12 @@ class SatSession:
     to make incremental reuse observable.
     """
 
-    def __init__(self, **solver_kwargs) -> None:
+    def __init__(self, backend: str | None = None, **solver_kwargs) -> None:
         self._solver_kwargs = dict(solver_kwargs)
-        self.solver = SatSolver(**solver_kwargs)
+        #: The concrete solve core in use ("python" or "native"), resolved
+        #: once at construction: explicit arg > $REPRO_SAT_BACKEND > auto.
+        self.backend = resolve_backend(backend)
+        self.solver = create_solver(self.backend, **solver_kwargs)
         self.stats = SessionStats()
         #: Bumped by :meth:`reset`.  Attached builders compare it on sync so a
         #: reset session is re-fed the full formula instead of staying empty.
@@ -102,8 +107,14 @@ class SatSession:
         result = self.solver.solve(assumptions=assumptions,
                                    time_budget=time_budget,
                                    conflict_budget=conflict_budget)
+        elapsed = time.monotonic() - start
         self.stats.solve_calls += 1
-        self.stats.solve_time += time.monotonic() - start
+        self.stats.solve_time += elapsed
+        default_registry().histogram(
+            "repro_sat_solve_seconds",
+            "Per-call SAT solve latency by solve core.",
+            buckets=DEFAULT_SECONDS_BUCKETS,
+        ).observe(elapsed, backend=self.backend)
         return result
 
     # -------------------------------------------------------------- queries
@@ -121,6 +132,7 @@ class SatSession:
     def describe(self) -> dict:
         """Flat summary used by telemetry and benchmark reports."""
         return {
+            "backend": self.backend,
             "clauses_streamed": self.stats.clauses_streamed,
             "solve_calls": self.stats.solve_calls,
             "solve_time": self.stats.solve_time,
@@ -143,6 +155,6 @@ class SatSession:
         next sync, so the fresh solver never silently answers for an empty
         one.
         """
-        self.solver = SatSolver(**self._solver_kwargs)
+        self.solver = create_solver(self.backend, **self._solver_kwargs)
         self.stats = SessionStats()
         self.generation += 1

@@ -83,8 +83,10 @@ class SolverStatistics:
     restarts: int = 0
     learnt_clauses: int = 0
     deleted_clauses: int = 0
+    #: Which solve core produced these numbers ("python" or "native").
+    backend: str = "python"
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | str]:
         """Plain-dict form for telemetry details and span attributes."""
         return {
             "conflicts": self.conflicts,
@@ -93,6 +95,7 @@ class SolverStatistics:
             "restarts": self.restarts,
             "learnt_clauses": self.learnt_clauses,
             "deleted_clauses": self.deleted_clauses,
+            "backend": self.backend,
         }
 
 
@@ -458,6 +461,7 @@ class SatSolver:
                 decisions=result.decisions, propagations=result.propagations,
                 restarts=self.stats.restarts - start_restarts,
                 assumptions=len(assumptions) if assumptions else 0,
+                backend="python",
             )
             return result
 

@@ -99,7 +99,8 @@ def result_to_payload(result: RoutingResult) -> dict:
         "stage_timings": dict(result.stage_timings),
         "clauses_streamed": result.clauses_streamed,
         "learnt_clauses_retained": result.learnt_clauses_retained,
-        "solver_stats": {str(k): int(v) for k, v in result.solver_stats.items()},
+        "solver_stats": {str(k): (str(v) if k == "backend" else int(v))
+                         for k, v in result.solver_stats.items()},
     }
 
 
@@ -129,7 +130,9 @@ def payload_to_result(payload: dict) -> RoutingResult:
                        in payload.get("stage_timings", {}).items()},
         clauses_streamed=int(payload.get("clauses_streamed", 0)),
         learnt_clauses_retained=int(payload.get("learnt_clauses_retained", 0)),
-        solver_stats={str(counter): int(value) for counter, value
+        solver_stats={str(counter): (str(value) if counter == "backend"
+                                     else int(value))
+                      for counter, value
                       in payload.get("solver_stats", {}).items()},
     )
 

@@ -406,6 +406,8 @@ class BatchRoutingService:
                         "learnt_clauses"):
             if counter in result.solver_stats:
                 detail[counter] = int(result.solver_stats[counter])
+        if result.solver_stats.get("backend"):
+            detail["solver_backend"] = str(result.solver_stats["backend"])
         if result.trace is not None:
             waited = obs_trace.find_span(result.trace, "queue-wait")
             if waited is not None and waited.get("duration") is not None:

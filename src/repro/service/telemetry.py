@@ -90,6 +90,10 @@ class TelemetryLog:
             "repro_solve_conflicts",
             "CDCL conflicts accumulated per finished job",
             buckets=DEFAULT_COUNT_BUCKETS)
+        self._sat_solve_seconds = self.metrics.histogram(
+            "repro_sat_solve_seconds",
+            "Solve-stage seconds per finished job by SAT solve core "
+            "(backend label: python | native)")
 
     # ------------------------------------------------------------ recording
 
@@ -115,6 +119,11 @@ class TelemetryLog:
             self.learnt_retained += int(detail.get("learnt_retained", 0))
             if "conflicts" in detail:
                 self._solve_conflicts.observe(float(detail["conflicts"]))
+            if "solver_backend" in detail:
+                self._sat_solve_seconds.observe(
+                    float(detail.get("stage_solve",
+                                     detail.get("solve_time", 0.0))),
+                    backend=str(detail["solver_backend"]))
             if "queue_wait" in detail:
                 self._queue_wait.observe(float(detail["queue_wait"]))
         for subscriber in list(self._subscribers):
